@@ -1,0 +1,70 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Figure 2b: indirect cost of the mandatory TLB flush on enclave exits.
+// Two 2 MiB parameter servers — open addressing (no pointer chasing, TLB
+// insensitive) vs chaining (pointer chasing, TLB sensitive) — as the number
+// of table lookups per request grows. In-enclave time only.
+
+#include "bench/bench_util.h"
+#include "src/apps/param_server.h"
+
+namespace eleos {
+namespace {
+
+using apps::HashLayout;
+using apps::PsBackend;
+using apps::PsConfig;
+using apps::PsExecMode;
+
+double HandlerCyclesPerUpdate(HashLayout layout, size_t updates,
+                              size_t n_requests) {
+  sim::Machine machine(bench::FastMachine());
+  PsConfig cfg;
+  cfg.data_bytes = 2ull << 20;
+  cfg.layout = layout;
+  cfg.mode = PsExecMode::kSgxOcall;
+  cfg.backend = PsBackend::kEnclave;
+  const apps::PsRunResult r = RunPsWorkload(machine, cfg, updates, 0, n_requests);
+  return static_cast<double>(r.handler_cycles) /
+         static_cast<double>(r.requests * updates);
+}
+
+}  // namespace
+}  // namespace eleos
+
+int main() {
+  using namespace eleos;
+  bench::PrintHeader(
+      "Figure 2b",
+      "TLB-flush cost on a 2 MiB parameter server: open addressing vs "
+      "chaining, per-update in-enclave cycles vs keys per request");
+
+  TextTable t({"keys/request", "open addressing cyc/upd", "chaining cyc/upd",
+               "chaining/OA"});
+  double first_ratio = 0.0;
+  double last_ratio = 0.0;
+  for (size_t updates : {1, 2, 4, 8, 16, 32}) {
+    const size_t reqs = 20000 / updates + 500;
+    const double oa =
+        HandlerCyclesPerUpdate(HashLayout::kOpenAddressing, updates, reqs);
+    const double chain = HandlerCyclesPerUpdate(HashLayout::kChaining, updates, reqs);
+    char s[32];
+    snprintf(s, sizeof(s), "%.2fx", chain / oa);
+    t.Row()
+        .Cell(static_cast<uint64_t>(updates))
+        .Cell(oa, "%.0f")
+        .Cell(chain, "%.0f")
+        .Cell(s);
+    if (first_ratio == 0.0) {
+      first_ratio = chain / oa;
+    }
+    last_ratio = chain / oa;
+  }
+  t.Print();
+  std::printf(
+      "\nShape target: open addressing is flat; chaining's per-update cost "
+      "stays elevated as lookups grow (ratio %.2fx -> %.2fx) because every "
+      "exit flushes the TLB and chains re-walk cold pages.\n",
+      first_ratio, last_ratio);
+  return 0;
+}

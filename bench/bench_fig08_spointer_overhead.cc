@@ -1,0 +1,117 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Figure 8: SUVM slowdown for *fault-free* accesses over regular enclave
+// memory accesses, as a function of the accessed element size, for a
+// working set inside the LLC (8a: worst case, memory is cheap) and inside
+// the PRM but beyond the LLC (8b).
+
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baseline/sgx_buffer.h"
+#include "src/suvm/suvm.h"
+
+namespace eleos {
+namespace {
+
+size_t AccessCount(size_t elem) {
+  const size_t total = 8ull << 20;
+  const size_t n = total / elem;
+  return n > 20000 ? 20000 : n + 1000;
+}
+
+// Each side runs on its own machine so 8b's two 60 MiB working sets never
+// compete for the same PRM.
+double MeasureSuvm(size_t ws_bytes, size_t elem, bool write) {
+  sim::Machine machine(bench::FastMachine());
+  sim::Enclave enclave(machine);
+  const size_t pages = ws_bytes / 4096;
+  suvm::SuvmConfig sc;
+  sc.epc_pp_pages = pages + 64;
+  sc.backing_bytes = 512ull << 20;
+  sc.fast_seal = true;
+  suvm::Suvm suvm(enclave, sc);
+  const uint64_t addr = suvm.Malloc(ws_bytes);
+  std::vector<uint8_t> buf(elem, 7);
+  for (size_t p = 0; p < pages; ++p) {
+    suvm.Write(nullptr, addr + p * 4096, buf.data(), elem < 4096 ? elem : 4096);
+  }
+  sim::CpuContext& cpu = machine.cpu(0);
+  const size_t accesses = AccessCount(elem);
+  Xoshiro256 warm(11);
+  for (size_t i = 0; i < accesses; ++i) {
+    suvm.Read(&cpu, addr + warm.NextBelow(pages) * 4096, buf.data(), elem);
+  }
+  Xoshiro256 rng(21);
+  const uint64_t t0 = cpu.clock.now();
+  for (size_t i = 0; i < accesses; ++i) {
+    const uint64_t off = rng.NextBelow(pages) * 4096;
+    if (write) {
+      suvm.Write(&cpu, addr + off, buf.data(), elem);
+    } else {
+      suvm.Read(&cpu, addr + off, buf.data(), elem);
+    }
+  }
+  return static_cast<double>(cpu.clock.now() - t0) / static_cast<double>(accesses);
+}
+
+double MeasureRaw(size_t ws_bytes, size_t elem, bool write) {
+  sim::Machine machine(bench::FastMachine());
+  sim::Enclave enclave(machine);
+  const size_t pages = ws_bytes / 4096;
+  baseline::SgxBuffer raw(enclave, ws_bytes);
+  std::vector<uint8_t> buf(elem, 7);
+  for (size_t p = 0; p < pages; ++p) {
+    raw.Write(nullptr, p * 4096, buf.data(), elem < 4096 ? elem : 4096);
+  }
+  sim::CpuContext& cpu = machine.cpu(0);
+  const size_t accesses = AccessCount(elem);
+  Xoshiro256 warm(11);
+  for (size_t i = 0; i < accesses; ++i) {
+    raw.Read(&cpu, warm.NextBelow(pages) * 4096, buf.data(), elem);
+  }
+  Xoshiro256 rng(21);
+  const uint64_t t0 = cpu.clock.now();
+  for (size_t i = 0; i < accesses; ++i) {
+    const uint64_t off = rng.NextBelow(pages) * 4096;
+    if (write) {
+      raw.Write(&cpu, off, buf.data(), elem);
+    } else {
+      raw.Read(&cpu, off, buf.data(), elem);
+    }
+  }
+  return static_cast<double>(cpu.clock.now() - t0) / static_cast<double>(accesses);
+}
+
+void RunFigure(const char* name, size_t ws_bytes) {
+  std::printf("\n--- %s: working set %s ---\n", name, bench::Mib(ws_bytes).c_str());
+  TextTable t({"element bytes", "read overhead", "write overhead"});
+  for (size_t elem : {8u, 64u, 256u, 1024u, 4096u}) {
+    const double sr = MeasureSuvm(ws_bytes, elem, false);
+    const double rr = MeasureRaw(ws_bytes, elem, false);
+    const double sw = MeasureSuvm(ws_bytes, elem, true);
+    const double rw = MeasureRaw(ws_bytes, elem, true);
+    char rs[32], ws[32];
+    snprintf(rs, sizeof(rs), "%+.1f%%", 100.0 * (sr - rr) / rr);
+    snprintf(ws, sizeof(ws), "%+.1f%%", 100.0 * (sw - rw) / rw);
+    t.Row().Cell(static_cast<uint64_t>(elem)).Cell(rs).Cell(ws);
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace eleos
+
+int main() {
+  using namespace eleos;
+  bench::PrintHeader("Figure 8",
+                     "SUVM slowdown for fault-free accesses over regular "
+                     "enclave memory (pre-faulted working sets)");
+  RunFigure("Figure 8a (in LLC)", 2ull << 20);
+  RunFigure("Figure 8b (in PRM, beyond LLC)", 60ull << 20);
+  std::printf(
+      "\nShape targets: overhead bounded by ~22-25%% in-LLC and <20%% "
+      "out-of-LLC, shrinking as element size grows.\n");
+  return 0;
+}

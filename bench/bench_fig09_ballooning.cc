@@ -1,0 +1,111 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Figure 9: coordinated EPC++ sizing across enclaves. Two enclaves run 4 KiB
+// random reads concurrently; EPC++ correctly ballooned to the fair share
+// (30 MiB each) vs misconfigured (50 MiB each, thrashing against the SGX
+// driver), plus the native SGX baseline. Throughput per array size.
+
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "src/baseline/sgx_buffer.h"
+#include "src/common/rng.h"
+#include "src/suvm/suvm.h"
+
+namespace eleos {
+namespace {
+
+constexpr size_t kAccessPairs = 5000;
+
+// Two enclaves, each reading its own `array_bytes` buffer. Returns combined
+// throughput in Kops/s of 4 KiB reads.
+double RunSuvmPair(size_t array_bytes, size_t pp_bytes) {
+  sim::Machine machine(bench::FastMachine());
+  sim::Enclave e1(machine), e2(machine);
+  suvm::SuvmConfig sc;
+  sc.epc_pp_pages = pp_bytes / 4096;
+  size_t backing = 1;
+  while (backing < 2 * array_bytes) {
+    backing <<= 1;
+  }
+  sc.backing_bytes = backing;
+  sc.fast_seal = true;
+  suvm::Suvm s1(e1, sc), s2(e2, sc);
+  const uint64_t a1 = s1.Malloc(array_bytes);
+  const uint64_t a2 = s2.Malloc(array_bytes);
+  uint8_t page[4096];
+  std::memset(page, 1, sizeof(page));
+  const size_t pages = array_bytes / 4096;
+  for (size_t p = 0; p < pages; ++p) {
+    s1.Write(nullptr, a1 + p * 4096, page, 4096);
+    s2.Write(nullptr, a2 + p * 4096, page, 4096);
+  }
+  for (size_t p = 0; p < pages; ++p) {
+    s1.Read(nullptr, a1 + p * 4096, page, 8);
+    s2.Read(nullptr, a2 + p * 4096, page, 8);
+  }
+  sim::CpuContext& cpu = machine.cpu(0);
+  Xoshiro256 rng(31);
+  const uint64_t t0 = cpu.clock.now();
+  for (size_t i = 0; i < kAccessPairs; ++i) {
+    s1.Read(&cpu, a1 + rng.NextBelow(pages) * 4096, page, 4096);
+    s2.Read(&cpu, a2 + rng.NextBelow(pages) * 4096, page, 4096);
+  }
+  return bench::KopsPerSec(machine.costs(), 2 * kAccessPairs,
+                           cpu.clock.now() - t0);
+}
+
+double RunSgxPair(size_t array_bytes) {
+  sim::Machine machine(bench::FastMachine());
+  sim::Enclave e1(machine), e2(machine);
+  baseline::SgxBuffer b1(e1, array_bytes), b2(e2, array_bytes);
+  uint8_t page[4096];
+  std::memset(page, 1, sizeof(page));
+  const size_t pages = array_bytes / 4096;
+  for (size_t p = 0; p < pages; ++p) {
+    b1.Write(nullptr, p * 4096, page, 4096);
+    b2.Write(nullptr, p * 4096, page, 4096);
+  }
+  sim::CpuContext& cpu = machine.cpu(0);
+  Xoshiro256 rng(31);
+  const uint64_t t0 = cpu.clock.now();
+  for (size_t i = 0; i < kAccessPairs; ++i) {
+    b1.Read(&cpu, rng.NextBelow(pages) * 4096, page, 4096);
+    b2.Read(&cpu, rng.NextBelow(pages) * 4096, page, 4096);
+  }
+  return bench::KopsPerSec(machine.costs(), 2 * kAccessPairs,
+                           cpu.clock.now() - t0);
+}
+
+}  // namespace
+}  // namespace eleos
+
+int main() {
+  using namespace eleos;
+  bench::PrintHeader("Figure 9",
+                     "Two concurrent enclaves, 4 KiB random reads: correctly "
+                     "ballooned EPC++ (30 MiB each) vs misconfigured "
+                     "(50 MiB each) vs native SGX. Kops/s, higher is better");
+
+  TextTable t({"array size", "SGX", "SUVM EPC++=50MiB (thrash)",
+               "SUVM EPC++=30MiB (ballooned)", "ballooned/thrash"});
+  for (size_t array : {30ull << 20, 60ull << 20, 90ull << 20}) {
+    const double sgx = RunSgxPair(array);
+    const double bad = RunSuvmPair(array, 50ull << 20);
+    const double good = RunSuvmPair(array, 30ull << 20);
+    char s[32];
+    snprintf(s, sizeof(s), "%.1fx", good / bad);
+    t.Row()
+        .Cell(bench::Mib(array))
+        .Cell(sgx, "%.0f")
+        .Cell(bad, "%.0f")
+        .Cell(good, "%.0f")
+        .Cell(s);
+  }
+  t.Print();
+  std::printf(
+      "\nShape target: the misconfigured EPC++ (2 x 50 MiB > PRM) causes both "
+      "SUVM and SGX faults — up to ~3.4x lower throughput than the ballooned "
+      "configuration in the paper.\n");
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Figure 10: face-verification server throughput. 450 MiB database of
+// ~232 KiB histograms; encrypted {id, image} requests; four configurations:
+// native (no SGX), vanilla SGX (OCALL + hardware paging), Eleos RPC only,
+// and Eleos RPC + SUVM; 1/2/4 server threads. Native is network-bound;
+// Eleos+SUVM recovers ~95% of it.
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/faceverif.h"
+#include "src/rpc/rpc_manager.h"
+#include "src/sim/network.h"
+#include "src/suvm/suvm.h"
+
+namespace eleos {
+namespace {
+
+using apps::FaceImage;
+using apps::Histogram;
+
+enum class Config { kNative, kVanillaSgx, kEleosRpc, kEleosSuvm };
+
+constexpr size_t kPeople = 1900;  // ~450 MiB of histograms
+constexpr size_t kRequests = 600;
+constexpr size_t kQueryPool = 64;  // distinct pre-rendered query images
+// On the wire, clients send the paper's full-resolution 512x512 grayscale
+// image (the server computes LBP on a downsampled copy); the wire size sets
+// the 10 Gb/s ceiling that bounds the native server.
+const size_t kImageBytes = 512 * 512;
+
+struct Setup {
+  sim::Machine machine;
+  std::unique_ptr<sim::Enclave> enclave;
+  std::unique_ptr<suvm::Suvm> suvm;
+  std::unique_ptr<apps::MemRegion> region;
+  std::unique_ptr<apps::FaceVerifServer> server;
+  std::unique_ptr<rpc::RpcManager> rpc;
+
+  explicit Setup(Config config) : machine(bench::FastMachine()) {
+    const size_t bytes = kPeople * apps::kHistogramBytes;
+    if (config == Config::kNative) {
+      region = std::make_unique<apps::UntrustedRegion>(machine, bytes);
+    } else if (config == Config::kEleosSuvm) {
+      enclave = std::make_unique<sim::Enclave>(machine, "faceverif");
+      suvm::SuvmConfig sc;
+      sc.epc_pp_pages = (60ull << 20) / 4096;
+      size_t backing = 1;
+      while (backing < 2 * bytes) {
+        backing <<= 1;
+      }
+      sc.backing_bytes = backing;
+      sc.fast_seal = true;
+      suvm = std::make_unique<suvm::Suvm>(*enclave, sc);
+      region = std::make_unique<apps::SuvmRegion>(*suvm, bytes);
+    } else {
+      enclave = std::make_unique<sim::Enclave>(machine, "faceverif");
+      region = std::make_unique<apps::EnclaveRegion>(*enclave, bytes);
+    }
+    if (config == Config::kEleosRpc || config == Config::kEleosSuvm) {
+      rpc = std::make_unique<rpc::RpcManager>(
+          *enclave, rpc::RpcManager::Options{.mode = rpc::RpcManager::Mode::kInline,
+                                             .use_cat = true});
+    }
+    server = std::make_unique<apps::FaceVerifServer>(machine, *region, kPeople);
+    server->BuildDatabase();
+  }
+
+  ~Setup() {
+    server.reset();
+    region.reset();
+    rpc.reset();
+    suvm.reset();
+  }
+};
+
+// Throughput in Kops/s for `threads` server threads, capped by the 10 Gb/s
+// link carrying one image per request.
+double Run(Config config, size_t threads, const std::vector<FaceImage>& queries) {
+  Setup s(config);
+  sim::Machine& machine = s.machine;
+  const sim::CostModel& costs = machine.costs();
+  sim::Network net(costs);
+
+  for (size_t t = 0; t < threads; ++t) {
+    sim::CpuContext& cpu = machine.cpu(t);
+    if (s.enclave != nullptr) {
+      s.enclave->Enter(cpu);
+      if (s.rpc != nullptr) {
+        cpu.cos = s.rpc->enclave_cos();
+      }
+    }
+  }
+
+  Xoshiro256 rng(55);
+  size_t verified = 0;
+  for (size_t i = 0; i < kRequests; ++i) {
+    sim::CpuContext& cpu = machine.cpu(i % threads);
+    const uint64_t person = rng.NextBelow(kPeople);
+    const FaceImage& image = queries[person % queries.size()];
+
+    // Network exchange for this request (image in, verdict out).
+    const size_t io = kImageBytes + 64;
+    switch (config) {
+      case Config::kNative:
+        cpu.Charge(costs.syscall_cycles);
+        machine.TouchScratch(&cpu, io / 16);  // kernel headers only (zero-copy)
+        break;
+      case Config::kVanillaSgx:
+        s.enclave->Ocall(cpu, io / 16, [] {});
+        break;
+      case Config::kEleosRpc:
+      case Config::kEleosSuvm:
+        s.rpc->Call(&cpu, io / 16, [] {});
+        break;
+    }
+    // Decrypt the request (AES-CTR over the image).
+    if (s.enclave != nullptr) {
+      s.enclave->ChargeCtr(&cpu, kImageBytes);
+    } else {
+      cpu.Charge(static_cast<uint64_t>(costs.aes_ctr_cycles_per_byte *
+                                       static_cast<double>(kImageBytes)));
+    }
+    // Compute the query histogram (real LBP) and verify against the stored one.
+    const Histogram query = apps::ComputeLbpHistogram(&cpu, costs, image);
+    verified += s.server->Verify(&cpu, person, query) ? 1 : 0;
+  }
+
+  uint64_t max_cycles = 0;
+  for (size_t t = 0; t < threads; ++t) {
+    max_cycles = std::max(max_cycles, machine.cpu(t).clock.now());
+    if (s.enclave != nullptr) {
+      s.enclave->Exit(machine.cpu(t));
+    }
+  }
+  const double cpu_kops = bench::KopsPerSec(costs, kRequests, max_cycles);
+  const double wire_kops = net.MaxRequestsPerSecond(kImageBytes + 64, 64) / 1000.0;
+  (void)verified;
+  return std::min(cpu_kops, wire_kops);
+}
+
+}  // namespace
+}  // namespace eleos
+
+int main() {
+  using namespace eleos;
+  bench::PrintHeader("Figure 10",
+                     "Face verification throughput (Kops/s), 450 MiB database "
+                     "(~4x PRM), one ~232 KiB histogram fetched per request");
+
+  // Pre-render a pool of query images (client-side work, done once). Requests
+  // for person id use pool[id % kQueryPool]; for throughput purposes the
+  // verification verdict is irrelevant, only the fetch+compare work counts.
+  std::vector<FaceImage> pool;
+  pool.reserve(kQueryPool);
+  for (size_t p = 0; p < kQueryPool; ++p) {
+    pool.push_back(apps::SynthesizeFace(p, /*variant=*/2));
+  }
+
+  TextTable t({"threads", "native", "vanilla SGX", "Eleos RPC", "Eleos RPC+SUVM",
+               "SUVM vs native"});
+  for (size_t threads : {1u, 2u, 4u}) {
+    const double native = Run(Config::kNative, threads, pool);
+    const double sgx = Run(Config::kVanillaSgx, threads, pool);
+    const double rpc = Run(Config::kEleosRpc, threads, pool);
+    const double suvm = Run(Config::kEleosSuvm, threads, pool);
+    char rel[32];
+    snprintf(rel, sizeof(rel), "%.0f%%", 100.0 * suvm / native);
+    t.Row()
+        .Cell(static_cast<uint64_t>(threads))
+        .Cell(native, "%.1f")
+        .Cell(sgx, "%.1f")
+        .Cell(rpc, "%.1f")
+        .Cell(suvm, "%.1f")
+        .Cell(rel);
+  }
+  t.Print();
+  std::printf(
+      "\nShape targets: native saturates the network; RPC alone barely helps "
+      "(exit cost hidden by paging); SUVM reaches ~95%% of native and ~2.3x "
+      "vanilla SGX.\n");
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Wall-clock micro-benchmarks (google-benchmark) of the hot primitives.
+// Unlike the figure benches these measure *real* time of this
+// implementation, as a sanity check that the functional substrate is fast
+// enough to run the simulations (crypto throughput, allocator, spointer
+// dereference, RPC queue round-trip).
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/crypto/ctr.h"
+#include "src/crypto/gcm.h"
+#include "src/crypto/sha256.h"
+#include "src/rpc/job_queue.h"
+#include "src/rpc/worker_pool.h"
+#include "src/suvm/backing_store.h"
+#include "src/suvm/spointer.h"
+#include "src/suvm/suvm.h"
+
+namespace eleos {
+namespace {
+
+void BM_AesGcmSeal4K(benchmark::State& state) {
+  const auto key = crypto::DeriveAesKey("bench", 1);
+  crypto::AesGcm gcm(key.data());
+  std::vector<uint8_t> pt(4096, 7), ct(4096);
+  uint8_t nonce[12] = {1}, tag[16];
+  for (auto _ : state) {
+    gcm.Seal(nonce, nullptr, 0, pt.data(), pt.size(), ct.data(), tag);
+    benchmark::DoNotOptimize(tag);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_AesGcmSeal4K);
+
+void BM_AesGcmOpen4K(benchmark::State& state) {
+  const auto key = crypto::DeriveAesKey("bench", 1);
+  crypto::AesGcm gcm(key.data());
+  std::vector<uint8_t> pt(4096, 7), ct(4096);
+  uint8_t nonce[12] = {1}, tag[16];
+  gcm.Seal(nonce, nullptr, 0, pt.data(), pt.size(), ct.data(), tag);
+  for (auto _ : state) {
+    const bool ok = gcm.Open(nonce, nullptr, 0, ct.data(), ct.size(), tag, pt.data());
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_AesGcmOpen4K);
+
+void BM_AesCtr4K(benchmark::State& state) {
+  const auto key = crypto::DeriveAesKey("bench", 2);
+  crypto::Aes128 aes(key.data());
+  std::vector<uint8_t> buf(4096, 3);
+  const uint8_t iv[12] = {9};
+  for (auto _ : state) {
+    crypto::AesCtrCrypt(aes, iv, 1, buf.data(), buf.data(), buf.size());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_AesCtr4K);
+
+void BM_Sha256_4K(benchmark::State& state) {
+  std::vector<uint8_t> buf(4096, 5);
+  for (auto _ : state) {
+    auto d = crypto::Sha256::Digest(buf.data(), buf.size());
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Sha256_4K);
+
+void BM_BuddyAllocFree(benchmark::State& state) {
+  suvm::BackingStore bs({.capacity_bytes = 64ull << 20});
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const uint64_t a = bs.Alloc(16 + rng.NextBelow(4000));
+    benchmark::DoNotOptimize(a);
+    bs.Free(a);
+  }
+}
+BENCHMARK(BM_BuddyAllocFree);
+
+struct SuvmFixture {
+  sim::Machine machine;
+  sim::Enclave enclave{machine};
+  suvm::Suvm suvm;
+  SuvmFixture()
+      : suvm(enclave, {.epc_pp_pages = 1024,
+                       .backing_bytes = 16ull << 20,
+                       .swapper_low_watermark = 0}) {}
+};
+
+void BM_SpointerDerefLinked(benchmark::State& state) {
+  SuvmFixture f;
+  auto p = suvm::SuvmAlloc<uint64_t>(f.suvm, 512);
+  *p = 1;
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    sum += p.Get();
+  }
+  benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_SpointerDerefLinked);
+
+void BM_SuvmReadResident4K(benchmark::State& state) {
+  SuvmFixture f;
+  const uint64_t a = f.suvm.Malloc(1 << 20);
+  uint8_t page[4096] = {1};
+  for (size_t off = 0; off < (1 << 20); off += 4096) {
+    f.suvm.Write(nullptr, a + off, page, 4096);
+  }
+  size_t off = 0;
+  for (auto _ : state) {
+    f.suvm.Read(nullptr, a + off, page, 4096);
+    off = (off + 4096) % (1 << 20);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_SuvmReadResident4K);
+
+void BM_SuvmSoftFault(benchmark::State& state) {
+  SuvmFixture f;
+  const size_t pages = 2048;  // 2x EPC++
+  const uint64_t a = f.suvm.Malloc(pages * 4096);
+  uint8_t page[4096] = {1};
+  for (size_t p = 0; p < pages; ++p) {
+    f.suvm.Write(nullptr, a + p * 4096, page, 4096);
+  }
+  size_t p = 0;
+  for (auto _ : state) {
+    f.suvm.Read(nullptr, a + p * 4096, page, 8);
+    p = (p + 1031) % pages;  // stride guarantees misses
+  }
+}
+BENCHMARK(BM_SuvmSoftFault);
+
+void BM_RpcQueueRoundTrip(benchmark::State& state) {
+  rpc::JobQueue queue(8);
+  rpc::WorkerPool pool(queue, 1);
+  auto fn = +[](void* arg) { ++*static_cast<uint64_t*>(arg); };
+  uint64_t counter = 0;
+  for (auto _ : state) {
+    const size_t slot = queue.Submit(fn, &counter);
+    queue.AwaitAndRelease(slot);
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_RpcQueueRoundTrip);
+
+}  // namespace
+}  // namespace eleos
+
+BENCHMARK_MAIN();

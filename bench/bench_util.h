@@ -1,0 +1,47 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Shared helpers for the paper-reproduction bench binaries. Every bench
+// prints the table/figure it regenerates via TextTable, using virtual cycles
+// from the simulation (wall-clock on this container is meaningless for the
+// paper's claims).
+
+#ifndef ELEOS_BENCH_BENCH_UTIL_H_
+#define ELEOS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/table.h"
+#include "src/sim/machine.h"
+
+namespace eleos::bench {
+
+// Standard machine for large sweeps: paper-accurate PRM, memcpy sealing
+// (identical virtual-cycle charges, no wall-clock crypto cost).
+inline sim::MachineConfig FastMachine() {
+  sim::MachineConfig cfg;
+  cfg.seal_mode = sim::SgxDriver::SealMode::kFast;
+  return cfg;
+}
+
+inline void PrintHeader(const char* artifact, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", artifact);
+  std::printf("%s\n", description);
+  std::printf("==============================================================\n");
+}
+
+inline std::string Mib(size_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%zu MiB", bytes >> 20);
+  return buf;
+}
+
+inline double KopsPerSec(const sim::CostModel& costs, uint64_t ops,
+                         uint64_t cycles) {
+  return costs.OpsPerSecond(ops, cycles) / 1000.0;
+}
+
+}  // namespace eleos::bench
+
+#endif  // ELEOS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,160 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include "src/apps/faceverif.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace eleos::apps {
+namespace {
+
+// Uniform-pattern LBP lookup: maps each 8-bit LBP code to one of 58 uniform
+// patterns or the shared "non-uniform" bin 58 (Ahonen et al., the paper's
+// face-description reference [6]).
+struct UniformLut {
+  uint8_t bin[256];
+
+  UniformLut() {
+    int next = 0;
+    for (int code = 0; code < 256; ++code) {
+      int transitions = 0;
+      for (int b = 0; b < 8; ++b) {
+        const int cur = (code >> b) & 1;
+        const int nxt = (code >> ((b + 1) % 8)) & 1;
+        transitions += cur != nxt;
+      }
+      bin[code] = transitions <= 2 ? static_cast<uint8_t>(next++)
+                                   : static_cast<uint8_t>(kLbpBins - 1);
+    }
+  }
+};
+
+const UniformLut& Lut() {
+  static const UniformLut lut;
+  return lut;
+}
+
+}  // namespace
+
+FaceImage SynthesizeFace(uint64_t person_id, uint64_t variant) {
+  FaceImage img(kFaceImageDim * kFaceImageDim);
+  // Smooth per-person texture: a few sinusoids with person-specific phases
+  // plus mild deterministic noise. Variants perturb the noise only, so the
+  // same person's variants verify while different people do not.
+  Xoshiro256 rng(person_id * 2654435761u + 12345);
+  const double fx = 2.0 + static_cast<double>(rng.NextBelow(6));
+  const double fy = 3.0 + static_cast<double>(rng.NextBelow(6));
+  const double px = rng.NextDouble() * 6.28;
+  const double py = rng.NextDouble() * 6.28;
+  Xoshiro256 noise(person_id ^ (variant * 0x9e3779b97f4a7c15ull) ^ 0xface);
+  for (size_t y = 0; y < kFaceImageDim; ++y) {
+    for (size_t x = 0; x < kFaceImageDim; ++x) {
+      const double u = static_cast<double>(x) / kFaceImageDim;
+      const double v = static_cast<double>(y) / kFaceImageDim;
+      const double s = std::sin(fx * 6.28 * u + px) * std::cos(fy * 6.28 * v + py);
+      const int base = static_cast<int>(128 + 90 * s);
+      const int jitter = static_cast<int>(noise.NextBelow(11)) - 5;
+      int val = base + jitter;
+      val = val < 0 ? 0 : (val > 255 ? 255 : val);
+      img[y * kFaceImageDim + x] = static_cast<uint8_t>(val);
+    }
+  }
+  return img;
+}
+
+Histogram ComputeLbpHistogram(sim::CpuContext* cpu, const sim::CostModel& costs,
+                              const FaceImage& image) {
+  Histogram hist(kHistogramFloats, 0.0f);
+  const UniformLut& lut = Lut();
+  const size_t dim = kFaceImageDim;
+  for (size_t y = 1; y + 1 < dim; ++y) {
+    for (size_t x = 1; x + 1 < dim; ++x) {
+      const uint8_t c = image[y * dim + x];
+      int code = 0;
+      code |= (image[(y - 1) * dim + (x - 1)] >= c) << 0;
+      code |= (image[(y - 1) * dim + x] >= c) << 1;
+      code |= (image[(y - 1) * dim + (x + 1)] >= c) << 2;
+      code |= (image[y * dim + (x + 1)] >= c) << 3;
+      code |= (image[(y + 1) * dim + (x + 1)] >= c) << 4;
+      code |= (image[(y + 1) * dim + x] >= c) << 5;
+      code |= (image[(y + 1) * dim + (x - 1)] >= c) << 6;
+      code |= (image[y * dim + (x - 1)] >= c) << 7;
+      const size_t cell = (y / kFaceCellDim) * kFaceGrid + (x / kFaceCellDim);
+      hist[cell * kLbpBins + lut.bin[code]] += 1.0f;
+    }
+  }
+  // Normalize per cell so distances are scale-free.
+  for (size_t cell = 0; cell < kFaceGrid * kFaceGrid; ++cell) {
+    float sum = 0.0f;
+    for (size_t b = 0; b < kLbpBins; ++b) {
+      sum += hist[cell * kLbpBins + b];
+    }
+    if (sum > 0) {
+      for (size_t b = 0; b < kLbpBins; ++b) {
+        hist[cell * kLbpBins + b] /= sum;
+      }
+    }
+  }
+  if (cpu != nullptr) {
+    cpu->Charge(static_cast<uint64_t>(costs.lbp_cycles_per_pixel *
+                                      static_cast<double>(dim * dim)));
+  }
+  return hist;
+}
+
+double ChiSquareDistance(const Histogram& a, const Histogram& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    const double s = a[i] + b[i];
+    if (s > 0) {
+      const double diff = a[i] - b[i];
+      d += diff * diff / s;
+    }
+  }
+  return d;
+}
+
+FaceVerifServer::FaceVerifServer(sim::Machine& machine, MemRegion& region,
+                                 size_t n_people)
+    : machine_(&machine), region_(&region), n_people_(n_people) {
+  if (region.size() < n_people * kHistogramBytes) {
+    throw std::invalid_argument("FaceVerifServer: region too small");
+  }
+}
+
+void FaceVerifServer::BuildDatabase() {
+  // Store each person's reference histogram; calibrate the accept threshold
+  // from a couple of same-person / different-person pairs.
+  for (uint64_t id = 0; id < n_people_; ++id) {
+    const Histogram h =
+        ComputeLbpHistogram(nullptr, machine_->costs(), SynthesizeFace(id));
+    region_->Write(nullptr, EntryOff(id), h.data(), kHistogramBytes);
+  }
+  const Histogram ref0 =
+      ComputeLbpHistogram(nullptr, machine_->costs(), SynthesizeFace(0));
+  const Histogram same =
+      ComputeLbpHistogram(nullptr, machine_->costs(), SynthesizeFace(0, 1));
+  const Histogram other =
+      ComputeLbpHistogram(nullptr, machine_->costs(), SynthesizeFace(1));
+  const double d_same = ChiSquareDistance(ref0, same);
+  const double d_other = ChiSquareDistance(ref0, other);
+  threshold_ = (d_same + d_other) / 2.0;
+}
+
+bool FaceVerifServer::Verify(sim::CpuContext* cpu, uint64_t person_id,
+                             const Histogram& query, double* distance_out) {
+  // Fetch the stored histogram from secure memory — the paging-heavy part.
+  Histogram stored(kHistogramFloats);
+  region_->Read(cpu, EntryOff(person_id), stored.data(), kHistogramBytes);
+  const double d = ChiSquareDistance(stored, query);
+  if (cpu != nullptr) {
+    cpu->Charge(static_cast<uint64_t>(machine_->costs().histcmp_cycles_per_byte *
+                                      static_cast<double>(kHistogramBytes)));
+  }
+  if (distance_out != nullptr) {
+    *distance_out = d;
+  }
+  return d < threshold_;
+}
+
+}  // namespace eleos::apps

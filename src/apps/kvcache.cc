@@ -1,0 +1,297 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include "src/apps/kvcache.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace eleos::apps {
+namespace {
+
+uint32_t HashKey(std::string_view key) {
+  // FNV-1a, as a stand-in for memcached's jenkins/murmur.
+  uint32_t h = 2166136261u;
+  for (char c : key) {
+    h = (h ^ static_cast<uint8_t>(c)) * 16777619u;
+  }
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace
+
+// --- SlabAllocator ---
+
+SlabAllocator::SlabAllocator(size_t pool_bytes) : pool_bytes_(pool_bytes) {
+  size_t size = kMinChunk;
+  while (size < kSlabBytes) {
+    class_sizes_.push_back(size);
+    size = size * 5 / 4;     // 1.25 growth factor
+    size = (size + 7) & ~7u;  // 8-byte alignment
+  }
+  class_sizes_.push_back(kSlabBytes);
+  free_lists_.resize(class_sizes_.size());
+}
+
+int SlabAllocator::ClassFor(size_t bytes) const {
+  for (size_t i = 0; i < class_sizes_.size(); ++i) {
+    if (bytes <= class_sizes_[i]) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+uint64_t SlabAllocator::Alloc(size_t bytes, int* class_out) {
+  const int cls = ClassFor(bytes);
+  if (cls < 0) {
+    return UINT64_MAX;
+  }
+  if (class_out != nullptr) {
+    *class_out = cls;
+  }
+  auto& freelist = free_lists_[static_cast<size_t>(cls)];
+  if (!freelist.empty()) {
+    const uint64_t off = freelist.back();
+    freelist.pop_back();
+    used_bytes_ += ChunkSize(cls);
+    return off;
+  }
+  // Carve a new slab page into chunks of this class.
+  if (bump_ + kSlabBytes > pool_bytes_) {
+    return UINT64_MAX;
+  }
+  const uint64_t slab = bump_;
+  bump_ += kSlabBytes;
+  const size_t chunk = ChunkSize(cls);
+  const size_t count = kSlabBytes / chunk;
+  freelist.reserve(freelist.size() + count - 1);
+  for (size_t i = count; i > 1; --i) {
+    freelist.push_back(slab + (i - 1) * chunk);
+  }
+  used_bytes_ += chunk;
+  return slab;
+}
+
+void SlabAllocator::Free(uint64_t offset, size_t bytes) {
+  const int cls = ClassFor(bytes);
+  if (cls < 0) {
+    throw std::invalid_argument("SlabAllocator::Free: bad size");
+  }
+  free_lists_[static_cast<size_t>(cls)].push_back(offset);
+  used_bytes_ -= ChunkSize(cls);
+}
+
+// --- KvCache ---
+
+KvCache::KvCache(sim::Machine& machine, MemRegion& region, Options options)
+    : machine_(&machine),
+      region_(&region),
+      options_(options),
+      slab_(options.pool_bytes),
+      buckets_(options.hash_buckets, 0),
+      lru_head_(slab_.classes(), 0),
+      lru_tail_(slab_.classes(), 0) {
+  if (region.size() < options.pool_bytes) {
+    throw std::invalid_argument("KvCache: region smaller than pool");
+  }
+  items_.resize(1);  // index 0 is the null item
+}
+
+uint32_t* KvCache::BucketHead(uint32_t hash) {
+  return &buckets_[hash % buckets_.size()];
+}
+
+void KvCache::ChargeMetadataTouch(sim::CpuContext* cpu, size_t records) {
+  if (cpu == nullptr) {
+    return;
+  }
+  if (options_.metadata_in_secure_memory) {
+    // Ablation: metadata accesses cost EPC rates (3-7% slowdown in §6.2.2).
+    // The metadata working set is small and mostly LLC-resident; the probe
+    // cycles within a 256 KiB pool so only the EPC hit/miss premium shows.
+    metadata_probe_ = (metadata_probe_ + 64) % (256 * 1024);
+    machine_->Access(cpu, 0x3e00'0000'0000ull + metadata_probe_, 64 * records,
+                     false, sim::MemKind::kEpc);
+  } else {
+    machine_->Access(cpu, reinterpret_cast<uint64_t>(items_.data()), 64 * records,
+                     false, sim::MemKind::kUntrusted);
+  }
+}
+
+int64_t KvCache::Get(sim::CpuContext* cpu, std::string_view key, void* out,
+                     size_t out_cap) {
+  ++stats_.gets;
+  if (cpu != nullptr) {
+    cpu->Charge(machine_->costs().hash_op_cycles);
+  }
+  const uint32_t hash = HashKey(key);
+  const uint32_t item = FindLocked(cpu, key, hash);
+  if (item == 0) {
+    return -1;
+  }
+  ++stats_.get_hits;
+  ItemMeta& m = items_[item];
+  uint32_t lens[2];
+  region_->Read(cpu, m.data, lens, sizeof(lens));
+  const size_t vlen = lens[1];
+  const size_t take = vlen < out_cap ? vlen : out_cap;
+  region_->Read(cpu, m.data + 8 + lens[0], out, take);
+  // LRU bump (metadata only).
+  LruUnlink(m.cls, item);
+  LruPushFront(m.cls, item);
+  ChargeMetadataTouch(cpu, 2);
+  return static_cast<int64_t>(vlen);
+}
+
+uint32_t KvCache::FindLocked(sim::CpuContext* cpu, std::string_view key,
+                             uint32_t hash) {
+  uint32_t cur = *BucketHead(hash);
+  while (cur != 0) {
+    ItemMeta& m = items_[cur];
+    ChargeMetadataTouch(cpu, 1);
+    if (m.key_hash == hash) {
+      // Compare the secure key bytes.
+      uint32_t lens[2];
+      region_->Read(cpu, m.data, lens, sizeof(lens));
+      if (lens[0] == key.size()) {
+        std::vector<uint8_t> kbuf(lens[0]);
+        region_->Read(cpu, m.data + 8, kbuf.data(), lens[0]);
+        if (std::memcmp(kbuf.data(), key.data(), key.size()) == 0) {
+          return cur;
+        }
+      }
+    }
+    cur = m.hash_next;
+  }
+  return 0;
+}
+
+bool KvCache::Set(sim::CpuContext* cpu, std::string_view key, const void* value,
+                  size_t value_len) {
+  ++stats_.sets;
+  if (cpu != nullptr) {
+    cpu->Charge(machine_->costs().hash_op_cycles);
+  }
+  const uint32_t hash = HashKey(key);
+  const uint32_t existing = FindLocked(cpu, key, hash);
+  if (existing != 0) {
+    RemoveItem(cpu, existing);
+  }
+
+  const size_t need = 8 + key.size() + value_len;
+  int cls = -1;
+  uint64_t off = slab_.Alloc(need, &cls);
+  while (off == UINT64_MAX) {
+    const int want_cls = slab_.ClassFor(need);
+    if (want_cls < 0 || !EvictOneFrom(cpu, want_cls)) {
+      return false;  // value larger than any class, or nothing to evict
+    }
+    off = slab_.Alloc(need, &cls);
+  }
+
+  // Secure layout: [klen u32][vlen u32][key][value].
+  const uint32_t lens[2] = {static_cast<uint32_t>(key.size()),
+                            static_cast<uint32_t>(value_len)};
+  region_->Write(cpu, off, lens, sizeof(lens));
+  region_->Write(cpu, off + 8, key.data(), key.size());
+  region_->Write(cpu, off + 8 + key.size(), value, value_len);
+
+  // Untrusted metadata record.
+  uint32_t item;
+  if (!free_items_.empty()) {
+    item = free_items_.back();
+    free_items_.pop_back();
+  } else {
+    items_.emplace_back();
+    item = static_cast<uint32_t>(items_.size() - 1);
+  }
+  ItemMeta& m = items_[item];
+  m = ItemMeta{};
+  m.data = off;
+  m.key_hash = hash;
+  m.cls = static_cast<int16_t>(cls);
+  m.live = true;
+  uint32_t* head = BucketHead(hash);
+  m.hash_next = *head;
+  *head = item;
+  LruPushFront(cls, item);
+  ChargeMetadataTouch(cpu, 2);
+  ++live_items_;
+  return true;
+}
+
+bool KvCache::Delete(sim::CpuContext* cpu, std::string_view key) {
+  const uint32_t hash = HashKey(key);
+  const uint32_t item = FindLocked(cpu, key, hash);
+  if (item == 0) {
+    return false;
+  }
+  RemoveItem(cpu, item);
+  return true;
+}
+
+void KvCache::RemoveItem(sim::CpuContext* cpu, uint32_t item) {
+  ItemMeta& m = items_[item];
+  // Unlink from the hash chain.
+  uint32_t* link = BucketHead(m.key_hash);
+  while (*link != 0 && *link != item) {
+    link = &items_[*link].hash_next;
+  }
+  if (*link == item) {
+    *link = m.hash_next;
+  }
+  LruUnlink(m.cls, item);
+  // Free the secure chunk (size = chunk size of its class).
+  uint32_t lens[2];
+  region_->Read(cpu, m.data, lens, sizeof(lens));
+  slab_.Free(m.data, 8 + lens[0] + lens[1]);
+  m.live = false;
+  free_items_.push_back(item);
+  --live_items_;
+  ChargeMetadataTouch(cpu, 2);
+}
+
+bool KvCache::EvictOneFrom(sim::CpuContext* cpu, int cls) {
+  const uint32_t victim = lru_tail_[static_cast<size_t>(cls)];
+  if (victim == 0) {
+    return false;
+  }
+  RemoveItem(cpu, victim);
+  ++stats_.evictions;
+  return true;
+}
+
+void KvCache::LruUnlink(int cls, uint32_t item) {
+  ItemMeta& m = items_[item];
+  auto& head = lru_head_[static_cast<size_t>(cls)];
+  auto& tail = lru_tail_[static_cast<size_t>(cls)];
+  if (m.lru_prev != 0) {
+    items_[m.lru_prev].lru_next = m.lru_next;
+  } else if (head == item) {
+    head = m.lru_next;
+  }
+  if (m.lru_next != 0) {
+    items_[m.lru_next].lru_prev = m.lru_prev;
+  } else if (tail == item) {
+    tail = m.lru_prev;
+  }
+  m.lru_next = 0;
+  m.lru_prev = 0;
+}
+
+void KvCache::LruPushFront(int cls, uint32_t item) {
+  auto& head = lru_head_[static_cast<size_t>(cls)];
+  auto& tail = lru_tail_[static_cast<size_t>(cls)];
+  ItemMeta& m = items_[item];
+  m.lru_prev = 0;
+  m.lru_next = head;
+  if (head != 0) {
+    items_[head].lru_prev = item;
+  }
+  head = item;
+  if (tail == 0) {
+    tail = item;
+  }
+}
+
+}  // namespace eleos::apps

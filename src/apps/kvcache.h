@@ -1,0 +1,133 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// KvCache: a memcached-style in-memory key-value cache (paper §5.1, §6.2.2).
+//
+// Follows the paper's integration exactly: the memcached-style *metadata*
+// (hash chains, LRU lists, slab bookkeeping, sizes of the memory pool) stays
+// in cleartext untrusted memory — it is security-insensitive — while the
+// keys, values, and their sizes live in secure memory through the C-style
+// SUVM API (or an SgxBuffer for vanilla SGX, or plain memory for native).
+// A slab allocator with power-of-1.25 size classes manages the secure pool,
+// like memcached's.
+
+#ifndef ELEOS_SRC_APPS_KVCACHE_H_
+#define ELEOS_SRC_APPS_KVCACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/apps/mem_region.h"
+#include "src/common/rng.h"
+#include "src/crypto/ctr.h"
+#include "src/rpc/rpc_manager.h"
+
+namespace eleos::apps {
+
+// Slab allocator over a MemRegion: size classes growing by 1.25x, 1 MiB slab
+// pages carved into fixed-size chunks, per-class free lists (all bookkeeping
+// in untrusted memory, as in memcached).
+class SlabAllocator {
+ public:
+  static constexpr size_t kSlabBytes = 1 << 20;
+  static constexpr size_t kMinChunk = 96;
+
+  explicit SlabAllocator(size_t pool_bytes);
+
+  // Returns the chunk offset in the region, or UINT64_MAX when the pool is
+  // exhausted and nothing is free in the class.
+  uint64_t Alloc(size_t bytes, int* class_out = nullptr);
+  void Free(uint64_t offset, size_t bytes);
+
+  int ClassFor(size_t bytes) const;
+  size_t ChunkSize(int cls) const { return class_sizes_[static_cast<size_t>(cls)]; }
+  size_t classes() const { return class_sizes_.size(); }
+  size_t used_bytes() const { return used_bytes_; }
+
+ private:
+  size_t pool_bytes_;
+  uint64_t bump_ = 0;  // next unallocated slab page
+  std::vector<size_t> class_sizes_;
+  std::vector<std::vector<uint64_t>> free_lists_;
+  size_t used_bytes_ = 0;
+};
+
+struct KvStats {
+  uint64_t gets = 0;
+  uint64_t get_hits = 0;
+  uint64_t sets = 0;
+  uint64_t evictions = 0;
+};
+
+class KvCache {
+ public:
+  struct Options {
+    size_t pool_bytes = 64 << 20;  // secure memory pool for key/value data
+    size_t hash_buckets = 1 << 16;
+    // Paper §5.1 ablation: keep *all* metadata in secure memory instead of
+    // the optimized cleartext-metadata split (3-7% slower in §6.2.2).
+    bool metadata_in_secure_memory = false;
+  };
+
+  KvCache(sim::Machine& machine, MemRegion& region, Options options);
+
+  // SET: stores key -> value, evicting LRU items of the class if needed.
+  bool Set(sim::CpuContext* cpu, std::string_view key, const void* value,
+           size_t value_len);
+  // GET: copies the value into out (up to out_cap); returns length or -1.
+  int64_t Get(sim::CpuContext* cpu, std::string_view key, void* out,
+              size_t out_cap);
+  bool Delete(sim::CpuContext* cpu, std::string_view key);
+
+  const KvStats& stats() const { return stats_; }
+  size_t item_count() const { return live_items_; }
+
+ private:
+  struct ItemMeta {          // untrusted, cleartext (like memcached's header)
+    uint64_t data = 0;       // offset of [klen|vlen|key|value] in the region
+    uint32_t hash_next = 0;  // 1-based item index; 0 = end
+    uint32_t lru_next = 0;
+    uint32_t lru_prev = 0;
+    uint32_t key_hash = 0;
+    int16_t cls = -1;
+    bool live = false;
+  };
+
+  uint32_t* BucketHead(uint32_t hash);
+  // Finds the item for key; 0 if absent. Also returns the predecessor link.
+  uint32_t FindLocked(sim::CpuContext* cpu, std::string_view key, uint32_t hash);
+  void LruUnlink(int cls, uint32_t item);
+  void LruPushFront(int cls, uint32_t item);
+  bool EvictOneFrom(sim::CpuContext* cpu, int cls);
+  void RemoveItem(sim::CpuContext* cpu, uint32_t item);
+  void ChargeMetadataTouch(sim::CpuContext* cpu, size_t records);
+
+  sim::Machine* machine_;
+  MemRegion* region_;
+  Options options_;
+  SlabAllocator slab_;
+  std::vector<uint32_t> buckets_;
+  std::vector<ItemMeta> items_;  // 1-based (index 0 unused)
+  std::vector<uint32_t> free_items_;
+  std::vector<uint32_t> lru_head_;  // per class
+  std::vector<uint32_t> lru_tail_;
+  size_t live_items_ = 0;
+  uint64_t metadata_probe_ = 0;  // synthetic address cursor for the ablation
+  KvStats stats_;
+};
+
+// memaslap-style load generator + protocol shim: fills the cache, then
+// drives encrypted GETs; one network exchange per request via the selected
+// syscall mode (shared with the parameter server's modes).
+struct KvRunResult {
+  uint64_t total_cycles = 0;
+  uint64_t requests = 0;
+  double OpsPerSecond(const sim::CostModel& costs) const {
+    return costs.OpsPerSecond(requests, total_cycles);
+  }
+};
+
+}  // namespace eleos::apps
+
+#endif  // ELEOS_SRC_APPS_KVCACHE_H_

@@ -1,0 +1,127 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// A uniform view over the three places server state can live in the paper's
+// experiments: plain untrusted memory (the no-SGX baseline), enclave memory
+// paged by the SGX driver (vanilla SGX), and SUVM. Applications written
+// against MemRegion run unmodified across all three backends, which is what
+// lets one harness produce every bar of a figure.
+
+#ifndef ELEOS_SRC_APPS_MEM_REGION_H_
+#define ELEOS_SRC_APPS_MEM_REGION_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "src/baseline/sgx_buffer.h"
+#include "src/sim/enclave.h"
+#include "src/suvm/suvm.h"
+
+namespace eleos::apps {
+
+class MemRegion {
+ public:
+  virtual ~MemRegion() = default;
+  virtual void Read(sim::CpuContext* cpu, uint64_t off, void* dst, size_t n) = 0;
+  virtual void Write(sim::CpuContext* cpu, uint64_t off, const void* src,
+                     size_t n) = 0;
+  virtual size_t size() const = 0;
+
+  template <typename T>
+  T Load(sim::CpuContext* cpu, uint64_t off) {
+    T v;
+    Read(cpu, off, &v, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void Store(sim::CpuContext* cpu, uint64_t off, const T& v) {
+    Write(cpu, off, &v, sizeof(T));
+  }
+};
+
+// Plain host memory: the untrusted baseline. Accesses are charged at
+// untrusted-DRAM rates through the cache/TLB models.
+class UntrustedRegion : public MemRegion {
+ public:
+  UntrustedRegion(sim::Machine& machine, size_t bytes)
+      : machine_(&machine), bytes_(bytes), data_(new uint8_t[bytes]()) {}
+
+  void Read(sim::CpuContext* cpu, uint64_t off, void* dst, size_t n) override {
+    machine_->Access(cpu, reinterpret_cast<uint64_t>(data_.get()) + off, n,
+                     /*write=*/false, sim::MemKind::kUntrusted);
+    std::memcpy(dst, data_.get() + off, n);
+  }
+  void Write(sim::CpuContext* cpu, uint64_t off, const void* src,
+             size_t n) override {
+    machine_->Access(cpu, reinterpret_cast<uint64_t>(data_.get()) + off, n,
+                     /*write=*/true, sim::MemKind::kUntrusted);
+    std::memcpy(data_.get() + off, src, n);
+  }
+  size_t size() const override { return bytes_; }
+
+ private:
+  sim::Machine* machine_;
+  size_t bytes_;
+  std::unique_ptr<uint8_t[]> data_;
+};
+
+// Enclave memory paged by the simulated SGX driver: the vanilla-SGX
+// comparator. Out-of-PRM accesses take hardware EPC faults.
+class EnclaveRegion : public MemRegion {
+ public:
+  EnclaveRegion(sim::Enclave& enclave, size_t bytes) : buffer_(enclave, bytes) {}
+
+  void Read(sim::CpuContext* cpu, uint64_t off, void* dst, size_t n) override {
+    buffer_.Read(cpu, off, dst, n);
+  }
+  void Write(sim::CpuContext* cpu, uint64_t off, const void* src,
+             size_t n) override {
+    buffer_.Write(cpu, off, src, n);
+  }
+  size_t size() const override { return buffer_.size(); }
+
+ private:
+  baseline::SgxBuffer buffer_;
+};
+
+// SUVM-backed memory (one big suvm_malloc). `direct_reads` switches GETs to
+// the sub-page direct-access path (§3.2.4).
+class SuvmRegion : public MemRegion {
+ public:
+  SuvmRegion(suvm::Suvm& suvm, size_t bytes, bool direct_access = false)
+      : suvm_(&suvm), bytes_(bytes), direct_(direct_access) {
+    addr_ = suvm.Malloc(bytes);
+    if (addr_ == suvm::kInvalidAddr) {
+      throw std::bad_alloc();
+    }
+  }
+  ~SuvmRegion() override { suvm_->Free(addr_); }
+
+  void Read(sim::CpuContext* cpu, uint64_t off, void* dst, size_t n) override {
+    if (direct_) {
+      suvm_->ReadDirect(cpu, addr_ + off, dst, n);
+    } else {
+      suvm_->Read(cpu, addr_ + off, dst, n);
+    }
+  }
+  void Write(sim::CpuContext* cpu, uint64_t off, const void* src,
+             size_t n) override {
+    if (direct_) {
+      suvm_->WriteDirect(cpu, addr_ + off, src, n);
+    } else {
+      suvm_->Write(cpu, addr_ + off, src, n);
+    }
+  }
+  size_t size() const override { return bytes_; }
+  uint64_t suvm_addr() const { return addr_; }
+
+ private:
+  suvm::Suvm* suvm_;
+  size_t bytes_;
+  bool direct_;
+  uint64_t addr_;
+};
+
+}  // namespace eleos::apps
+
+#endif  // ELEOS_SRC_APPS_MEM_REGION_H_

@@ -1,0 +1,94 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Deterministic pseudo-random number generators for workload generation and
+// (seeded) nonce generation in the simulator.
+//
+// Benchmarks must be reproducible run-to-run, so all workload randomness goes
+// through SplitMix64/Xoshiro256** seeded explicitly. These are not
+// cryptographically secure; the crypto layer derives nonces from a dedicated
+// stream and the *simulated* threat model does not include guessing them.
+
+#ifndef ELEOS_SRC_COMMON_RNG_H_
+#define ELEOS_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace eleos {
+
+// SplitMix64: tiny, fast, passes BigCrush when used as a stream. Used both
+// directly and to seed Xoshiro.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Xoshiro256**: the default workload generator.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) {
+      s = sm.Next();
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Uses the widening-multiply trick (Lemire) to avoid
+  // modulo bias without a divide in the common case.
+  uint64_t NextBelow(uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  double NextDouble() {  // uniform in [0, 1)
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  void FillBytes(void* dst, size_t n) {
+    auto* p = static_cast<unsigned char*>(dst);
+    while (n >= 8) {
+      uint64_t v = Next();
+      __builtin_memcpy(p, &v, 8);
+      p += 8;
+      n -= 8;
+    }
+    if (n > 0) {
+      uint64_t v = Next();
+      __builtin_memcpy(p, &v, n);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace eleos
+
+#endif  // ELEOS_SRC_COMMON_RNG_H_

@@ -1,0 +1,61 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Test-and-test-and-set spinlock built on x86 atomics.
+//
+// SGX enclave threads cannot use futex-based OS primitives (a blocked mutex
+// would force an enclave exit), so the paper's trusted runtime synchronizes
+// exclusively with user-space spinlocks. This is the lock used throughout the
+// trusted side: SUVM page-table buckets, the page-cache free list, and the
+// RPC completion flags.
+
+#ifndef ELEOS_SRC_COMMON_SPINLOCK_H_
+#define ELEOS_SRC_COMMON_SPINLOCK_H_
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace eleos {
+
+// Pause hint to the CPU while spinning; keeps the spin loop polite to the
+// sibling hyperthread and lowers power. No-op on non-x86.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#endif
+}
+
+// A minimal exclusive spinlock. Satisfies the C++ Lockable requirements so it
+// can be used with std::lock_guard / std::scoped_lock.
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() {
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      // Spin on a plain load first (TTAS) so we stay in shared cache state
+      // until the lock looks free.
+      while (locked_.load(std::memory_order_relaxed)) {
+        CpuRelax();
+      }
+    }
+  }
+
+  bool try_lock() { return !locked_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace eleos
+
+#endif  // ELEOS_SRC_COMMON_SPINLOCK_H_

@@ -1,0 +1,88 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Aligned-column text table writer used by every bench binary so that the
+// regenerated paper tables/figures all print in one consistent format.
+
+#ifndef ELEOS_SRC_COMMON_TABLE_H_
+#define ELEOS_SRC_COMMON_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace eleos {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Convenience for mixed numeric rows.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(TextTable* t) : table_(t) {}
+    ~RowBuilder() { table_->AddRow(std::move(cells_)); }
+    RowBuilder& Cell(const std::string& s) {
+      cells_.push_back(s);
+      return *this;
+    }
+    RowBuilder& Cell(double v, const char* fmt = "%.2f") {
+      char buf[64];
+      snprintf(buf, sizeof(buf), fmt, v);
+      cells_.emplace_back(buf);
+      return *this;
+    }
+    RowBuilder& Cell(uint64_t v) {
+      cells_.push_back(std::to_string(v));
+      return *this;
+    }
+    RowBuilder& Cell(int v) {
+      cells_.push_back(std::to_string(v));
+      return *this;
+    }
+
+   private:
+    TextTable* table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder Row() { return RowBuilder(this); }
+
+  void Print(FILE* out = stdout) const {
+    std::vector<size_t> width(header_.size(), 0);
+    for (size_t i = 0; i < header_.size(); ++i) {
+      width[i] = header_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], row[i].size());
+      }
+    }
+    PrintRow(out, header_, width);
+    std::string sep;
+    for (size_t i = 0; i < width.size(); ++i) {
+      sep += std::string(width[i] + 2, '-');
+    }
+    fprintf(out, "%s\n", sep.c_str());
+    for (const auto& row : rows_) {
+      PrintRow(out, row, width);
+    }
+  }
+
+ private:
+  static void PrintRow(FILE* out, const std::vector<std::string>& row,
+                       const std::vector<size_t>& width) {
+    for (size_t i = 0; i < row.size() && i < width.size(); ++i) {
+      fprintf(out, "%-*s", static_cast<int>(width[i] + 2), row[i].c_str());
+    }
+    fprintf(out, "\n");
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eleos
+
+#endif  // ELEOS_SRC_COMMON_TABLE_H_

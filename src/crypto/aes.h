@@ -1,0 +1,44 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// AES-128, encrypt-direction only, table based (four 32-bit T-tables built at
+// static-init time from the S-box).
+//
+// Eleos on real hardware uses AES-NI through the SGX SDK's IPPCP library for
+// both SUVM backing-store pages (AES-GCM, like the EWB instruction) and
+// client request payloads (AES-CTR). This environment has no SGX SDK, so the
+// primitives are implemented from scratch. Only the encrypt direction is
+// needed: both GCM and CTR encrypt counter blocks for either direction.
+//
+// This implementation prioritizes clarity + reasonable speed; the *simulated*
+// cycle costs charged for in-enclave crypto use AES-NI per-byte rates (see
+// sim::CostModel), independent of how fast this software path runs.
+
+#ifndef ELEOS_SRC_CRYPTO_AES_H_
+#define ELEOS_SRC_CRYPTO_AES_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace eleos::crypto {
+
+inline constexpr size_t kAesBlockSize = 16;
+inline constexpr size_t kAes128KeySize = 16;
+
+// An expanded AES-128 key. Cheap to copy; safe to share across threads for
+// encryption (the schedule is immutable after construction).
+class Aes128 {
+ public:
+  explicit Aes128(const uint8_t key[kAes128KeySize]);
+
+  // out = AES-128-Encrypt(key, in). in/out may alias.
+  void EncryptBlock(const uint8_t in[kAesBlockSize],
+                    uint8_t out[kAesBlockSize]) const;
+
+ private:
+  std::array<uint32_t, 44> round_keys_;  // 11 round keys x 4 words
+};
+
+}  // namespace eleos::crypto
+
+#endif  // ELEOS_SRC_CRYPTO_AES_H_

@@ -1,0 +1,204 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include "src/crypto/gcm.h"
+
+#include <cstring>
+
+namespace eleos::crypto {
+namespace {
+
+uint64_t LoadBe64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+void StoreBe64(uint8_t* p, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    p[i] = static_cast<uint8_t>(v);
+    v >>= 8;
+  }
+}
+
+void StoreBe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+// Reduction constants for the 4-bit Shoup table walk (mbedTLS layout).
+constexpr uint64_t kLast4[16] = {
+    0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0,
+    0xe100, 0xfd20, 0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0};
+
+// Constant-time 16-byte comparison for tag checks.
+bool ConstantTimeEqual16(const uint8_t* a, const uint8_t* b) {
+  uint8_t diff = 0;
+  for (int i = 0; i < 16; ++i) {
+    diff |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace
+
+AesGcm::AesGcm(const uint8_t key[kAes128KeySize]) : aes_(key) {
+  uint8_t h_block[16] = {0};
+  aes_.EncryptBlock(h_block, h_block);
+
+  uint64_t vh = LoadBe64(h_block);
+  uint64_t vl = LoadBe64(h_block + 8);
+
+  htable_[8] = {vh, vl};
+  for (int i = 4; i > 0; i >>= 1) {
+    const uint32_t t = static_cast<uint32_t>(vl & 1) * 0xe1000000U;
+    vl = (vh << 63) | (vl >> 1);
+    vh = (vh >> 1) ^ (static_cast<uint64_t>(t) << 32);
+    htable_[i] = {vh, vl};
+  }
+  for (int i = 2; i <= 8; i *= 2) {
+    for (int j = 1; j < i; ++j) {
+      htable_[i + j] = {htable_[i].hi ^ htable_[j].hi, htable_[i].lo ^ htable_[j].lo};
+    }
+  }
+  htable_[0] = {0, 0};
+}
+
+AesGcm::U128 AesGcm::GhashMul(const U128& x) const {
+  uint8_t buf[16];
+  StoreBe64(buf, x.hi);
+  StoreBe64(buf + 8, x.lo);
+
+  uint8_t lo4 = buf[15] & 0xf;
+  uint64_t zh = htable_[lo4].hi;
+  uint64_t zl = htable_[lo4].lo;
+
+  for (int i = 15; i >= 0; --i) {
+    lo4 = buf[i] & 0xf;
+    const uint8_t hi4 = (buf[i] >> 4) & 0xf;
+
+    if (i != 15) {
+      const uint8_t rem = static_cast<uint8_t>(zl & 0xf);
+      zl = (zh << 60) | (zl >> 4);
+      zh = zh >> 4;
+      zh ^= kLast4[rem] << 48;
+      zh ^= htable_[lo4].hi;
+      zl ^= htable_[lo4].lo;
+    }
+    const uint8_t rem = static_cast<uint8_t>(zl & 0xf);
+    zl = (zh << 60) | (zl >> 4);
+    zh = zh >> 4;
+    zh ^= kLast4[rem] << 48;
+    zh ^= htable_[hi4].hi;
+    zl ^= htable_[hi4].lo;
+  }
+  return {zh, zl};
+}
+
+void AesGcm::Ghash(const uint8_t* aad, size_t aad_len, const uint8_t* ct,
+                   size_t ct_len, uint8_t out[16]) const {
+  U128 y{0, 0};
+
+  auto absorb = [&](const uint8_t* data, size_t len) {
+    size_t off = 0;
+    while (off < len) {
+      uint8_t block[16] = {0};
+      const size_t chunk = (len - off < 16) ? len - off : 16;
+      std::memcpy(block, data + off, chunk);
+      y.hi ^= LoadBe64(block);
+      y.lo ^= LoadBe64(block + 8);
+      y = GhashMul(y);
+      off += chunk;
+    }
+  };
+
+  if (aad != nullptr && aad_len > 0) {
+    absorb(aad, aad_len);
+  }
+  if (ct != nullptr && ct_len > 0) {
+    absorb(ct, ct_len);
+  }
+
+  // Length block: bit lengths of AAD and ciphertext.
+  y.hi ^= static_cast<uint64_t>(aad_len) * 8;
+  y.lo ^= static_cast<uint64_t>(ct_len) * 8;
+  y = GhashMul(y);
+
+  StoreBe64(out, y.hi);
+  StoreBe64(out + 8, y.lo);
+}
+
+void AesGcm::CtrCrypt(const uint8_t j0[16], const uint8_t* in, uint8_t* out,
+                      size_t n) const {
+  uint8_t counter_block[16];
+  uint8_t keystream[16];
+  std::memcpy(counter_block, j0, 16);
+  uint32_t counter = (static_cast<uint32_t>(j0[12]) << 24) |
+                     (static_cast<uint32_t>(j0[13]) << 16) |
+                     (static_cast<uint32_t>(j0[14]) << 8) | j0[15];
+
+  size_t off = 0;
+  while (off < n) {
+    ++counter;  // data blocks start at J0 + 1
+    StoreBe32(counter_block + 12, counter);
+    aes_.EncryptBlock(counter_block, keystream);
+    const size_t chunk = (n - off < 16) ? n - off : 16;
+    for (size_t i = 0; i < chunk; ++i) {
+      out[off + i] = static_cast<uint8_t>(in[off + i] ^ keystream[i]);
+    }
+    off += chunk;
+  }
+}
+
+void AesGcm::Seal(const uint8_t nonce[kGcmNonceSize], const uint8_t* aad,
+                  size_t aad_len, const uint8_t* plaintext, size_t n,
+                  uint8_t* ciphertext, uint8_t tag[kGcmTagSize]) const {
+  uint8_t j0[16];
+  std::memcpy(j0, nonce, kGcmNonceSize);
+  j0[12] = 0;
+  j0[13] = 0;
+  j0[14] = 0;
+  j0[15] = 1;
+
+  CtrCrypt(j0, plaintext, ciphertext, n);
+
+  uint8_t s[16];
+  Ghash(aad, aad_len, ciphertext, n, s);
+
+  uint8_t ekj0[16];
+  aes_.EncryptBlock(j0, ekj0);
+  for (int i = 0; i < 16; ++i) {
+    tag[i] = static_cast<uint8_t>(s[i] ^ ekj0[i]);
+  }
+}
+
+bool AesGcm::Open(const uint8_t nonce[kGcmNonceSize], const uint8_t* aad,
+                  size_t aad_len, const uint8_t* ciphertext, size_t n,
+                  const uint8_t tag[kGcmTagSize], uint8_t* plaintext) const {
+  uint8_t j0[16];
+  std::memcpy(j0, nonce, kGcmNonceSize);
+  j0[12] = 0;
+  j0[13] = 0;
+  j0[14] = 0;
+  j0[15] = 1;
+
+  uint8_t s[16];
+  Ghash(aad, aad_len, ciphertext, n, s);
+
+  uint8_t expected[16];
+  aes_.EncryptBlock(j0, expected);
+  for (int i = 0; i < 16; ++i) {
+    expected[i] = static_cast<uint8_t>(s[i] ^ expected[i]);
+  }
+  if (!ConstantTimeEqual16(expected, tag)) {
+    return false;
+  }
+
+  CtrCrypt(j0, ciphertext, plaintext, n);
+  return true;
+}
+
+}  // namespace eleos::crypto

@@ -1,0 +1,44 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// SHA-256 (FIPS 180-4). Used for key derivation: the simulated enclave
+// derives its random per-application SUVM sealing key and the request-crypto
+// session keys from a seed via SHA-256, mirroring how sealing keys are
+// derived via EGETKEY on real SGX.
+
+#ifndef ELEOS_SRC_CRYPTO_SHA256_H_
+#define ELEOS_SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace eleos::crypto {
+
+inline constexpr size_t kSha256DigestSize = 32;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(const void* data, size_t len);
+  void Final(uint8_t digest[kSha256DigestSize]);
+
+  // One-shot convenience.
+  static std::array<uint8_t, kSha256DigestSize> Digest(const void* data, size_t len);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+// Derives a 16-byte AES key from a label and seed (SHA-256 truncated), the
+// simulator's stand-in for EGETKEY-style key derivation.
+std::array<uint8_t, 16> DeriveAesKey(const char* label, uint64_t seed);
+
+}  // namespace eleos::crypto
+
+#endif  // ELEOS_SRC_CRYPTO_SHA256_H_

@@ -1,0 +1,155 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include "src/libos/fs.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "src/crypto/sha256.h"
+
+namespace eleos::libos {
+
+// --- EnclaveFs ---
+
+EnclaveFs::EnclaveFs(sim::Enclave& enclave, MemFs& host_fs, ExitMode mode,
+                     rpc::RpcManager* rpc)
+    : enclave_(&enclave), host_(&host_fs), mode_(mode), rpc_(rpc) {
+  if (mode == ExitMode::kRpc && rpc == nullptr) {
+    throw std::invalid_argument("EnclaveFs: RPC mode requires an RpcManager");
+  }
+}
+
+int EnclaveFs::Open(sim::CpuContext* cpu, const std::string& path, int flags) {
+  return Forward(cpu, path.size() + 64,
+                 [&] { return host_->Open(path, flags); });
+}
+
+int EnclaveFs::Close(sim::CpuContext* cpu, int fd) {
+  return Forward(cpu, 16, [&] { return host_->Close(fd); });
+}
+
+int64_t EnclaveFs::Read(sim::CpuContext* cpu, int fd, void* buf, size_t count) {
+  return Forward(cpu, count, [&] { return host_->Read(fd, buf, count); });
+}
+
+int64_t EnclaveFs::Write(sim::CpuContext* cpu, int fd, const void* buf,
+                         size_t count) {
+  return Forward(cpu, count, [&] { return host_->Write(fd, buf, count); });
+}
+
+int64_t EnclaveFs::Pread(sim::CpuContext* cpu, int fd, void* buf, size_t count,
+                         uint64_t offset) {
+  return Forward(cpu, count,
+                 [&] { return host_->Pread(fd, buf, count, offset); });
+}
+
+int64_t EnclaveFs::Pwrite(sim::CpuContext* cpu, int fd, const void* buf,
+                          size_t count, uint64_t offset) {
+  return Forward(cpu, count,
+                 [&] { return host_->Pwrite(fd, buf, count, offset); });
+}
+
+int64_t EnclaveFs::Seek(sim::CpuContext* cpu, int fd, int64_t offset,
+                        int whence) {
+  return Forward(cpu, 16, [&] { return host_->Seek(fd, offset, whence); });
+}
+
+int EnclaveFs::Unlink(sim::CpuContext* cpu, const std::string& path) {
+  return Forward(cpu, path.size() + 16, [&] { return host_->Unlink(path); });
+}
+
+// --- ProtectedFile ---
+
+ProtectedFile::ProtectedFile(EnclaveFs& fs, sim::Enclave& enclave,
+                             const std::string& path, uint64_t key_seed)
+    : fs_(&fs),
+      enclave_(&enclave),
+      gcm_(crypto::DeriveAesKey("protected-file", key_seed).data()),
+      nonce_rng_(key_seed ^ 0x517ec7ed) {
+  fd_ = fs_->Open(nullptr, path, kRdWr | kCreate | kTrunc);
+  if (fd_ < 0) {
+    throw std::runtime_error("ProtectedFile: cannot open " + path);
+  }
+}
+
+ProtectedFile::~ProtectedFile() { fs_->Close(nullptr, fd_); }
+
+void ProtectedFile::LoadBlock(sim::CpuContext* cpu, uint64_t block,
+                              uint8_t* plain) {
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) {
+    std::memset(plain, 0, kBlockSize);  // sparse: never written
+    return;
+  }
+  uint8_t sealed[kSealedBlockSize];
+  const int64_t n = fs_->Pread(cpu, fd_, sealed, sizeof(sealed),
+                               block * kSealedBlockSize);
+  if (n != static_cast<int64_t>(sizeof(sealed))) {
+    throw std::runtime_error("ProtectedFile: truncated block (tampering?)");
+  }
+  // Verify against the *enclave-stored* nonce and tag — the host-side copy
+  // of the tag is ignored, so neither tampering nor replay of stale sealed
+  // blocks can pass.
+  const uint64_t aad = block;
+  if (!gcm_.Open(it->second.nonce, reinterpret_cast<const uint8_t*>(&aad),
+                 sizeof(aad), sealed, kBlockSize, it->second.tag, plain)) {
+    throw std::runtime_error(
+        "ProtectedFile: block integrity check failed (tampered or stale)");
+  }
+  enclave_->ChargeGcm(cpu, kBlockSize);
+}
+
+void ProtectedFile::StoreBlock(sim::CpuContext* cpu, uint64_t block,
+                               const uint8_t* plain) {
+  BlockMeta& meta = blocks_[block];
+  nonce_rng_.FillBytes(meta.nonce, sizeof(meta.nonce));
+  uint8_t sealed[kSealedBlockSize];
+  const uint64_t aad = block;
+  gcm_.Seal(meta.nonce, reinterpret_cast<const uint8_t*>(&aad), sizeof(aad),
+            plain, kBlockSize, sealed, sealed + kBlockSize);
+  std::memcpy(meta.tag, sealed + kBlockSize, crypto::kGcmTagSize);
+  enclave_->ChargeGcm(cpu, kBlockSize);
+  const int64_t n = fs_->Pwrite(cpu, fd_, sealed, sizeof(sealed),
+                                block * kSealedBlockSize);
+  if (n != static_cast<int64_t>(sizeof(sealed))) {
+    throw std::runtime_error("ProtectedFile: short write");
+  }
+}
+
+void ProtectedFile::WriteAt(sim::CpuContext* cpu, uint64_t offset,
+                            const void* data, size_t len) {
+  const auto* src = static_cast<const uint8_t*>(data);
+  uint8_t plain[kBlockSize];
+  while (len > 0) {
+    const uint64_t block = offset / kBlockSize;
+    const size_t in_block = offset % kBlockSize;
+    const size_t chunk = std::min(len, kBlockSize - in_block);
+    if (chunk < kBlockSize) {
+      LoadBlock(cpu, block, plain);  // read-modify-write
+    }
+    std::memcpy(plain + in_block, src, chunk);
+    StoreBlock(cpu, block, plain);
+    src += chunk;
+    offset += chunk;
+    len -= chunk;
+  }
+  logical_size_ = std::max(logical_size_, offset);
+}
+
+void ProtectedFile::ReadAt(sim::CpuContext* cpu, uint64_t offset, void* out,
+                           size_t len) {
+  auto* dst = static_cast<uint8_t*>(out);
+  uint8_t plain[kBlockSize];
+  while (len > 0) {
+    const uint64_t block = offset / kBlockSize;
+    const size_t in_block = offset % kBlockSize;
+    const size_t chunk = std::min(len, kBlockSize - in_block);
+    LoadBlock(cpu, block, plain);
+    std::memcpy(dst, plain + in_block, chunk);
+    dst += chunk;
+    offset += chunk;
+    len -= chunk;
+  }
+}
+
+}  // namespace eleos::libos

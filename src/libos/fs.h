@@ -1,0 +1,121 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// The trusted side of the libOS file layer (the role Graphene plays for the
+// paper's memcached): POSIX-ish file calls forwarded out of the enclave —
+// via classic OCALLs or via Eleos's exit-less RPC — into the host MemFs.
+//
+// ProtectedFile adds SGX-protected-FS-style confidentiality/integrity on
+// top: file contents are sealed per 4 KiB block with AES-GCM before leaving
+// the enclave; block index rides in the AAD (no block swapping) and the
+// nonce+MAC table stays in enclave memory (no replay).
+
+#ifndef ELEOS_SRC_LIBOS_FS_H_
+#define ELEOS_SRC_LIBOS_FS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/crypto/gcm.h"
+#include "src/libos/memfs.h"
+#include "src/rpc/rpc_manager.h"
+#include "src/sim/enclave.h"
+
+namespace eleos::libos {
+
+// How file syscalls leave the enclave.
+enum class ExitMode {
+  kOcall,  // SDK-style: EEXIT + EENTER per call
+  kRpc,    // Eleos: exit-less delegation to a worker
+};
+
+// Trusted file API: every method performs one host "syscall" through the
+// configured exit mode, with the I/O buffer footprint charged accordingly.
+class EnclaveFs {
+ public:
+  EnclaveFs(sim::Enclave& enclave, MemFs& host_fs, ExitMode mode,
+            rpc::RpcManager* rpc = nullptr);
+
+  int Open(sim::CpuContext* cpu, const std::string& path, int flags);
+  int Close(sim::CpuContext* cpu, int fd);
+  int64_t Read(sim::CpuContext* cpu, int fd, void* buf, size_t count);
+  int64_t Write(sim::CpuContext* cpu, int fd, const void* buf, size_t count);
+  int64_t Pread(sim::CpuContext* cpu, int fd, void* buf, size_t count,
+                uint64_t offset);
+  int64_t Pwrite(sim::CpuContext* cpu, int fd, const void* buf, size_t count,
+                 uint64_t offset);
+  int64_t Seek(sim::CpuContext* cpu, int fd, int64_t offset, int whence);
+  int Unlink(sim::CpuContext* cpu, const std::string& path);
+
+  uint64_t syscalls() const { return syscalls_; }
+
+ private:
+  template <typename Fn>
+  auto Forward(sim::CpuContext* cpu, size_t io_bytes, Fn&& fn)
+      -> decltype(fn()) {
+    ++syscalls_;
+    if (mode_ == ExitMode::kRpc) {
+      return rpc_->Call(cpu, io_bytes, std::forward<Fn>(fn));
+    }
+    if (cpu != nullptr) {
+      return enclave_->Ocall(*cpu, io_bytes, std::forward<Fn>(fn));
+    }
+    return fn();  // functional-only path
+  }
+
+  sim::Enclave* enclave_;
+  MemFs* host_;
+  ExitMode mode_;
+  rpc::RpcManager* rpc_;
+  uint64_t syscalls_ = 0;
+};
+
+// A confidentiality+integrity protected file over EnclaveFs. All I/O is
+// performed at 4 KiB block granularity; partial writes read-modify-write.
+class ProtectedFile {
+ public:
+  static constexpr size_t kBlockSize = 4096;
+  static constexpr size_t kSealedBlockSize =
+      kBlockSize + crypto::kGcmTagSize;
+
+  // Creates/opens `path` on the host through `fs`. The file key would come
+  // from the enclave's sealing identity on real hardware (EGETKEY).
+  ProtectedFile(EnclaveFs& fs, sim::Enclave& enclave, const std::string& path,
+                uint64_t key_seed);
+  ~ProtectedFile();
+
+  ProtectedFile(const ProtectedFile&) = delete;
+  ProtectedFile& operator=(const ProtectedFile&) = delete;
+
+  void WriteAt(sim::CpuContext* cpu, uint64_t offset, const void* data,
+               size_t len);
+  void ReadAt(sim::CpuContext* cpu, uint64_t offset, void* out, size_t len);
+
+  // Logical file size (bytes written past-the-end so far).
+  uint64_t size() const { return logical_size_; }
+
+ private:
+  struct BlockMeta {
+    uint8_t nonce[crypto::kGcmNonceSize];
+    uint8_t tag[crypto::kGcmTagSize];
+  };
+
+  void LoadBlock(sim::CpuContext* cpu, uint64_t block, uint8_t* plain);
+  void StoreBlock(sim::CpuContext* cpu, uint64_t block, const uint8_t* plain);
+
+  EnclaveFs* fs_;
+  sim::Enclave* enclave_;
+  int fd_;
+  crypto::AesGcm gcm_;
+  Xoshiro256 nonce_rng_;
+  // Enclave-resident metadata: presence in this map == block has valid data.
+  std::unordered_map<uint64_t, BlockMeta> blocks_;
+  uint64_t logical_size_ = 0;
+};
+
+}  // namespace eleos::libos
+
+#endif  // ELEOS_SRC_LIBOS_FS_H_

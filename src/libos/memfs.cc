@@ -1,0 +1,171 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include "src/libos/memfs.h"
+
+#include <cstring>
+#include <mutex>
+
+namespace eleos::libos {
+
+int MemFs::Open(const std::string& path, int flags) {
+  std::lock_guard guard(lock_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    if ((flags & kCreate) == 0) {
+      return kMemFsError;
+    }
+    it = files_.emplace(path, std::make_shared<Inode>()).first;
+  } else if ((flags & kTrunc) != 0) {
+    it->second->data.clear();
+  }
+
+  // Reuse the lowest closed descriptor slot, like a kernel fd table.
+  size_t fd = fds_.size();
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    if (!fds_[i].open) {
+      fd = i;
+      break;
+    }
+  }
+  if (fd == fds_.size()) {
+    fds_.emplace_back();
+  }
+  Descriptor& d = fds_[fd];
+  d.inode = it->second;
+  d.flags = flags;
+  d.offset = (flags & kAppend) != 0 ? it->second->data.size() : 0;
+  d.open = true;
+  return static_cast<int>(fd);
+}
+
+int MemFs::Close(int fd) {
+  std::lock_guard guard(lock_);
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || !fds_[fd].open) {
+    return kMemFsError;
+  }
+  fds_[fd].open = false;
+  fds_[fd].inode.reset();
+  return 0;
+}
+
+int64_t MemFs::Pread(int fd, void* buf, size_t count, uint64_t offset) {
+  std::lock_guard guard(lock_);
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || !fds_[fd].open) {
+    return kMemFsError;
+  }
+  const Inode& inode = *fds_[fd].inode;
+  if (offset >= inode.data.size()) {
+    return 0;
+  }
+  const size_t take = std::min(count, inode.data.size() - offset);
+  std::memcpy(buf, inode.data.data() + offset, take);
+  return static_cast<int64_t>(take);
+}
+
+int64_t MemFs::Pwrite(int fd, const void* buf, size_t count, uint64_t offset) {
+  std::lock_guard guard(lock_);
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || !fds_[fd].open) {
+    return kMemFsError;
+  }
+  Descriptor& d = fds_[fd];
+  if ((d.flags & (kWrOnly | kRdWr)) == 0) {
+    return kMemFsError;
+  }
+  Inode& inode = *d.inode;
+  if (offset + count > inode.data.size()) {
+    inode.data.resize(offset + count);
+  }
+  std::memcpy(inode.data.data() + offset, buf, count);
+  return static_cast<int64_t>(count);
+}
+
+int64_t MemFs::Read(int fd, void* buf, size_t count) {
+  uint64_t offset;
+  {
+    std::lock_guard guard(lock_);
+    if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || !fds_[fd].open) {
+      return kMemFsError;
+    }
+    offset = fds_[fd].offset;
+  }
+  const int64_t n = Pread(fd, buf, count, offset);
+  if (n > 0) {
+    std::lock_guard guard(lock_);
+    fds_[fd].offset += static_cast<uint64_t>(n);
+  }
+  return n;
+}
+
+int64_t MemFs::Write(int fd, const void* buf, size_t count) {
+  uint64_t offset;
+  {
+    std::lock_guard guard(lock_);
+    if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || !fds_[fd].open) {
+      return kMemFsError;
+    }
+    offset = (fds_[fd].flags & kAppend) != 0 ? fds_[fd].inode->data.size()
+                                             : fds_[fd].offset;
+  }
+  const int64_t n = Pwrite(fd, buf, count, offset);
+  if (n > 0) {
+    std::lock_guard guard(lock_);
+    fds_[fd].offset = offset + static_cast<uint64_t>(n);
+  }
+  return n;
+}
+
+int64_t MemFs::Seek(int fd, int64_t offset, int whence) {
+  std::lock_guard guard(lock_);
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || !fds_[fd].open) {
+    return kMemFsError;
+  }
+  Descriptor& d = fds_[fd];
+  int64_t base;
+  switch (whence) {
+    case 0:
+      base = 0;
+      break;
+    case 1:
+      base = static_cast<int64_t>(d.offset);
+      break;
+    case 2:
+      base = static_cast<int64_t>(d.inode->data.size());
+      break;
+    default:
+      return kMemFsError;
+  }
+  const int64_t target = base + offset;
+  if (target < 0) {
+    return kMemFsError;
+  }
+  d.offset = static_cast<uint64_t>(target);
+  return target;
+}
+
+int MemFs::Unlink(const std::string& path) {
+  std::lock_guard guard(lock_);
+  return files_.erase(path) > 0 ? 0 : kMemFsError;
+}
+
+int64_t MemFs::FileSize(const std::string& path) const {
+  std::lock_guard guard(lock_);
+  auto it = files_.find(path);
+  return it == files_.end() ? kMemFsError
+                            : static_cast<int64_t>(it->second->data.size());
+}
+
+bool MemFs::Exists(const std::string& path) const {
+  std::lock_guard guard(lock_);
+  return files_.count(path) > 0;
+}
+
+size_t MemFs::open_files() const {
+  std::lock_guard guard(lock_);
+  size_t n = 0;
+  for (const auto& d : fds_) {
+    n += d.open ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace eleos::libos

@@ -1,0 +1,77 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// A small in-memory filesystem living in *untrusted* host memory — the
+// kernel-side half of the libOS layer. The paper runs memcached under the
+// Graphene library OS, whose role is to forward POSIX calls out of the
+// enclave; this is the minimal host filesystem those forwarded calls land
+// in. Everything here is untrusted state: an enclave that wants
+// confidentiality on top of it uses ProtectedFile (libos/fs.h), which seals
+// at block granularity before bytes ever reach the memfs.
+
+#ifndef ELEOS_SRC_LIBOS_MEMFS_H_
+#define ELEOS_SRC_LIBOS_MEMFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/spinlock.h"
+
+namespace eleos::libos {
+
+inline constexpr int kMemFsError = -1;
+
+// POSIX-flavored flags (subset).
+enum OpenFlags : int {
+  kRdOnly = 0x0,
+  kWrOnly = 0x1,
+  kRdWr = 0x2,
+  kCreate = 0x40,
+  kTrunc = 0x200,
+  kAppend = 0x400,
+};
+
+class MemFs {
+ public:
+  MemFs() = default;
+  MemFs(const MemFs&) = delete;
+  MemFs& operator=(const MemFs&) = delete;
+
+  // Returns a file descriptor, or kMemFsError.
+  int Open(const std::string& path, int flags);
+  int Close(int fd);
+
+  // pread/pwrite-style I/O; Read/Write advance the descriptor offset.
+  int64_t Read(int fd, void* buf, size_t count);
+  int64_t Write(int fd, const void* buf, size_t count);
+  int64_t Pread(int fd, void* buf, size_t count, uint64_t offset);
+  int64_t Pwrite(int fd, const void* buf, size_t count, uint64_t offset);
+  int64_t Seek(int fd, int64_t offset, int whence);  // 0=SET 1=CUR 2=END
+
+  int Unlink(const std::string& path);
+  int64_t FileSize(const std::string& path) const;
+  bool Exists(const std::string& path) const;
+  size_t open_files() const;
+
+ private:
+  struct Inode {
+    std::vector<uint8_t> data;
+    uint32_t links = 1;
+  };
+  struct Descriptor {
+    std::shared_ptr<Inode> inode;
+    uint64_t offset = 0;
+    int flags = 0;
+    bool open = false;
+  };
+
+  mutable Spinlock lock_;
+  std::map<std::string, std::shared_ptr<Inode>> files_;
+  std::vector<Descriptor> fds_;
+};
+
+}  // namespace eleos::libos
+
+#endif  // ELEOS_SRC_LIBOS_MEMFS_H_

@@ -1,0 +1,102 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// The shared job queue between enclave threads and untrusted RPC worker
+// threads (paper §3.1).
+//
+// The queue lives in untrusted memory (here: ordinary heap). Synchronization
+// is pure polling on atomic slot states — enclave threads cannot use OS
+// mutexes/futexes without exiting, which is the whole point of the design.
+// A slot carries a plain function pointer + argument pointer, mirroring the
+// real system where the enclave enqueues "the pointer to the untrusted
+// function and its parameters".
+
+#ifndef ELEOS_SRC_RPC_JOB_QUEUE_H_
+#define ELEOS_SRC_RPC_JOB_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/spinlock.h"
+
+namespace eleos::rpc {
+
+using UntrustedFn = void (*)(void* arg);
+
+enum class SlotState : uint32_t {
+  kEmpty = 0,    // free for a submitter to claim
+  kReady = 1,    // job published, waiting for a worker
+  kRunning = 2,  // a worker claimed it
+  kDone = 3,     // result available; submitter must release back to kEmpty
+};
+
+struct alignas(64) JobSlot {  // one cache line per slot: no false sharing
+  std::atomic<SlotState> state{SlotState::kEmpty};
+  UntrustedFn fn = nullptr;
+  void* arg = nullptr;
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(size_t capacity = 64) : slots_(capacity) {}
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  // Submitter side: claims an empty slot, publishes the job, returns the slot
+  // index. Spins if the queue is momentarily full.
+  size_t Submit(UntrustedFn fn, void* arg) {
+    for (;;) {
+      for (size_t i = 0; i < slots_.size(); ++i) {
+        SlotState expected = SlotState::kEmpty;
+        if (slots_[i].state.compare_exchange_strong(expected, SlotState::kRunning,
+                                                    std::memory_order_acquire)) {
+          // Claimed (kRunning used as a transient "being filled" marker so no
+          // worker grabs a half-written slot).
+          slots_[i].fn = fn;
+          slots_[i].arg = arg;
+          slots_[i].state.store(SlotState::kReady, std::memory_order_release);
+          return i;
+        }
+      }
+      CpuRelax();
+    }
+  }
+
+  // Submitter side: spin until the job completes, then release the slot.
+  void AwaitAndRelease(size_t slot) {
+    while (slots_[slot].state.load(std::memory_order_acquire) != SlotState::kDone) {
+      CpuRelax();
+    }
+    slots_[slot].state.store(SlotState::kEmpty, std::memory_order_release);
+  }
+
+  // Worker side: claims one ready job, or returns false. On true, the worker
+  // must call Complete(slot) after running the job.
+  bool TryClaim(size_t* slot_out, UntrustedFn* fn_out, void** arg_out) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      SlotState expected = SlotState::kReady;
+      if (slots_[i].state.compare_exchange_strong(expected, SlotState::kRunning,
+                                                  std::memory_order_acquire)) {
+        *slot_out = i;
+        *fn_out = slots_[i].fn;
+        *arg_out = slots_[i].arg;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Complete(size_t slot) {
+    slots_[slot].state.store(SlotState::kDone, std::memory_order_release);
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<JobSlot> slots_;
+};
+
+}  // namespace eleos::rpc
+
+#endif  // ELEOS_SRC_RPC_JOB_QUEUE_H_

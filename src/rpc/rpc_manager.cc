@@ -1,0 +1,42 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include "src/rpc/rpc_manager.h"
+
+namespace eleos::rpc {
+
+RpcManager::RpcManager(sim::Enclave& enclave, Options options)
+    : enclave_(&enclave), mode_(options.mode), use_cat_(options.use_cat) {
+  if (use_cat_) {
+    enclave_->machine().llc().EnablePartitioning(0.75);
+  }
+  if (mode_ == Mode::kThreaded) {
+    queue_ = std::make_unique<JobQueue>(options.queue_capacity);
+    pool_ = std::make_unique<WorkerPool>(*queue_, options.workers);
+  }
+}
+
+RpcManager::~RpcManager() {
+  pool_.reset();  // join workers before the queue dies
+  if (use_cat_) {
+    enclave_->machine().llc().DisablePartitioning();
+  }
+}
+
+void RpcManager::ChargeSubmit(sim::CpuContext* cpu, size_t io_bytes) {
+  ++calls_;
+  if (cpu == nullptr) {
+    return;  // functional-only call: no accounting (keeps models single-writer)
+  }
+  sim::Machine& m = enclave_->machine();
+  const sim::CostModel& c = m.costs();
+  // Enqueue, wait for a polling worker to pick it up and run the syscall,
+  // read the result back. No exit: no TLB flush, no enclave-state spill.
+  cpu->Charge(c.rpc_enqueue_cycles + c.rpc_poll_latency_cycles +
+              c.syscall_cycles + c.rpc_dequeue_cycles);
+  // The worker's kernel/I/O buffers pollute the LLC — only within the
+  // worker's CAT partition when partitioning is on.
+  const int worker_cos = use_cat_ ? sim::kCosRpcWorker : sim::kCosShared;
+  m.PolluteCache(io_bytes + c.syscall_kernel_footprint, worker_cos);
+}
+
+}  // namespace eleos::rpc

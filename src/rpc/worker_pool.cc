@@ -1,0 +1,40 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include "src/rpc/worker_pool.h"
+
+#include "src/common/spinlock.h"
+
+namespace eleos::rpc {
+
+WorkerPool::WorkerPool(JobQueue& queue, size_t num_workers) : queue_(queue) {
+  threads_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void WorkerPool::WorkerLoop() {
+  size_t slot;
+  UntrustedFn fn;
+  void* arg;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (queue_.TryClaim(&slot, &fn, &arg)) {
+      fn(arg);
+      queue_.Complete(slot);
+      jobs_executed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Be polite on a shared machine: yield instead of hard-spinning. The
+      // modeled poll latency is in CostModel, not wall-clock.
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace eleos::rpc

@@ -1,0 +1,44 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Untrusted worker thread pool executing RPC jobs (paper §3.1).
+//
+// Workers are real OS threads polling the shared JobQueue. They perform no
+// virtual-cycle accounting themselves (their cost is charged on the
+// submitting enclave thread by RpcManager; their LLC pollution is modeled
+// there too) — this keeps the shared simulation models single-writer while
+// the *mechanism* (polling, claiming, completion) is fully real.
+
+#ifndef ELEOS_SRC_RPC_WORKER_POOL_H_
+#define ELEOS_SRC_RPC_WORKER_POOL_H_
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/rpc/job_queue.h"
+
+namespace eleos::rpc {
+
+class WorkerPool {
+ public:
+  WorkerPool(JobQueue& queue, size_t num_workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+  uint64_t jobs_executed() const { return jobs_executed_.load(); }
+
+ private:
+  void WorkerLoop();
+
+  JobQueue& queue_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> jobs_executed_{0};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace eleos::rpc
+
+#endif  // ELEOS_SRC_RPC_WORKER_POOL_H_

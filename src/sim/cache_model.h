@@ -1,0 +1,86 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Shared last-level-cache model with Intel CAT (Cache Allocation Technology)
+// way partitioning, plus a model of the SGX Memory Encryption Engine's
+// integrity-tree node cache.
+//
+// This is where both of the paper's indirect costs live:
+//  * LLC pollution: syscall I/O buffers (OCALL path) or RPC worker buffers
+//    compete with enclave data for LLC space. CAT confines a class of
+//    service to a subset of ways *for fills*; lookups still hit all ways.
+//  * Expensive EPC misses: an LLC miss to an EPC line pays the MEE
+//    decrypt + integrity-walk factors of Table 1. Writes whose integrity
+//    tree node misses the MEE node cache (random patterns) pay the higher
+//    factor.
+
+#ifndef ELEOS_SRC_SIM_CACHE_MODEL_H_
+#define ELEOS_SRC_SIM_CACHE_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/cost_model.h"
+
+namespace eleos::sim {
+
+// Memory spaces distinguish the miss penalty.
+enum class MemKind : uint8_t {
+  kUntrusted = 0,  // regular DRAM
+  kEpc = 1,        // processor-reserved, MEE-protected
+};
+
+// CAT classes of service used throughout the repo.
+inline constexpr int kCosShared = 0;    // no partitioning: all ways
+inline constexpr int kCosEnclave = 1;   // Eleos: 75% of ways
+inline constexpr int kCosRpcWorker = 2; // Eleos: 25% of ways
+inline constexpr int kNumCos = 3;
+
+class CacheModel {
+ public:
+  explicit CacheModel(const CostModel& costs);
+
+  // Sets the fill mask (bit i = way i usable) for a class of service.
+  void SetWayMask(int cos, uint64_t mask);
+  // Convenience: Eleos's 75/25 split between enclave and RPC worker.
+  void EnablePartitioning(double enclave_fraction = 0.75);
+  void DisablePartitioning();
+
+  // One cache-line access. Returns the cycle cost (L1/LLC hit or miss with
+  // the proper EPC factors applied).
+  uint64_t Access(uint64_t line_addr, bool write, MemKind kind, int cos);
+
+  // Stats.
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetStats();
+
+  size_t num_sets() const { return sets_; }
+  size_t num_ways() const { return ways_; }
+
+ private:
+  struct Line {
+    uint64_t tag = 0;
+    uint64_t last_used = 0;
+    bool valid = false;
+  };
+
+  bool MeeTreeAccess(uint64_t page);  // returns hit
+
+  const CostModel& costs_;
+  size_t ways_;
+  size_t sets_;
+  std::vector<Line> lines_;
+  uint64_t way_mask_[kNumCos];
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+
+  // Tiny fully-associative LRU of integrity-tree nodes (one node per page).
+  std::vector<uint64_t> mee_pages_;
+  std::vector<uint64_t> mee_used_;
+  uint64_t mee_tick_ = 0;
+};
+
+}  // namespace eleos::sim
+
+#endif  // ELEOS_SRC_SIM_CACHE_MODEL_H_

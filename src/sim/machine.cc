@@ -1,0 +1,104 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include "src/sim/machine.h"
+
+namespace eleos::sim {
+namespace {
+
+// Synthetic address region for kernel scratch traffic; far from both enclave
+// vaddr bases ((id+1) << 40, ids < 32 => below 0x21'00000000'00) and typical
+// Linux heap pointers (0x55.. and up).
+constexpr uint64_t kScratchBase = 0x3f00'0000'0000ull;
+constexpr uint64_t kDefaultScratchPool = 4ull << 20;  // recycled kernel buffers
+
+}  // namespace
+
+Machine::Machine(MachineConfig cfg)
+    : costs_(cfg.costs),
+      llc_(costs_),
+      epc_(cfg.epc_frames != 0 ? cfg.epc_frames : costs_.prm_usable_frames),
+      driver_(this) {
+  driver_.set_seal_mode(cfg.seal_mode);
+  for (size_t i = 0; i < cpus_.size(); ++i) {
+    cpus_[i] = std::make_unique<CpuContext>(this, static_cast<int>(i));
+  }
+}
+
+void Machine::Access(CpuContext* cpu, uint64_t addr, size_t len, bool write,
+                     MemKind kind) {
+  if (cpu == nullptr || len == 0) {
+    return;
+  }
+  const uint64_t first_line = addr >> 6;
+  const uint64_t last_line = (addr + len - 1) >> 6;
+  uint64_t prev_vpn = UINT64_MAX;
+  size_t line_index = 0;
+  for (uint64_t line = first_line; line <= last_line; ++line, ++line_index) {
+    const uint64_t vpn = line >> 6;  // 64 lines per 4 KiB page
+    if (vpn != prev_vpn) {
+      prev_vpn = vpn;
+      if (!cpu->tlb.Access(vpn)) {
+        cpu->Charge(kind == MemKind::kEpc ? costs_.tlb_walk_epc_cycles
+                                          : costs_.tlb_walk_cycles);
+      }
+    }
+    uint64_t cost = llc_.Access(line, write, kind, cpu->cos);
+    // Hardware prefetch: within one contiguous access, misses past the first
+    // two lines are streamed, not paid at random-miss latency.
+    if (line_index >= 2 && cost >= costs_.llc_miss_cycles) {
+      cost = kind == MemKind::kEpc ? costs_.stream_epc_line_cycles
+                                   : costs_.stream_line_cycles;
+    }
+    cpu->Charge(cost);
+  }
+}
+
+void Machine::StreamAccess(CpuContext* cpu, uint64_t addr, size_t len, bool write,
+                           MemKind kind) {
+  if (cpu == nullptr || len == 0) {
+    return;
+  }
+  const uint64_t first_line = addr >> 6;
+  const uint64_t last_line = (addr + len - 1) >> 6;
+  uint64_t prev_vpn = UINT64_MAX;
+  for (uint64_t line = first_line; line <= last_line; ++line) {
+    const uint64_t vpn = line >> 6;
+    if (vpn != prev_vpn) {
+      prev_vpn = vpn;
+      if (!cpu->tlb.Access(vpn)) {
+        cpu->Charge(kind == MemKind::kEpc ? costs_.tlb_walk_epc_cycles
+                                          : costs_.tlb_walk_cycles);
+      }
+    }
+    llc_.Access(line, write, kind, cpu->cos);  // state effect only
+    cpu->Charge(kind == MemKind::kEpc ? costs_.stream_epc_line_cycles
+                                      : costs_.stream_line_cycles);
+  }
+}
+
+void Machine::PolluteCache(size_t bytes, int cos, size_t pool_bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  const uint64_t pool = pool_bytes == 0 ? kDefaultScratchPool : pool_bytes;
+  const uint64_t addr = kScratchBase + (scratch_cursor_ % pool);
+  scratch_cursor_ += bytes;
+  const uint64_t first_line = addr >> 6;
+  const uint64_t last_line = (addr + bytes - 1) >> 6;
+  for (uint64_t line = first_line; line <= last_line; ++line) {
+    llc_.Access(line, /*write=*/true, MemKind::kUntrusted, cos);
+  }
+}
+
+void Machine::TouchScratch(CpuContext* cpu, size_t bytes, size_t pool_bytes) {
+  if (cpu == nullptr || bytes == 0) {
+    return;
+  }
+  const uint64_t pool = pool_bytes == 0 ? kDefaultScratchPool : pool_bytes;
+  const uint64_t addr = kScratchBase + (scratch_cursor_ % pool);
+  scratch_cursor_ += bytes;
+  // Kernel I/O buffers are filled sequentially: streaming charge + pollution.
+  StreamAccess(cpu, addr, bytes, /*write=*/true, MemKind::kUntrusted);
+}
+
+}  // namespace eleos::sim

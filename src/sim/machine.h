@@ -1,0 +1,80 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// The simulated platform: cost model + LLC + EPC + SGX driver + CPUs.
+//
+// A Machine is the root object every experiment builds first. It owns the
+// shared structures (LLC, EPC, driver) and up to kMaxCpus simulated hardware
+// threads, each with a private TLB and virtual cycle clock. All accounting
+// funnels through Machine::Access.
+
+#ifndef ELEOS_SRC_SIM_MACHINE_H_
+#define ELEOS_SRC_SIM_MACHINE_H_
+
+#include <array>
+#include <memory>
+
+#include "src/sim/cache_model.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/epc.h"
+#include "src/sim/sgx_driver.h"
+#include "src/sim/vclock.h"
+
+namespace eleos::sim {
+
+struct MachineConfig {
+  CostModel costs{};
+  size_t epc_frames = 0;  // 0 => costs.prm_usable_frames
+  SgxDriver::SealMode seal_mode = SgxDriver::SealMode::kReal;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg = {});
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  CostModel& costs() { return costs_; }
+  const CostModel& costs() const { return costs_; }
+  CacheModel& llc() { return llc_; }
+  Epc& epc() { return epc_; }
+  SgxDriver& driver() { return driver_; }
+
+  // Simulated hardware threads (created eagerly; addresses are stable).
+  CpuContext& cpu(size_t i) { return *cpus_[i]; }
+  size_t num_cpus() const { return cpus_.size(); }
+
+  // One memory access of `len` bytes at `addr`: charges TLB walks and cache
+  // hit/miss costs per touched line to `cpu`. No-op when cpu is null.
+  void Access(CpuContext* cpu, uint64_t addr, size_t len, bool write, MemKind kind);
+
+  // Bulk sequential access (page copies in the paging paths): lines still
+  // flow through the cache model (pollution is real) but the cycle charge is
+  // the flat streaming rate, since hardware prefetching hides random-miss
+  // latency on sequential copies.
+  void StreamAccess(CpuContext* cpu, uint64_t addr, size_t len, bool write,
+                    MemKind kind);
+
+  // Models the cache pollution of kernel/syscall work: streams `bytes` of
+  // untrusted lines through the cache with `cpu`'s class of service. The
+  // traffic cycles within a reuse pool of `pool_bytes` (kernel buffers are
+  // finite and recycled); 0 selects the default 4 MiB pool.
+  void TouchScratch(CpuContext* cpu, size_t bytes, size_t pool_bytes = 0);
+
+  // Pure cache-state pollution with an explicit class of service and no cycle
+  // charge to any clock; models work done by *other* cores (RPC workers)
+  // that only affects the shared LLC. Same pool semantics as TouchScratch.
+  void PolluteCache(size_t bytes, int cos, size_t pool_bytes = 0);
+
+ private:
+  CostModel costs_;
+  CacheModel llc_;
+  Epc epc_;
+  SgxDriver driver_;
+  std::array<std::unique_ptr<CpuContext>, kMaxCpus> cpus_;
+  uint64_t scratch_cursor_ = 0;
+};
+
+}  // namespace eleos::sim
+
+#endif  // ELEOS_SRC_SIM_MACHINE_H_

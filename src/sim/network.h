@@ -1,0 +1,49 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Simple 10 Gb/s NIC model (the paper's load-generation setup: a separate
+// client machine connected back-to-back over a dedicated 10 Gb NIC).
+//
+// The model serves two purposes:
+//  * `RecvCycles`/`SendCycles` give the wire+stack latency a server thread
+//    observes per message;
+//  * `MaxMessagesPerSecond` gives the link-bandwidth ceiling that bounds the
+//    *native* face-verification server in Figure 10.
+
+#ifndef ELEOS_SRC_SIM_NETWORK_H_
+#define ELEOS_SRC_SIM_NETWORK_H_
+
+#include <cstdint>
+
+#include "src/sim/cost_model.h"
+
+namespace eleos::sim {
+
+class Network {
+ public:
+  explicit Network(const CostModel& costs) : costs_(costs) {}
+
+  // Cycles spent on the wire + NIC/stack for one message.
+  uint64_t MessageCycles(size_t bytes) const { return costs_.WireCycles(bytes); }
+
+  // Bandwidth ceiling for a request/response pair of the given sizes.
+  double MaxRequestsPerSecond(size_t request_bytes, size_t response_bytes) const {
+    const double bytes_per_req = static_cast<double>(request_bytes + response_bytes);
+    const double link_bytes_per_s = costs_.network_gbps * 1e9 / 8.0;
+    return link_bytes_per_s / bytes_per_req;
+  }
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+  void RecordSend(size_t bytes) { bytes_sent_ += bytes; }
+  void RecordRecv(size_t bytes) { bytes_received_ += bytes; }
+
+ private:
+  const CostModel& costs_;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+}  // namespace eleos::sim
+
+#endif  // ELEOS_SRC_SIM_NETWORK_H_

@@ -1,0 +1,332 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include "src/sim/sgx_driver.h"
+
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+#include "src/crypto/sha256.h"
+#include "src/sim/enclave.h"
+#include "src/sim/machine.h"
+
+namespace eleos::sim {
+namespace {
+
+// AAD binds a sealed page to its owner and virtual page so sealed blobs
+// cannot be swapped between pages (same scheme EWB uses via the VA slot).
+struct SealAad {
+  uint64_t enclave_id;
+  uint64_t vpage;
+};
+
+}  // namespace
+
+SgxDriver::SgxDriver(Machine* machine)
+    : machine_(machine),
+      sealer_(crypto::DeriveAesKey("sgx-driver-ewb", 0x5117).data()),
+      nonce_rng_(0xdead5eed) {}
+
+EnclaveId SgxDriver::RegisterEnclave(Enclave* enclave) {
+  std::lock_guard guard(lock_);
+  const EnclaveId id = next_id_++;
+  enclaves_[id].enclave = enclave;
+  return id;
+}
+
+void SgxDriver::UnregisterEnclave(EnclaveId id) {
+  std::lock_guard guard(lock_);
+  auto it = enclaves_.find(id);
+  if (it == enclaves_.end()) {
+    return;
+  }
+  for (auto& [vpage, ps] : it->second.pages) {
+    if (ps.frame != kInvalidFrame) {
+      machine_->epc().Free(ps.frame);
+    }
+  }
+  enclaves_.erase(it);
+}
+
+void SgxDriver::ReservePages(Enclave& enclave, uint64_t vpage, size_t count) {
+  std::lock_guard guard(lock_);
+  EnclaveRec& rec = enclaves_.at(enclave.id());
+  rec.pages.reserve(rec.pages.size() + count);
+  for (size_t i = 0; i < count; ++i) {
+    rec.pages.try_emplace(vpage + i);
+  }
+}
+
+void SgxDriver::ReleasePages(Enclave& enclave, uint64_t vpage, size_t count) {
+  std::lock_guard guard(lock_);
+  EnclaveRec& rec = enclaves_.at(enclave.id());
+  for (size_t i = 0; i < count; ++i) {
+    auto it = rec.pages.find(vpage + i);
+    if (it == rec.pages.end()) {
+      continue;
+    }
+    if (it->second.frame != kInvalidFrame) {
+      machine_->epc().Free(it->second.frame);
+      --rec.resident;
+    }
+    rec.pages.erase(it);
+  }
+}
+
+bool SgxDriver::IsResident(const Enclave& enclave, uint64_t vpage) const {
+  std::lock_guard guard(lock_);
+  auto rit = enclaves_.find(enclave.id());
+  if (rit == enclaves_.end()) {
+    return false;
+  }
+  auto pit = rit->second.pages.find(vpage);
+  return pit != rit->second.pages.end() && pit->second.frame != kInvalidFrame;
+}
+
+void SgxDriver::NoteTlbPresence(Enclave& enclave, uint64_t vpage, CpuContext& cpu) {
+  std::lock_guard guard(lock_);
+  EnclaveRec& rec = enclaves_.at(enclave.id());
+  auto it = rec.pages.find(vpage);
+  if (it != rec.pages.end() && cpu.id >= 0 && cpu.id < kMaxCpus) {
+    it->second.tlb_stamp[static_cast<size_t>(cpu.id)] = cpu.tlb_epoch;
+  }
+}
+
+size_t SgxDriver::AvailableFramesFor(EnclaveId /*id*/) const {
+  // Today's driver splits PRM evenly among active enclaves (paper §4.1).
+  const size_t n = enclaves_.empty() ? 1 : enclaves_.size();
+  return machine_->epc().total_frames() / n;
+}
+
+void SgxDriver::ConfigureSwapper(size_t low_watermark, size_t batch) {
+  swapper_low_watermark_ = low_watermark;
+  swapper_batch_ = batch;
+}
+
+size_t SgxDriver::free_frames() const { return machine_->epc().free_frames(); }
+
+uint8_t* SgxDriver::Touch(CpuContext* cpu, Enclave& enclave, uint64_t vpage,
+                          bool /*write*/) {
+  std::lock_guard guard(lock_);
+  EnclaveRec& rec = enclaves_.at(enclave.id());
+  auto it = rec.pages.find(vpage);
+  if (it == rec.pages.end()) {
+    throw std::out_of_range("SgxDriver::Touch: unreserved enclave page");
+  }
+  PageState& ps = it->second;
+  if (ps.frame != kInvalidFrame) {
+    ps.referenced = true;
+    return machine_->epc().FrameData(ps.frame);
+  }
+
+  // --- Hardware EPC page fault ---
+  ++stats_.faults;
+  const CostModel& c = machine_->costs();
+
+  // The driver's asynchronous swapper may be evicting concurrently with the
+  // enclave's execution; model it as a pre-fault batch so that IPIs hit the
+  // still-inside faulting thread too (paper footnote 3: IPIs occur even for
+  // single-threaded enclaves).
+  RunSwapper(cpu);
+
+  // The fault itself: AEX (exit cost + TLB flush) and kernel entry.
+  if (cpu != nullptr) {
+    cpu->Charge(c.eexit_cycles + c.fault_kernel_cycles);
+    cpu->tlb.FlushAll();
+    ++cpu->tlb_epoch;
+  }
+
+  const FrameId frame = ObtainFrame(cpu);
+  // The map may have rehashed if eviction sealed pages; re-find.
+  PageState& ps2 = rec.pages.at(vpage);
+  ps2.frame = frame;
+  ps2.referenced = true;
+  ++rec.resident;
+  resident_ring_.push_back({enclave.id(), vpage});
+
+  uint8_t* data = machine_->epc().FrameData(frame);
+  if (ps2.has_sealed) {
+    UnsealPage(cpu, rec, vpage, ps2, data);
+    ++stats_.page_ins;
+    if (cpu != nullptr) {
+      cpu->Charge(c.driver_load_cycles);
+    }
+  } else {
+    ++stats_.zero_fills;
+    if (cpu != nullptr) {
+      cpu->Charge(c.driver_zero_fill_cycles);
+    }
+  }
+
+  if (cpu != nullptr) {
+    cpu->Charge(c.eenter_cycles);  // ERESUME
+  }
+  return data;
+}
+
+FrameId SgxDriver::ObtainFrame(CpuContext* cpu) {
+  FrameId f = machine_->epc().Alloc();
+  while (f == kInvalidFrame) {
+    EnclaveId owner = 0;
+    if (!EvictOne(cpu, &owner)) {
+      throw std::runtime_error("SgxDriver: EPC exhausted and nothing evictable");
+    }
+    // Post-AEX eviction: the faulting thread has already exited; only other
+    // in-enclave threads need the shootdown.
+    EtrackSweep(cpu, owner, /*include_initiator=*/false);
+    f = machine_->epc().Alloc();
+  }
+  return f;
+}
+
+void SgxDriver::RunSwapper(CpuContext* cpu) {
+  if (machine_->epc().free_frames() >= swapper_low_watermark_) {
+    return;
+  }
+  // One ETRACK round per owner enclave per batch, hitting every thread still
+  // inside it — including the thread whose fault triggered us (the driver's
+  // swapper runs asynchronously with enclave execution).
+  EnclaveId owners[kMaxCpus * 4];
+  size_t owner_count = 0;
+  for (size_t i = 0; i < swapper_batch_; ++i) {
+    EnclaveId owner = 0;
+    if (!EvictOne(cpu, &owner)) {
+      break;
+    }
+    bool seen = false;
+    for (size_t j = 0; j < owner_count; ++j) {
+      if (owners[j] == owner) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen && owner_count < sizeof(owners) / sizeof(owners[0])) {
+      owners[owner_count++] = owner;
+    }
+  }
+  for (size_t j = 0; j < owner_count; ++j) {
+    EtrackSweep(cpu, owners[j], /*include_initiator=*/true);
+  }
+}
+
+bool SgxDriver::EvictOne(CpuContext* initiator, EnclaveId* owner_out) {
+  size_t scanned = 0;
+  const size_t limit = 2 * resident_ring_.size() + 4;
+  while (!resident_ring_.empty() && scanned < limit) {
+    if (clock_hand_ >= resident_ring_.size()) {
+      clock_hand_ = 0;
+    }
+    const ResidentRef ref = resident_ring_[clock_hand_];
+    auto rit = enclaves_.find(ref.enclave);
+    PageState* ps = nullptr;
+    if (rit != enclaves_.end()) {
+      auto pit = rit->second.pages.find(ref.vpage);
+      if (pit != rit->second.pages.end()) {
+        ps = &pit->second;
+      }
+    }
+    if (ps == nullptr || ps->frame == kInvalidFrame) {
+      // Stale ring entry (page released or already evicted): drop lazily.
+      resident_ring_[clock_hand_] = resident_ring_.back();
+      resident_ring_.pop_back();
+      continue;
+    }
+    if (ps->referenced) {
+      ps->referenced = false;  // second chance
+      ++clock_hand_;
+      ++scanned;
+      continue;
+    }
+
+    // Victim found: EWB (the caller runs the ETRACK round).
+    if (owner_out != nullptr) {
+      *owner_out = ref.enclave;
+    }
+    SealPage(initiator, rit->second, ref.vpage, *ps);
+    machine_->epc().Free(ps->frame);
+    ps->frame = kInvalidFrame;
+    --rit->second.resident;
+    ++stats_.evictions;
+    ++stats_.writebacks;  // EWB writes back unconditionally, even clean pages
+    if (initiator != nullptr) {
+      initiator->Charge(machine_->costs().driver_evict_cycles);
+    }
+    resident_ring_[clock_hand_] = resident_ring_.back();
+    resident_ring_.pop_back();
+    return true;
+  }
+  return false;
+}
+
+void SgxDriver::EtrackSweep(CpuContext* initiator, EnclaveId owner,
+                            bool include_initiator) {
+  auto rit = enclaves_.find(owner);
+  if (rit == enclaves_.end()) {
+    return;
+  }
+  const CostModel& c = machine_->costs();
+  for (size_t i = 0; i < machine_->num_cpus() && i < kMaxCpus; ++i) {
+    CpuContext& target = machine_->cpu(i);
+    if (target.enclave != rit->second.enclave) {
+      continue;
+    }
+    if (!include_initiator && &target == initiator) {
+      continue;
+    }
+    ++stats_.ipis;
+    ++stats_.shootdown_aexes;
+    if (initiator != nullptr) {
+      initiator->Charge(c.ipi_cycles);
+    }
+    // The receiving core is forced out of the enclave (AEX) and resumes.
+    target.Charge(c.shootdown_aex_cycles());
+    target.tlb.FlushAll();
+    ++target.tlb_epoch;
+  }
+}
+
+void SgxDriver::SealPage(CpuContext* cpu, EnclaveRec& rec, uint64_t vpage,
+                         PageState& ps) {
+  if (!ps.sealed) {
+    ps.sealed = std::make_unique<uint8_t[]>(kPageSize);
+  }
+  uint8_t* frame_data = machine_->epc().FrameData(ps.frame);
+  if (seal_mode_ == SealMode::kReal) {
+    nonce_rng_.FillBytes(ps.nonce, sizeof(ps.nonce));
+    SealAad aad{rec.enclave->id(), vpage};
+    sealer_.Seal(ps.nonce, reinterpret_cast<const uint8_t*>(&aad), sizeof(aad),
+                 frame_data, kPageSize, ps.sealed.get(), ps.tag);
+  } else {
+    std::memcpy(ps.sealed.get(), frame_data, kPageSize);
+  }
+  ps.has_sealed = true;
+  // Cache effects of the copy-out: read the EPC frame, write the blob.
+  // (vpage is globally unique across enclaves, so it doubles as the address.)
+  machine_->StreamAccess(cpu, vpage * kPageSize, kPageSize, /*write=*/false,
+                         MemKind::kEpc);
+  machine_->StreamAccess(cpu, reinterpret_cast<uint64_t>(ps.sealed.get()),
+                         kPageSize, /*write=*/true, MemKind::kUntrusted);
+}
+
+void SgxDriver::UnsealPage(CpuContext* cpu, EnclaveRec& rec, uint64_t vpage,
+                           PageState& ps, uint8_t* frame_data) {
+  if (seal_mode_ == SealMode::kReal) {
+    SealAad aad{rec.enclave->id(), vpage};
+    const bool ok = sealer_.Open(ps.nonce, reinterpret_cast<const uint8_t*>(&aad),
+                                 sizeof(aad), ps.sealed.get(), kPageSize, ps.tag,
+                                 frame_data);
+    if (!ok) {
+      throw std::runtime_error(
+          "SgxDriver: integrity check failed on EPC page reload (tampered "
+          "backing memory?)");
+    }
+  } else {
+    std::memcpy(frame_data, ps.sealed.get(), kPageSize);
+  }
+  machine_->StreamAccess(cpu, reinterpret_cast<uint64_t>(ps.sealed.get()),
+                         kPageSize, /*write=*/false, MemKind::kUntrusted);
+  machine_->StreamAccess(cpu, vpage * kPageSize, kPageSize, /*write=*/true,
+                         MemKind::kEpc);
+}
+
+}  // namespace eleos::sim

@@ -1,0 +1,15 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include "src/sim/vclock.h"
+
+namespace eleos::sim {
+
+namespace {
+thread_local CpuContext* g_current_cpu = nullptr;
+}  // namespace
+
+CpuContext* CurrentCpu() { return g_current_cpu; }
+
+void BindCpu(CpuContext* cpu) { g_current_cpu = cpu; }
+
+}  // namespace eleos::sim

@@ -1,0 +1,112 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include "src/suvm/backing_store.h"
+
+#include <cassert>
+#include <mutex>
+#include <stdexcept>
+
+namespace eleos::suvm {
+namespace {
+
+bool IsPowerOfTwo(size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+int Log2(size_t v) {
+  int r = 0;
+  while ((1ull << r) < v) {
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace
+
+BackingStore::BackingStore(Config config)
+    : capacity_(config.capacity_bytes),
+      min_order_(Log2(config.min_block)),
+      max_order_(Log2(config.capacity_bytes)),
+      arena_(new uint8_t[config.capacity_bytes]) {
+  if (!IsPowerOfTwo(config.capacity_bytes) || !IsPowerOfTwo(config.min_block)) {
+    throw std::invalid_argument("BackingStore: sizes must be powers of two");
+  }
+  free_sets_.resize(static_cast<size_t>(max_order_ - min_order_ + 1));
+  free_sets_.back().insert(0);  // one block covering the whole arena
+}
+
+int BackingStore::OrderFor(size_t bytes, int min_order) {
+  if (bytes == 0) {
+    bytes = 1;
+  }
+  int order = Log2(bytes);
+  return order < min_order ? min_order : order;
+}
+
+uint64_t BackingStore::Alloc(size_t bytes) {
+  const int order = OrderFor(bytes, min_order_);
+  if (order > max_order_) {
+    return kInvalidAddr;
+  }
+  std::lock_guard guard(lock_);
+
+  // Find the smallest free block that fits.
+  int have = order;
+  while (have <= max_order_ && free_sets_[static_cast<size_t>(have - min_order_)].empty()) {
+    ++have;
+  }
+  if (have > max_order_) {
+    return kInvalidAddr;
+  }
+
+  auto& from = free_sets_[static_cast<size_t>(have - min_order_)];
+  const uint64_t offset = *from.begin();
+  from.erase(from.begin());
+
+  // Split down to the requested order, returning the upper buddies to the
+  // free lists.
+  while (have > order) {
+    --have;
+    const uint64_t buddy = offset + (1ull << have);
+    free_sets_[static_cast<size_t>(have - min_order_)].insert(buddy);
+  }
+
+  alloc_order_[offset] = order;
+  allocated_bytes_ += 1ull << order;
+  return offset;
+}
+
+void BackingStore::Free(uint64_t offset) {
+  std::lock_guard guard(lock_);
+  auto it = alloc_order_.find(offset);
+  if (it == alloc_order_.end()) {
+    throw std::invalid_argument("BackingStore::Free: not an allocation start");
+  }
+  int order = it->second;
+  alloc_order_.erase(it);
+  allocated_bytes_ -= 1ull << order;
+
+  // Merge with free buddies as far as possible.
+  uint64_t block = offset;
+  while (order < max_order_) {
+    const uint64_t buddy = block ^ (1ull << order);
+    auto& set = free_sets_[static_cast<size_t>(order - min_order_)];
+    auto bit = set.find(buddy);
+    if (bit == set.end()) {
+      break;
+    }
+    set.erase(bit);
+    block = block < buddy ? block : buddy;
+    ++order;
+  }
+  free_sets_[static_cast<size_t>(order - min_order_)].insert(block);
+}
+
+size_t BackingStore::BlockSize(uint64_t offset) const {
+  std::lock_guard guard(lock_);
+  auto it = alloc_order_.find(offset);
+  if (it == alloc_order_.end()) {
+    return 0;
+  }
+  return 1ull << it->second;
+}
+
+}  // namespace eleos::suvm

@@ -1,0 +1,71 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// SUVM's secure backing store: a slab of untrusted memory managed by a buddy
+// allocator (the paper uses the SQLite zero-malloc buddy allocator with a
+// 16-byte minimum allocation; this is a from-scratch equivalent).
+//
+// The arena holds only *ciphertext*: pages evicted from EPC++ are AES-GCM
+// sealed into their backing offsets, and in direct-access mode each 1 KiB
+// sub-page is sealed separately at its own offset. Offsets double as SUVM's
+// logical ("secure") addresses — what spointers carry.
+
+#ifndef ELEOS_SRC_SUVM_BACKING_STORE_H_
+#define ELEOS_SRC_SUVM_BACKING_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/spinlock.h"
+
+namespace eleos::suvm {
+
+inline constexpr uint64_t kInvalidAddr = UINT64_MAX;
+
+class BackingStore {
+ public:
+  struct Config {
+    size_t capacity_bytes = 256ull << 20;  // must be a power of two
+    size_t min_block = 16;                 // paper: 16-byte minimum allocation
+  };
+
+  explicit BackingStore(Config config);
+
+  BackingStore(const BackingStore&) = delete;
+  BackingStore& operator=(const BackingStore&) = delete;
+
+  // Allocates a block of at least `bytes`; returns its offset (the SUVM
+  // address) or kInvalidAddr when the arena is exhausted.
+  uint64_t Alloc(size_t bytes);
+  void Free(uint64_t offset);
+
+  // Size of the block allocated at `offset` (its rounded power-of-two size).
+  size_t BlockSize(uint64_t offset) const;
+
+  uint8_t* Raw(uint64_t offset) { return arena_.get() + offset; }
+  const uint8_t* Raw(uint64_t offset) const { return arena_.get() + offset; }
+
+  size_t capacity() const { return capacity_; }
+  size_t allocated_bytes() const { return allocated_bytes_; }
+  size_t allocation_count() const { return alloc_order_.size(); }
+
+ private:
+  static int OrderFor(size_t bytes, int min_order);
+
+  size_t capacity_;
+  int min_order_;
+  int max_order_;
+  std::unique_ptr<uint8_t[]> arena_;
+
+  mutable Spinlock lock_;
+  // free_sets_[k]: offsets of free blocks of order (min_order_ + k).
+  std::vector<std::unordered_set<uint64_t>> free_sets_;
+  std::unordered_map<uint64_t, int> alloc_order_;  // offset -> order
+  size_t allocated_bytes_ = 0;
+};
+
+}  // namespace eleos::suvm
+
+#endif  // ELEOS_SRC_SUVM_BACKING_STORE_H_

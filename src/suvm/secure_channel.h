@@ -1,0 +1,211 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Inter-enclave shared memory: the extension the paper's conclusion calls
+// out ("Eleos might be extended to provide new services, i.e., inter-enclave
+// shared memory, which are not currently supported in SGX").
+//
+// SGX gives two enclaves no common trusted memory, so the channel is a ring
+// of message slots in *untrusted* memory, with every message AES-GCM sealed
+// under a channel key both endpoints share (obtained via local attestation /
+// key exchange on real hardware; derived from a common seed here). Freshness
+// and ordering come from a monotonic per-channel sequence number bound into
+// the AAD and the nonce: replayed, reordered, dropped, or tampered messages
+// all fail authentication at the receiver. Like the RPC queue, progress is
+// by polling — enclave threads cannot block in the kernel without exiting.
+
+#ifndef ELEOS_SRC_SUVM_SECURE_CHANNEL_H_
+#define ELEOS_SRC_SUVM_SECURE_CHANNEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/spinlock.h"
+#include "src/crypto/gcm.h"
+#include "src/crypto/sha256.h"
+#include "src/sim/enclave.h"
+
+namespace eleos::suvm {
+
+struct ChannelConfig {
+  size_t capacity = 64;         // slots
+  size_t max_msg_bytes = 4096;  // plaintext capacity per slot
+  uint64_t key_seed = 0xc4a7;   // models the attestation-derived channel key
+};
+
+// The untrusted shared state: a single-producer single-consumer ring of
+// sealed messages. Create one per direction.
+class SecureChannel {
+ public:
+  using Config = ChannelConfig;
+
+  explicit SecureChannel(sim::Machine& machine, Config config = {})
+      : machine_(&machine), config_(config), slots_(config.capacity) {
+    for (auto& s : slots_) {
+      s.data.resize(config.max_msg_bytes + crypto::kGcmTagSize);
+    }
+  }
+
+  SecureChannel(const SecureChannel&) = delete;
+  SecureChannel& operator=(const SecureChannel&) = delete;
+
+  const Config& config() const { return config_; }
+  sim::Machine& machine() { return *machine_; }
+
+  // The ring is untrusted memory: a hostile host can read and rewrite every
+  // field. This accessor IS that capability (used by the security tests to
+  // play the attacker); the endpoints' guarantees must hold regardless of
+  // what is done through it.
+  struct UntrustedSlotView {
+    std::atomic<uint32_t>* state;
+    uint64_t* seq;
+    uint32_t* length;
+    uint8_t* bytes;  // ciphertext || tag
+    size_t bytes_len;
+  };
+  UntrustedSlotView untrusted_slot(size_t index) {
+    Slot& s = slots_[index % slots_.size()];
+    return {&s.state, &s.seq, &s.length, s.data.data(), s.data.size()};
+  }
+
+ private:
+  friend class ChannelSender;
+  friend class ChannelReceiver;
+
+  struct Slot {
+    std::atomic<uint32_t> state{0};  // 0 = empty, 1 = full
+    uint64_t seq = 0;
+    uint32_t length = 0;             // plaintext bytes
+    std::vector<uint8_t> data;       // ciphertext || tag
+  };
+
+  sim::Machine* machine_;
+  Config config_;
+  std::vector<Slot> slots_;
+};
+
+namespace channel_internal {
+
+inline void MakeNonce(uint64_t seq, uint8_t nonce[crypto::kGcmNonceSize]) {
+  // Deterministic per-message nonce: direction tag + sequence number. Each
+  // (key, seq) pair is used exactly once, which is what GCM requires.
+  std::memset(nonce, 0, crypto::kGcmNonceSize);
+  std::memcpy(nonce, "ch", 2);
+  std::memcpy(nonce + 4, &seq, sizeof(seq));
+}
+
+}  // namespace channel_internal
+
+// The sending endpoint, owned by the producing enclave's trusted runtime.
+class ChannelSender {
+ public:
+  ChannelSender(SecureChannel& channel, sim::Enclave& enclave)
+      : channel_(&channel),
+        enclave_(&enclave),
+        gcm_(crypto::DeriveAesKey("eleos-channel", channel.config().key_seed)
+                 .data()) {}
+
+  // Seals and publishes a message; returns false when the ring is full
+  // (caller may poll and retry — no blocking primitives in an enclave).
+  bool TrySend(sim::CpuContext* cpu, const void* msg, size_t len) {
+    if (len > channel_->config_.max_msg_bytes) {
+      throw std::invalid_argument("SecureChannel: message too large");
+    }
+    SecureChannel::Slot& slot =
+        channel_->slots_[next_seq_ % channel_->slots_.size()];
+    if (slot.state.load(std::memory_order_acquire) != 0) {
+      return false;  // receiver has not drained this slot yet
+    }
+    uint8_t nonce[crypto::kGcmNonceSize];
+    channel_internal::MakeNonce(next_seq_, nonce);
+    const uint64_t aad = next_seq_;
+    gcm_.Seal(nonce, reinterpret_cast<const uint8_t*>(&aad), sizeof(aad),
+              static_cast<const uint8_t*>(msg), len, slot.data.data(),
+              slot.data.data() + len);
+    slot.length = static_cast<uint32_t>(len);
+    slot.seq = next_seq_;
+    slot.state.store(1, std::memory_order_release);
+
+    enclave_->ChargeGcm(cpu, len);
+    if (cpu != nullptr) {
+      channel_->machine_->StreamAccess(
+          cpu, reinterpret_cast<uint64_t>(slot.data.data()), len,
+          /*write=*/true, sim::MemKind::kUntrusted);
+    }
+    ++next_seq_;
+    return true;
+  }
+
+  uint64_t messages_sent() const { return next_seq_; }
+
+ private:
+  SecureChannel* channel_;
+  sim::Enclave* enclave_;
+  crypto::AesGcm gcm_;
+  uint64_t next_seq_ = 0;
+};
+
+// The receiving endpoint, owned by the consuming enclave's trusted runtime.
+class ChannelReceiver {
+ public:
+  ChannelReceiver(SecureChannel& channel, sim::Enclave& enclave)
+      : channel_(&channel),
+        enclave_(&enclave),
+        gcm_(crypto::DeriveAesKey("eleos-channel", channel.config().key_seed)
+                 .data()) {}
+
+  // Polls for the next message; on success decrypts into `out` and returns
+  // its length, or -1 when nothing is pending. Throws on any integrity,
+  // replay, or reordering violation.
+  int64_t TryRecv(sim::CpuContext* cpu, void* out, size_t out_cap) {
+    SecureChannel::Slot& slot =
+        channel_->slots_[next_seq_ % channel_->slots_.size()];
+    if (slot.state.load(std::memory_order_acquire) != 1) {
+      return -1;
+    }
+    if (slot.seq != next_seq_) {
+      throw std::runtime_error(
+          "SecureChannel: sequence mismatch (replay or reordering attack)");
+    }
+    const size_t len = slot.length;
+    if (len > out_cap || len > channel_->config_.max_msg_bytes) {
+      throw std::runtime_error("SecureChannel: invalid length field");
+    }
+    uint8_t nonce[crypto::kGcmNonceSize];
+    channel_internal::MakeNonce(next_seq_, nonce);
+    const uint64_t aad = next_seq_;
+    const bool ok = gcm_.Open(nonce, reinterpret_cast<const uint8_t*>(&aad),
+                              sizeof(aad), slot.data.data(), len,
+                              slot.data.data() + len,
+                              static_cast<uint8_t*>(out));
+    if (!ok) {
+      throw std::runtime_error(
+          "SecureChannel: authentication failed (tampered message)");
+    }
+    slot.state.store(0, std::memory_order_release);
+
+    enclave_->ChargeGcm(cpu, len);
+    if (cpu != nullptr) {
+      channel_->machine_->StreamAccess(
+          cpu, reinterpret_cast<uint64_t>(slot.data.data()), len,
+          /*write=*/false, sim::MemKind::kUntrusted);
+    }
+    ++next_seq_;
+    return static_cast<int64_t>(len);
+  }
+
+  uint64_t messages_received() const { return next_seq_; }
+
+ private:
+  SecureChannel* channel_;
+  sim::Enclave* enclave_;
+  crypto::AesGcm gcm_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace eleos::suvm
+
+#endif  // ELEOS_SRC_SUVM_SECURE_CHANNEL_H_

@@ -1,0 +1,608 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include "src/suvm/suvm.h"
+
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+#include "src/crypto/sha256.h"
+#include "src/sim/machine.h"
+
+namespace eleos::suvm {
+namespace {
+
+// AAD layouts binding sealed records to their location (block-swap defense).
+struct PageAad {
+  uint64_t bs_page;
+};
+struct SubAad {
+  uint64_t bs_page;
+  uint64_t sub;
+};
+
+}  // namespace
+
+Suvm::Suvm(sim::Enclave& enclave, SuvmConfig config)
+    : enclave_(&enclave),
+      config_(config),
+      subpages_per_page_(sim::kPageSize / config.subpage_size),
+      store_({.capacity_bytes = config.backing_bytes}),
+      cache_(enclave, config.epc_pp_pages),
+      sealer_(crypto::DeriveAesKey("suvm-app-key", config.key_seed).data()),
+      slot_to_page_(config.epc_pp_pages, kInvalidAddr),
+      nonce_rng_(config.key_seed ^ 0x9e3779b97f4a7c15ull) {
+  if (sim::kPageSize % config.subpage_size != 0) {
+    throw std::invalid_argument("Suvm: subpage_size must divide the page size");
+  }
+  // The inverse page table: one small entry per EPC++ page (paper §4.1).
+  ipt_region_vaddr_ = enclave_->Alloc(config.epc_pp_pages * 16);
+  // The crypto-metadata table: one entry per backing-store page. It "may
+  // grow fairly large" and is natively evictable under PRM pressure.
+  meta_entries_ = config.backing_bytes / sim::kPageSize;
+  const size_t meta_entry_bytes = config.direct_mode ? 160 : 48;
+  meta_region_vaddr_ = enclave_->Alloc(meta_entries_ * meta_entry_bytes);
+}
+
+Suvm::~Suvm() = default;
+
+void Suvm::ResetStats() {
+  stats_.major_faults = 0;
+  stats_.minor_faults = 0;
+  stats_.evictions = 0;
+  stats_.writebacks = 0;
+  stats_.clean_drops = 0;
+  stats_.direct_reads = 0;
+  stats_.direct_writes = 0;
+}
+
+uint64_t Suvm::Malloc(size_t bytes) { return store_.Alloc(bytes); }
+
+void Suvm::Free(uint64_t addr) {
+  // Pages overlapped by this allocation may be resident; drop them without
+  // write-back only when the whole page belongs to the freed block (pages
+  // can be shared by multiple sub-page allocations).
+  const size_t block = store_.BlockSize(addr);
+  if (block >= sim::kPageSize) {
+    std::lock_guard pg(paging_lock_);
+    for (uint64_t page = addr / sim::kPageSize;
+         page <= (addr + block - 1) / sim::kPageSize; ++page) {
+      Stripe& st = StripeFor(page);
+      std::lock_guard sl(st.lock);
+      auto it = st.map.find(page);
+      if (it == st.map.end()) {
+        continue;
+      }
+      PageMeta& m = it->second;
+      if (m.refcount != 0) {
+        throw std::logic_error("Suvm::Free: page still pinned by a spointer");
+      }
+      if (m.slot >= 0) {
+        slot_to_page_[static_cast<size_t>(m.slot)] = kInvalidAddr;
+        cache_.FreeSlot(m.slot);
+      }
+      st.map.erase(it);
+    }
+  }
+  store_.Free(addr);
+}
+
+void Suvm::FillNonce(uint8_t nonce[crypto::kGcmNonceSize]) {
+  std::lock_guard guard(nonce_lock_);
+  nonce_rng_.FillBytes(nonce, crypto::kGcmNonceSize);
+}
+
+void Suvm::TouchIpt(sim::CpuContext* cpu, int slot, bool write) {
+  // The inverse page table is tiny (16 B per EPC++ page) and hot; charge the
+  // lookup as near-core work instead of a modeled memory round-trip.
+  (void)slot;
+  (void)write;
+  if (cpu != nullptr) {
+    cpu->Charge(enclave_->machine().costs().suvm_pt_lookup_cycles);
+  }
+}
+
+void Suvm::TouchCryptoMeta(sim::CpuContext* cpu, uint64_t bs_page, bool write) {
+  const size_t entry_bytes = config_.direct_mode ? 160 : 48;
+  const uint64_t vaddr =
+      meta_region_vaddr_ + (bs_page % meta_entries_) * entry_bytes;
+  // Entries may straddle a page boundary; clamp to the page for Data().
+  const size_t in_page = sim::kPageSize - (vaddr % sim::kPageSize);
+  enclave_->Data(cpu, vaddr, in_page < entry_bytes ? in_page : entry_bytes, write);
+}
+
+int Suvm::PinPage(sim::CpuContext* cpu, uint64_t bs_page) {
+  Stripe& st = StripeFor(bs_page);
+
+  // Fast path: resident page (a "minor fault" for an unlinked spointer).
+  {
+    std::lock_guard sl(st.lock);
+    PageMeta& m = st.map[bs_page];
+    if (m.slot >= 0) {
+      ++m.refcount;
+      m.ref_bit = true;
+      stats_.minor_faults.fetch_add(1, std::memory_order_relaxed);
+      const int slot = m.slot;
+      // One inverse-page-table lookup (reference-count update).
+      TouchIpt(cpu, slot, /*write=*/true);
+      return slot;
+    }
+  }
+
+  // Major fault: serialize paging.
+  std::lock_guard pg(paging_lock_);
+  std::lock_guard sl(st.lock);
+  PageMeta& m = st.map[bs_page];
+  if (m.slot >= 0) {  // raced with another faulting thread
+    ++m.refcount;
+    m.ref_bit = true;
+    stats_.minor_faults.fetch_add(1, std::memory_order_relaxed);
+    TouchIpt(cpu, m.slot, /*write=*/true);
+    return m.slot;
+  }
+
+  int slot = cache_.AllocSlot();
+  while (slot < 0) {
+    if (!EvictOneLocked(cpu, StripeIndex(bs_page))) {
+      throw std::runtime_error(
+          "Suvm: EPC++ exhausted — every cached page is pinned");
+    }
+    slot = cache_.AllocSlot();
+  }
+
+  stats_.major_faults.fetch_add(1, std::memory_order_relaxed);
+  if (cpu != nullptr) {
+    cpu->Charge(enclave_->machine().costs().suvm_fault_logic_cycles);
+  }
+  try {
+    LoadPage(cpu, bs_page, m, slot);
+  } catch (...) {
+    // Integrity failure on page-in: return the slot so the cache stays
+    // consistent (the page remains non-resident; the throw propagates).
+    cache_.FreeSlot(slot);
+    throw;
+  }
+  m.slot = slot;
+  m.refcount = 1;
+  m.ref_bit = true;
+  m.dirty = false;
+  slot_to_page_[static_cast<size_t>(slot)] = bs_page;
+  TouchIpt(cpu, slot, /*write=*/true);
+  TouchCryptoMeta(cpu, bs_page, /*write=*/false);
+  return slot;
+}
+
+void Suvm::UnpinPage(uint64_t bs_page, int slot, bool dirty) {
+  Stripe& st = StripeFor(bs_page);
+  std::lock_guard sl(st.lock);
+  auto it = st.map.find(bs_page);
+  if (it == st.map.end() || it->second.slot != slot) {
+    throw std::logic_error("Suvm::UnpinPage: stale pin");
+  }
+  PageMeta& m = it->second;
+  if (m.refcount == 0) {
+    throw std::logic_error("Suvm::UnpinPage: refcount underflow");
+  }
+  --m.refcount;
+  if (dirty) {
+    m.dirty = true;
+  }
+}
+
+uint8_t* Suvm::SlotData(sim::CpuContext* cpu, int slot, size_t offset, size_t len,
+                        bool write) {
+  return enclave_->Data(cpu, cache_.SlotVaddr(slot) + offset, len, write);
+}
+
+bool Suvm::EvictOneLocked(sim::CpuContext* cpu, size_t held_stripe) {
+  const size_t n = cache_.max_pages();
+  for (size_t scanned = 0; scanned < 2 * n; ++scanned) {
+    size_t slot;
+    if (config_.eviction == EvictionPolicy::kRandom) {
+      std::lock_guard ng(nonce_lock_);
+      slot = static_cast<size_t>(nonce_rng_.NextBelow(n));
+    } else {
+      if (clock_hand_ >= n) {
+        clock_hand_ = 0;
+      }
+      slot = clock_hand_++;
+    }
+    const uint64_t bs_page = slot_to_page_[slot];
+    if (bs_page == kInvalidAddr) {
+      continue;
+    }
+    Stripe& st = StripeFor(bs_page);
+    const bool own = StripeIndex(bs_page) == held_stripe;
+    if (!own) {
+      st.lock.lock();
+    }
+    auto it = st.map.find(bs_page);
+    if (it == st.map.end() || it->second.slot != static_cast<int32_t>(slot) ||
+        it->second.refcount != 0) {
+      if (!own) {
+        st.lock.unlock();
+      }
+      continue;
+    }
+    PageMeta& m = it->second;
+    if (config_.eviction == EvictionPolicy::kClock && m.ref_bit) {
+      m.ref_bit = false;  // second chance
+      if (!own) {
+        st.lock.unlock();
+      }
+      continue;
+    }
+
+    // Victim: write back iff dirty (or clean-skip disabled and never sealed).
+    const bool have_seal =
+        config_.direct_mode
+            ? (m.subs != nullptr)  // conservatively: sub seals exist
+            : m.has_data;
+    if (m.dirty || !have_seal || !config_.clean_page_skip) {
+      SealResident(cpu, bs_page, m);
+      stats_.writebacks.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.clean_drops.fetch_add(1, std::memory_order_relaxed);
+    }
+    TouchCryptoMeta(cpu, bs_page, /*write=*/true);
+    m.slot = -1;
+    m.dirty = false;
+    slot_to_page_[slot] = kInvalidAddr;
+    cache_.FreeSlot(static_cast<int>(slot));
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    if (!own) {
+      st.lock.unlock();
+    }
+    return true;
+  }
+  return false;
+}
+
+void Suvm::LoadPage(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m, int slot) {
+  sim::Machine& machine = enclave_->machine();
+  const uint64_t vaddr = cache_.SlotVaddr(slot);
+  uint8_t* dst = machine.driver().Touch(cpu, *enclave_, vaddr / sim::kPageSize,
+                                        /*write=*/true);
+  machine.StreamAccess(cpu, vaddr, sim::kPageSize, /*write=*/true,
+                       sim::MemKind::kEpc);
+
+  const uint64_t arena_off = bs_page * sim::kPageSize;
+  if (config_.direct_mode) {
+    const size_t sub_size = config_.subpage_size;
+    for (size_t s = 0; s < subpages_per_page_; ++s) {
+      uint8_t* sub_dst = dst + s * sub_size;
+      if (m.subs != nullptr && m.subs[s].has_data) {
+        const uint8_t* ct = store_.Raw(arena_off + s * sub_size);
+        if (config_.fast_seal) {
+          std::memcpy(sub_dst, ct, sub_size);
+        } else {
+          SubAad aad{bs_page, s};
+          if (!sealer_.Open(m.subs[s].nonce,
+                            reinterpret_cast<const uint8_t*>(&aad), sizeof(aad),
+                            ct, sub_size, m.subs[s].tag, sub_dst)) {
+            throw std::runtime_error("Suvm: sub-page integrity check failed");
+          }
+        }
+        enclave_->ChargeGcm(cpu, sub_size);
+        machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sub_size,
+                             /*write=*/false, sim::MemKind::kUntrusted);
+      } else {
+        std::memset(sub_dst, 0, sub_size);
+      }
+    }
+    return;
+  }
+
+  if (m.has_data) {
+    const uint8_t* ct = store_.Raw(arena_off);
+    if (config_.fast_seal) {
+      std::memcpy(dst, ct, sim::kPageSize);
+    } else {
+      PageAad aad{bs_page};
+      if (!sealer_.Open(m.nonce, reinterpret_cast<const uint8_t*>(&aad),
+                        sizeof(aad), ct, sim::kPageSize, m.tag, dst)) {
+        throw std::runtime_error(
+            "Suvm: page integrity check failed (tampered backing store?)");
+      }
+    }
+    enclave_->ChargeGcm(cpu, sim::kPageSize);
+    machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sim::kPageSize,
+                         /*write=*/false, sim::MemKind::kUntrusted);
+  } else {
+    std::memset(dst, 0, sim::kPageSize);
+  }
+}
+
+void Suvm::SealResident(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m) {
+  sim::Machine& machine = enclave_->machine();
+  const uint64_t vaddr = cache_.SlotVaddr(m.slot);
+  const uint8_t* src = machine.driver().Touch(cpu, *enclave_,
+                                              vaddr / sim::kPageSize,
+                                              /*write=*/false);
+  machine.StreamAccess(cpu, vaddr, sim::kPageSize, /*write=*/false,
+                       sim::MemKind::kEpc);
+
+  const uint64_t arena_off = bs_page * sim::kPageSize;
+  if (config_.direct_mode) {
+    EnsureSubs(m);
+    const size_t sub_size = config_.subpage_size;
+    for (size_t s = 0; s < subpages_per_page_; ++s) {
+      uint8_t* ct = store_.Raw(arena_off + s * sub_size);
+      if (config_.fast_seal) {
+        std::memcpy(ct, src + s * sub_size, sub_size);
+      } else {
+        FillNonce(m.subs[s].nonce);
+        SubAad aad{bs_page, s};
+        sealer_.Seal(m.subs[s].nonce, reinterpret_cast<const uint8_t*>(&aad),
+                     sizeof(aad), src + s * sub_size, sub_size, ct,
+                     m.subs[s].tag);
+      }
+      m.subs[s].has_data = true;
+      enclave_->ChargeGcm(cpu, sub_size);
+      machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sub_size,
+                           /*write=*/true, sim::MemKind::kUntrusted);
+    }
+    return;
+  }
+
+  uint8_t* ct = store_.Raw(arena_off);
+  if (config_.fast_seal) {
+    std::memcpy(ct, src, sim::kPageSize);
+  } else {
+    FillNonce(m.nonce);
+    PageAad aad{bs_page};
+    sealer_.Seal(m.nonce, reinterpret_cast<const uint8_t*>(&aad), sizeof(aad),
+                 src, sim::kPageSize, ct, m.tag);
+  }
+  m.has_data = true;
+  enclave_->ChargeGcm(cpu, sim::kPageSize);
+  machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sim::kPageSize,
+                       /*write=*/true, sim::MemKind::kUntrusted);
+}
+
+void Suvm::EnsureSubs(PageMeta& m) {
+  if (m.subs == nullptr) {
+    m.subs = std::make_unique<SubMeta[]>(subpages_per_page_);
+  }
+}
+
+// --- Unlinked bulk operations ---
+
+void Suvm::Read(sim::CpuContext* cpu, uint64_t addr, void* dst, size_t len) {
+  auto* out = static_cast<uint8_t*>(dst);
+  while (len > 0) {
+    const uint64_t page = addr / sim::kPageSize;
+    const size_t off = addr % sim::kPageSize;
+    const size_t chunk = std::min(len, sim::kPageSize - off);
+    const int slot = PinPage(cpu, page);
+    const uint8_t* data = SlotData(cpu, slot, off, chunk, /*write=*/false);
+    std::memcpy(out, data, chunk);
+    UnpinPage(page, slot, /*dirty=*/false);
+    out += chunk;
+    addr += chunk;
+    len -= chunk;
+  }
+}
+
+void Suvm::Write(sim::CpuContext* cpu, uint64_t addr, const void* src, size_t len) {
+  const auto* in = static_cast<const uint8_t*>(src);
+  while (len > 0) {
+    const uint64_t page = addr / sim::kPageSize;
+    const size_t off = addr % sim::kPageSize;
+    const size_t chunk = std::min(len, sim::kPageSize - off);
+    const int slot = PinPage(cpu, page);
+    uint8_t* data = SlotData(cpu, slot, off, chunk, /*write=*/true);
+    std::memcpy(data, in, chunk);
+    UnpinPage(page, slot, /*dirty=*/true);
+    in += chunk;
+    addr += chunk;
+    len -= chunk;
+  }
+}
+
+void Suvm::Memset(sim::CpuContext* cpu, uint64_t addr, uint8_t value, size_t len) {
+  while (len > 0) {
+    const uint64_t page = addr / sim::kPageSize;
+    const size_t off = addr % sim::kPageSize;
+    const size_t chunk = std::min(len, sim::kPageSize - off);
+    const int slot = PinPage(cpu, page);
+    uint8_t* data = SlotData(cpu, slot, off, chunk, /*write=*/true);
+    std::memset(data, value, chunk);
+    UnpinPage(page, slot, /*dirty=*/true);
+    addr += chunk;
+    len -= chunk;
+  }
+}
+
+void Suvm::Memcpy(sim::CpuContext* cpu, uint64_t dst, uint64_t src, size_t len) {
+  uint8_t buf[512];
+  while (len > 0) {
+    const size_t chunk = std::min(len, sizeof(buf));
+    Read(cpu, src, buf, chunk);
+    Write(cpu, dst, buf, chunk);
+    src += chunk;
+    dst += chunk;
+    len -= chunk;
+  }
+}
+
+int Suvm::Memcmp(sim::CpuContext* cpu, uint64_t addr, const void* other,
+                 size_t len) {
+  const auto* p = static_cast<const uint8_t*>(other);
+  uint8_t buf[512];
+  while (len > 0) {
+    const size_t chunk = std::min(len, sizeof(buf));
+    Read(cpu, addr, buf, chunk);
+    const int c = std::memcmp(buf, p, chunk);
+    if (c != 0) {
+      return c;
+    }
+    addr += chunk;
+    p += chunk;
+    len -= chunk;
+  }
+  return 0;
+}
+
+// --- Direct access (§3.2.4) ---
+
+void Suvm::ReadDirect(sim::CpuContext* cpu, uint64_t addr, void* dst, size_t len) {
+  if (!config_.direct_mode) {
+    throw std::logic_error("Suvm::ReadDirect requires direct_mode");
+  }
+  auto* out = static_cast<uint8_t*>(dst);
+  const size_t sub_size = config_.subpage_size;
+  while (len > 0) {
+    const uint64_t page = addr / sim::kPageSize;
+    const size_t page_off = addr % sim::kPageSize;
+    const size_t sub = page_off / sub_size;
+    const size_t sub_off = page_off % sub_size;
+    const size_t chunk = std::min(len, sub_size - sub_off);
+
+    Stripe& st = StripeFor(page);
+    std::lock_guard sl(st.lock);
+    PageMeta& m = st.map[page];
+    stats_.direct_reads.fetch_add(1, std::memory_order_relaxed);
+    TouchCryptoMeta(cpu, page, /*write=*/false);
+    if (m.slot >= 0) {
+      // Consistency: the cached copy wins (paper: "reads are consistent by
+      // checking that the page is not resident in the page cache first").
+      m.ref_bit = true;
+      const uint8_t* data = SlotData(cpu, m.slot, page_off, chunk, false);
+      std::memcpy(out, data, chunk);
+    } else {
+      DirectSubRead(cpu, m, page, sub, sub_off, out, chunk);
+    }
+    out += chunk;
+    addr += chunk;
+    len -= chunk;
+  }
+}
+
+void Suvm::WriteDirect(sim::CpuContext* cpu, uint64_t addr, const void* src,
+                       size_t len) {
+  if (!config_.direct_mode) {
+    throw std::logic_error("Suvm::WriteDirect requires direct_mode");
+  }
+  const auto* in = static_cast<const uint8_t*>(src);
+  const size_t sub_size = config_.subpage_size;
+  while (len > 0) {
+    const uint64_t page = addr / sim::kPageSize;
+    const size_t page_off = addr % sim::kPageSize;
+    const size_t sub = page_off / sub_size;
+    const size_t sub_off = page_off % sub_size;
+    const size_t chunk = std::min(len, sub_size - sub_off);
+
+    Stripe& st = StripeFor(page);
+    std::lock_guard sl(st.lock);
+    PageMeta& m = st.map[page];
+    stats_.direct_writes.fetch_add(1, std::memory_order_relaxed);
+    TouchCryptoMeta(cpu, page, /*write=*/true);
+    if (m.slot >= 0) {
+      m.ref_bit = true;
+      m.dirty = true;
+      uint8_t* data = SlotData(cpu, m.slot, page_off, chunk, true);
+      std::memcpy(data, in, chunk);
+    } else {
+      DirectSubWrite(cpu, m, page, sub, sub_off, in, chunk);
+    }
+    in += chunk;
+    addr += chunk;
+    len -= chunk;
+  }
+}
+
+void Suvm::DirectSubRead(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
+                         size_t sub, size_t off, uint8_t* dst, size_t len) {
+  const size_t sub_size = config_.subpage_size;
+  if (m.subs == nullptr || !m.subs[sub].has_data) {
+    std::memset(dst, 0, len);  // never-written data reads as zero
+    return;
+  }
+  sim::Machine& machine = enclave_->machine();
+  std::vector<uint8_t> plain(sub_size);
+  const uint8_t* ct = store_.Raw(bs_page * sim::kPageSize + sub * sub_size);
+  if (config_.fast_seal) {
+    std::memcpy(plain.data(), ct, sub_size);
+  } else {
+    SubAad aad{bs_page, sub};
+    if (!sealer_.Open(m.subs[sub].nonce, reinterpret_cast<const uint8_t*>(&aad),
+                      sizeof(aad), ct, sub_size, m.subs[sub].tag,
+                      plain.data())) {
+      throw std::runtime_error("Suvm: sub-page integrity check failed");
+    }
+  }
+  enclave_->ChargeGcm(cpu, sub_size);
+  machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sub_size,
+                       /*write=*/false, sim::MemKind::kUntrusted);
+  std::memcpy(dst, plain.data() + off, len);
+}
+
+void Suvm::DirectSubWrite(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
+                          size_t sub, size_t off, const uint8_t* src, size_t len) {
+  const size_t sub_size = config_.subpage_size;
+  sim::Machine& machine = enclave_->machine();
+  EnsureSubs(m);
+  std::vector<uint8_t> plain(sub_size, 0);
+  uint8_t* ct = store_.Raw(bs_page * sim::kPageSize + sub * sub_size);
+  SubAad aad{bs_page, sub};
+  if (m.subs[sub].has_data && len < sub_size) {
+    // Read-modify-write of an existing sub-page.
+    if (config_.fast_seal) {
+      std::memcpy(plain.data(), ct, sub_size);
+    } else if (!sealer_.Open(m.subs[sub].nonce,
+                             reinterpret_cast<const uint8_t*>(&aad), sizeof(aad),
+                             ct, sub_size, m.subs[sub].tag, plain.data())) {
+      throw std::runtime_error("Suvm: sub-page integrity check failed");
+    }
+    enclave_->ChargeGcm(cpu, sub_size);
+    machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sub_size,
+                         /*write=*/false, sim::MemKind::kUntrusted);
+  }
+  std::memcpy(plain.data() + off, src, len);
+  if (config_.fast_seal) {
+    std::memcpy(ct, plain.data(), sub_size);
+  } else {
+    FillNonce(m.subs[sub].nonce);
+    sealer_.Seal(m.subs[sub].nonce, reinterpret_cast<const uint8_t*>(&aad),
+                 sizeof(aad), plain.data(), sub_size, ct, m.subs[sub].tag);
+  }
+  m.subs[sub].has_data = true;
+  enclave_->ChargeGcm(cpu, sub_size);
+  machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sub_size,
+                       /*write=*/true, sim::MemKind::kUntrusted);
+}
+
+// --- Maintenance ---
+
+void Suvm::SwapperPass(sim::CpuContext* cpu) {
+  std::lock_guard pg(paging_lock_);
+  while (cache_.free_slots() < config_.swapper_low_watermark) {
+    if (!EvictOneLocked(cpu, SIZE_MAX)) {
+      return;
+    }
+  }
+}
+
+void Suvm::ResizeEpcPp(sim::CpuContext* cpu, size_t pages) {
+  cache_.set_target_pages(pages);
+  std::lock_guard pg(paging_lock_);
+  while (cache_.in_use() > cache_.target_pages()) {
+    if (!EvictOneLocked(cpu, SIZE_MAX)) {
+      return;  // everything remaining is pinned
+    }
+  }
+}
+
+size_t Suvm::BalloonPass(sim::CpuContext* cpu) {
+  sim::SgxDriver& driver = enclave_->machine().driver();
+  const size_t share = driver.AvailableFramesFor(enclave_->id());
+  // Leave room for the enclave's non-EPC++ pages (metadata tables, app heap).
+  const size_t other_pages = enclave_->reserved_pages() - cache_.max_pages();
+  const size_t slack = other_pages + config_.swapper_low_watermark + 8;
+  const size_t target = share > slack ? share - slack : 1;
+  ResizeEpcPp(cpu, target);
+  return cache_.target_pages();
+}
+
+}  // namespace eleos::suvm

@@ -1,0 +1,201 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Secure User-managed Virtual Memory (SUVM) — the paper's core contribution
+// (§3.2, §4.1).
+//
+// SUVM is an additional level of virtual memory implemented *inside* the
+// enclave: its own page table, its own page cache (EPC++) carved out of
+// enclave memory, and an encrypted backing store in untrusted memory.
+// Accesses to non-resident pages raise *software* page faults handled
+// entirely in trusted code — no enclave exit, no kernel, no TLB shootdown
+// IPIs. Because eviction policy is application-controlled, SUVM adds two
+// optimizations hardware paging cannot do: clean pages skip write-back, and
+// direct-access mode reads/writes the backing store at sub-page granularity
+// with per-sub-page nonces and MACs.
+//
+// Security (§3.2.5): evicted data is AES-GCM sealed with a per-application
+// key and a fresh nonce per eviction; nonce+MAC live in enclave memory; the
+// backing-store address is bound via AAD. Privacy, integrity and freshness
+// of evicted pages match SGX's own EWB.
+
+#ifndef ELEOS_SRC_SUVM_SUVM_H_
+#define ELEOS_SRC_SUVM_SUVM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/spinlock.h"
+#include "src/crypto/gcm.h"
+#include "src/sim/enclave.h"
+#include "src/suvm/backing_store.h"
+#include "src/suvm/page_cache.h"
+
+namespace eleos::suvm {
+
+// Application-tailored eviction policies (§3.2.1: "user code has full
+// control over the spointer's page table, page size, and eviction policy").
+enum class EvictionPolicy {
+  kClock,   // second chance (default; what the paper's prototype uses)
+  kFifo,    // ignore reference bits: evict in scan order
+  kRandom,  // uniformly random victim
+};
+
+struct SuvmConfig {
+  size_t epc_pp_pages = (60ull << 20) / sim::kPageSize;  // paper's default 60 MiB
+  size_t backing_bytes = 256ull << 20;                   // power of two
+  EvictionPolicy eviction = EvictionPolicy::kClock;
+  bool clean_page_skip = true;   // §3.2.4: don't write back unmodified pages
+  bool direct_mode = false;      // §3.2.4: per-sub-page sealing + direct access
+  size_t subpage_size = 1024;    // direct-mode sub-page granularity
+  size_t swapper_low_watermark = 16;  // free-pool size the swapper maintains
+  uint64_t key_seed = 0xe1e05;   // per-application sealing key seed
+  // Benchmark-only escape hatch: seal/open pages with memcpy instead of
+  // AES-GCM. Virtual-cycle charges are identical; integrity is NOT enforced.
+  // Large sweeps use it to keep wall-clock time down; tests never do.
+  bool fast_seal = false;
+};
+
+class Suvm {
+ public:
+  Suvm(sim::Enclave& enclave, SuvmConfig config = {});
+  ~Suvm();
+
+  Suvm(const Suvm&) = delete;
+  Suvm& operator=(const Suvm&) = delete;
+
+  // --- Allocation (suvm_malloc / suvm_free) ---
+  // Returns a SUVM address (backing-store offset), or kInvalidAddr on OOM.
+  uint64_t Malloc(size_t bytes);
+  void Free(uint64_t addr);
+
+  // --- spointer support ---
+  // Pins the page (increments its reference count), paging it in on a major
+  // fault; returns the EPC++ slot. Pinned pages cannot be evicted.
+  int PinPage(sim::CpuContext* cpu, uint64_t bs_page);
+  // Releases a pin; `dirty` propagates the spointer's dirty bit to the page.
+  void UnpinPage(uint64_t bs_page, int slot, bool dirty);
+  // Charged access to a pinned slot's bytes. The pointer is valid until the
+  // next paging operation (the page itself cannot move while pinned).
+  uint8_t* SlotData(sim::CpuContext* cpu, int slot, size_t offset, size_t len,
+                    bool write);
+
+  // --- Unlinked bulk operations (suvm_memcpy and friends) ---
+  void Read(sim::CpuContext* cpu, uint64_t addr, void* dst, size_t len);
+  void Write(sim::CpuContext* cpu, uint64_t addr, const void* src, size_t len);
+  void Memset(sim::CpuContext* cpu, uint64_t addr, uint8_t value, size_t len);
+  // Copy between two SUVM buffers.
+  void Memcpy(sim::CpuContext* cpu, uint64_t dst, uint64_t src, size_t len);
+  // memcmp between a SUVM buffer and a plain buffer.
+  int Memcmp(sim::CpuContext* cpu, uint64_t addr, const void* other, size_t len);
+
+  // --- Direct access to the backing store (§3.2.4) ---
+  // Bypasses EPC++ (unless the page is resident — consistency requires the
+  // cached copy to win), operating at sub-page granularity with sub-page
+  // crypto. Requires direct_mode. Akin to O_DIRECT.
+  void ReadDirect(sim::CpuContext* cpu, uint64_t addr, void* dst, size_t len);
+  void WriteDirect(sim::CpuContext* cpu, uint64_t addr, const void* src, size_t len);
+
+  // --- Maintenance ---
+  // The swapper: keeps the EPC++ free pool at the configured watermark
+  // (invoked periodically by the untrusted runtime in the paper).
+  void SwapperPass(sim::CpuContext* cpu);
+  // Balloon resize: sets the EPC++ budget, evicting as needed (§3.3).
+  void ResizeEpcPp(sim::CpuContext* cpu, size_t pages);
+  // Queries the driver's fair share (the Eleos ioctl) and resizes to fit next
+  // to the enclave's other memory. Returns the new EPC++ page target.
+  size_t BalloonPass(sim::CpuContext* cpu);
+
+  struct Stats {
+    std::atomic<uint64_t> major_faults{0};  // page-ins (incl. zero-fills)
+    std::atomic<uint64_t> minor_faults{0};  // pin of an already-resident page
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> writebacks{0};    // sealed to the backing store
+    std::atomic<uint64_t> clean_drops{0};   // write-back skipped (clean page)
+    std::atomic<uint64_t> direct_reads{0};
+    std::atomic<uint64_t> direct_writes{0};
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats();
+
+  sim::Enclave& enclave() { return *enclave_; }
+  const SuvmConfig& config() const { return config_; }
+  PageCache& page_cache() { return cache_; }
+  BackingStore& backing_store() { return store_; }
+  size_t subpages_per_page() const { return subpages_per_page_; }
+
+ private:
+  struct SubMeta {
+    uint8_t nonce[crypto::kGcmNonceSize];
+    uint8_t tag[crypto::kGcmTagSize];
+    bool has_data = false;
+  };
+
+  struct PageMeta {
+    int32_t slot = -1;        // EPC++ slot, -1 when not resident
+    uint32_t refcount = 0;    // pins by linked spointers
+    bool dirty = false;
+    bool ref_bit = false;     // second chance for the EPC++ clock
+    bool has_data = false;    // whole-page seal in the backing store is valid
+    uint8_t nonce[crypto::kGcmNonceSize];
+    uint8_t tag[crypto::kGcmTagSize];
+    std::unique_ptr<SubMeta[]> subs;  // direct mode: per-sub-page metadata
+  };
+
+  static constexpr size_t kStripes = 64;
+  struct Stripe {
+    Spinlock lock;
+    std::unordered_map<uint64_t, PageMeta> map;
+  };
+
+  Stripe& StripeFor(uint64_t bs_page) { return stripes_[bs_page % kStripes]; }
+  static size_t StripeIndex(uint64_t bs_page) { return bs_page % kStripes; }
+
+  // Paging internals. EvictOneLocked requires paging_lock_ held;
+  // `held_stripe` (or SIZE_MAX) names a stripe lock the caller already owns.
+  bool EvictOneLocked(sim::CpuContext* cpu, size_t held_stripe);
+  void LoadPage(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m, int slot);
+  void SealResident(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m);
+  void FillNonce(uint8_t nonce[crypto::kGcmNonceSize]);
+
+  // Accounting touches on SUVM's own (EPC-resident, natively evictable)
+  // metadata tables.
+  void TouchIpt(sim::CpuContext* cpu, int slot, bool write);
+  void TouchCryptoMeta(sim::CpuContext* cpu, uint64_t bs_page, bool write);
+
+  // Sub-page read-modify-write helpers for the direct path.
+  void DirectSubRead(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
+                     size_t sub, size_t off, uint8_t* dst, size_t len);
+  void DirectSubWrite(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
+                      size_t sub, size_t off, const uint8_t* src, size_t len);
+  void EnsureSubs(PageMeta& m);
+
+  sim::Enclave* enclave_;
+  SuvmConfig config_;
+  size_t subpages_per_page_;
+  BackingStore store_;
+  PageCache cache_;
+  crypto::AesGcm sealer_;
+
+  Stripe stripes_[kStripes];
+  Spinlock paging_lock_;
+  std::vector<uint64_t> slot_to_page_;  // slot -> bs_page (kInvalidAddr if free)
+  size_t clock_hand_ = 0;
+
+  // Metadata accounting regions (enclave memory; evictable by native SGX
+  // paging, which is exactly the paper's >1 GiB working-set effect).
+  uint64_t ipt_region_vaddr_;
+  uint64_t meta_region_vaddr_;
+  size_t meta_entries_;
+
+  Spinlock nonce_lock_;
+  Xoshiro256 nonce_rng_;
+  Stats stats_;
+};
+
+}  // namespace eleos::suvm
+
+#endif  // ELEOS_SRC_SUVM_SUVM_H_

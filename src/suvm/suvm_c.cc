@@ -1,0 +1,58 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include "src/suvm/suvm_c.h"
+
+#include "src/sim/vclock.h"
+#include "src/suvm/suvm.h"
+
+namespace {
+
+eleos::suvm::Suvm* Unwrap(suvm_ctx* ctx) {
+  return reinterpret_cast<eleos::suvm::Suvm*>(ctx);
+}
+
+}  // namespace
+
+extern "C" {
+
+suvm_ctx* suvm_ctx_from(eleos::suvm::Suvm* suvm) {
+  return reinterpret_cast<suvm_ctx*>(suvm);
+}
+
+suvm_addr_t suvm_malloc(suvm_ctx* ctx, size_t bytes) {
+  return Unwrap(ctx)->Malloc(bytes);
+}
+
+void suvm_free(suvm_ctx* ctx, suvm_addr_t addr) { Unwrap(ctx)->Free(addr); }
+
+void suvm_get_bytes(suvm_ctx* ctx, suvm_addr_t addr, void* dst, size_t len) {
+  Unwrap(ctx)->Read(eleos::sim::CurrentCpu(), addr, dst, len);
+}
+
+void suvm_set_bytes(suvm_ctx* ctx, suvm_addr_t addr, const void* src, size_t len) {
+  Unwrap(ctx)->Write(eleos::sim::CurrentCpu(), addr, src, len);
+}
+
+void suvm_memset(suvm_ctx* ctx, suvm_addr_t addr, int value, size_t len) {
+  Unwrap(ctx)->Memset(eleos::sim::CurrentCpu(), addr,
+                      static_cast<uint8_t>(value), len);
+}
+
+void suvm_memcpy(suvm_ctx* ctx, suvm_addr_t dst, suvm_addr_t src, size_t len) {
+  Unwrap(ctx)->Memcpy(eleos::sim::CurrentCpu(), dst, src, len);
+}
+
+int suvm_memcmp(suvm_ctx* ctx, suvm_addr_t addr, const void* other, size_t len) {
+  return Unwrap(ctx)->Memcmp(eleos::sim::CurrentCpu(), addr, other, len);
+}
+
+void suvm_read_direct(suvm_ctx* ctx, suvm_addr_t addr, void* dst, size_t len) {
+  Unwrap(ctx)->ReadDirect(eleos::sim::CurrentCpu(), addr, dst, len);
+}
+
+void suvm_write_direct(suvm_ctx* ctx, suvm_addr_t addr, const void* src,
+                       size_t len) {
+  Unwrap(ctx)->WriteDirect(eleos::sim::CurrentCpu(), addr, src, len);
+}
+
+}  // extern "C"

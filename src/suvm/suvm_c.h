@@ -1,0 +1,47 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// The C-level SUVM interface (paper §3.2.3): for applications written in C
+// (memcached in the paper, KvCache here) that cannot use the spointer<T>
+// template. Operates on raw SUVM addresses; the GET/SET entry points keep
+// the dirty-bit optimization available to C code.
+
+#ifndef ELEOS_SRC_SUVM_SUVM_C_H_
+#define ELEOS_SRC_SUVM_SUVM_C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eleos::suvm {
+class Suvm;
+}  // namespace eleos::suvm
+
+extern "C" {
+
+typedef uint64_t suvm_addr_t;
+
+// An opaque handle (a Suvm*). C applications receive it from the embedding
+// C++ runtime.
+typedef struct suvm_ctx suvm_ctx;
+
+suvm_ctx* suvm_ctx_from(eleos::suvm::Suvm* suvm);
+
+suvm_addr_t suvm_malloc(suvm_ctx* ctx, size_t bytes);
+void suvm_free(suvm_ctx* ctx, suvm_addr_t addr);
+
+// Read ("get") and write ("set") accessors; reads never mark pages dirty.
+void suvm_get_bytes(suvm_ctx* ctx, suvm_addr_t addr, void* dst, size_t len);
+void suvm_set_bytes(suvm_ctx* ctx, suvm_addr_t addr, const void* src, size_t len);
+
+// Optimized buffer operations (§3.2.3).
+void suvm_memset(suvm_ctx* ctx, suvm_addr_t addr, int value, size_t len);
+void suvm_memcpy(suvm_ctx* ctx, suvm_addr_t dst, suvm_addr_t src, size_t len);
+int suvm_memcmp(suvm_ctx* ctx, suvm_addr_t addr, const void* other, size_t len);
+
+// Direct (sub-page, O_DIRECT-style) access; requires a direct-mode context.
+void suvm_read_direct(suvm_ctx* ctx, suvm_addr_t addr, void* dst, size_t len);
+void suvm_write_direct(suvm_ctx* ctx, suvm_addr_t addr, const void* src,
+                       size_t len);
+
+}  // extern "C"
+
+#endif  // ELEOS_SRC_SUVM_SUVM_C_H_

@@ -1,0 +1,142 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Buddy-allocator unit and property tests for SUVM's backing store.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/suvm/backing_store.h"
+
+namespace eleos::suvm {
+namespace {
+
+TEST(BackingStore, AllocFreeBasic) {
+  BackingStore bs({.capacity_bytes = 1 << 20, .min_block = 16});
+  const uint64_t a = bs.Alloc(100);
+  ASSERT_NE(a, kInvalidAddr);
+  EXPECT_EQ(bs.BlockSize(a), 128u);  // rounded to next power of two
+  EXPECT_EQ(bs.allocated_bytes(), 128u);
+  bs.Free(a);
+  EXPECT_EQ(bs.allocated_bytes(), 0u);
+}
+
+TEST(BackingStore, MinimumBlockIs16Bytes) {
+  BackingStore bs({.capacity_bytes = 1 << 16, .min_block = 16});
+  const uint64_t a = bs.Alloc(1);
+  EXPECT_EQ(bs.BlockSize(a), 16u);
+  const uint64_t b = bs.Alloc(0);
+  EXPECT_EQ(bs.BlockSize(b), 16u);
+  EXPECT_NE(a, b);
+}
+
+TEST(BackingStore, ExhaustionReturnsInvalid) {
+  BackingStore bs({.capacity_bytes = 1 << 12, .min_block = 16});
+  const uint64_t a = bs.Alloc(4096);
+  ASSERT_NE(a, kInvalidAddr);
+  EXPECT_EQ(bs.Alloc(16), kInvalidAddr);
+  bs.Free(a);
+  EXPECT_NE(bs.Alloc(16), kInvalidAddr);
+}
+
+TEST(BackingStore, OversizeRequestFails) {
+  BackingStore bs({.capacity_bytes = 1 << 12, .min_block = 16});
+  EXPECT_EQ(bs.Alloc(8192), kInvalidAddr);
+}
+
+TEST(BackingStore, AllocationsDoNotOverlap) {
+  BackingStore bs({.capacity_bytes = 1 << 18, .min_block = 16});
+  Xoshiro256 rng(11);
+  struct Block {
+    uint64_t off;
+    size_t size;
+  };
+  std::vector<Block> live;
+  for (int i = 0; i < 200; ++i) {
+    const size_t want = 16 + rng.NextBelow(500);
+    const uint64_t off = bs.Alloc(want);
+    if (off == kInvalidAddr) {
+      break;
+    }
+    live.push_back({off, bs.BlockSize(off)});
+  }
+  ASSERT_GT(live.size(), 10u);
+  std::sort(live.begin(), live.end(),
+            [](const Block& a, const Block& b) { return a.off < b.off; });
+  for (size_t i = 1; i < live.size(); ++i) {
+    EXPECT_GE(live[i].off, live[i - 1].off + live[i - 1].size);
+  }
+}
+
+TEST(BackingStore, BuddyMergeRestoresFullBlock) {
+  BackingStore bs({.capacity_bytes = 1 << 16, .min_block = 16});
+  std::vector<uint64_t> offs;
+  for (int i = 0; i < 1 << 12; ++i) {  // 4096 x 16B = 64 KiB: fills the arena
+    const uint64_t o = bs.Alloc(16);
+    ASSERT_NE(o, kInvalidAddr) << i;
+    offs.push_back(o);
+  }
+  EXPECT_EQ(bs.Alloc(16), kInvalidAddr);
+  for (uint64_t o : offs) {
+    bs.Free(o);
+  }
+  // After freeing everything the full arena must be allocatable again.
+  const uint64_t big = bs.Alloc(1 << 16);
+  EXPECT_NE(big, kInvalidAddr);
+}
+
+TEST(BackingStore, DoubleFreeThrows) {
+  BackingStore bs({.capacity_bytes = 1 << 12, .min_block = 16});
+  const uint64_t a = bs.Alloc(16);
+  bs.Free(a);
+  EXPECT_THROW(bs.Free(a), std::invalid_argument);
+}
+
+TEST(BackingStore, PageSizedAllocationsArePageAligned) {
+  BackingStore bs({.capacity_bytes = 1 << 20, .min_block = 16});
+  (void)bs.Alloc(100);  // perturb alignment
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t o = bs.Alloc(4096 + static_cast<size_t>(i) * 100);
+    ASSERT_NE(o, kInvalidAddr);
+    EXPECT_EQ(o % 4096, 0u) << "buddy blocks are naturally aligned";
+  }
+}
+
+class BackingStoreChurn : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BackingStoreChurn, RandomAllocFreeNeverCorrupts) {
+  BackingStore bs({.capacity_bytes = 1 << 20, .min_block = 16});
+  Xoshiro256 rng(GetParam());
+  std::vector<uint64_t> live;
+  size_t expected_bytes = 0;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng.NextBelow(100) < 60) {
+      const size_t want = 1 + rng.NextBelow(9000);
+      const uint64_t o = bs.Alloc(want);
+      if (o != kInvalidAddr) {
+        expected_bytes += bs.BlockSize(o);
+        live.push_back(o);
+      }
+    } else {
+      const size_t idx = rng.NextBelow(live.size());
+      expected_bytes -= bs.BlockSize(live[idx]);
+      bs.Free(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    ASSERT_EQ(bs.allocated_bytes(), expected_bytes);
+  }
+  for (uint64_t o : live) {
+    bs.Free(o);
+  }
+  EXPECT_EQ(bs.allocated_bytes(), 0u);
+  EXPECT_NE(bs.Alloc(1 << 20), kInvalidAddr);  // fully merged again
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackingStoreChurn, ::testing::Values(1, 2, 3, 42));
+
+}  // namespace
+}  // namespace eleos::suvm

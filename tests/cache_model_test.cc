@@ -1,0 +1,112 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/cache_model.h"
+#include "src/sim/cost_model.h"
+
+namespace eleos::sim {
+namespace {
+
+CostModel SmallCache() {
+  CostModel c;
+  c.llc_bytes = 64 * 1024;  // 64 sets x 16 ways x 64 B
+  return c;
+}
+
+TEST(CacheModel, HitAfterMiss) {
+  CostModel c = SmallCache();
+  CacheModel llc(c);
+  const uint64_t cost1 = llc.Access(1000, false, MemKind::kUntrusted, kCosShared);
+  EXPECT_EQ(cost1, c.llc_miss_cycles);
+  const uint64_t cost2 = llc.Access(1000, false, MemKind::kUntrusted, kCosShared);
+  EXPECT_LE(cost2, c.llc_hit_cycles);
+  EXPECT_EQ(llc.hits(), 1u);
+  EXPECT_EQ(llc.misses(), 1u);
+}
+
+TEST(CacheModel, EpcMissCostsTable1Factors) {
+  CostModel c = SmallCache();
+  CacheModel llc(c);
+  const uint64_t read_miss = llc.Access(42, false, MemKind::kEpc, kCosShared);
+  EXPECT_EQ(read_miss,
+            static_cast<uint64_t>(c.llc_miss_cycles * c.epc_miss_read_factor));
+  // A write to a page whose MEE tree node was never cached: tree-miss factor.
+  const uint64_t write_miss = llc.Access(1 << 20, true, MemKind::kEpc, kCosShared);
+  EXPECT_EQ(write_miss, static_cast<uint64_t>(c.llc_miss_cycles *
+                                              c.epc_miss_write_factor_tree_miss));
+  // Another write miss to the same page: the tree node is now cached.
+  const uint64_t write_miss2 =
+      llc.Access((1 << 20) + 1, true, MemKind::kEpc, kCosShared);
+  EXPECT_EQ(write_miss2, static_cast<uint64_t>(c.llc_miss_cycles *
+                                               c.epc_miss_write_factor_tree_hit));
+}
+
+TEST(CacheModel, CapacityEviction) {
+  CostModel c = SmallCache();
+  CacheModel llc(c);
+  const size_t lines = (c.llc_bytes / c.llc_line) * 2;  // 2x capacity
+  for (uint64_t i = 0; i < lines; ++i) {
+    llc.Access(i, false, MemKind::kUntrusted, kCosShared);
+  }
+  EXPECT_EQ(llc.misses(), lines);  // sequential sweep of 2x capacity: all miss
+  // Re-touch the first line: it must have been evicted.
+  llc.ResetStats();
+  llc.Access(0, false, MemKind::kUntrusted, kCosShared);
+  EXPECT_EQ(llc.misses(), 1u);
+}
+
+TEST(CacheModel, CatPartitioningLimitsFills) {
+  CostModel c = SmallCache();
+  CacheModel llc(c);
+  llc.EnablePartitioning(0.75);  // enclave 12 ways, worker 4 ways
+
+  // Enclave working set sized to its 12-way partition (LRU thrashes if it
+  // exceeds the partition, with or without CAT).
+  const size_t cache_lines = c.llc_bytes / c.llc_line;
+  const size_t ws_lines = cache_lines * 12 / 16;
+  for (uint64_t i = 0; i < ws_lines; ++i) {
+    llc.Access(i, false, MemKind::kUntrusted, kCosEnclave);
+  }
+  // Stream 4x the cache through the worker's class of service.
+  for (uint64_t i = 1 << 20; i < (1 << 20) + 4 * cache_lines; ++i) {
+    llc.Access(i, true, MemKind::kUntrusted, kCosRpcWorker);
+  }
+  // Enclave lines in the 12 protected ways must have survived.
+  llc.ResetStats();
+  for (uint64_t i = 0; i < ws_lines; ++i) {
+    llc.Access(i, false, MemKind::kUntrusted, kCosEnclave);
+  }
+  const double hit_rate =
+      static_cast<double>(llc.hits()) / static_cast<double>(ws_lines);
+  EXPECT_GT(hit_rate, 0.95);
+
+  // Without partitioning, the same worker stream wipes out everything.
+  llc.DisablePartitioning();
+  for (uint64_t i = 0; i < ws_lines; ++i) {
+    llc.Access(i, false, MemKind::kUntrusted, kCosEnclave);
+  }
+  for (uint64_t i = 1 << 20; i < (1 << 20) + 4 * cache_lines; ++i) {
+    llc.Access(i, true, MemKind::kUntrusted, kCosRpcWorker);
+  }
+  llc.ResetStats();
+  for (uint64_t i = 0; i < ws_lines; ++i) {
+    llc.Access(i, false, MemKind::kUntrusted, kCosEnclave);
+  }
+  const double hit_rate_nocat =
+      static_cast<double>(llc.hits()) / static_cast<double>(ws_lines);
+  EXPECT_LT(hit_rate_nocat, 0.05);
+}
+
+TEST(CacheModel, PartitionFractionClamped) {
+  CostModel c = SmallCache();
+  CacheModel llc(c);
+  llc.EnablePartitioning(0.0);   // clamps to >= 1 way each
+  llc.EnablePartitioning(1.0);   // clamps to <= ways-1
+  // No crash and accesses still work.
+  EXPECT_GT(llc.Access(7, false, MemKind::kUntrusted, kCosEnclave), 0u);
+  EXPECT_GT(llc.Access(9, false, MemKind::kUntrusted, kCosRpcWorker), 0u);
+}
+
+}  // namespace
+}  // namespace eleos::sim

@@ -1,0 +1,181 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Additional crypto coverage: more NIST vectors, AAD-only GCM, large
+// messages, nonce-uniqueness sensitivity, and cross-implementation
+// consistency properties the sealed-memory layers rely on.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/crypto/aes.h"
+#include "src/crypto/ctr.h"
+#include "src/crypto/gcm.h"
+#include "src/crypto/sha256.h"
+
+namespace eleos::crypto {
+namespace {
+
+std::vector<uint8_t> FromHex(const std::string& hex) {
+  std::vector<uint8_t> out;
+  for (size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<uint8_t>(std::stoi(hex.substr(i, 2), nullptr, 16)));
+  }
+  return out;
+}
+
+std::string ToHex(const uint8_t* data, size_t n) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s;
+  for (size_t i = 0; i < n; ++i) {
+    s.push_back(kDigits[data[i] >> 4]);
+    s.push_back(kDigits[data[i] & 0xf]);
+  }
+  return s;
+}
+
+TEST(AesExtra, Sp800_38aEcbVectors) {
+  // AES-128 core against the four SP 800-38A ECB blocks.
+  const auto key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  Aes128 aes(key.data());
+  const char* pt[] = {
+      "6bc1bee22e409f96e93d7e117393172a", "ae2d8a571e03ac9c9eb76fac45af8e51",
+      "30c81c46a35ce411e5fbc1191a0a52ef", "f69f2445df4f9b17ad2b417be66c3710"};
+  const char* ct[] = {
+      "3ad77bb40d7a3660a89ecaf32466ef97", "f5d3d58503b9699de785895a96fdbaaf",
+      "43b1cd7f598ece23881b00e3ed030688", "7b0c785e27e8ad3f8223207104725dd4"};
+  for (int i = 0; i < 4; ++i) {
+    const auto p = FromHex(pt[i]);
+    uint8_t c[16];
+    aes.EncryptBlock(p.data(), c);
+    EXPECT_EQ(ToHex(c, 16), ct[i]) << i;
+  }
+}
+
+TEST(AesCtrExtra, Sp800_38aFullChain) {
+  // All four CTR blocks with the incrementing counter.
+  const auto key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto iv = FromHex("f0f1f2f3f4f5f6f7f8f9fafb");
+  const auto pt = FromHex(
+      "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710");
+  Aes128 aes(key.data());
+  std::vector<uint8_t> ct(pt.size());
+  AesCtrCrypt(aes, iv.data(), 0xfcfdfeff, pt.data(), ct.data(), pt.size());
+  EXPECT_EQ(ToHex(ct.data(), ct.size()),
+            "874d6191b620e3261bef6864990db6ce9806f66b7970fdff8617187bb9fffdff"
+            "5ae4df3edbd5d35e5b4f09020db03eab1e031dda2fbe03d1792170a0f3009cee");
+}
+
+TEST(GcmExtra, AadOnlyMessage) {
+  // GCM as a pure MAC (empty plaintext, non-empty AAD) — used conceptually
+  // for integrity-only records.
+  const auto key = FromHex("feffe9928665731c6d6a8f9467308308");
+  const uint8_t iv[12] = {5};
+  AesGcm gcm(key.data());
+  const char aad[] = "authenticated header";
+  uint8_t tag1[16], tag2[16];
+  gcm.Seal(iv, reinterpret_cast<const uint8_t*>(aad), sizeof(aad), nullptr, 0,
+           nullptr, tag1);
+  EXPECT_TRUE(gcm.Open(iv, reinterpret_cast<const uint8_t*>(aad), sizeof(aad),
+                       nullptr, 0, tag1, nullptr));
+  // A one-byte AAD change must change the tag.
+  char aad2[sizeof(aad)];
+  std::memcpy(aad2, aad, sizeof(aad));
+  aad2[0] ^= 1;
+  gcm.Seal(iv, reinterpret_cast<const uint8_t*>(aad2), sizeof(aad2), nullptr, 0,
+           nullptr, tag2);
+  EXPECT_NE(0, std::memcmp(tag1, tag2, 16));
+}
+
+TEST(GcmExtra, LargeMessageRoundTrip) {
+  const auto key = DeriveAesKey("large", 1);
+  AesGcm gcm(key.data());
+  std::vector<uint8_t> pt(1 << 20);
+  Xoshiro256 rng(2);
+  rng.FillBytes(pt.data(), pt.size());
+  std::vector<uint8_t> ct(pt.size()), back(pt.size());
+  uint8_t iv[12] = {3}, tag[16];
+  gcm.Seal(iv, nullptr, 0, pt.data(), pt.size(), ct.data(), tag);
+  ASSERT_TRUE(gcm.Open(iv, nullptr, 0, ct.data(), ct.size(), tag, back.data()));
+  EXPECT_EQ(pt, back);
+  // Corruption deep inside the megabyte is caught.
+  ct[999999] ^= 4;
+  EXPECT_FALSE(gcm.Open(iv, nullptr, 0, ct.data(), ct.size(), tag, back.data()));
+}
+
+TEST(GcmExtra, InPlaceSealAndOpen) {
+  const auto key = DeriveAesKey("inplace", 9);
+  AesGcm gcm(key.data());
+  std::vector<uint8_t> buf(333, 0x42);
+  const std::vector<uint8_t> original = buf;
+  uint8_t iv[12] = {7}, tag[16];
+  gcm.Seal(iv, nullptr, 0, buf.data(), buf.size(), buf.data(), tag);  // aliased
+  EXPECT_NE(buf, original);
+  ASSERT_TRUE(gcm.Open(iv, nullptr, 0, buf.data(), buf.size(), tag, buf.data()));
+  EXPECT_EQ(buf, original);
+}
+
+TEST(GcmExtra, DistinctNoncesGiveUnrelatedCiphertexts) {
+  const auto key = DeriveAesKey("nonces", 5);
+  AesGcm gcm(key.data());
+  const std::vector<uint8_t> pt(256, 0xee);
+  std::set<std::string> seen;
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 64; ++i) {
+    uint8_t iv[12], tag[16];
+    rng.FillBytes(iv, sizeof(iv));
+    std::vector<uint8_t> ct(pt.size());
+    gcm.Seal(iv, nullptr, 0, pt.data(), pt.size(), ct.data(), tag);
+    seen.insert(ToHex(ct.data(), 16));
+  }
+  EXPECT_EQ(seen.size(), 64u) << "nonce reuse or broken CTR keystream";
+}
+
+TEST(Sha256Extra, LongInputVector) {
+  // FIPS 180-4: one million 'a' characters.
+  std::vector<uint8_t> data(1000000, 'a');
+  const auto d = Sha256::Digest(data.data(), data.size());
+  EXPECT_EQ(ToHex(d.data(), d.size()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Extra, BlockBoundaryLengths) {
+  // Lengths straddling the 64-byte block and 56-byte padding boundaries.
+  for (size_t n : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::vector<uint8_t> data(n, 'x');
+    const auto one = Sha256::Digest(data.data(), n);
+    Sha256 h;
+    for (size_t i = 0; i < n; ++i) {
+      h.Update(&data[i], 1);  // byte-at-a-time must agree
+    }
+    uint8_t d[32];
+    h.Final(d);
+    EXPECT_EQ(0, std::memcmp(d, one.data(), 32)) << n;
+  }
+}
+
+class CtrCounterWrap : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CtrCounterWrap, KeystreamContinuityAcrossInitialCounters) {
+  // Encrypting [A|B] at counter c equals encrypting A at c and B at c+1.
+  const auto key = DeriveAesKey("wrap", 3);
+  Aes128 aes(key.data());
+  const uint8_t iv[12] = {1, 2, 3};
+  const uint32_t c0 = GetParam();
+  std::vector<uint8_t> pt(32, 0x5a), joined(32), split(32);
+  AesCtrCrypt(aes, iv, c0, pt.data(), joined.data(), 32);
+  AesCtrCrypt(aes, iv, c0, pt.data(), split.data(), 16);
+  AesCtrCrypt(aes, iv, c0 + 1, pt.data() + 16, split.data() + 16, 16);
+  EXPECT_EQ(joined, split);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counters, CtrCounterWrap,
+                         ::testing::Values(0u, 1u, 0x7fffffffu, 0xfffffffeu));
+
+}  // namespace
+}  // namespace eleos::crypto

@@ -1,0 +1,241 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Known-answer tests (FIPS-197, NIST GCM spec, SP 800-38A, FIPS 180-4) and
+// property tests for the from-scratch crypto used by the simulated EWB path
+// and SUVM's backing-store sealing.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/crypto/aes.h"
+#include "src/crypto/ctr.h"
+#include "src/crypto/gcm.h"
+#include "src/crypto/sha256.h"
+
+namespace eleos::crypto {
+namespace {
+
+std::vector<uint8_t> FromHex(const std::string& hex) {
+  std::vector<uint8_t> out;
+  for (size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<uint8_t>(std::stoi(hex.substr(i, 2), nullptr, 16)));
+  }
+  return out;
+}
+
+std::string ToHex(const uint8_t* data, size_t n) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s;
+  for (size_t i = 0; i < n; ++i) {
+    s.push_back(kDigits[data[i] >> 4]);
+    s.push_back(kDigits[data[i] & 0xf]);
+  }
+  return s;
+}
+
+TEST(Aes128, Fips197Vector) {
+  const auto key = FromHex("000102030405060708090a0b0c0d0e0f");
+  const auto pt = FromHex("00112233445566778899aabbccddeeff");
+  Aes128 aes(key.data());
+  uint8_t ct[16];
+  aes.EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(ToHex(ct, 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, InPlaceEncryption) {
+  const auto key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  Aes128 aes(key.data());
+  uint8_t a[16] = {1, 2, 3};
+  uint8_t b[16] = {1, 2, 3};
+  uint8_t out[16];
+  aes.EncryptBlock(a, out);
+  aes.EncryptBlock(b, b);  // aliased
+  EXPECT_EQ(0, std::memcmp(out, b, 16));
+}
+
+TEST(AesCtr, Sp800_38aVector) {
+  const auto key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto iv = FromHex("f0f1f2f3f4f5f6f7f8f9fafb");
+  const auto pt = FromHex("6bc1bee22e409f96e93d7e117393172a");
+  Aes128 aes(key.data());
+  uint8_t ct[16];
+  AesCtrCrypt(aes, iv.data(), 0xfcfdfeff, pt.data(), ct, 16);
+  EXPECT_EQ(ToHex(ct, 16), "874d6191b620e3261bef6864990db6ce");
+}
+
+TEST(AesCtr, RoundTripOddSizes) {
+  const auto key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  const uint8_t iv[12] = {9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2};
+  Aes128 aes(key.data());
+  Xoshiro256 rng(7);
+  for (size_t n : {0u, 1u, 15u, 16u, 17u, 100u, 4096u}) {
+    std::vector<uint8_t> pt(n), ct(n), back(n);
+    rng.FillBytes(pt.data(), n);
+    AesCtrCrypt(aes, iv, 1, pt.data(), ct.data(), n);
+    AesCtrCrypt(aes, iv, 1, ct.data(), back.data(), n);
+    EXPECT_EQ(pt, back) << "n=" << n;
+    if (n >= 16) {
+      EXPECT_NE(0, std::memcmp(pt.data(), ct.data(), n));
+    }
+  }
+}
+
+TEST(AesGcm, NistTestCase1_EmptyPlaintext) {
+  const auto key = FromHex("00000000000000000000000000000000");
+  const auto iv = FromHex("000000000000000000000000");
+  AesGcm gcm(key.data());
+  uint8_t tag[16];
+  gcm.Seal(iv.data(), nullptr, 0, nullptr, 0, nullptr, tag);
+  EXPECT_EQ(ToHex(tag, 16), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(AesGcm, NistTestCase2_OneBlock) {
+  const auto key = FromHex("00000000000000000000000000000000");
+  const auto iv = FromHex("000000000000000000000000");
+  const auto pt = FromHex("00000000000000000000000000000000");
+  AesGcm gcm(key.data());
+  uint8_t ct[16], tag[16];
+  gcm.Seal(iv.data(), nullptr, 0, pt.data(), 16, ct, tag);
+  EXPECT_EQ(ToHex(ct, 16), "0388dace60b6a392f328c2b971b2fe78");
+  EXPECT_EQ(ToHex(tag, 16), "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+TEST(AesGcm, NistTestCase3_FourBlocks) {
+  const auto key = FromHex("feffe9928665731c6d6a8f9467308308");
+  const auto iv = FromHex("cafebabefacedbaddecaf888");
+  const auto pt = FromHex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255");
+  AesGcm gcm(key.data());
+  std::vector<uint8_t> ct(pt.size());
+  uint8_t tag[16];
+  gcm.Seal(iv.data(), nullptr, 0, pt.data(), pt.size(), ct.data(), tag);
+  EXPECT_EQ(ToHex(ct.data(), ct.size()),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985");
+  EXPECT_EQ(ToHex(tag, 16), "4d5c2af327cd64a62cf35abd2ba6fab4");
+}
+
+TEST(AesGcm, NistTestCase4_WithAad) {
+  const auto key = FromHex("feffe9928665731c6d6a8f9467308308");
+  const auto iv = FromHex("cafebabefacedbaddecaf888");
+  const auto pt = FromHex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  const auto aad = FromHex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  AesGcm gcm(key.data());
+  std::vector<uint8_t> ct(pt.size());
+  uint8_t tag[16];
+  gcm.Seal(iv.data(), aad.data(), aad.size(), pt.data(), pt.size(), ct.data(), tag);
+  EXPECT_EQ(ToHex(ct.data(), ct.size()),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091");
+  EXPECT_EQ(ToHex(tag, 16), "5bc94fbc3221a5db94fae95ae7121a47");
+
+  std::vector<uint8_t> back(pt.size());
+  ASSERT_TRUE(gcm.Open(iv.data(), aad.data(), aad.size(), ct.data(), ct.size(),
+                       tag, back.data()));
+  EXPECT_EQ(back, pt);
+}
+
+TEST(AesGcm, TamperDetection) {
+  const auto key = FromHex("feffe9928665731c6d6a8f9467308308");
+  const uint8_t iv[12] = {1};
+  std::vector<uint8_t> pt(100, 0x42);
+  std::vector<uint8_t> ct(pt.size()), back(pt.size());
+  uint8_t tag[16];
+  AesGcm gcm(key.data());
+  gcm.Seal(iv, nullptr, 0, pt.data(), pt.size(), ct.data(), tag);
+
+  // Flip one ciphertext bit.
+  ct[13] ^= 0x01;
+  EXPECT_FALSE(gcm.Open(iv, nullptr, 0, ct.data(), ct.size(), tag, back.data()));
+  ct[13] ^= 0x01;
+
+  // Flip one tag bit.
+  tag[0] ^= 0x80;
+  EXPECT_FALSE(gcm.Open(iv, nullptr, 0, ct.data(), ct.size(), tag, back.data()));
+  tag[0] ^= 0x80;
+
+  // Wrong AAD.
+  const uint8_t bad_aad[4] = {1, 2, 3, 4};
+  EXPECT_FALSE(
+      gcm.Open(iv, bad_aad, sizeof(bad_aad), ct.data(), ct.size(), tag, back.data()));
+
+  // Untampered opens fine.
+  EXPECT_TRUE(gcm.Open(iv, nullptr, 0, ct.data(), ct.size(), tag, back.data()));
+  EXPECT_EQ(back, pt);
+}
+
+class GcmRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GcmRoundTrip, SealOpen) {
+  const size_t n = GetParam();
+  Xoshiro256 rng(n + 1);
+  uint8_t key[16];
+  rng.FillBytes(key, sizeof(key));
+  AesGcm gcm(key);
+  std::vector<uint8_t> pt(n), ct(n), back(n);
+  rng.FillBytes(pt.data(), n);
+  uint8_t iv[12], tag[16];
+  rng.FillBytes(iv, sizeof(iv));
+  const uint64_t aad = n * 13;
+  gcm.Seal(iv, reinterpret_cast<const uint8_t*>(&aad), sizeof(aad), pt.data(), n,
+           ct.data(), tag);
+  ASSERT_TRUE(gcm.Open(iv, reinterpret_cast<const uint8_t*>(&aad), sizeof(aad),
+                       ct.data(), n, tag, back.data()));
+  EXPECT_EQ(pt, back);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GcmRoundTrip,
+                         ::testing::Values(0, 1, 15, 16, 17, 63, 64, 100, 1024,
+                                           4096, 10000));
+
+TEST(Sha256, KnownAnswers) {
+  auto d1 = Sha256::Digest("abc", 3);
+  EXPECT_EQ(ToHex(d1.data(), d1.size()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  auto d2 = Sha256::Digest("", 0);
+  EXPECT_EQ(ToHex(d2.data(), d2.size()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  const char* msg = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  auto d3 = Sha256::Digest(msg, std::strlen(msg));
+  EXPECT_EQ(ToHex(d3.data(), d3.size()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::vector<uint8_t> data(1000);
+  Xoshiro256 rng(3);
+  rng.FillBytes(data.data(), data.size());
+  auto oneshot = Sha256::Digest(data.data(), data.size());
+  Sha256 h;
+  size_t off = 0;
+  for (size_t chunk : {1u, 7u, 63u, 64u, 65u, 800u}) {
+    if (off + chunk > data.size()) {
+      chunk = data.size() - off;
+    }
+    h.Update(data.data() + off, chunk);
+    off += chunk;
+  }
+  h.Update(data.data() + off, data.size() - off);
+  uint8_t digest[32];
+  h.Final(digest);
+  EXPECT_EQ(0, std::memcmp(digest, oneshot.data(), 32));
+}
+
+TEST(KeyDerivation, DistinctLabelsAndSeeds) {
+  auto k1 = DeriveAesKey("a", 1);
+  auto k2 = DeriveAesKey("a", 2);
+  auto k3 = DeriveAesKey("b", 1);
+  EXPECT_NE(k1, k2);
+  EXPECT_NE(k1, k3);
+  EXPECT_EQ(k1, DeriveAesKey("a", 1));
+}
+
+}  // namespace
+}  // namespace eleos::crypto

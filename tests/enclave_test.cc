@@ -1,0 +1,159 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Enclave transitions: direct EENTER/EEXIT costs, OCALL overhead, TLB-flush
+// indirect costs, and memory access accounting (paper §2.2).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/enclave.h"
+#include "src/sim/machine.h"
+
+namespace eleos::sim {
+namespace {
+
+TEST(Enclave, EnterExitDirectCosts) {
+  Machine m;
+  Enclave enclave(m);
+  CpuContext& cpu = m.cpu(0);
+  const CostModel& c = m.costs();
+
+  enclave.Enter(cpu);
+  EXPECT_EQ(cpu.clock.now(), c.eenter_cycles);
+  EXPECT_EQ(enclave.threads_inside(), 1);
+  EXPECT_EQ(cpu.enclave, &enclave);
+
+  enclave.Exit(cpu);
+  EXPECT_EQ(cpu.clock.now(), c.eenter_cycles + c.eexit_cycles);
+  EXPECT_EQ(enclave.threads_inside(), 0);
+  EXPECT_EQ(cpu.enclave, nullptr);
+}
+
+TEST(Enclave, OcallCostIsAbout8kCycles) {
+  Machine m;
+  Enclave enclave(m);
+  CpuContext& cpu = m.cpu(0);
+
+  enclave.Enter(cpu);
+  const uint64_t before = cpu.clock.now();
+  const int result = enclave.Ocall(cpu, 0, [] { return 7; });
+  const uint64_t cost = cpu.clock.now() - before;
+  enclave.Exit(cpu);
+
+  EXPECT_EQ(result, 7);
+  // Paper: EEXIT+EENTER ~7,100 plus ~800 SDK = ~8,000 (+ syscall + buffers).
+  EXPECT_GE(cost, 7900u);
+  EXPECT_LE(cost, 10000u);
+}
+
+TEST(Enclave, OcallFlushesTlb) {
+  Machine m;
+  Enclave enclave(m);
+  CpuContext& cpu = m.cpu(0);
+  const uint64_t vaddr = enclave.Alloc(8 * kPageSize);
+
+  enclave.Enter(cpu);
+  // Warm: materialize the pages (faults flush the TLB), then touch them all
+  // again so every translation is cached.
+  for (int round = 0; round < 2; ++round) {
+    for (uint64_t p = 0; p < 8; ++p) {
+      enclave.Data(&cpu, vaddr + p * kPageSize, 8, false);
+    }
+  }
+  const uint64_t warm_misses = cpu.tlb.misses();
+  for (uint64_t p = 0; p < 8; ++p) {
+    enclave.Data(&cpu, vaddr + p * kPageSize, 8, false);
+  }
+  EXPECT_EQ(cpu.tlb.misses(), warm_misses);  // all hits while cached
+
+  enclave.Ocall(cpu, 64, [] {});
+
+  // After the exit, all eight translations are gone.
+  const uint64_t misses_after_ocall = cpu.tlb.misses();
+  for (uint64_t p = 0; p < 8; ++p) {
+    enclave.Data(&cpu, vaddr + p * kPageSize, 8, false);
+  }
+  EXPECT_EQ(cpu.tlb.misses(), misses_after_ocall + 8);
+  enclave.Exit(cpu);
+}
+
+TEST(Enclave, ReadWriteRoundTripAcrossPages) {
+  Machine m;
+  Enclave enclave(m);
+  const uint64_t vaddr = enclave.Alloc(3 * kPageSize);
+
+  std::vector<uint8_t> data(2 * kPageSize + 100);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 7);
+  }
+  // Deliberately page-straddling offset.
+  enclave.Write(nullptr, vaddr + 50, data.data(), data.size());
+  std::vector<uint8_t> back(data.size());
+  enclave.Read(nullptr, vaddr + 50, back.data(), back.size());
+  EXPECT_EQ(data, back);
+}
+
+TEST(Enclave, EpcAccessesCostMoreThanUntrustedOnMiss) {
+  Machine m;
+  Enclave enclave(m);
+  CpuContext& cpu = m.cpu(0);
+  const uint64_t vaddr = enclave.Alloc(kPageSize);
+  enclave.Data(nullptr, vaddr, 1, true);  // fault outside of measurement
+
+  const uint64_t t0 = cpu.clock.now();
+  m.Access(&cpu, 0x123456780000ull, 64, false, MemKind::kUntrusted);
+  const uint64_t untrusted = cpu.clock.now() - t0;
+
+  const uint64_t t1 = cpu.clock.now();
+  enclave.Data(&cpu, vaddr, 64, false);
+  const uint64_t epc = cpu.clock.now() - t1;
+  EXPECT_GT(epc, untrusted);
+}
+
+TEST(Enclave, EcallScopeBalancesTransitions) {
+  Machine m;
+  Enclave enclave(m);
+  CpuContext& cpu = m.cpu(0);
+  {
+    EcallScope scope(enclave, cpu);
+    EXPECT_EQ(enclave.threads_inside(), 1);
+  }
+  EXPECT_EQ(enclave.threads_inside(), 0);
+}
+
+TEST(Enclave, VoidOcall) {
+  Machine m;
+  Enclave enclave(m);
+  CpuContext& cpu = m.cpu(0);
+  bool ran = false;
+  enclave.Enter(cpu);
+  enclave.Ocall(cpu, 0, [&] { ran = true; });
+  enclave.Exit(cpu);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Enclave, CryptoChargesScaleWithBytes) {
+  Machine m;
+  Enclave enclave(m);
+  CpuContext& cpu = m.cpu(0);
+  const uint64_t t0 = cpu.clock.now();
+  enclave.ChargeGcm(&cpu, 4096);
+  const uint64_t gcm4k = cpu.clock.now() - t0;
+  // ~300 setup + ~0.9/byte * 4096 ~= 4k: the dominant term of the paper's
+  // 8.5k-cycle software page-in.
+  EXPECT_GT(gcm4k, 3000u);
+  EXPECT_LT(gcm4k, 6000u);
+}
+
+TEST(Machine, StreamAccessCheaperThanRandomAccess) {
+  Machine m;
+  CpuContext& a = m.cpu(0);
+  CpuContext& b = m.cpu(1);
+  m.Access(&a, 0x4000000000ull, 4096, true, MemKind::kUntrusted);
+  m.StreamAccess(&b, 0x5000000000ull, 4096, true, MemKind::kUntrusted);
+  EXPECT_LT(b.clock.now(), a.clock.now());
+}
+
+}  // namespace
+}  // namespace eleos::sim

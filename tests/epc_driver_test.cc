@@ -1,0 +1,222 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// EPC frame pool + simulated SGX driver: residency, demand paging with real
+// sealing, eviction pressure, shootdown IPIs, and the Eleos fair-share ioctl.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/sim/enclave.h"
+#include "src/sim/machine.h"
+
+namespace eleos::sim {
+namespace {
+
+MachineConfig TinyMachine(size_t frames) {
+  MachineConfig cfg;
+  cfg.epc_frames = frames;
+  return cfg;
+}
+
+TEST(Epc, AllocFreeCycle) {
+  Epc epc(4);
+  EXPECT_EQ(epc.total_frames(), 4u);
+  FrameId a = epc.Alloc();
+  FrameId b = epc.Alloc();
+  ASSERT_NE(a, kInvalidFrame);
+  ASSERT_NE(b, kInvalidFrame);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(epc.free_frames(), 2u);
+  epc.Free(a);
+  EXPECT_EQ(epc.free_frames(), 3u);
+}
+
+TEST(Epc, ExhaustionReturnsInvalid) {
+  Epc epc(2);
+  epc.Alloc();
+  epc.Alloc();
+  EXPECT_EQ(epc.Alloc(), kInvalidFrame);
+}
+
+TEST(Epc, FramesZeroedOnAlloc) {
+  Epc epc(2);
+  FrameId a = epc.Alloc();
+  std::memset(epc.FrameData(a), 0xab, kPageSize);
+  epc.Free(a);
+  FrameId b = epc.Alloc();
+  EXPECT_EQ(b, a);  // LIFO free list hands the dirty frame back
+  for (size_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(epc.FrameData(b)[i], 0) << i;
+  }
+}
+
+TEST(SgxDriver, DataSurvivesEvictionAndReload) {
+  Machine m(TinyMachine(8));
+  m.driver().ConfigureSwapper(0, 0);  // no background swapper: direct eviction
+  Enclave enclave(m);
+  const uint64_t vaddr = enclave.Alloc(16 * kPageSize);
+
+  // Write a distinct pattern into 16 pages through 8 frames of EPC.
+  for (uint64_t p = 0; p < 16; ++p) {
+    uint8_t* data = m.driver().Touch(nullptr, enclave, vaddr / kPageSize + p, true);
+    std::memset(data, static_cast<int>(0x10 + p), kPageSize);
+  }
+  EXPECT_GT(m.driver().stats().evictions, 0u);
+
+  // Every page must read back intact (reload = real AES-GCM open).
+  for (uint64_t p = 0; p < 16; ++p) {
+    const uint8_t* data =
+        m.driver().Touch(nullptr, enclave, vaddr / kPageSize + p, false);
+    for (size_t i = 0; i < kPageSize; i += 997) {
+      ASSERT_EQ(data[i], 0x10 + p) << "page " << p;
+    }
+  }
+  EXPECT_GT(m.driver().stats().page_ins, 0u);
+}
+
+TEST(SgxDriver, FaultCostsMatchPaperScale) {
+  Machine m(TinyMachine(8));
+  m.driver().ConfigureSwapper(0, 0);
+  Enclave enclave(m);
+  CpuContext& cpu = m.cpu(0);
+  const uint64_t vaddr = enclave.Alloc(32 * kPageSize);
+
+  // Prime 8 pages (zero-fill faults), then cause eviction+reload faults.
+  for (uint64_t p = 0; p < 32; ++p) {
+    m.driver().Touch(&cpu, enclave, vaddr / kPageSize + p, true);
+  }
+  const uint64_t before = cpu.clock.now();
+  m.driver().Touch(&cpu, enclave, vaddr / kPageSize + 0, true);  // evict+reload
+  const uint64_t fault_cost = cpu.clock.now() - before;
+  // Paper §2.3: ~25k driver + ~7k exits (+ copies); must land in 25k..60k.
+  EXPECT_GT(fault_cost, 25000u);
+  EXPECT_LT(fault_cost, 60000u);
+}
+
+TEST(SgxDriver, ResidentTouchIsFree) {
+  Machine m(TinyMachine(8));
+  Enclave enclave(m);
+  CpuContext& cpu = m.cpu(0);
+  const uint64_t vaddr = enclave.Alloc(kPageSize);
+  m.driver().Touch(&cpu, enclave, vaddr / kPageSize, true);
+  const uint64_t before = cpu.clock.now();
+  m.driver().Touch(&cpu, enclave, vaddr / kPageSize, true);
+  EXPECT_EQ(cpu.clock.now(), before);
+}
+
+TEST(SgxDriver, UnreservedPageThrows) {
+  Machine m(TinyMachine(8));
+  Enclave enclave(m);
+  EXPECT_THROW(m.driver().Touch(nullptr, enclave, 0xdead, false),
+               std::out_of_range);
+}
+
+TEST(SgxDriver, FairShareIoctl) {
+  Machine m(TinyMachine(100));
+  Enclave a(m);
+  EXPECT_EQ(m.driver().AvailableFramesFor(a.id()), 100u);
+  {
+    Enclave b(m);
+    EXPECT_EQ(m.driver().AvailableFramesFor(a.id()), 50u);
+    {
+      Enclave c(m);
+      EXPECT_EQ(m.driver().AvailableFramesFor(a.id()), 33u);
+    }
+  }
+  EXPECT_EQ(m.driver().AvailableFramesFor(a.id()), 100u);
+}
+
+TEST(SgxDriver, ShootdownIpisForInEnclaveThreads) {
+  Machine m(TinyMachine(8));
+  m.driver().ConfigureSwapper(0, 0);
+  Enclave enclave(m);
+  CpuContext& cpu0 = m.cpu(0);
+  CpuContext& cpu1 = m.cpu(1);
+  const uint64_t vaddr = enclave.Alloc(32 * kPageSize);
+
+  enclave.Enter(cpu0);
+  enclave.Enter(cpu1);
+  // cpu1 touches pages so its TLB presence is recorded.
+  for (uint64_t p = 0; p < 8; ++p) {
+    enclave.Data(&cpu1, vaddr + p * kPageSize, 8, true);
+  }
+  const uint64_t aex_before = cpu1.clock.now();
+  // cpu0 faults on fresh pages, forcing eviction of cpu1's pages.
+  for (uint64_t p = 8; p < 32; ++p) {
+    enclave.Data(&cpu0, vaddr + p * kPageSize, 8, true);
+  }
+  EXPECT_GT(m.driver().stats().ipis, 0u);
+  EXPECT_GT(m.driver().stats().shootdown_aexes, 0u);
+  // The victim thread paid for forced AEXes.
+  EXPECT_GT(cpu1.clock.now(), aex_before);
+  enclave.Exit(cpu1);
+  enclave.Exit(cpu0);
+}
+
+TEST(SgxDriver, NoIpisWhenNoThreadInside) {
+  Machine m(TinyMachine(8));
+  m.driver().ConfigureSwapper(0, 0);
+  Enclave enclave(m);
+  const uint64_t vaddr = enclave.Alloc(32 * kPageSize);
+  for (uint64_t p = 0; p < 32; ++p) {
+    enclave.Data(nullptr, vaddr + p * kPageSize, 8, true);
+  }
+  EXPECT_EQ(m.driver().stats().ipis, 0u);
+}
+
+TEST(SgxDriver, MultiEnclavePressureEvictsAcrossEnclaves) {
+  Machine m(TinyMachine(16));
+  m.driver().ConfigureSwapper(0, 0);
+  Enclave a(m);
+  Enclave b(m);
+  const uint64_t va = a.Alloc(12 * kPageSize);
+  const uint64_t vb = b.Alloc(12 * kPageSize);
+  for (uint64_t p = 0; p < 12; ++p) {
+    a.Write(nullptr, va + p * kPageSize, &p, sizeof(p));
+  }
+  for (uint64_t p = 0; p < 12; ++p) {
+    b.Write(nullptr, vb + p * kPageSize, &p, sizeof(p));
+  }
+  // Both enclaves' data must still be correct despite cross-eviction.
+  for (uint64_t p = 0; p < 12; ++p) {
+    uint64_t got = 0;
+    a.Read(nullptr, va + p * kPageSize, &got, sizeof(got));
+    EXPECT_EQ(got, p);
+    b.Read(nullptr, vb + p * kPageSize, &got, sizeof(got));
+    EXPECT_EQ(got, p);
+  }
+}
+
+TEST(SgxDriver, ReleasePagesFreesFrames) {
+  Machine m(TinyMachine(16));
+  Enclave enclave(m);
+  const uint64_t vaddr = enclave.Alloc(8 * kPageSize);
+  for (uint64_t p = 0; p < 8; ++p) {
+    enclave.Data(nullptr, vaddr + p * kPageSize, 1, true);
+  }
+  const size_t free_before = m.epc().free_frames();
+  enclave.Free(vaddr, 8 * kPageSize);
+  EXPECT_EQ(m.epc().free_frames(), free_before + 8);
+}
+
+TEST(SgxDriver, FastSealModePreservesData) {
+  MachineConfig cfg = TinyMachine(8);
+  cfg.seal_mode = SgxDriver::SealMode::kFast;
+  Machine m(cfg);
+  m.driver().ConfigureSwapper(0, 0);
+  Enclave enclave(m);
+  const uint64_t vaddr = enclave.Alloc(16 * kPageSize);
+  for (uint64_t p = 0; p < 16; ++p) {
+    const uint64_t v = p * 1234567;
+    enclave.Write(nullptr, vaddr + p * kPageSize, &v, sizeof(v));
+  }
+  for (uint64_t p = 0; p < 16; ++p) {
+    uint64_t got = 0;
+    enclave.Read(nullptr, vaddr + p * kPageSize, &got, sizeof(got));
+    EXPECT_EQ(got, p * 1234567);
+  }
+}
+
+}  // namespace
+}  // namespace eleos::sim

@@ -1,0 +1,94 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// KvCache fuzz: a random SET/GET/DELETE workload mirrored against
+// std::unordered_map, across backends and metadata placements.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/apps/kvcache.h"
+#include "src/common/rng.h"
+
+namespace eleos::apps {
+namespace {
+
+struct FuzzParams {
+  bool use_suvm;
+  bool metadata_secure;
+  uint64_t seed;
+};
+
+class KvFuzz : public ::testing::TestWithParam<FuzzParams> {};
+
+TEST_P(KvFuzz, MatchesUnorderedMap) {
+  const FuzzParams param = GetParam();
+  sim::Machine machine;
+  std::unique_ptr<sim::Enclave> enclave;
+  std::unique_ptr<suvm::Suvm> suvm;
+  std::unique_ptr<MemRegion> region;
+  KvCache::Options opts;
+  opts.pool_bytes = 24 << 20;
+  opts.hash_buckets = 512;  // force long chains
+  opts.metadata_in_secure_memory = param.metadata_secure;
+  if (param.use_suvm) {
+    enclave = std::make_unique<sim::Enclave>(machine);
+    suvm::SuvmConfig sc;
+    sc.epc_pp_pages = 128;  // heavy paging
+    sc.backing_bytes = 64 << 20;
+    suvm = std::make_unique<suvm::Suvm>(*enclave, sc);
+    region = std::make_unique<SuvmRegion>(*suvm, opts.pool_bytes);
+  } else {
+    region = std::make_unique<UntrustedRegion>(machine, opts.pool_bytes);
+  }
+  auto cache = std::make_unique<KvCache>(machine, *region, opts);
+
+  std::unordered_map<std::string, std::string> reference;
+  Xoshiro256 rng(param.seed);
+  std::string out(5000, 0);
+  for (int step = 0; step < 4000; ++step) {
+    const std::string key = "k" + std::to_string(rng.NextBelow(400));
+    const uint64_t op = rng.NextBelow(100);
+    if (op < 45) {  // SET
+      std::string value(16 + rng.NextBelow(3000), 0);
+      for (auto& c : value) {
+        c = static_cast<char>('a' + rng.NextBelow(26));
+      }
+      ASSERT_TRUE(cache->Set(nullptr, key, value.data(), value.size()));
+      reference[key] = value;
+    } else if (op < 85) {  // GET
+      const int64_t n = cache->Get(nullptr, key, out.data(), out.size());
+      auto it = reference.find(key);
+      if (it == reference.end()) {
+        ASSERT_EQ(n, -1) << "step " << step << " " << key;
+      } else {
+        ASSERT_EQ(n, static_cast<int64_t>(it->second.size())) << key;
+        ASSERT_EQ(0, std::memcmp(out.data(), it->second.data(), it->second.size()));
+      }
+    } else {  // DELETE
+      const bool deleted = cache->Delete(nullptr, key);
+      ASSERT_EQ(deleted, reference.erase(key) > 0) << key;
+    }
+  }
+  EXPECT_EQ(cache->item_count(), reference.size());
+
+  // Final verification of every surviving key.
+  for (const auto& [key, value] : reference) {
+    ASSERT_EQ(cache->Get(nullptr, key, out.data(), out.size()),
+              static_cast<int64_t>(value.size()));
+    ASSERT_EQ(0, std::memcmp(out.data(), value.data(), value.size()));
+  }
+  cache.reset();
+  region.reset();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, KvFuzz,
+    ::testing::Values(FuzzParams{false, false, 1}, FuzzParams{false, true, 2},
+                      FuzzParams{true, false, 3}, FuzzParams{true, false, 4},
+                      FuzzParams{true, true, 5}));
+
+}  // namespace
+}  // namespace eleos::apps

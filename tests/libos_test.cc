@@ -1,0 +1,231 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// libOS layer: the host MemFs, the trusted EnclaveFs forwarding through
+// OCALL vs exit-less RPC, and ProtectedFile's sealed storage (including
+// host-side tampering and replay).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/libos/fs.h"
+
+namespace eleos::libos {
+namespace {
+
+TEST(MemFs, OpenReadWriteRoundTrip) {
+  MemFs fs;
+  EXPECT_EQ(fs.Open("/nope", kRdOnly), kMemFsError);
+  const int fd = fs.Open("/a.txt", kRdWr | kCreate);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(fs.Write(fd, "hello", 5), 5);
+  EXPECT_EQ(fs.Seek(fd, 0, 0), 0);
+  char buf[16];
+  EXPECT_EQ(fs.Read(fd, buf, sizeof(buf)), 5);
+  EXPECT_EQ(0, std::memcmp(buf, "hello", 5));
+  EXPECT_EQ(fs.Read(fd, buf, sizeof(buf)), 0);  // EOF
+  EXPECT_EQ(fs.Close(fd), 0);
+  EXPECT_EQ(fs.Close(fd), kMemFsError);  // double close
+  EXPECT_EQ(fs.FileSize("/a.txt"), 5);
+}
+
+TEST(MemFs, PreadPwriteDoNotMoveOffset) {
+  MemFs fs;
+  const int fd = fs.Open("/b", kRdWr | kCreate);
+  EXPECT_EQ(fs.Pwrite(fd, "0123456789", 10, 0), 10);
+  char c;
+  EXPECT_EQ(fs.Pread(fd, &c, 1, 7), 1);
+  EXPECT_EQ(c, '7');
+  EXPECT_EQ(fs.Read(fd, &c, 1), 1);  // offset still 0
+  EXPECT_EQ(c, '0');
+}
+
+TEST(MemFs, SparseWriteExtends) {
+  MemFs fs;
+  const int fd = fs.Open("/c", kRdWr | kCreate);
+  EXPECT_EQ(fs.Pwrite(fd, "x", 1, 1000), 1);
+  EXPECT_EQ(fs.FileSize("/c"), 1001);
+  char c = 1;
+  EXPECT_EQ(fs.Pread(fd, &c, 1, 500), 1);
+  EXPECT_EQ(c, 0);  // hole reads as zero
+}
+
+TEST(MemFs, TruncAppendUnlink) {
+  MemFs fs;
+  int fd = fs.Open("/d", kRdWr | kCreate);
+  fs.Write(fd, "aaaa", 4);
+  fs.Close(fd);
+  fd = fs.Open("/d", kWrOnly | kAppend);
+  fs.Write(fd, "bb", 2);
+  fs.Close(fd);
+  EXPECT_EQ(fs.FileSize("/d"), 6);
+  fd = fs.Open("/d", kRdWr | kTrunc);
+  EXPECT_EQ(fs.FileSize("/d"), 0);
+  fs.Close(fd);
+  EXPECT_EQ(fs.Unlink("/d"), 0);
+  EXPECT_FALSE(fs.Exists("/d"));
+  EXPECT_EQ(fs.Unlink("/d"), kMemFsError);
+}
+
+TEST(MemFs, FdSlotsAreReused) {
+  MemFs fs;
+  const int a = fs.Open("/x", kRdWr | kCreate);
+  const int b = fs.Open("/y", kRdWr | kCreate);
+  fs.Close(a);
+  const int c = fs.Open("/z", kRdWr | kCreate);
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(fs.open_files(), 2u);
+  fs.Close(b);
+  fs.Close(c);
+}
+
+struct World {
+  sim::Machine machine;
+  sim::Enclave enclave{machine, "libos"};
+  MemFs host;
+};
+
+TEST(EnclaveFs, OcallModeCostsExitsRpcModeDoesNot) {
+  World w;
+  rpc::RpcManager rpc(w.enclave, {.mode = rpc::RpcManager::Mode::kInline,
+                                  .use_cat = false});
+  EnclaveFs via_ocall(w.enclave, w.host, ExitMode::kOcall);
+  EnclaveFs via_rpc(w.enclave, w.host, ExitMode::kRpc, &rpc);
+  sim::CpuContext& cpu = w.machine.cpu(0);
+  w.enclave.Enter(cpu);
+
+  const int fd1 = via_ocall.Open(&cpu, "/f1", kRdWr | kCreate);
+  const int fd2 = via_rpc.Open(&cpu, "/f2", kRdWr | kCreate);
+  char buf[256] = {7};
+
+  uint64_t t0 = cpu.clock.now();
+  via_ocall.Write(&cpu, fd1, buf, sizeof(buf));
+  const uint64_t ocall_cost = cpu.clock.now() - t0;
+
+  t0 = cpu.clock.now();
+  via_rpc.Write(&cpu, fd2, buf, sizeof(buf));
+  const uint64_t rpc_cost = cpu.clock.now() - t0;
+
+  w.enclave.Exit(cpu);
+  EXPECT_GT(ocall_cost, 3 * rpc_cost) << "exit-less file I/O";
+  EXPECT_EQ(w.host.FileSize("/f1"), 256);
+  EXPECT_EQ(w.host.FileSize("/f2"), 256);
+}
+
+TEST(EnclaveFs, RpcModeRequiresManager) {
+  World w;
+  EXPECT_THROW(EnclaveFs(w.enclave, w.host, ExitMode::kRpc, nullptr),
+               std::invalid_argument);
+}
+
+TEST(ProtectedFile, RoundTripAcrossBlocks) {
+  World w;
+  EnclaveFs fs(w.enclave, w.host, ExitMode::kOcall);
+  ProtectedFile file(fs, w.enclave, "/sealed.db", 42);
+
+  std::vector<uint8_t> data(3 * 4096 + 500);
+  Xoshiro256 rng(5);
+  rng.FillBytes(data.data(), data.size());
+  file.WriteAt(nullptr, 100, data.data(), data.size());
+  EXPECT_EQ(file.size(), 100 + data.size());
+
+  std::vector<uint8_t> back(data.size());
+  file.ReadAt(nullptr, 100, back.data(), back.size());
+  EXPECT_EQ(data, back);
+
+  // Unwritten bytes read as zero.
+  uint8_t zero = 9;
+  file.ReadAt(nullptr, 10, &zero, 1);
+  EXPECT_EQ(zero, 0);
+}
+
+TEST(ProtectedFile, ContentsAreNotPlaintextOnHost) {
+  World w;
+  EnclaveFs fs(w.enclave, w.host, ExitMode::kOcall);
+  ProtectedFile file(fs, w.enclave, "/sealed.db", 42);
+  const char secret[] = "CONFIDENTIAL-RECORD-1234567890";
+  file.WriteAt(nullptr, 0, secret, sizeof(secret));
+
+  // Scan the host file directly.
+  const int fd = w.host.Open("/sealed.db", kRdOnly);
+  std::vector<uint8_t> raw(static_cast<size_t>(w.host.FileSize("/sealed.db")));
+  w.host.Pread(fd, raw.data(), raw.size(), 0);
+  w.host.Close(fd);
+  bool found = false;
+  for (size_t i = 0; i + sizeof(secret) <= raw.size(); ++i) {
+    if (std::memcmp(raw.data() + i, secret, sizeof(secret) - 1) == 0) {
+      found = true;
+    }
+  }
+  EXPECT_FALSE(found);
+}
+
+TEST(ProtectedFile, HostTamperingDetected) {
+  World w;
+  EnclaveFs fs(w.enclave, w.host, ExitMode::kOcall);
+  ProtectedFile file(fs, w.enclave, "/sealed.db", 42);
+  const uint64_t v = 0x1122334455667788ull;
+  file.WriteAt(nullptr, 0, &v, sizeof(v));
+
+  // The host flips a byte of the sealed block.
+  const int fd = w.host.Open("/sealed.db", kRdWr);
+  uint8_t b;
+  w.host.Pread(fd, &b, 1, 17);
+  b ^= 0x80;
+  w.host.Pwrite(fd, &b, 1, 17);
+  w.host.Close(fd);
+
+  uint64_t out;
+  EXPECT_THROW(file.ReadAt(nullptr, 0, &out, sizeof(out)), std::runtime_error);
+}
+
+TEST(ProtectedFile, HostReplayDetected) {
+  World w;
+  EnclaveFs fs(w.enclave, w.host, ExitMode::kOcall);
+  ProtectedFile file(fs, w.enclave, "/sealed.db", 42);
+  uint64_t v1 = 100;
+  file.WriteAt(nullptr, 0, &v1, sizeof(v1));
+
+  // Host snapshots version 1's sealed block.
+  const int fd = w.host.Open("/sealed.db", kRdWr);
+  std::vector<uint8_t> stale(ProtectedFile::kSealedBlockSize);
+  w.host.Pread(fd, stale.data(), stale.size(), 0);
+
+  uint64_t v2 = 200;
+  file.WriteAt(nullptr, 0, &v2, sizeof(v2));
+
+  // Host restores the stale sealed block.
+  w.host.Pwrite(fd, stale.data(), stale.size(), 0);
+  w.host.Close(fd);
+
+  uint64_t out;
+  EXPECT_THROW(file.ReadAt(nullptr, 0, &out, sizeof(out)), std::runtime_error);
+}
+
+TEST(ProtectedFile, BlockSwapDetected) {
+  World w;
+  EnclaveFs fs(w.enclave, w.host, ExitMode::kOcall);
+  ProtectedFile file(fs, w.enclave, "/sealed.db", 42);
+  std::vector<uint8_t> block_a(4096, 0xAA), block_b(4096, 0xBB);
+  file.WriteAt(nullptr, 0, block_a.data(), block_a.size());
+  file.WriteAt(nullptr, 4096, block_b.data(), block_b.size());
+
+  // Host swaps the two sealed blocks on disk.
+  const int fd = w.host.Open("/sealed.db", kRdWr);
+  const size_t s = ProtectedFile::kSealedBlockSize;
+  std::vector<uint8_t> t0(s), t1(s);
+  w.host.Pread(fd, t0.data(), s, 0);
+  w.host.Pread(fd, t1.data(), s, s);
+  w.host.Pwrite(fd, t1.data(), s, 0);
+  w.host.Pwrite(fd, t0.data(), s, s);
+  w.host.Close(fd);
+
+  uint8_t out;
+  EXPECT_THROW(file.ReadAt(nullptr, 0, &out, 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace eleos::libos

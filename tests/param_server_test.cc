@@ -1,0 +1,178 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Parameter server: hash tables over every backend, request decode paths,
+// and the cost relationships the motivation section (§2) is built on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/param_server.h"
+#include "src/crypto/sha256.h"
+
+namespace eleos::apps {
+namespace {
+
+class HashTableBackends
+    : public ::testing::TestWithParam<std::tuple<HashLayout, PsBackend>> {};
+
+TEST_P(HashTableBackends, InsertUpdateGetRoundTrip) {
+  const auto [layout, backend] = GetParam();
+  sim::Machine machine;
+  std::unique_ptr<sim::Enclave> enclave;
+  std::unique_ptr<suvm::Suvm> suvm;
+  std::unique_ptr<MemRegion> region;
+  const size_t bytes = 1 << 20;
+  switch (backend) {
+    case PsBackend::kUntrusted:
+      region = std::make_unique<UntrustedRegion>(machine, bytes);
+      break;
+    case PsBackend::kEnclave:
+      enclave = std::make_unique<sim::Enclave>(machine);
+      region = std::make_unique<EnclaveRegion>(*enclave, bytes);
+      break;
+    case PsBackend::kSuvm: {
+      enclave = std::make_unique<sim::Enclave>(machine);
+      suvm::SuvmConfig cfg;
+      cfg.epc_pp_pages = 64;
+      cfg.backing_bytes = 4 << 20;
+      suvm = std::make_unique<suvm::Suvm>(*enclave, cfg);
+      region = std::make_unique<SuvmRegion>(*suvm, bytes);
+      break;
+    }
+  }
+
+  const size_t buckets = 4096;
+  PsHashTable table(*region, layout, buckets, buckets / 2);
+  const size_t n = buckets / 2;
+  for (uint64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(table.Insert(nullptr, k, k * 10)) << k;
+  }
+  for (uint64_t k = 0; k < n; k += 7) {
+    ASSERT_TRUE(table.Update(nullptr, k, 5));
+  }
+  for (uint64_t k = 0; k < n; ++k) {
+    uint64_t v = 0;
+    ASSERT_TRUE(table.Get(nullptr, k, &v)) << k;
+    EXPECT_EQ(v, k * 10 + (k % 7 == 0 ? 5u : 0u));
+  }
+  uint64_t v;
+  EXPECT_FALSE(table.Get(nullptr, n + 100, &v));
+  EXPECT_FALSE(table.Update(nullptr, n + 100, 1));
+  // Region cleanup order: region before suvm.
+  region.reset();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, HashTableBackends,
+    ::testing::Combine(::testing::Values(HashLayout::kOpenAddressing,
+                                         HashLayout::kChaining),
+                       ::testing::Values(PsBackend::kUntrusted,
+                                         PsBackend::kEnclave,
+                                         PsBackend::kSuvm)));
+
+TEST(PsLoadGenerator, RequestsDecryptCorrectly) {
+  PsLoadGenerator gen(1000, 0, 4, 7, 99);
+  std::vector<uint8_t> wire(gen.request_bytes());
+  gen.MakeRequest(3, wire.data());
+
+  crypto::Aes128 aes(crypto::DeriveAesKey("ps-session", 99).data());
+  uint32_t n = 0;
+  std::memcpy(&n, wire.data() + 12, 4);
+  ASSERT_EQ(n, 4u);
+  std::vector<uint64_t> payload(2 * n);
+  crypto::AesCtrCrypt(aes, wire.data(), 1, wire.data() + 16,
+                      reinterpret_cast<uint8_t*>(payload.data()), 16 * n);
+  for (uint32_t u = 0; u < n; ++u) {
+    EXPECT_LT(payload[2 * u], 1000u) << "key in range";
+    EXPECT_LT(payload[2 * u + 1], 1000u) << "delta in range";
+  }
+  // Deterministic regeneration.
+  std::vector<uint8_t> wire2(gen.request_bytes());
+  gen.MakeRequest(3, wire2.data());
+  EXPECT_EQ(wire, wire2);
+}
+
+TEST(ParamServer, AppliesUpdatesEndToEnd) {
+  sim::Machine machine;
+  PsConfig cfg;
+  cfg.data_bytes = 1 << 20;
+  cfg.mode = PsExecMode::kNativeUntrusted;
+  PsConfig probe_cfg = cfg;
+  ParamServer server(machine, probe_cfg);
+  server.Populate();
+
+  PsLoadGenerator gen(server.num_keys(), 0, 8, 21, probe_cfg.crypto_seed);
+  std::vector<uint8_t> wire(gen.request_bytes());
+  sim::CpuContext& cpu = machine.cpu(0);
+  for (int i = 0; i < 50; ++i) {
+    gen.MakeRequest(static_cast<uint64_t>(i), wire.data());
+    server.HandleRequest(&cpu, wire.data(), wire.size());
+  }
+  EXPECT_EQ(server.requests_served(), 50u);
+  EXPECT_GT(server.handler_cycles(), 0u);
+}
+
+TEST(ParamServer, EnclaveModesAreSlowerThanNative) {
+  // The §2 motivation: OCALL-mode requests cost far more than native ones,
+  // and the exit-less RPC recovers most of the gap.
+  sim::MachineConfig mc;
+  mc.seal_mode = sim::SgxDriver::SealMode::kFast;
+  const size_t kRequests = 300;
+
+  auto run = [&](PsExecMode mode, PsBackend backend) {
+    sim::Machine machine(mc);
+    PsConfig cfg;
+    cfg.data_bytes = 1 << 20;  // small: no paging effects
+    cfg.mode = mode;
+    cfg.backend = backend;
+    return RunPsWorkload(machine, cfg, 1, 0, kRequests).CyclesPerRequest();
+  };
+
+  const double native = run(PsExecMode::kNativeUntrusted, PsBackend::kUntrusted);
+  const double ocall = run(PsExecMode::kSgxOcall, PsBackend::kEnclave);
+  const double rpc = run(PsExecMode::kSgxRpc, PsBackend::kEnclave);
+
+  EXPECT_GT(ocall, 4 * native) << "exits dominate small requests (§2.2)";
+  EXPECT_LT(rpc, ocall / 2) << "exit-less RPC removes most of it (Fig 6a)";
+  EXPECT_GT(rpc, native) << "but not all of it";
+}
+
+TEST(ParamServer, BatchingAmortizesExitCosts) {
+  // Fig 6a: at 64 updates/request, OCALL and RPC converge.
+  sim::MachineConfig mc;
+  mc.seal_mode = sim::SgxDriver::SealMode::kFast;
+  auto run = [&](PsExecMode mode, size_t updates) {
+    sim::Machine machine(mc);
+    PsConfig cfg;
+    cfg.data_bytes = 1 << 20;
+    cfg.mode = mode;
+    cfg.backend = PsBackend::kEnclave;
+    return RunPsWorkload(machine, cfg, updates, 0, 200).CyclesPerRequest();
+  };
+  const double ratio_small = run(PsExecMode::kSgxOcall, 1) /
+                             run(PsExecMode::kSgxRpc, 1);
+  const double ratio_big = run(PsExecMode::kSgxOcall, 64) /
+                           run(PsExecMode::kSgxRpc, 64);
+  EXPECT_GT(ratio_small, 2.0);
+  EXPECT_LT(ratio_big, 1.5);
+  EXPECT_GT(ratio_small, ratio_big);
+}
+
+TEST(ParamServer, SuvmBackendServesCorrectlyUnderPaging) {
+  sim::MachineConfig mc;
+  mc.seal_mode = sim::SgxDriver::SealMode::kFast;
+  sim::Machine machine(mc);
+  PsConfig cfg;
+  cfg.data_bytes = 8 << 20;
+  cfg.backend = PsBackend::kSuvm;
+  cfg.mode = PsExecMode::kSgxRpc;
+  cfg.suvm.epc_pp_pages = 256;  // 1 MiB EPC++ under an 8 MiB table: paging!
+  cfg.suvm.backing_bytes = 32 << 20;
+  const PsRunResult r = RunPsWorkload(machine, cfg, 2, 0, 200);
+  EXPECT_EQ(r.requests, 200u);
+  EXPECT_GT(r.total_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace eleos::apps

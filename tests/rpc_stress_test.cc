@@ -1,0 +1,142 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// RPC subsystem under stress: queue wraparound, many producers/consumers,
+// result integrity under contention, and accounting invariants.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/rpc/job_queue.h"
+#include "src/rpc/rpc_manager.h"
+#include "src/rpc/worker_pool.h"
+
+namespace eleos::rpc {
+namespace {
+
+TEST(JobQueueStress, SingleSlotQueueSerializesEverything) {
+  JobQueue q(1);
+  WorkerPool pool(q, 1);
+  uint64_t counter = 0;  // unsynchronized on purpose: the queue serializes
+  auto fn = +[](void* arg) { ++*static_cast<uint64_t*>(arg); };
+  for (int i = 0; i < 2000; ++i) {
+    const size_t slot = q.Submit(fn, &counter);
+    EXPECT_EQ(slot, 0u);
+    q.AwaitAndRelease(slot);
+  }
+  EXPECT_EQ(counter, 2000u);
+}
+
+TEST(JobQueueStress, ManyProducersManyWorkers) {
+  JobQueue q(4);
+  WorkerPool pool(q, 3);
+  std::atomic<uint64_t> sum{0};
+  struct Job {
+    std::atomic<uint64_t>* sum;
+    uint64_t value;
+  };
+  auto fn = +[](void* arg) {
+    auto* j = static_cast<Job*>(arg);
+    j->sum->fetch_add(j->value, std::memory_order_relaxed);
+  };
+  std::vector<std::thread> producers;
+  producers.reserve(4);
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      for (uint64_t i = 0; i < 500; ++i) {
+        Job job{&sum, static_cast<uint64_t>(p) * 10000 + i};
+        const size_t slot = q.Submit(fn, &job);
+        q.AwaitAndRelease(slot);  // job's stack lifetime requires completion
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  // sum over p in 0..3, i in 0..499 of (10000p + i).
+  const uint64_t expected = 500ull * 10000 * (0 + 1 + 2 + 3) + 4ull * (499 * 500 / 2);
+  EXPECT_EQ(sum.load(), expected);
+  EXPECT_EQ(pool.jobs_executed(), 2000u);
+}
+
+TEST(RpcStress, ThousandsOfThreadedCallsReturnCorrectValues) {
+  sim::Machine machine;
+  sim::Enclave enclave(machine);
+  RpcManager rpc(enclave, {.mode = RpcManager::Mode::kThreaded,
+                           .use_cat = false,
+                           .workers = 2,
+                           .queue_capacity = 4});
+  uint64_t bad = 0;
+  for (uint64_t i = 0; i < 1500; ++i) {
+    const uint64_t r = rpc.Call(nullptr, 0, [i] { return i * i; });
+    bad += r != i * i;
+  }
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(rpc.calls(), 1500u);
+}
+
+TEST(RpcStress, AccountingIsPerCallDeterministic) {
+  sim::Machine machine;
+  sim::Enclave enclave(machine);
+  RpcManager rpc(enclave, {.mode = RpcManager::Mode::kInline, .use_cat = false});
+  sim::CpuContext& cpu = machine.cpu(0);
+  enclave.Enter(cpu);
+  const uint64_t t0 = cpu.clock.now();
+  rpc.Call(&cpu, 0, [] { return 0; });
+  const uint64_t one = cpu.clock.now() - t0;
+  for (int i = 0; i < 99; ++i) {
+    rpc.Call(&cpu, 0, [] { return 0; });
+  }
+  enclave.Exit(cpu);
+  const uint64_t total = cpu.clock.now() - t0;
+  // Near-fixed cost per exit-less call (a few percent of slack for cache
+  // effects of the polled queue).
+  EXPECT_GE(total, 100 * one);
+  EXPECT_LE(total, 105 * one) << "fixed cost per exit-less call";
+}
+
+TEST(RpcStress, MixedCallAndCallLong) {
+  sim::Machine machine;
+  sim::Enclave enclave(machine);
+  RpcManager rpc(enclave, {.mode = RpcManager::Mode::kInline, .use_cat = true});
+  sim::CpuContext& cpu = machine.cpu(0);
+  cpu.cos = rpc.enclave_cos();
+  enclave.Enter(cpu);
+  uint64_t total = 0;
+  for (int i = 0; i < 100; ++i) {
+    total += rpc.Call(&cpu, 32, [i] { return static_cast<uint64_t>(i); });
+    if (i % 10 == 0) {  // a blocking poll() goes through the classic OCALL
+      total += rpc.CallLong(cpu, 32, [i] { return static_cast<uint64_t>(i); });
+    }
+  }
+  enclave.Exit(cpu);
+  EXPECT_EQ(total, 4950u + 450u);
+  // The enclave re-entered after each CallLong (10 OCALLs), never for Call.
+  EXPECT_EQ(cpu.tlb.flushes(), 10u + 1u);  // 10 OCALL exits + the final Exit
+}
+
+TEST(RpcStress, DestructorRestoresCachePartitioning) {
+  sim::Machine machine;
+  sim::Enclave enclave(machine);
+  {
+    RpcManager rpc(enclave, {.mode = RpcManager::Mode::kInline, .use_cat = true});
+    EXPECT_EQ(rpc.enclave_cos(), sim::kCosEnclave);
+    EXPECT_EQ(rpc.worker_cos(), sim::kCosRpcWorker);
+  }
+  // After destruction every class of service fills the full cache again: a
+  // worker-cos sweep must be able to evict an enclave-cos line.
+  machine.llc().Access(1234, false, sim::MemKind::kUntrusted, sim::kCosEnclave);
+  const size_t lines = machine.costs().llc_bytes / machine.costs().llc_line;
+  for (uint64_t i = 0; i < 2 * lines; ++i) {
+    machine.llc().Access((1ull << 32) + i, true, sim::MemKind::kUntrusted,
+                         sim::kCosRpcWorker);
+  }
+  machine.llc().ResetStats();
+  machine.llc().Access(1234, false, sim::MemKind::kUntrusted, sim::kCosEnclave);
+  EXPECT_EQ(machine.llc().misses(), 1u);
+}
+
+}  // namespace
+}  // namespace eleos::rpc

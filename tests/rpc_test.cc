@@ -1,0 +1,198 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Exit-less RPC: the job queue mechanism with real worker threads, cost
+// accounting vs OCALL, CAT partitioning, and the long-call fallback.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/rpc/job_queue.h"
+#include "src/rpc/rpc_manager.h"
+#include "src/rpc/worker_pool.h"
+
+namespace eleos::rpc {
+namespace {
+
+TEST(JobQueue, SubmitClaimCompleteCycle) {
+  JobQueue q(4);
+  std::atomic<int> ran{0};
+  auto fn = +[](void* arg) {
+    static_cast<std::atomic<int>*>(arg)->fetch_add(1);
+  };
+  const size_t slot = q.Submit(fn, &ran);
+
+  size_t got_slot;
+  UntrustedFn got_fn;
+  void* got_arg;
+  ASSERT_TRUE(q.TryClaim(&got_slot, &got_fn, &got_arg));
+  EXPECT_EQ(got_slot, slot);
+  got_fn(got_arg);
+  q.Complete(got_slot);
+  q.AwaitAndRelease(slot);
+  EXPECT_EQ(ran.load(), 1);
+
+  // Slot is reusable.
+  EXPECT_FALSE(q.TryClaim(&got_slot, &got_fn, &got_arg));
+  const size_t slot2 = q.Submit(fn, &ran);
+  EXPECT_LT(slot2, q.capacity());
+}
+
+TEST(WorkerPool, ExecutesJobsOnRealThreads) {
+  JobQueue q(8);
+  WorkerPool pool(q, 2);
+  std::atomic<uint64_t> sum{0};
+
+  struct Job {
+    std::atomic<uint64_t>* sum;
+    uint64_t value;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(100);
+  for (uint64_t i = 1; i <= 100; ++i) {
+    jobs.push_back({&sum, i});
+  }
+  auto fn = +[](void* arg) {
+    auto* j = static_cast<Job*>(arg);
+    j->sum->fetch_add(j->value);
+  };
+  std::vector<size_t> slots;
+  for (auto& j : jobs) {
+    const size_t slot = q.Submit(fn, &j);
+    q.AwaitAndRelease(slot);  // serialize: each job completes before the next
+  }
+  EXPECT_EQ(sum.load(), 5050u);
+  EXPECT_EQ(pool.jobs_executed(), 100u);
+}
+
+TEST(RpcManager, ThreadedCallReturnsResult) {
+  sim::Machine m;
+  sim::Enclave enclave(m);
+  RpcManager rpc(enclave, {.mode = RpcManager::Mode::kThreaded,
+                           .use_cat = false,
+                           .workers = 1});
+  sim::CpuContext& cpu = m.cpu(0);
+  enclave.Enter(cpu);
+  const int x = rpc.Call(&cpu, 64, [] { return 41 + 1; });
+  enclave.Exit(cpu);
+  EXPECT_EQ(x, 42);
+  EXPECT_EQ(rpc.calls(), 1u);
+}
+
+TEST(RpcManager, RpcIsMuchCheaperThanOcall) {
+  sim::Machine m;
+  sim::Enclave enclave(m);
+  RpcManager rpc(enclave, {.mode = RpcManager::Mode::kInline, .use_cat = false});
+  sim::CpuContext& cpu = m.cpu(0);
+
+  enclave.Enter(cpu);
+  uint64_t t0 = cpu.clock.now();
+  rpc.Call(&cpu, 64, [] { return 0; });
+  const uint64_t rpc_cost = cpu.clock.now() - t0;
+
+  t0 = cpu.clock.now();
+  enclave.Ocall(cpu, 64, [] { return 0; });
+  const uint64_t ocall_cost = cpu.clock.now() - t0;
+  enclave.Exit(cpu);
+
+  // Paper: exits cost ~8,000 cycles; the RPC submission path ~1,000.
+  EXPECT_LT(rpc_cost, 1500u);
+  EXPECT_GT(ocall_cost, 5 * rpc_cost);
+}
+
+TEST(RpcManager, RpcDoesNotFlushTlb) {
+  sim::Machine m;
+  sim::Enclave enclave(m);
+  RpcManager rpc(enclave, {.mode = RpcManager::Mode::kInline, .use_cat = false});
+  sim::CpuContext& cpu = m.cpu(0);
+  const uint64_t vaddr = enclave.Alloc(8 * sim::kPageSize);
+
+  enclave.Enter(cpu);
+  for (int round = 0; round < 2; ++round) {
+    for (uint64_t p = 0; p < 8; ++p) {
+      enclave.Data(&cpu, vaddr + p * sim::kPageSize, 8, false);
+    }
+  }
+  const uint64_t flushes = cpu.tlb.flushes();
+  rpc.Call(&cpu, 4096, [] { return 0; });
+  EXPECT_EQ(cpu.tlb.flushes(), flushes);  // no exit, no flush
+
+  const uint64_t misses = cpu.tlb.misses();
+  for (uint64_t p = 0; p < 8; ++p) {
+    enclave.Data(&cpu, vaddr + p * sim::kPageSize, 8, false);
+  }
+  EXPECT_EQ(cpu.tlb.misses(), misses);  // translations survived the call
+  enclave.Exit(cpu);
+}
+
+TEST(RpcManager, CatConfinesWorkerPollution) {
+  sim::Machine m;
+  sim::Enclave enclave(m);
+  // Fill the LLC with enclave-tagged lines via an enclave-COS cpu.
+  sim::CpuContext& cpu = m.cpu(0);
+  cpu.cos = sim::kCosEnclave;
+
+  RpcManager rpc(enclave, {.mode = RpcManager::Mode::kInline, .use_cat = true});
+  // Enclave working set sized to its 75% partition (12 of 16 ways).
+  const size_t cache_lines = m.costs().llc_bytes / m.costs().llc_line;
+  const size_t ws_lines = cache_lines * 12 / 16;
+  for (uint64_t i = 0; i < ws_lines; ++i) {
+    m.llc().Access(i, false, sim::MemKind::kUntrusted, sim::kCosEnclave);
+  }
+  // A large I/O call through RPC pollutes only the worker partition.
+  enclave.Enter(cpu);
+  rpc.Call(&cpu, m.costs().llc_bytes, [] { return 0; });
+  enclave.Exit(cpu);
+
+  m.llc().ResetStats();
+  for (uint64_t i = 0; i < ws_lines; ++i) {
+    m.llc().Access(i, false, sim::MemKind::kUntrusted, sim::kCosEnclave);
+  }
+  const double hit_rate =
+      static_cast<double>(m.llc().hits()) / static_cast<double>(ws_lines);
+  EXPECT_GT(hit_rate, 0.9) << "enclave lines should survive worker I/O";
+}
+
+TEST(RpcManager, CallLongUsesOcall) {
+  sim::Machine m;
+  sim::Enclave enclave(m);
+  RpcManager rpc(enclave, {.mode = RpcManager::Mode::kInline, .use_cat = false});
+  sim::CpuContext& cpu = m.cpu(0);
+  enclave.Enter(cpu);
+  const uint64_t flushes = cpu.tlb.flushes();
+  const int v = rpc.CallLong(cpu, 0, [] { return 3; });
+  enclave.Exit(cpu);
+  EXPECT_EQ(v, 3);
+  EXPECT_GT(cpu.tlb.flushes(), flushes);  // real exit happened
+}
+
+TEST(RpcManager, ConcurrentThreadedCallers) {
+  sim::Machine m;
+  sim::Enclave enclave(m);
+  RpcManager rpc(enclave, {.mode = RpcManager::Mode::kThreaded,
+                           .use_cat = false,
+                           .workers = 2,
+                           .queue_capacity = 8});
+  std::atomic<uint64_t> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&rpc, &total, t] {
+      for (int i = 0; i < 50; ++i) {
+        const uint64_t v =
+            rpc.Call(nullptr, 0, [t, i] { return static_cast<uint64_t>(t * 1000 + i); });
+        total.fetch_add(v);
+      }
+    });
+  }
+  for (auto& t : callers) {
+    t.join();
+  }
+  // Sum over t in 0..3, i in 0..49 of (1000t + i) = 50*1000*(0+1+2+3) + 4*1225.
+  EXPECT_EQ(total.load(), 50u * 1000u * 6u + 4u * 1225u);
+  EXPECT_EQ(rpc.calls(), 200u);
+}
+
+}  // namespace
+}  // namespace eleos::rpc

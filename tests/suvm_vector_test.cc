@@ -1,0 +1,153 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/suvm/suvm_vector.h"
+
+namespace eleos::suvm {
+namespace {
+
+struct World {
+  explicit World(size_t pp_pages = 8) {
+    machine = std::make_unique<sim::Machine>();
+    enclave = std::make_unique<sim::Enclave>(*machine);
+    SuvmConfig cfg;
+    cfg.epc_pp_pages = pp_pages;
+    cfg.backing_bytes = 32 << 20;
+    cfg.swapper_low_watermark = 0;
+    suvm = std::make_unique<Suvm>(*enclave, cfg);
+  }
+  std::unique_ptr<sim::Machine> machine;
+  std::unique_ptr<sim::Enclave> enclave;
+  std::unique_ptr<Suvm> suvm;
+};
+
+TEST(SuvmVector, PushGetSet) {
+  World w;
+  SuvmVector<uint64_t> v(*w.suvm);
+  EXPECT_TRUE(v.empty());
+  for (uint64_t i = 0; i < 1000; ++i) {
+    v.PushBack(i * 3);
+  }
+  EXPECT_EQ(v.size(), 1000u);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(v.Get(i), i * 3) << i;
+  }
+  v.Set(500, 99);
+  EXPECT_EQ(v.Get(500), 99u);
+}
+
+TEST(SuvmVector, GrowthPreservesContentsAcrossRelocation) {
+  World w(4);  // tiny page cache: relocation spans evictions
+  SuvmVector<uint32_t> v(*w.suvm);
+  const size_t n = 100000;  // ~400 KiB through a 16 KiB cache
+  for (uint32_t i = 0; i < n; ++i) {
+    v.PushBack(i ^ 0xa5a5);
+  }
+  EXPECT_GE(v.capacity(), n);
+  for (size_t i = 0; i < n; i += 997) {
+    ASSERT_EQ(v.Get(i), static_cast<uint32_t>(i) ^ 0xa5a5) << i;
+  }
+  EXPECT_GT(w.suvm->stats().evictions.load(), 0u);
+}
+
+TEST(SuvmVector, OutOfRangeThrows) {
+  World w;
+  SuvmVector<int> v(*w.suvm);
+  v.PushBack(1);
+  EXPECT_THROW(v.Get(1), std::out_of_range);
+  EXPECT_THROW(v.Set(5, 0), std::out_of_range);
+  v.PopBack();
+  EXPECT_THROW(v.PopBack(), std::out_of_range);
+}
+
+TEST(SuvmVector, ScanVisitsEverythingInOrder) {
+  World w;
+  SuvmVector<uint64_t> v(*w.suvm);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    v.PushBack(i);
+  }
+  uint64_t expected = 0;
+  uint64_t sum = 0;
+  v.Scan([&](size_t i, uint64_t value) {
+    EXPECT_EQ(value, expected);
+    EXPECT_EQ(i, expected);
+    ++expected;
+    sum += value;
+  });
+  EXPECT_EQ(expected, 5000u);
+  EXPECT_EQ(sum, 4999u * 5000u / 2u);
+}
+
+TEST(SuvmVector, ScanUsesOnePageTableLookupPerPage) {
+  World w(64);
+  SuvmVector<uint64_t> v(*w.suvm);
+  const size_t n = 16384;  // 128 KiB = 32 pages
+  for (uint64_t i = 0; i < n; ++i) {
+    v.PushBack(i);
+  }
+  w.suvm->ResetStats();
+  uint64_t sum = 0;
+  v.Scan([&](size_t, uint64_t value) { sum += value; });
+  const uint64_t lookups = w.suvm->stats().minor_faults.load() +
+                           w.suvm->stats().major_faults.load();
+  EXPECT_LE(lookups, n / 512 + 2) << "one lookup per 4 KiB page, not per element";
+  EXPECT_EQ(sum, (n - 1) * n / 2);
+}
+
+TEST(SuvmVector, TransformMutatesSelectively) {
+  World w;
+  SuvmVector<int> v(*w.suvm);
+  for (int i = 0; i < 1000; ++i) {
+    v.PushBack(i);
+  }
+  v.Transform([](size_t, int* value) {
+    if (*value % 2 == 0) {
+      *value = -*value;
+      return true;
+    }
+    return false;
+  });
+  EXPECT_EQ(v.Get(4), -4);
+  EXPECT_EQ(v.Get(5), 5);
+}
+
+TEST(SuvmVector, ReserveAvoidsRelocations) {
+  World w;
+  SuvmVector<uint64_t> v(*w.suvm);
+  v.Reserve(10000);
+  const size_t cap = v.capacity();
+  for (uint64_t i = 0; i < 10000; ++i) {
+    v.PushBack(i);
+  }
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(SuvmVector, MoveTransfersOwnership) {
+  World w;
+  SuvmVector<int> a(*w.suvm);
+  a.PushBack(7);
+  SuvmVector<int> b(std::move(a));
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.Get(0), 7);
+}
+
+TEST(SuvmVector, ClearKeepsCapacity) {
+  World w;
+  SuvmVector<int> v(*w.suvm);
+  for (int i = 0; i < 100; ++i) {
+    v.PushBack(i);
+  }
+  const size_t cap = v.capacity();
+  v.Clear();
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), cap);
+  v.PushBack(42);
+  EXPECT_EQ(v.Get(0), 42);
+}
+
+}  // namespace
+}  // namespace eleos::suvm

@@ -1,0 +1,63 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/tlb_model.h"
+
+namespace eleos::sim {
+namespace {
+
+TEST(TlbModel, HitAfterInsert) {
+  TlbModel tlb(64, 4);
+  EXPECT_FALSE(tlb.Access(5));
+  EXPECT_TRUE(tlb.Access(5));
+  EXPECT_EQ(tlb.hits(), 1u);
+  EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(TlbModel, FlushAllInvalidatesEverything) {
+  TlbModel tlb(64, 4);
+  for (uint64_t p = 0; p < 32; ++p) {
+    tlb.Access(p);
+  }
+  tlb.FlushAll();
+  EXPECT_EQ(tlb.flushes(), 1u);
+  for (uint64_t p = 0; p < 32; ++p) {
+    EXPECT_FALSE(tlb.Access(p)) << p;
+  }
+}
+
+TEST(TlbModel, SinglePageInvalidate) {
+  TlbModel tlb(64, 4);
+  tlb.Access(10);
+  tlb.Access(11);
+  tlb.Invalidate(10);
+  EXPECT_FALSE(tlb.Access(10));
+  EXPECT_TRUE(tlb.Access(11));
+}
+
+TEST(TlbModel, CapacityEvictionLru) {
+  TlbModel tlb(16, 4);  // 4 sets x 4 ways
+  // Fill one set (pages congruent mod 4) beyond its associativity.
+  for (uint64_t i = 0; i < 5; ++i) {
+    tlb.Access(i * 4);
+  }
+  // The least recently used page (0) must be gone; the most recent survive.
+  EXPECT_FALSE(tlb.Access(0));
+  EXPECT_TRUE(tlb.Access(16));
+}
+
+TEST(TlbModel, WorkingSetWithinCapacityAllHits) {
+  TlbModel tlb(1536, 12);
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t p = 0; p < 1000; ++p) {
+      tlb.Access(p);
+    }
+  }
+  // Rounds 2 and 3 should be hit-only.
+  EXPECT_EQ(tlb.misses(), 1000u);
+  EXPECT_EQ(tlb.hits(), 2000u);
+}
+
+}  // namespace
+}  // namespace eleos::sim
