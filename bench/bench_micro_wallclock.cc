@@ -145,8 +145,8 @@ void BM_RpcQueueRoundTrip(benchmark::State& state) {
   auto fn = +[](void* arg) { ++*static_cast<uint64_t*>(arg); };
   uint64_t counter = 0;
   for (auto _ : state) {
-    const size_t slot = queue.Submit(fn, &counter);
-    queue.AwaitAndRelease(slot);
+    const rpc::JobTicket ticket = queue.Submit(fn, &counter);
+    queue.AwaitAndRelease(ticket);
   }
   benchmark::DoNotOptimize(counter);
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification.
+#
+# 1. Full build + the whole test suite (the seed's tier-1 gate).
+# 2. A ThreadSanitizer build (-DELEOS_SANITIZE=thread) re-running the
+#    concurrency-sensitive suites: the lock-free job queue / worker pool /
+#    watchdog, SUVM's striped paging locks, and the fault-injection paths
+#    that deliberately race workers against submitter timeouts.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+TSAN_TESTS='^(rpc_test|rpc_stress_test|suvm_test|suvm_property_test|fault_injection_test)$'
+cmake -B build-tsan -S . -DELEOS_SANITIZE=thread
+cmake --build build-tsan -j --target \
+  rpc_test rpc_stress_test suvm_test suvm_property_test fault_injection_test
+(cd build-tsan && ctest --output-on-failure -R "$TSAN_TESTS")

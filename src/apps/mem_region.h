@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 
 #include "src/baseline/sgx_buffer.h"
 #include "src/sim/enclave.h"
@@ -97,11 +98,17 @@ class SuvmRegion : public MemRegion {
   }
   ~SuvmRegion() override { suvm_->Free(addr_); }
 
+  // Accesses go through SUVM's fault-handler paths: a transient MAC failure
+  // (in-flight tamper) is absorbed by their single retry; persistent
+  // corruption or rollback still surfaces as an exception to the app.
   void Read(sim::CpuContext* cpu, uint64_t off, void* dst, size_t n) override {
     if (direct_) {
       suvm_->ReadDirect(cpu, addr_ + off, dst, n);
     } else {
-      suvm_->Read(cpu, addr_ + off, dst, n);
+      const Status status = suvm_->TryRead(cpu, addr_ + off, dst, n);
+      if (!status.ok()) {
+        throw std::runtime_error(status.message());
+      }
     }
   }
   void Write(sim::CpuContext* cpu, uint64_t off, const void* src,
@@ -109,7 +116,10 @@ class SuvmRegion : public MemRegion {
     if (direct_) {
       suvm_->WriteDirect(cpu, addr_ + off, src, n);
     } else {
-      suvm_->Write(cpu, addr_ + off, src, n);
+      const Status status = suvm_->TryWrite(cpu, addr_ + off, src, n);
+      if (!status.ok()) {
+        throw std::runtime_error(status.message());
+      }
     }
   }
   size_t size() const override { return bytes_; }

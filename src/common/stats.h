@@ -6,12 +6,30 @@
 #define ELEOS_SRC_COMMON_STATS_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
 namespace eleos {
+
+// Monotonic event counter, safe to bump from enclave threads and untrusted
+// workers concurrently. Used for fault/fallback accounting where the readers
+// (tests, benches) only need eventual totals.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
 
 // Online mean/variance accumulator (Welford).
 class RunningStat {

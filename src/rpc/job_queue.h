@@ -9,76 +9,160 @@
 // A slot carries a plain function pointer + argument pointer, mirroring the
 // real system where the enclave enqueues "the pointer to the untrusted
 // function and its parameters".
+//
+// Hostile-host hardening: the workers are untrusted, so a worker may stall
+// forever, die holding a claimed slot, or never publish a completion. Every
+// slot therefore carries a generation counter (bumped each time the slot is
+// released back to kEmpty) and all worker-side transitions are
+// generation-checked: a late Complete() from a stalled worker can never mark
+// a recycled slot done. Submitters use bounded spin budgets; on timeout a
+// never-claimed job is revoked (it will never run) and an in-flight job is
+// abandoned (the worker recycles the slot when it eventually completes).
 
 #ifndef ELEOS_SRC_RPC_JOB_QUEUE_H_
 #define ELEOS_SRC_RPC_JOB_QUEUE_H_
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "src/common/spinlock.h"
+#include "src/common/stats.h"
+#include "src/sim/fault_injector.h"
 
 namespace eleos::rpc {
 
 using UntrustedFn = void (*)(void* arg);
 
+// Effectively-unbounded spin budget for callers that want the legacy
+// wait-forever behaviour.
+inline constexpr uint64_t kUnboundedSpins = UINT64_MAX;
+
 enum class SlotState : uint32_t {
-  kEmpty = 0,    // free for a submitter to claim
-  kReady = 1,    // job published, waiting for a worker
-  kRunning = 2,  // a worker claimed it
-  kDone = 3,     // result available; submitter must release back to kEmpty
+  kEmpty = 0,      // free for a submitter to claim
+  kFilling = 1,    // transiently held by a submitter (publish or revoke)
+  kReady = 2,      // job published, waiting for a worker
+  kRunning = 3,    // a worker claimed it
+  kDone = 4,       // result available; submitter must release back to kEmpty
+  kAbandoned = 5,  // submitter timed out while a worker held the claim
 };
 
 struct alignas(64) JobSlot {  // one cache line per slot: no false sharing
   std::atomic<SlotState> state{SlotState::kEmpty};
+  std::atomic<uint64_t> gen{0};  // bumped on every release back to kEmpty
   UntrustedFn fn = nullptr;
   void* arg = nullptr;
 };
 
+// A submitted (or claimed) job: the slot index plus the generation the slot
+// had at publish time. All releases and completions are checked against it.
+struct JobTicket {
+  size_t slot = 0;
+  uint64_t gen = 0;
+};
+
 class JobQueue {
  public:
-  explicit JobQueue(size_t capacity = 64) : slots_(capacity) {}
+  enum class WaitResult {
+    kCompleted,  // job ran; slot released
+    kRevoked,    // timed out before any worker claimed it; job will never run
+    kAbandoned,  // timed out while a worker held it; job may still run late
+  };
+
+  explicit JobQueue(size_t capacity = 64, sim::FaultInjector* faults = nullptr)
+      : slots_(capacity), faults_(faults) {}
 
   JobQueue(const JobQueue&) = delete;
   JobQueue& operator=(const JobQueue&) = delete;
 
-  // Submitter side: claims an empty slot, publishes the job, returns the slot
-  // index. Spins if the queue is momentarily full.
-  size_t Submit(UntrustedFn fn, void* arg) {
-    for (;;) {
-      for (size_t i = 0; i < slots_.size(); ++i) {
-        SlotState expected = SlotState::kEmpty;
-        if (slots_[i].state.compare_exchange_strong(expected, SlotState::kRunning,
-                                                    std::memory_order_acquire)) {
-          // Claimed (kRunning used as a transient "being filled" marker so no
-          // worker grabs a half-written slot).
-          slots_[i].fn = fn;
-          slots_[i].arg = arg;
-          slots_[i].state.store(SlotState::kReady, std::memory_order_release);
-          return i;
+  // Submitter side: claims an empty slot and publishes the job. Spins with
+  // exponential backoff (CpuRelax -> yield) while the queue is full; gives up
+  // after `spin_budget` backoff rounds and returns false.
+  bool TrySubmit(UntrustedFn fn, void* arg, JobTicket* ticket,
+                 uint64_t spin_budget) {
+    for (uint64_t spins = 0;; ++spins) {
+      const bool injected_full =
+          faults_ != nullptr && faults_->ShouldInject(sim::Fault::kQueueFull);
+      if (!injected_full) {
+        for (size_t i = 0; i < slots_.size(); ++i) {
+          SlotState expected = SlotState::kEmpty;
+          if (slots_[i].state.compare_exchange_strong(
+                  expected, SlotState::kFilling, std::memory_order_acquire)) {
+            slots_[i].fn = fn;
+            slots_[i].arg = arg;
+            ticket->slot = i;
+            ticket->gen = slots_[i].gen.load(std::memory_order_relaxed);
+            slots_[i].state.store(SlotState::kReady, std::memory_order_release);
+            return true;
+          }
         }
       }
-      CpuRelax();
+      // Queue full: make the backpressure observable, then back off.
+      queue_full_spins_.Inc();
+      if (spins >= spin_budget) {
+        return false;
+      }
+      Backoff(spins);
     }
+  }
+
+  // Legacy unbounded submit.
+  JobTicket Submit(UntrustedFn fn, void* arg) {
+    JobTicket ticket;
+    TrySubmit(fn, arg, &ticket, kUnboundedSpins);
+    return ticket;
   }
 
   // Submitter side: spin until the job completes, then release the slot.
-  void AwaitAndRelease(size_t slot) {
-    while (slots_[slot].state.load(std::memory_order_acquire) != SlotState::kDone) {
+  // Gives up after `spin_budget` spins: a still-unclaimed job is revoked
+  // (guaranteed never to run), an in-flight job is abandoned (the worker's
+  // eventual generation-checked Complete recycles the slot).
+  WaitResult AwaitAndRelease(JobTicket ticket, uint64_t spin_budget) {
+    JobSlot& s = slots_[ticket.slot];
+    for (uint64_t spins = 0; spins <= spin_budget; ++spins) {
+      if (s.state.load(std::memory_order_acquire) == SlotState::kDone) {
+        Release(s);
+        return WaitResult::kCompleted;
+      }
       CpuRelax();
     }
-    slots_[slot].state.store(SlotState::kEmpty, std::memory_order_release);
+    // Timed out. Try to revoke before any worker claims it.
+    SlotState expected = SlotState::kReady;
+    if (s.state.compare_exchange_strong(expected, SlotState::kFilling,
+                                        std::memory_order_acquire)) {
+      Release(s);
+      return WaitResult::kRevoked;
+    }
+    // A worker holds the claim (or just finished). Try to abandon.
+    expected = SlotState::kRunning;
+    if (s.state.compare_exchange_strong(expected, SlotState::kAbandoned,
+                                        std::memory_order_acq_rel)) {
+      abandoned_slots_.Inc();
+      return WaitResult::kAbandoned;
+    }
+    // Lost both races: the worker published kDone in between. Take it.
+    while (s.state.load(std::memory_order_acquire) != SlotState::kDone) {
+      CpuRelax();
+    }
+    Release(s);
+    return WaitResult::kCompleted;
+  }
+
+  void AwaitAndRelease(JobTicket ticket) {
+    AwaitAndRelease(ticket, kUnboundedSpins);
   }
 
   // Worker side: claims one ready job, or returns false. On true, the worker
-  // must call Complete(slot) after running the job.
-  bool TryClaim(size_t* slot_out, UntrustedFn* fn_out, void** arg_out) {
+  // must call Complete(ticket) after running the job.
+  bool TryClaim(JobTicket* ticket, UntrustedFn* fn_out, void** arg_out) {
     for (size_t i = 0; i < slots_.size(); ++i) {
       SlotState expected = SlotState::kReady;
       if (slots_[i].state.compare_exchange_strong(expected, SlotState::kRunning,
                                                   std::memory_order_acquire)) {
-        *slot_out = i;
+        ticket->slot = i;
+        // Stable while we hold the claim: gen only moves on release-to-empty.
+        ticket->gen = slots_[i].gen.load(std::memory_order_relaxed);
         *fn_out = slots_[i].fn;
         *arg_out = slots_[i].arg;
         return true;
@@ -87,14 +171,57 @@ class JobQueue {
     return false;
   }
 
-  void Complete(size_t slot) {
-    slots_[slot].state.store(SlotState::kDone, std::memory_order_release);
+  // Worker side: publishes completion. Generation-checked — a completion for
+  // a slot that has since been abandoned-and-recycled is dropped, and a
+  // completion for an abandoned (but not yet recycled) slot recycles it.
+  void Complete(JobTicket ticket) {
+    JobSlot& s = slots_[ticket.slot];
+    if (s.gen.load(std::memory_order_acquire) != ticket.gen) {
+      late_completions_.Inc();  // stale: the slot moved on without us
+      return;
+    }
+    SlotState expected = SlotState::kRunning;
+    if (s.state.compare_exchange_strong(expected, SlotState::kDone,
+                                        std::memory_order_release)) {
+      return;
+    }
+    if (expected == SlotState::kAbandoned) {
+      // The submitter gave up on us; recycle the slot ourselves.
+      late_completions_.Inc();
+      Release(s);
+    }
   }
 
   size_t capacity() const { return slots_.size(); }
 
+  // Observability for the hardening paths.
+  uint64_t queue_full_spins() const { return queue_full_spins_.value(); }
+  uint64_t late_completions() const { return late_completions_.value(); }
+  uint64_t abandoned_slots() const { return abandoned_slots_.value(); }
+
  private:
+  void Release(JobSlot& s) {
+    // Bump the generation before reopening the slot so any in-flight stale
+    // Complete() fails its generation check.
+    s.gen.fetch_add(1, std::memory_order_release);
+    s.state.store(SlotState::kEmpty, std::memory_order_release);
+  }
+
+  static void Backoff(uint64_t round) {
+    if (round < 10) {
+      for (uint64_t i = 0; i < (1ull << round); ++i) {
+        CpuRelax();
+      }
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
   std::vector<JobSlot> slots_;
+  sim::FaultInjector* faults_;
+  Counter queue_full_spins_;
+  Counter late_completions_;
+  Counter abandoned_slots_;
 };
 
 }  // namespace eleos::rpc

@@ -5,13 +5,18 @@
 namespace eleos::rpc {
 
 RpcManager::RpcManager(sim::Enclave& enclave, Options options)
-    : enclave_(&enclave), mode_(options.mode), use_cat_(options.use_cat) {
+    : enclave_(&enclave),
+      mode_(options.mode),
+      use_cat_(options.use_cat),
+      submit_spin_budget_(options.submit_spin_budget),
+      await_spin_budget_(options.await_spin_budget) {
   if (use_cat_) {
     enclave_->machine().llc().EnablePartitioning(0.75);
   }
   if (mode_ == Mode::kThreaded) {
-    queue_ = std::make_unique<JobQueue>(options.queue_capacity);
-    pool_ = std::make_unique<WorkerPool>(*queue_, options.workers);
+    sim::FaultInjector* faults = &enclave_->machine().fault_injector();
+    queue_ = std::make_unique<JobQueue>(options.queue_capacity, faults);
+    pool_ = std::make_unique<WorkerPool>(*queue_, options.workers, faults);
   }
 }
 
@@ -23,7 +28,7 @@ RpcManager::~RpcManager() {
 }
 
 void RpcManager::ChargeSubmit(sim::CpuContext* cpu, size_t io_bytes) {
-  ++calls_;
+  calls_.Inc();
   if (cpu == nullptr) {
     return;  // functional-only call: no accounting (keeps models single-writer)
   }
@@ -37,6 +42,15 @@ void RpcManager::ChargeSubmit(sim::CpuContext* cpu, size_t io_bytes) {
   // worker's CAT partition when partitioning is on.
   const int worker_cos = use_cat_ ? sim::kCosRpcWorker : sim::kCosShared;
   m.PolluteCache(io_bytes + c.syscall_kernel_footprint, worker_cos);
+}
+
+void RpcManager::CountFallback(bool submit_side) {
+  fallback_ocalls_.Inc();
+  if (submit_side) {
+    submit_timeouts_.Inc();
+  } else {
+    await_timeouts_.Inc();
+  }
 }
 
 }  // namespace eleos::rpc

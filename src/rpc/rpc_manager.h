@@ -13,13 +13,26 @@
 //    worker thread and the caller spin-polls — the genuine mechanism.
 //  * kInline: the job runs on the calling thread. Identical virtual-cycle
 //    accounting, fully deterministic; the mode the benchmark harnesses use.
+//
+// Hostile-host hardening (threaded mode): the workers and the queue are
+// untrusted, so the enclave must never trust them for liveness. Submission
+// and completion waits carry bounded spin budgets; on timeout the call falls
+// back to the classic OCALL path — charging the real exit costs, so the
+// degradation is visible in benchmarks — and the job context is heap-
+// allocated and reference-counted so a worker that completes (or runs) late
+// touches only memory that is still alive. Note the at-least-once caveat: an
+// abandoned-but-claimed job may still execute on the worker after the
+// fallback OCALL ran it, exactly as in real switchless-call systems; callers
+// routing non-idempotent operations should use CallLong.
 
 #ifndef ELEOS_SRC_RPC_RPC_MANAGER_H_
 #define ELEOS_SRC_RPC_RPC_MANAGER_H_
 
 #include <memory>
+#include <type_traits>
 #include <utility>
 
+#include "src/common/stats.h"
 #include "src/rpc/job_queue.h"
 #include "src/rpc/worker_pool.h"
 #include "src/sim/enclave.h"
@@ -35,6 +48,13 @@ class RpcManager {
     bool use_cat = true;       // partition the LLC 75% enclave / 25% workers
     size_t workers = 1;        // threaded mode: pool size
     size_t queue_capacity = 64;
+    // Spin budgets before a threaded call gives up on the untrusted side and
+    // falls back to the OCALL path. The defaults are far beyond any healthy
+    // completion latency (hundreds of ms of wall-clock spinning) so benign
+    // runs never fall back, while a dead/stalled worker cannot wedge the
+    // enclave forever. Fault tests shrink them to exercise the fallback.
+    uint64_t submit_spin_budget = 1ull << 26;
+    uint64_t await_spin_budget = 1ull << 28;
   };
 
   RpcManager(sim::Enclave& enclave, Options options);
@@ -49,7 +69,7 @@ class RpcManager {
   std::invoke_result_t<Fn> Call(sim::CpuContext* cpu, size_t io_bytes, Fn&& fn) {
     ChargeSubmit(cpu, io_bytes);
     if (mode_ == Mode::kThreaded) {
-      return DispatchThreaded(std::forward<Fn>(fn));
+      return DispatchThreaded(cpu, io_bytes, std::forward<Fn>(fn));
     }
     return std::forward<Fn>(fn)();
   }
@@ -69,40 +89,116 @@ class RpcManager {
     return use_cat_ ? sim::kCosRpcWorker : sim::kCosShared;
   }
 
-  uint64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  uint64_t calls() const { return calls_.value(); }
   sim::Enclave& enclave() { return *enclave_; }
 
+  // Hostile-host observability (threaded mode; all zero in healthy runs).
+  uint64_t fallback_ocalls() const { return fallback_ocalls_.value(); }
+  uint64_t submit_timeouts() const { return submit_timeouts_.value(); }
+  uint64_t await_timeouts() const { return await_timeouts_.value(); }
+  JobQueue* queue() { return queue_.get(); }
+  WorkerPool* pool() { return pool_.get(); }
+
  private:
+  // Type-erased, reference-counted job context. Two owners: the submitting
+  // enclave thread and the (potential) worker execution. Whoever drops the
+  // last reference frees it, so a worker running an abandoned job after the
+  // caller moved on never touches dead stack frames.
+  struct JobBase {
+    std::atomic<int> refs{2};
+    virtual void Run() = 0;
+    virtual ~JobBase() = default;
+    void Unref() {
+      if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        delete this;
+      }
+    }
+  };
+
+  template <typename F, typename R>
+  struct JobImpl : JobBase {
+    F fn;
+    R result{};
+    explicit JobImpl(F f) : fn(std::move(f)) {}
+    void Run() override { result = fn(); }
+  };
+
+  template <typename F>
+  struct JobImplVoid : JobBase {
+    F fn;
+    explicit JobImplVoid(F f) : fn(std::move(f)) {}
+    void Run() override { fn(); }
+  };
+
+  static void Trampoline(void* arg) {
+    auto* job = static_cast<JobBase*>(arg);
+    job->Run();
+    job->Unref();
+  }
+
   void ChargeSubmit(sim::CpuContext* cpu, size_t io_bytes);
+  void CountFallback(bool submit_side);
 
   template <typename Fn>
-  std::invoke_result_t<Fn> DispatchThreaded(Fn&& fn) {
+  std::invoke_result_t<Fn> DispatchThreaded(sim::CpuContext* cpu,
+                                            size_t io_bytes, Fn&& fn) {
     using R = std::invoke_result_t<Fn>;
-    if constexpr (std::is_void_v<R>) {
-      auto trampoline = [](void* arg) { (*static_cast<Fn*>(arg))(); };
-      const size_t slot = queue_->Submit(trampoline, &fn);
-      queue_->AwaitAndRelease(slot);
-    } else {
-      struct Ctx {
-        Fn* fn;
-        R result;
-      } ctx{&fn, R{}};
-      auto trampoline = [](void* arg) {
-        auto* c = static_cast<Ctx*>(arg);
-        c->result = (*c->fn)();
-      };
-      const size_t slot = queue_->Submit(trampoline, &ctx);
-      queue_->AwaitAndRelease(slot);
-      return ctx.result;
+    using F = std::decay_t<Fn>;
+    constexpr bool kVoid = std::is_void_v<R>;
+    using Job = std::conditional_t<kVoid, JobImplVoid<F>,
+                                   JobImpl<F, std::conditional_t<kVoid, int, R>>>;
+    auto* job = new Job(F(fn));  // copy: `fn` is reused by the fallback path
+    JobTicket ticket;
+    if (!queue_->TrySubmit(&Trampoline, job, &ticket, submit_spin_budget_)) {
+      job->Unref();
+      job->Unref();  // never enqueued: the worker reference dies with ours
+      CountFallback(/*submit_side=*/true);
+      return Fallback(cpu, io_bytes, fn);
     }
+    const JobQueue::WaitResult wait =
+        queue_->AwaitAndRelease(ticket, await_spin_budget_);
+    if (wait == JobQueue::WaitResult::kCompleted) {
+      if constexpr (kVoid) {
+        job->Unref();
+        return;
+      } else {
+        R result = std::move(job->result);
+        job->Unref();
+        return result;
+      }
+    }
+    if (wait == JobQueue::WaitResult::kRevoked) {
+      job->Unref();  // revoked before any claim: the job will never run
+    }
+    job->Unref();
+    CountFallback(/*submit_side=*/false);
+    return Fallback(cpu, io_bytes, fn);
+  }
+
+  // The degraded path: a real OCALL (enclave exit) when the exit-less
+  // machinery is unavailable. Charges genuine exit costs so hostile-host
+  // pressure shows up in the virtual-cycle numbers.
+  template <typename Fn>
+  std::invoke_result_t<Fn> Fallback(sim::CpuContext* cpu, size_t io_bytes,
+                                    Fn& fn) {
+    if (cpu != nullptr && cpu->enclave == enclave_) {
+      return enclave_->Ocall(*cpu, io_bytes, fn);
+    }
+    // Functional-only call (no accounting context): just run it untrusted.
+    return fn();
   }
 
   sim::Enclave* enclave_;
   Mode mode_;
   bool use_cat_;
+  uint64_t submit_spin_budget_;
+  uint64_t await_spin_budget_;
   std::unique_ptr<JobQueue> queue_;
   std::unique_ptr<WorkerPool> pool_;
-  std::atomic<uint64_t> calls_{0};
+  Counter calls_;
+  Counter fallback_ocalls_;
+  Counter submit_timeouts_;
+  Counter await_timeouts_;
 };
 
 }  // namespace eleos::rpc

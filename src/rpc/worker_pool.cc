@@ -2,37 +2,99 @@
 
 #include "src/rpc/worker_pool.h"
 
+#include <chrono>
+
 #include "src/common/spinlock.h"
 
 namespace eleos::rpc {
 
-WorkerPool::WorkerPool(JobQueue& queue, size_t num_workers) : queue_(queue) {
-  threads_.reserve(num_workers);
+WorkerPool::WorkerPool(JobQueue& queue, size_t num_workers,
+                       sim::FaultInjector* faults)
+    : queue_(queue), faults_(faults) {
+  workers_.reserve(num_workers);
   for (size_t i = 0; i < num_workers; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    auto worker = std::make_unique<Worker>();
+    worker->alive.store(true, std::memory_order_release);
+    worker->thread = std::thread([this, w = worker.get()] { WorkerLoop(w); });
+    workers_.push_back(std::move(worker));
   }
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
 }
 
 WorkerPool::~WorkerPool() {
   stop_.store(true, std::memory_order_release);
-  for (auto& t : threads_) {
-    t.join();
+  if (watchdog_.joinable()) {
+    watchdog_.join();  // joins first so it stops replacing threads under us
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) {
+      w->thread.join();
+    }
   }
 }
 
-void WorkerPool::WorkerLoop() {
-  size_t slot;
+size_t WorkerPool::alive_workers() const {
+  size_t n = 0;
+  std::lock_guard guard(respawn_mutex_);
+  for (const auto& w : workers_) {
+    n += w->alive.load(std::memory_order_acquire);
+  }
+  return n;
+}
+
+void WorkerPool::WorkerLoop(Worker* self) {
+  JobTicket ticket;
   UntrustedFn fn;
   void* arg;
   while (!stop_.load(std::memory_order_acquire)) {
-    if (queue_.TryClaim(&slot, &fn, &arg)) {
+    if (faults_ != nullptr && faults_->ShouldInject(sim::Fault::kWorkerDeath)) {
+      worker_deaths_.Inc();
+      break;  // the host silently killed this worker
+    }
+    if (queue_.TryClaim(&ticket, &fn, &arg)) {
+      if (faults_ != nullptr &&
+          faults_->ShouldInject(sim::Fault::kWorkerStall)) {
+        // Preempted (or maliciously delayed) while holding the claim. The
+        // submitter's spin budget decides when to abandon us and fall back.
+        const uint64_t spins = faults_->worker_stall_spins();
+        for (uint64_t i = 0;
+             i < spins && !stop_.load(std::memory_order_relaxed); ++i) {
+          CpuRelax();
+        }
+      }
       fn(arg);
-      queue_.Complete(slot);
-      jobs_executed_.fetch_add(1, std::memory_order_relaxed);
+      if (faults_ != nullptr &&
+          faults_->ShouldInject(sim::Fault::kCompletionDrop)) {
+        completions_dropped_.Inc();  // ran, but the completion never lands
+      } else {
+        queue_.Complete(ticket);
+      }
+      jobs_executed_.Inc();
     } else {
       // Be polite on a shared machine: yield instead of hard-spinning. The
       // modeled poll latency is in CostModel, not wall-clock.
       std::this_thread::yield();
+    }
+  }
+  self->alive.store(false, std::memory_order_release);
+}
+
+void WorkerPool::WatchdogLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    for (auto& w : workers_) {
+      if (stop_.load(std::memory_order_acquire)) {
+        return;
+      }
+      if (!w->alive.load(std::memory_order_acquire)) {
+        std::lock_guard guard(respawn_mutex_);
+        if (w->thread.joinable()) {
+          w->thread.join();
+        }
+        w->alive.store(true, std::memory_order_release);
+        w->thread = std::thread([this, worker = w.get()] { WorkerLoop(worker); });
+        worker_respawns_.Inc();
+      }
     }
   }
 }

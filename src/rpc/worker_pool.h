@@ -7,36 +7,64 @@
 // submitting enclave thread by RpcManager; their LLC pollution is modeled
 // there too) — this keeps the shared simulation models single-writer while
 // the *mechanism* (polling, claiming, completion) is fully real.
+//
+// The workers are untrusted: the host may stall them, kill them, or swallow
+// their completions (driven by sim::FaultInjector). A watchdog thread detects
+// workers that exited outside shutdown and respawns them, so a hostile host
+// can delay service but not permanently shrink the pool.
 
 #ifndef ELEOS_SRC_RPC_WORKER_POOL_H_
 #define ELEOS_SRC_RPC_WORKER_POOL_H_
 
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/common/stats.h"
 #include "src/rpc/job_queue.h"
+#include "src/sim/fault_injector.h"
 
 namespace eleos::rpc {
 
 class WorkerPool {
  public:
-  WorkerPool(JobQueue& queue, size_t num_workers);
+  WorkerPool(JobQueue& queue, size_t num_workers,
+             sim::FaultInjector* faults = nullptr);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
-  size_t size() const { return threads_.size(); }
-  uint64_t jobs_executed() const { return jobs_executed_.load(); }
+  size_t size() const { return workers_.size(); }
+  uint64_t jobs_executed() const { return jobs_executed_.value(); }
+
+  // Hostile-host observability.
+  uint64_t worker_deaths() const { return worker_deaths_.value(); }
+  uint64_t worker_respawns() const { return worker_respawns_.value(); }
+  uint64_t completions_dropped() const { return completions_dropped_.value(); }
+  size_t alive_workers() const;
 
  private:
-  void WorkerLoop();
+  struct Worker {
+    std::thread thread;
+    std::atomic<bool> alive{false};
+  };
+
+  void WorkerLoop(Worker* self);
+  void WatchdogLoop();
 
   JobQueue& queue_;
+  sim::FaultInjector* faults_;
   std::atomic<bool> stop_{false};
-  std::atomic<uint64_t> jobs_executed_{0};
-  std::vector<std::thread> threads_;
+  Counter jobs_executed_;
+  Counter worker_deaths_;
+  Counter worker_respawns_;
+  Counter completions_dropped_;
+  mutable std::mutex respawn_mutex_;  // guards the thread objects, not the loop
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread watchdog_;
 };
 
 }  // namespace eleos::rpc

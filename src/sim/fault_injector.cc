@@ -1,0 +1,71 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include "src/sim/fault_injector.h"
+
+#include <mutex>
+
+namespace eleos::sim {
+
+FaultInjector::FaultInjector(uint64_t seed) : rng_(seed ^ 0xfa017c0de5ull) {}
+
+void FaultInjector::Arm(Fault fault, double probability, uint64_t max_triggers) {
+  Point& p = points_[Index(fault)];
+  std::lock_guard guard(lock_);
+  p.probability = probability;
+  p.triggers_left = max_triggers;
+  p.armed.store(probability > 0.0 && max_triggers > 0,
+                std::memory_order_release);
+}
+
+void FaultInjector::Disarm(Fault fault) {
+  Point& p = points_[Index(fault)];
+  std::lock_guard guard(lock_);
+  p.armed.store(false, std::memory_order_release);
+  p.probability = 0.0;
+  p.triggers_left = 0;
+}
+
+void FaultInjector::DisarmAll() {
+  for (size_t i = 0; i < static_cast<size_t>(Fault::kCount); ++i) {
+    Disarm(static_cast<Fault>(i));
+  }
+}
+
+bool FaultInjector::ShouldInject(Fault fault) {
+  Point& p = points_[Index(fault)];
+  if (!p.armed.load(std::memory_order_relaxed)) {
+    return false;  // fast path: benign host
+  }
+  p.checks.Inc();
+  std::lock_guard guard(lock_);
+  if (p.triggers_left == 0) {
+    p.armed.store(false, std::memory_order_release);
+    return false;
+  }
+  const bool hit = p.probability >= 1.0 || rng_.NextDouble() < p.probability;
+  if (!hit) {
+    return false;
+  }
+  if (--p.triggers_left == 0) {
+    p.armed.store(false, std::memory_order_release);
+  }
+  p.injected.Inc();
+  return true;
+}
+
+uint64_t FaultInjector::total_injected() const {
+  uint64_t total = 0;
+  for (const Point& p : points_) {
+    total += p.injected.value();
+  }
+  return total;
+}
+
+void FaultInjector::ResetCounters() {
+  for (Point& p : points_) {
+    p.checks.Reset();
+    p.injected.Reset();
+  }
+}
+
+}  // namespace eleos::sim

@@ -1,0 +1,113 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Hostile-host fault injection (deterministic, seed-driven).
+//
+// Eleos runs OS services through untrusted memory and untrusted worker
+// threads, so the host can stall or kill workers, drop completions, exert
+// queue-full backpressure, tamper with or roll back backing-store ciphertext,
+// and fail allocations. The FaultInjector is the single switchboard for all
+// of those behaviours: each injection point is armed with a probability and a
+// trigger budget, rolls a dedicated seeded RNG, and counts both checks and
+// injections so tests can assert exactly what fired. Disarmed points cost one
+// relaxed atomic load — the default (nothing armed) leaves every workload
+// byte-identical to a benign host.
+
+#ifndef ELEOS_SRC_SIM_FAULT_INJECTOR_H_
+#define ELEOS_SRC_SIM_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/spinlock.h"
+#include "src/common/stats.h"
+
+namespace eleos::sim {
+
+enum class Fault : size_t {
+  // RPC layer (untrusted workers / shared job queue).
+  kWorkerStall = 0,    // worker pauses mid-job (preempted / malicious delay)
+  kWorkerDeath = 1,    // worker thread silently exits
+  kCompletionDrop = 2, // job runs but its completion is never published
+  kQueueFull = 3,      // submitter sees artificial queue-full backpressure
+  // SUVM / backing store (untrusted ciphertext arena).
+  kCiphertextFlip = 4, // bit-flip in the sealed page before decryption
+  kRollback = 5,       // host replays a stale-but-once-valid sealed page
+  kBackingAllocFail = 6,  // host refuses to grow the backing arena
+  kCount = 7,
+};
+
+inline const char* FaultName(Fault f) {
+  switch (f) {
+    case Fault::kWorkerStall: return "worker_stall";
+    case Fault::kWorkerDeath: return "worker_death";
+    case Fault::kCompletionDrop: return "completion_drop";
+    case Fault::kQueueFull: return "queue_full";
+    case Fault::kCiphertextFlip: return "ciphertext_flip";
+    case Fault::kRollback: return "rollback";
+    case Fault::kBackingAllocFail: return "backing_alloc_fail";
+    case Fault::kCount: break;
+  }
+  return "unknown";
+}
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0xfa17);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Arms `fault` to fire with `probability` per check, at most `max_triggers`
+  // times. probability >= 1.0 fires on every check until the budget runs out.
+  void Arm(Fault fault, double probability, uint64_t max_triggers = UINT64_MAX);
+  void Disarm(Fault fault);
+  void DisarmAll();
+
+  // Rolls the dice at an injection point. Counts the check; on a hit, counts
+  // the injection and consumes one trigger. Thread-safe.
+  bool ShouldInject(Fault fault);
+
+  // Cheap armed-ness probe for code that must do extra bookkeeping (e.g.
+  // stashing stale seals for rollback replay) only while a point is live.
+  bool armed(Fault fault) const {
+    return points_[Index(fault)].armed.load(std::memory_order_relaxed);
+  }
+
+  uint64_t checks(Fault fault) const { return points_[Index(fault)].checks.value(); }
+  uint64_t injected(Fault fault) const {
+    return points_[Index(fault)].injected.value();
+  }
+  uint64_t total_injected() const;
+  void ResetCounters();
+
+  // How long an injected kWorkerStall pauses the worker, in CpuRelax spins
+  // (virtual "cycles" of the polling loop — the worker holds its claimed slot
+  // the whole time, so the submitter's spin budget is what bounds the damage).
+  void set_worker_stall_spins(uint64_t spins) {
+    worker_stall_spins_.store(spins, std::memory_order_relaxed);
+  }
+  uint64_t worker_stall_spins() const {
+    return worker_stall_spins_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static size_t Index(Fault f) { return static_cast<size_t>(f); }
+
+  struct Point {
+    std::atomic<bool> armed{false};
+    double probability = 0.0;          // guarded by lock
+    uint64_t triggers_left = 0;        // guarded by lock
+    Counter checks;
+    Counter injected;
+  };
+
+  Point points_[static_cast<size_t>(Fault::kCount)];
+  std::atomic<uint64_t> worker_stall_spins_{1ull << 22};
+  Spinlock lock_;  // serializes the RNG and arm/disarm state
+  Xoshiro256 rng_;
+};
+
+}  // namespace eleos::sim
+
+#endif  // ELEOS_SRC_SIM_FAULT_INJECTOR_H_

@@ -17,7 +17,8 @@ Machine::Machine(MachineConfig cfg)
     : costs_(cfg.costs),
       llc_(costs_),
       epc_(cfg.epc_frames != 0 ? cfg.epc_frames : costs_.prm_usable_frames),
-      driver_(this) {
+      driver_(this),
+      fault_injector_(cfg.fault_seed) {
   driver_.set_seal_mode(cfg.seal_mode);
   for (size_t i = 0; i < cpus_.size(); ++i) {
     cpus_[i] = std::make_unique<CpuContext>(this, static_cast<int>(i));

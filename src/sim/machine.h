@@ -16,6 +16,7 @@
 #include "src/sim/cache_model.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/epc.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/sgx_driver.h"
 #include "src/sim/vclock.h"
 
@@ -25,6 +26,7 @@ struct MachineConfig {
   CostModel costs{};
   size_t epc_frames = 0;  // 0 => costs.prm_usable_frames
   SgxDriver::SealMode seal_mode = SgxDriver::SealMode::kReal;
+  uint64_t fault_seed = 0xfa17;  // seed for the hostile-host fault injector
 };
 
 class Machine {
@@ -39,6 +41,8 @@ class Machine {
   CacheModel& llc() { return llc_; }
   Epc& epc() { return epc_; }
   SgxDriver& driver() { return driver_; }
+  // Hostile-host fault injection switchboard (disarmed by default).
+  FaultInjector& fault_injector() { return fault_injector_; }
 
   // Simulated hardware threads (created eagerly; addresses are stable).
   CpuContext& cpu(size_t i) { return *cpus_[i]; }
@@ -71,6 +75,7 @@ class Machine {
   CacheModel llc_;
   Epc epc_;
   SgxDriver driver_;
+  FaultInjector fault_injector_;
   std::array<std::unique_ptr<CpuContext>, kMaxCpus> cpus_;
   uint64_t scratch_cursor_ = 0;
 };

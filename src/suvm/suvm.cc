@@ -27,6 +27,7 @@ Suvm::Suvm(sim::Enclave& enclave, SuvmConfig config)
     : enclave_(&enclave),
       config_(config),
       subpages_per_page_(sim::kPageSize / config.subpage_size),
+      faults_(&enclave.machine().fault_injector()),
       store_({.capacity_bytes = config.backing_bytes}),
       cache_(enclave, config.epc_pp_pages),
       sealer_(crypto::DeriveAesKey("suvm-app-key", config.key_seed).data()),
@@ -54,9 +55,34 @@ void Suvm::ResetStats() {
   stats_.clean_drops = 0;
   stats_.direct_reads = 0;
   stats_.direct_writes = 0;
+  stats_.mac_failures = 0;
+  stats_.rollbacks_detected = 0;
+  stats_.retries = 0;
+  stats_.alloc_failures = 0;
 }
 
-uint64_t Suvm::Malloc(size_t bytes) { return store_.Alloc(bytes); }
+void Suvm::ThrowStatus(const Status& status) {
+  throw std::runtime_error(status.message());
+}
+
+uint64_t Suvm::Malloc(size_t bytes) {
+  StatusOr<uint64_t> addr = TryMalloc(bytes);
+  return addr.ok() ? *addr : kInvalidAddr;
+}
+
+StatusOr<uint64_t> Suvm::TryMalloc(size_t bytes) {
+  if (faults_->ShouldInject(sim::Fault::kBackingAllocFail)) {
+    stats_.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "Suvm: host refused the backing-store allocation");
+  }
+  const uint64_t addr = store_.Alloc(bytes);
+  if (addr == kInvalidAddr) {
+    stats_.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted("Suvm: backing-store arena exhausted");
+  }
+  return addr;
+}
 
 void Suvm::Free(uint64_t addr) {
   // Pages overlapped by this allocation may be resident; drop them without
@@ -112,6 +138,15 @@ void Suvm::TouchCryptoMeta(sim::CpuContext* cpu, uint64_t bs_page, bool write) {
 }
 
 int Suvm::PinPage(sim::CpuContext* cpu, uint64_t bs_page) {
+  int slot = -1;
+  const Status status = TryPinPage(cpu, bs_page, &slot);
+  if (!status.ok()) {
+    ThrowStatus(status);
+  }
+  return slot;
+}
+
+Status Suvm::TryPinPage(sim::CpuContext* cpu, uint64_t bs_page, int* slot_out) {
   Stripe& st = StripeFor(bs_page);
 
   // Fast path: resident page (a "minor fault" for an unlinked spointer).
@@ -122,10 +157,10 @@ int Suvm::PinPage(sim::CpuContext* cpu, uint64_t bs_page) {
       ++m.refcount;
       m.ref_bit = true;
       stats_.minor_faults.fetch_add(1, std::memory_order_relaxed);
-      const int slot = m.slot;
+      *slot_out = m.slot;
       // One inverse-page-table lookup (reference-count update).
-      TouchIpt(cpu, slot, /*write=*/true);
-      return slot;
+      TouchIpt(cpu, m.slot, /*write=*/true);
+      return Status::Ok();
     }
   }
 
@@ -137,14 +172,15 @@ int Suvm::PinPage(sim::CpuContext* cpu, uint64_t bs_page) {
     ++m.refcount;
     m.ref_bit = true;
     stats_.minor_faults.fetch_add(1, std::memory_order_relaxed);
+    *slot_out = m.slot;
     TouchIpt(cpu, m.slot, /*write=*/true);
-    return m.slot;
+    return Status::Ok();
   }
 
   int slot = cache_.AllocSlot();
   while (slot < 0) {
     if (!EvictOneLocked(cpu, StripeIndex(bs_page))) {
-      throw std::runtime_error(
+      return Status::ResourceExhausted(
           "Suvm: EPC++ exhausted — every cached page is pinned");
     }
     slot = cache_.AllocSlot();
@@ -154,13 +190,12 @@ int Suvm::PinPage(sim::CpuContext* cpu, uint64_t bs_page) {
   if (cpu != nullptr) {
     cpu->Charge(enclave_->machine().costs().suvm_fault_logic_cycles);
   }
-  try {
-    LoadPage(cpu, bs_page, m, slot);
-  } catch (...) {
+  const Status status = LoadPage(cpu, bs_page, m, slot);
+  if (!status.ok()) {
     // Integrity failure on page-in: return the slot so the cache stays
-    // consistent (the page remains non-resident; the throw propagates).
+    // consistent (the page remains non-resident; retrying is safe).
     cache_.FreeSlot(slot);
-    throw;
+    return status;
   }
   m.slot = slot;
   m.refcount = 1;
@@ -169,7 +204,19 @@ int Suvm::PinPage(sim::CpuContext* cpu, uint64_t bs_page) {
   slot_to_page_[static_cast<size_t>(slot)] = bs_page;
   TouchIpt(cpu, slot, /*write=*/true);
   TouchCryptoMeta(cpu, bs_page, /*write=*/false);
-  return slot;
+  *slot_out = slot;
+  return Status::Ok();
+}
+
+Status Suvm::PinPageWithRetry(sim::CpuContext* cpu, uint64_t bs_page,
+                              int* slot_out) {
+  Status status = TryPinPage(cpu, bs_page, slot_out);
+  if (status.ok() || status.code() != StatusCode::kDataCorruption) {
+    return status;
+  }
+  // The MAC failure may stem from an in-flight tamper; one clean retry.
+  stats_.retries.fetch_add(1, std::memory_order_relaxed);
+  return TryPinPage(cpu, bs_page, slot_out);
 }
 
 void Suvm::UnpinPage(uint64_t bs_page, int slot, bool dirty) {
@@ -258,7 +305,8 @@ bool Suvm::EvictOneLocked(sim::CpuContext* cpu, size_t held_stripe) {
   return false;
 }
 
-void Suvm::LoadPage(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m, int slot) {
+Status Suvm::LoadPage(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m,
+                      int slot) {
   sim::Machine& machine = enclave_->machine();
   const uint64_t vaddr = cache_.SlotVaddr(slot);
   uint8_t* dst = machine.driver().Touch(cpu, *enclave_, vaddr / sim::kPageSize,
@@ -272,15 +320,28 @@ void Suvm::LoadPage(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m, int slo
     for (size_t s = 0; s < subpages_per_page_; ++s) {
       uint8_t* sub_dst = dst + s * sub_size;
       if (m.subs != nullptr && m.subs[s].has_data) {
-        const uint8_t* ct = store_.Raw(arena_off + s * sub_size);
+        uint8_t* ct = store_.Raw(arena_off + s * sub_size);
         if (config_.fast_seal) {
           std::memcpy(sub_dst, ct, sub_size);
         } else {
           SubAad aad{bs_page, s};
-          if (!sealer_.Open(m.subs[s].nonce,
-                            reinterpret_cast<const uint8_t*>(&aad), sizeof(aad),
-                            ct, sub_size, m.subs[s].tag, sub_dst)) {
-            throw std::runtime_error("Suvm: sub-page integrity check failed");
+          // The host may tamper with the ciphertext while it is in flight;
+          // the flip is undone after Open so a retry can observe clean bytes.
+          const bool flipped =
+              faults_->ShouldInject(sim::Fault::kCiphertextFlip);
+          if (flipped) {
+            ct[0] ^= 0x01;
+          }
+          const bool ok = sealer_.Open(
+              m.subs[s].nonce, reinterpret_cast<const uint8_t*>(&aad),
+              sizeof(aad), ct, sub_size, m.subs[s].tag, sub_dst);
+          if (flipped) {
+            ct[0] ^= 0x01;
+          }
+          if (!ok) {
+            stats_.mac_failures.fetch_add(1, std::memory_order_relaxed);
+            return Status::DataCorruption(
+                "Suvm: sub-page integrity check failed");
           }
         }
         enclave_->ChargeGcm(cpu, sub_size);
@@ -290,27 +351,70 @@ void Suvm::LoadPage(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m, int slo
         std::memset(sub_dst, 0, sub_size);
       }
     }
-    return;
+    return Status::Ok();
   }
 
   if (m.has_data) {
-    const uint8_t* ct = store_.Raw(arena_off);
-    if (config_.fast_seal) {
-      std::memcpy(dst, ct, sim::kPageSize);
-    } else {
-      PageAad aad{bs_page};
-      if (!sealer_.Open(m.nonce, reinterpret_cast<const uint8_t*>(&aad),
-                        sizeof(aad), ct, sim::kPageSize, m.tag, dst)) {
-        throw std::runtime_error(
-            "Suvm: page integrity check failed (tampered backing store?)");
+    return OpenPageCiphertext(cpu, bs_page, m, dst);
+  }
+  std::memset(dst, 0, sim::kPageSize);
+  return Status::Ok();
+}
+
+Status Suvm::OpenPageCiphertext(sim::CpuContext* cpu, uint64_t bs_page,
+                                PageMeta& m, uint8_t* dst) {
+  sim::Machine& machine = enclave_->machine();
+  uint8_t* ct = store_.Raw(bs_page * sim::kPageSize);
+  if (config_.fast_seal) {
+    std::memcpy(dst, ct, sim::kPageSize);
+  } else {
+    PageAad aad{bs_page};
+    // Hostile-host window: the host may serve a stale seal (rollback/replay)
+    // or flip ciphertext bits for this read. Both tampers are transient —
+    // undone after Open — modeling in-flight modification; persistence is
+    // modeled by arming the fault with more triggers.
+    bool rolled_back = false;
+    std::vector<uint8_t> fresh;
+    if (faults_->armed(sim::Fault::kRollback)) {
+      std::lock_guard sg(stale_lock_);
+      auto it = stale_seals_.find(bs_page);
+      if (it != stale_seals_.end() &&
+          faults_->ShouldInject(sim::Fault::kRollback)) {
+        fresh.assign(ct, ct + sim::kPageSize);
+        std::memcpy(ct, it->second.data(), sim::kPageSize);
+        rolled_back = true;
       }
     }
-    enclave_->ChargeGcm(cpu, sim::kPageSize);
-    machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sim::kPageSize,
-                         /*write=*/false, sim::MemKind::kUntrusted);
-  } else {
-    std::memset(dst, 0, sim::kPageSize);
+    bool flipped = false;
+    if (!rolled_back && faults_->ShouldInject(sim::Fault::kCiphertextFlip)) {
+      ct[0] ^= 0x01;
+      flipped = true;
+    }
+    const bool ok = sealer_.Open(m.nonce, reinterpret_cast<const uint8_t*>(&aad),
+                                 sizeof(aad), ct, sim::kPageSize, m.tag, dst);
+    if (flipped) {
+      ct[0] ^= 0x01;
+    }
+    if (rolled_back) {
+      std::memcpy(ct, fresh.data(), sim::kPageSize);
+    }
+    if (!ok) {
+      stats_.mac_failures.fetch_add(1, std::memory_order_relaxed);
+      if (rolled_back) {
+        // The enclave-held nonce/tag bind this address to the *newest* seal,
+        // so a replayed older seal necessarily fails the MAC — that failure
+        // IS the freshness guarantee. The injector's ground truth lets the
+        // simulator classify it separately from plain corruption.
+        stats_.rollbacks_detected.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::DataCorruption(
+          "Suvm: page integrity check failed (tampered backing store?)");
+    }
   }
+  enclave_->ChargeGcm(cpu, sim::kPageSize);
+  machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sim::kPageSize,
+                       /*write=*/false, sim::MemKind::kUntrusted);
+  return Status::Ok();
 }
 
 void Suvm::SealResident(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m) {
@@ -346,6 +450,13 @@ void Suvm::SealResident(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m) {
   }
 
   uint8_t* ct = store_.Raw(arena_off);
+  if (!config_.fast_seal && m.has_data &&
+      faults_->armed(sim::Fault::kRollback)) {
+    // A hostile host squirrels away the outgoing (still valid) seal so it can
+    // replay it at the next page-in. Only bought while the fault is armed.
+    std::lock_guard sg(stale_lock_);
+    stale_seals_[bs_page].assign(ct, ct + sim::kPageSize);
+  }
   if (config_.fast_seal) {
     std::memcpy(ct, src, sim::kPageSize);
   } else {
@@ -400,6 +511,49 @@ void Suvm::Write(sim::CpuContext* cpu, uint64_t addr, const void* src, size_t le
   }
 }
 
+Status Suvm::TryRead(sim::CpuContext* cpu, uint64_t addr, void* dst, size_t len) {
+  auto* out = static_cast<uint8_t*>(dst);
+  while (len > 0) {
+    const uint64_t page = addr / sim::kPageSize;
+    const size_t off = addr % sim::kPageSize;
+    const size_t chunk = std::min(len, sim::kPageSize - off);
+    int slot = -1;
+    const Status status = PinPageWithRetry(cpu, page, &slot);
+    if (!status.ok()) {
+      return status;
+    }
+    const uint8_t* data = SlotData(cpu, slot, off, chunk, /*write=*/false);
+    std::memcpy(out, data, chunk);
+    UnpinPage(page, slot, /*dirty=*/false);
+    out += chunk;
+    addr += chunk;
+    len -= chunk;
+  }
+  return Status::Ok();
+}
+
+Status Suvm::TryWrite(sim::CpuContext* cpu, uint64_t addr, const void* src,
+                      size_t len) {
+  const auto* in = static_cast<const uint8_t*>(src);
+  while (len > 0) {
+    const uint64_t page = addr / sim::kPageSize;
+    const size_t off = addr % sim::kPageSize;
+    const size_t chunk = std::min(len, sim::kPageSize - off);
+    int slot = -1;
+    const Status status = PinPageWithRetry(cpu, page, &slot);
+    if (!status.ok()) {
+      return status;
+    }
+    uint8_t* data = SlotData(cpu, slot, off, chunk, /*write=*/true);
+    std::memcpy(data, in, chunk);
+    UnpinPage(page, slot, /*dirty=*/true);
+    in += chunk;
+    addr += chunk;
+    len -= chunk;
+  }
+  return Status::Ok();
+}
+
 void Suvm::Memset(sim::CpuContext* cpu, uint64_t addr, uint8_t value, size_t len) {
   while (len > 0) {
     const uint64_t page = addr / sim::kPageSize;
@@ -450,6 +604,28 @@ void Suvm::ReadDirect(sim::CpuContext* cpu, uint64_t addr, void* dst, size_t len
   if (!config_.direct_mode) {
     throw std::logic_error("Suvm::ReadDirect requires direct_mode");
   }
+  const Status status = TryReadDirect(cpu, addr, dst, len);
+  if (!status.ok()) {
+    ThrowStatus(status);
+  }
+}
+
+void Suvm::WriteDirect(sim::CpuContext* cpu, uint64_t addr, const void* src,
+                       size_t len) {
+  if (!config_.direct_mode) {
+    throw std::logic_error("Suvm::WriteDirect requires direct_mode");
+  }
+  const Status status = TryWriteDirect(cpu, addr, src, len);
+  if (!status.ok()) {
+    ThrowStatus(status);
+  }
+}
+
+Status Suvm::TryReadDirect(sim::CpuContext* cpu, uint64_t addr, void* dst,
+                           size_t len) {
+  if (!config_.direct_mode) {
+    return Status::FailedPrecondition("Suvm::ReadDirect requires direct_mode");
+  }
   auto* out = static_cast<uint8_t*>(dst);
   const size_t sub_size = config_.subpage_size;
   while (len > 0) {
@@ -471,18 +647,26 @@ void Suvm::ReadDirect(sim::CpuContext* cpu, uint64_t addr, void* dst, size_t len
       const uint8_t* data = SlotData(cpu, m.slot, page_off, chunk, false);
       std::memcpy(out, data, chunk);
     } else {
-      DirectSubRead(cpu, m, page, sub, sub_off, out, chunk);
+      Status status = DirectSubRead(cpu, m, page, sub, sub_off, out, chunk);
+      if (status.code() == StatusCode::kDataCorruption) {
+        stats_.retries.fetch_add(1, std::memory_order_relaxed);
+        status = DirectSubRead(cpu, m, page, sub, sub_off, out, chunk);
+      }
+      if (!status.ok()) {
+        return status;
+      }
     }
     out += chunk;
     addr += chunk;
     len -= chunk;
   }
+  return Status::Ok();
 }
 
-void Suvm::WriteDirect(sim::CpuContext* cpu, uint64_t addr, const void* src,
-                       size_t len) {
+Status Suvm::TryWriteDirect(sim::CpuContext* cpu, uint64_t addr, const void* src,
+                            size_t len) {
   if (!config_.direct_mode) {
-    throw std::logic_error("Suvm::WriteDirect requires direct_mode");
+    return Status::FailedPrecondition("Suvm::WriteDirect requires direct_mode");
   }
   const auto* in = static_cast<const uint8_t*>(src);
   const size_t sub_size = config_.subpage_size;
@@ -504,42 +688,62 @@ void Suvm::WriteDirect(sim::CpuContext* cpu, uint64_t addr, const void* src,
       uint8_t* data = SlotData(cpu, m.slot, page_off, chunk, true);
       std::memcpy(data, in, chunk);
     } else {
-      DirectSubWrite(cpu, m, page, sub, sub_off, in, chunk);
+      Status status = DirectSubWrite(cpu, m, page, sub, sub_off, in, chunk);
+      if (status.code() == StatusCode::kDataCorruption) {
+        stats_.retries.fetch_add(1, std::memory_order_relaxed);
+        status = DirectSubWrite(cpu, m, page, sub, sub_off, in, chunk);
+      }
+      if (!status.ok()) {
+        return status;
+      }
     }
     in += chunk;
     addr += chunk;
     len -= chunk;
   }
+  return Status::Ok();
 }
 
-void Suvm::DirectSubRead(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
-                         size_t sub, size_t off, uint8_t* dst, size_t len) {
+Status Suvm::DirectSubRead(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
+                           size_t sub, size_t off, uint8_t* dst, size_t len) {
   const size_t sub_size = config_.subpage_size;
   if (m.subs == nullptr || !m.subs[sub].has_data) {
     std::memset(dst, 0, len);  // never-written data reads as zero
-    return;
+    return Status::Ok();
   }
   sim::Machine& machine = enclave_->machine();
   std::vector<uint8_t> plain(sub_size);
-  const uint8_t* ct = store_.Raw(bs_page * sim::kPageSize + sub * sub_size);
+  uint8_t* ct = store_.Raw(bs_page * sim::kPageSize + sub * sub_size);
   if (config_.fast_seal) {
     std::memcpy(plain.data(), ct, sub_size);
   } else {
     SubAad aad{bs_page, sub};
-    if (!sealer_.Open(m.subs[sub].nonce, reinterpret_cast<const uint8_t*>(&aad),
-                      sizeof(aad), ct, sub_size, m.subs[sub].tag,
-                      plain.data())) {
-      throw std::runtime_error("Suvm: sub-page integrity check failed");
+    const bool flipped = faults_->ShouldInject(sim::Fault::kCiphertextFlip);
+    if (flipped) {
+      ct[0] ^= 0x01;
+    }
+    const bool ok = sealer_.Open(m.subs[sub].nonce,
+                                 reinterpret_cast<const uint8_t*>(&aad),
+                                 sizeof(aad), ct, sub_size, m.subs[sub].tag,
+                                 plain.data());
+    if (flipped) {
+      ct[0] ^= 0x01;
+    }
+    if (!ok) {
+      stats_.mac_failures.fetch_add(1, std::memory_order_relaxed);
+      return Status::DataCorruption("Suvm: sub-page integrity check failed");
     }
   }
   enclave_->ChargeGcm(cpu, sub_size);
   machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sub_size,
                        /*write=*/false, sim::MemKind::kUntrusted);
   std::memcpy(dst, plain.data() + off, len);
+  return Status::Ok();
 }
 
-void Suvm::DirectSubWrite(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
-                          size_t sub, size_t off, const uint8_t* src, size_t len) {
+Status Suvm::DirectSubWrite(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
+                            size_t sub, size_t off, const uint8_t* src,
+                            size_t len) {
   const size_t sub_size = config_.subpage_size;
   sim::Machine& machine = enclave_->machine();
   EnsureSubs(m);
@@ -550,10 +754,22 @@ void Suvm::DirectSubWrite(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
     // Read-modify-write of an existing sub-page.
     if (config_.fast_seal) {
       std::memcpy(plain.data(), ct, sub_size);
-    } else if (!sealer_.Open(m.subs[sub].nonce,
-                             reinterpret_cast<const uint8_t*>(&aad), sizeof(aad),
-                             ct, sub_size, m.subs[sub].tag, plain.data())) {
-      throw std::runtime_error("Suvm: sub-page integrity check failed");
+    } else {
+      const bool flipped = faults_->ShouldInject(sim::Fault::kCiphertextFlip);
+      if (flipped) {
+        ct[0] ^= 0x01;
+      }
+      const bool ok = sealer_.Open(m.subs[sub].nonce,
+                                   reinterpret_cast<const uint8_t*>(&aad),
+                                   sizeof(aad), ct, sub_size, m.subs[sub].tag,
+                                   plain.data());
+      if (flipped) {
+        ct[0] ^= 0x01;
+      }
+      if (!ok) {
+        stats_.mac_failures.fetch_add(1, std::memory_order_relaxed);
+        return Status::DataCorruption("Suvm: sub-page integrity check failed");
+      }
     }
     enclave_->ChargeGcm(cpu, sub_size);
     machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sub_size,
@@ -571,6 +787,7 @@ void Suvm::DirectSubWrite(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
   enclave_->ChargeGcm(cpu, sub_size);
   machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sub_size,
                        /*write=*/true, sim::MemKind::kUntrusted);
+  return Status::Ok();
 }
 
 // --- Maintenance ---

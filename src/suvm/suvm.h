@@ -29,8 +29,10 @@
 
 #include "src/common/rng.h"
 #include "src/common/spinlock.h"
+#include "src/common/status.h"
 #include "src/crypto/gcm.h"
 #include "src/sim/enclave.h"
+#include "src/sim/fault_injector.h"
 #include "src/suvm/backing_store.h"
 #include "src/suvm/page_cache.h"
 
@@ -70,12 +72,19 @@ class Suvm {
   // --- Allocation (suvm_malloc / suvm_free) ---
   // Returns a SUVM address (backing-store offset), or kInvalidAddr on OOM.
   uint64_t Malloc(size_t bytes);
+  // Non-throwing variant: kResourceExhausted when the arena is out of space
+  // or the host refuses the allocation (fault injection).
+  StatusOr<uint64_t> TryMalloc(size_t bytes);
   void Free(uint64_t addr);
 
   // --- spointer support ---
   // Pins the page (increments its reference count), paging it in on a major
   // fault; returns the EPC++ slot. Pinned pages cannot be evicted.
   int PinPage(sim::CpuContext* cpu, uint64_t bs_page);
+  // Non-throwing variant: kDataCorruption on a MAC failure (tampered or
+  // rolled-back backing store), kResourceExhausted when every EPC++ page is
+  // pinned. The page stays non-resident on failure; retrying is safe.
+  Status TryPinPage(sim::CpuContext* cpu, uint64_t bs_page, int* slot_out);
   // Releases a pin; `dirty` propagates the spointer's dirty bit to the page.
   void UnpinPage(uint64_t bs_page, int slot, bool dirty);
   // Charged access to a pinned slot's bytes. The pointer is valid until the
@@ -86,6 +95,13 @@ class Suvm {
   // --- Unlinked bulk operations (suvm_memcpy and friends) ---
   void Read(sim::CpuContext* cpu, uint64_t addr, void* dst, size_t len);
   void Write(sim::CpuContext* cpu, uint64_t addr, const void* src, size_t len);
+  // Non-throwing fault-handler paths. Each page-in retries once on a MAC
+  // failure (the tamper may be transient — e.g. an in-flight bit-flip); a
+  // persistent corruption or rollback surfaces as kDataCorruption with the
+  // mac_failures / rollbacks_detected / retries counters incremented.
+  Status TryRead(sim::CpuContext* cpu, uint64_t addr, void* dst, size_t len);
+  Status TryWrite(sim::CpuContext* cpu, uint64_t addr, const void* src,
+                  size_t len);
   void Memset(sim::CpuContext* cpu, uint64_t addr, uint8_t value, size_t len);
   // Copy between two SUVM buffers.
   void Memcpy(sim::CpuContext* cpu, uint64_t dst, uint64_t src, size_t len);
@@ -98,6 +114,10 @@ class Suvm {
   // crypto. Requires direct_mode. Akin to O_DIRECT.
   void ReadDirect(sim::CpuContext* cpu, uint64_t addr, void* dst, size_t len);
   void WriteDirect(sim::CpuContext* cpu, uint64_t addr, const void* src, size_t len);
+  Status TryReadDirect(sim::CpuContext* cpu, uint64_t addr, void* dst,
+                       size_t len);
+  Status TryWriteDirect(sim::CpuContext* cpu, uint64_t addr, const void* src,
+                        size_t len);
 
   // --- Maintenance ---
   // The swapper: keeps the EPC++ free pool at the configured watermark
@@ -117,6 +137,11 @@ class Suvm {
     std::atomic<uint64_t> clean_drops{0};   // write-back skipped (clean page)
     std::atomic<uint64_t> direct_reads{0};
     std::atomic<uint64_t> direct_writes{0};
+    // Hostile-host fault accounting (per enclave).
+    std::atomic<uint64_t> mac_failures{0};        // GCM Open rejected a page
+    std::atomic<uint64_t> rollbacks_detected{0};  // stale-seal replay rejected
+    std::atomic<uint64_t> retries{0};             // page-in retried after a MAC failure
+    std::atomic<uint64_t> alloc_failures{0};      // backing-store Alloc refused
   };
   const Stats& stats() const { return stats_; }
   void ResetStats();
@@ -157,9 +182,18 @@ class Suvm {
   // Paging internals. EvictOneLocked requires paging_lock_ held;
   // `held_stripe` (or SIZE_MAX) names a stripe lock the caller already owns.
   bool EvictOneLocked(sim::CpuContext* cpu, size_t held_stripe);
-  void LoadPage(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m, int slot);
+  Status LoadPage(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m, int slot);
   void SealResident(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m);
   void FillNonce(uint8_t nonce[crypto::kGcmNonceSize]);
+
+  // Single-retry pin used by the Try{Read,Write} fault-handler paths.
+  Status PinPageWithRetry(sim::CpuContext* cpu, uint64_t bs_page, int* slot_out);
+  // Host-side tamper window around a whole-page Open: applies an injected
+  // bit-flip or stale-seal rollback, runs Open, undoes the tamper. Returns
+  // the resulting Status and classifies rollbacks.
+  Status OpenPageCiphertext(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m,
+                            uint8_t* dst);
+  [[noreturn]] static void ThrowStatus(const Status& status);
 
   // Accounting touches on SUVM's own (EPC-resident, natively evictable)
   // metadata tables.
@@ -167,18 +201,25 @@ class Suvm {
   void TouchCryptoMeta(sim::CpuContext* cpu, uint64_t bs_page, bool write);
 
   // Sub-page read-modify-write helpers for the direct path.
-  void DirectSubRead(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
-                     size_t sub, size_t off, uint8_t* dst, size_t len);
-  void DirectSubWrite(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
-                      size_t sub, size_t off, const uint8_t* src, size_t len);
+  Status DirectSubRead(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
+                       size_t sub, size_t off, uint8_t* dst, size_t len);
+  Status DirectSubWrite(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
+                        size_t sub, size_t off, const uint8_t* src, size_t len);
   void EnsureSubs(PageMeta& m);
 
   sim::Enclave* enclave_;
   SuvmConfig config_;
   size_t subpages_per_page_;
+  sim::FaultInjector* faults_;  // the machine's hostile-host switchboard
   BackingStore store_;
   PageCache cache_;
   crypto::AesGcm sealer_;
+
+  // Rollback-replay support: previously valid seals, stashed at reseal time
+  // only while Fault::kRollback is armed (the "hostile host keeps old
+  // ciphertext around" half of a replay attack).
+  Spinlock stale_lock_;
+  std::unordered_map<uint64_t, std::vector<uint8_t>> stale_seals_;
 
   Stripe stripes_[kStripes];
   Spinlock paging_lock_;

@@ -1,0 +1,320 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Hostile-host fault injection against SUVM: ciphertext tampering, stale-seal
+// rollback/replay, allocation refusal — and whole-application workloads that
+// must keep running (or fail cleanly with Status + counters) under injected
+// faults, yet stay byte-identical to the seed when injection is off.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/apps/kvcache.h"
+#include "src/apps/mem_region.h"
+#include "src/apps/param_server.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/machine.h"
+#include "src/suvm/suvm.h"
+
+namespace eleos::suvm {
+namespace {
+
+struct World {
+  explicit World(SuvmConfig cfg = {}) {
+    machine = std::make_unique<sim::Machine>();
+    enclave = std::make_unique<sim::Enclave>(*machine);
+    suvm = std::make_unique<Suvm>(*enclave, cfg);
+  }
+  sim::FaultInjector& faults() { return machine->fault_injector(); }
+  std::unique_ptr<sim::Machine> machine;
+  std::unique_ptr<sim::Enclave> enclave;
+  std::unique_ptr<Suvm> suvm;
+};
+
+SuvmConfig TinyCfg(size_t pp_pages) {
+  SuvmConfig cfg;
+  cfg.epc_pp_pages = pp_pages;
+  cfg.backing_bytes = 4 << 20;
+  cfg.swapper_low_watermark = 0;
+  return cfg;
+}
+
+// Writes a deterministic pattern across `pages` pages and returns it.
+std::vector<uint8_t> FillPages(World& w, uint64_t addr, size_t pages,
+                               uint64_t seed) {
+  std::vector<uint8_t> data(pages * sim::kPageSize);
+  Xoshiro256 rng(seed);
+  rng.FillBytes(data.data(), data.size());
+  w.suvm->Write(nullptr, addr, data.data(), data.size());
+  return data;
+}
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  sim::FaultInjector a(42), b(42);
+  a.Arm(sim::Fault::kCiphertextFlip, 0.37);
+  b.Arm(sim::Fault::kCiphertextFlip, 0.37);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(a.ShouldInject(sim::Fault::kCiphertextFlip),
+              b.ShouldInject(sim::Fault::kCiphertextFlip));
+  }
+  EXPECT_EQ(a.injected(sim::Fault::kCiphertextFlip),
+            b.injected(sim::Fault::kCiphertextFlip));
+  EXPECT_EQ(a.checks(sim::Fault::kCiphertextFlip), 2000u);
+  EXPECT_GT(a.injected(sim::Fault::kCiphertextFlip), 0u);
+  EXPECT_LT(a.injected(sim::Fault::kCiphertextFlip), 2000u);
+}
+
+TEST(FaultInjector, TriggerBudgetDisarms) {
+  sim::FaultInjector f(7);
+  f.Arm(sim::Fault::kWorkerDeath, 1.0, /*max_triggers=*/3);
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    fired += f.ShouldInject(sim::Fault::kWorkerDeath);
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(f.armed(sim::Fault::kWorkerDeath));
+}
+
+TEST(SuvmFault, TransientCiphertextFlipIsAbsorbedByRetry) {
+  World w(TinyCfg(4));
+  const size_t pages = 16;
+  const uint64_t addr = w.suvm->Malloc(pages * sim::kPageSize);
+  ASSERT_NE(addr, kInvalidAddr);
+  const std::vector<uint8_t> data = FillPages(w, addr, pages, 11);
+
+  // Exactly one in-flight bit flip: the first page-in MAC-fails, the retry
+  // sees clean bytes and succeeds.
+  w.faults().Arm(sim::Fault::kCiphertextFlip, 1.0, /*max_triggers=*/1);
+  std::vector<uint8_t> back(data.size());
+  const Status status = w.suvm->TryRead(nullptr, addr, back.data(), back.size());
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(w.suvm->stats().mac_failures.load(), 1u);
+  EXPECT_EQ(w.suvm->stats().retries.load(), 1u);
+  EXPECT_EQ(w.suvm->stats().rollbacks_detected.load(), 0u);
+}
+
+TEST(SuvmFault, PersistentCorruptionSurfacesAsStatusAndThrow) {
+  World w(TinyCfg(4));
+  const size_t pages = 16;
+  const uint64_t addr = w.suvm->Malloc(pages * sim::kPageSize);
+  ASSERT_NE(addr, kInvalidAddr);
+  const std::vector<uint8_t> data = FillPages(w, addr, pages, 12);
+
+  // The host tampers on *every* read: the retry fails too.
+  w.faults().Arm(sim::Fault::kCiphertextFlip, 1.0);
+  std::vector<uint8_t> back(sim::kPageSize);
+  const Status status =
+      w.suvm->TryRead(nullptr, addr, back.data(), back.size());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataCorruption);
+  EXPECT_GE(w.suvm->stats().mac_failures.load(), 2u);  // first try + retry
+  EXPECT_EQ(w.suvm->stats().retries.load(), 1u);
+
+  // The legacy throwing API reports the same failure.
+  EXPECT_THROW(w.suvm->Read(nullptr, addr, back.data(), back.size()),
+               std::runtime_error);
+
+  // Tampering stops: the data was never actually destroyed (the flips were
+  // in flight), so reads recover completely.
+  w.faults().DisarmAll();
+  ASSERT_TRUE(w.suvm->TryRead(nullptr, addr, back.data(), back.size()).ok());
+  std::vector<uint8_t> first_page(data.begin(), data.begin() + sim::kPageSize);
+  EXPECT_EQ(back, first_page);
+}
+
+TEST(SuvmFault, RollbackReplayIsDetectedAndClassified) {
+  World w(TinyCfg(4));
+  const size_t pages = 16;
+  const uint64_t addr = w.suvm->Malloc(pages * sim::kPageSize);
+  ASSERT_NE(addr, kInvalidAddr);
+  FillPages(w, addr, pages, 13);  // v1 everywhere; pages 0..11 get evicted
+
+  // Arm the rollback before the reseal so the hostile host stashes the
+  // outgoing (v1) seal of page 0 when v2 is written back.
+  w.faults().Arm(sim::Fault::kRollback, 1.0, /*max_triggers=*/1);
+  std::vector<uint8_t> v2(sim::kPageSize, 0x5a);
+  w.suvm->Write(nullptr, addr, v2.data(), v2.size());
+  // Force page 0 out so it is resealed (stash point) and must be re-opened.
+  std::vector<uint8_t> scratch(sim::kPageSize);
+  for (size_t p = 1; p < pages; ++p) {
+    w.suvm->Read(nullptr, addr + p * sim::kPageSize, scratch.data(),
+                 scratch.size());
+  }
+
+  // Page-in of page 0 gets the replayed v1 seal: the enclave-held nonce/tag
+  // bind the address to the newest seal, so the MAC fails — freshness holds.
+  std::vector<uint8_t> back(sim::kPageSize);
+  const Status status =
+      w.suvm->TryRead(nullptr, addr, back.data(), back.size());
+  ASSERT_TRUE(status.ok()) << status.ToString();  // single trigger: retry wins
+  EXPECT_EQ(back, v2) << "replayed stale data must never be accepted";
+  EXPECT_GE(w.suvm->stats().rollbacks_detected.load(), 1u);
+  EXPECT_GE(w.suvm->stats().mac_failures.load(), 1u);
+  EXPECT_GE(w.suvm->stats().retries.load(), 1u);
+}
+
+TEST(SuvmFault, AllocRefusalAndArenaExhaustion) {
+  World w(TinyCfg(8));
+
+  w.faults().Arm(sim::Fault::kBackingAllocFail, 1.0, /*max_triggers=*/1);
+  const StatusOr<uint64_t> refused = w.suvm->TryMalloc(4096);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(w.suvm->stats().alloc_failures.load(), 1u);
+
+  // Budget spent: the next allocation succeeds.
+  const StatusOr<uint64_t> granted = w.suvm->TryMalloc(4096);
+  ASSERT_TRUE(granted.ok());
+  EXPECT_NE(*granted, kInvalidAddr);
+
+  // The legacy API maps refusal to kInvalidAddr, as for real exhaustion.
+  w.faults().Arm(sim::Fault::kBackingAllocFail, 1.0, /*max_triggers=*/1);
+  EXPECT_EQ(w.suvm->Malloc(4096), kInvalidAddr);
+  w.faults().DisarmAll();
+
+  // Genuine arena exhaustion takes the same Status path.
+  const StatusOr<uint64_t> huge = w.suvm->TryMalloc(1ull << 40);
+  ASSERT_FALSE(huge.ok());
+  EXPECT_EQ(huge.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(w.suvm->stats().alloc_failures.load(), 3u);
+}
+
+TEST(SuvmFault, EpcExhaustionIsRecoverable) {
+  World w(TinyCfg(2));  // two EPC++ slots
+  const uint64_t addr = w.suvm->Malloc(4 * sim::kPageSize);
+  ASSERT_NE(addr, kInvalidAddr);
+  int s0 = -1, s1 = -1, s2 = -1;
+  ASSERT_TRUE(w.suvm->TryPinPage(nullptr, addr / sim::kPageSize, &s0).ok());
+  ASSERT_TRUE(w.suvm->TryPinPage(nullptr, addr / sim::kPageSize + 1, &s1).ok());
+  // Every slot pinned: the third pin must fail cleanly, not deadlock.
+  const Status status =
+      w.suvm->TryPinPage(nullptr, addr / sim::kPageSize + 2, &s2);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  // Releasing a pin makes the same pin succeed.
+  w.suvm->UnpinPage(addr / sim::kPageSize, s0, /*dirty=*/false);
+  ASSERT_TRUE(w.suvm->TryPinPage(nullptr, addr / sim::kPageSize + 2, &s2).ok());
+  w.suvm->UnpinPage(addr / sim::kPageSize + 1, s1, /*dirty=*/false);
+  w.suvm->UnpinPage(addr / sim::kPageSize + 2, s2, /*dirty=*/false);
+}
+
+TEST(SuvmFault, DirectModeFlipIsRetriedAndCounted) {
+  SuvmConfig cfg = TinyCfg(4);
+  cfg.direct_mode = true;
+  World w(cfg);
+  const uint64_t addr = w.suvm->Malloc(8 * sim::kPageSize);
+  ASSERT_NE(addr, kInvalidAddr);
+  std::vector<uint8_t> data(2048, 0xc3);
+  w.suvm->WriteDirect(nullptr, addr, data.data(), data.size());
+
+  w.faults().Arm(sim::Fault::kCiphertextFlip, 1.0, /*max_triggers=*/1);
+  std::vector<uint8_t> back(data.size());
+  const Status status =
+      w.suvm->TryReadDirect(nullptr, addr, back.data(), back.size());
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(w.suvm->stats().mac_failures.load(), 1u);
+  EXPECT_EQ(w.suvm->stats().retries.load(), 1u);
+}
+
+// --- Application workloads under injected faults ---
+
+TEST(WorkloadFault, KvCacheOnSuvmSurvivesBoundedTransientFaults) {
+  sim::Machine machine;
+  sim::Enclave enclave(machine);
+  SuvmConfig sc;
+  sc.epc_pp_pages = 16;  // heavy paging: working set >> EPC++
+  sc.backing_bytes = 64 << 20;
+  Suvm suvm(enclave, sc);
+  apps::KvCache::Options opts;
+  opts.pool_bytes = 24 << 20;  // room for one 1 MiB slab per touched class
+  opts.hash_buckets = 256;
+  apps::SuvmRegion region(suvm, opts.pool_bytes);
+  apps::KvCache cache(machine, region, opts);
+
+  std::unordered_map<std::string, std::string> reference;
+  Xoshiro256 rng(99);
+  std::string out(4096, 0);
+  for (int step = 0; step < 2000; ++step) {
+    if (step % 200 == 0) {
+      // Periodic single-shot in-flight tamper: each one MAC-fails exactly one
+      // page-in, and the fault-handler retry absorbs it.
+      machine.fault_injector().Arm(sim::Fault::kCiphertextFlip, 1.0,
+                                   /*max_triggers=*/1);
+    }
+    const std::string key = "k" + std::to_string(rng.NextBelow(400));
+    const uint64_t op = rng.NextBelow(100);
+    if (op < 50) {
+      std::string value(16 + rng.NextBelow(3000), 0);
+      for (auto& c : value) {
+        c = static_cast<char>('a' + rng.NextBelow(26));
+      }
+      ASSERT_TRUE(cache.Set(nullptr, key, value.data(), value.size()));
+      reference[key] = value;
+    } else if (op < 85) {
+      const int64_t n = cache.Get(nullptr, key, out.data(), out.size());
+      auto it = reference.find(key);
+      ASSERT_EQ(n >= 0, it != reference.end()) << "step " << step;
+      if (n >= 0) {
+        ASSERT_EQ(out.substr(0, static_cast<size_t>(n)), it->second);
+      }
+    } else {
+      const bool existed = reference.erase(key) > 0;
+      ASSERT_EQ(cache.Delete(nullptr, key), existed);
+    }
+  }
+  // The workload really did run through injected faults — and recovered.
+  EXPECT_GT(suvm.stats().mac_failures.load(), 0u);
+  EXPECT_EQ(suvm.stats().retries.load(), suvm.stats().mac_failures.load());
+}
+
+TEST(WorkloadFault, ParamServerOnSuvmCompletesUnderInjection) {
+  sim::Machine machine;
+  apps::PsConfig cfg;
+  cfg.backend = apps::PsBackend::kSuvm;
+  cfg.mode = apps::PsExecMode::kSgxRpc;
+  cfg.data_bytes = 1 << 20;
+  cfg.suvm.epc_pp_pages = 32;
+  cfg.suvm.backing_bytes = 4 << 20;
+  cfg.suvm.swapper_low_watermark = 0;
+  // One in-flight tamper somewhere in the run; the server must finish all
+  // requests and answer them correctly regardless.
+  machine.fault_injector().Arm(sim::Fault::kCiphertextFlip, 1.0,
+                               /*max_triggers=*/1);
+  const apps::PsRunResult r =
+      apps::RunPsWorkload(machine, cfg, /*updates_per_request=*/8,
+                          /*hot_keys=*/64, /*n_requests=*/300);
+  EXPECT_EQ(r.requests, 300u);
+  EXPECT_GT(r.total_cycles, 0u);
+}
+
+TEST(WorkloadFault, DisabledInjectionIsByteIdenticalToSeedBehavior) {
+  // The fault machinery must be invisible when disarmed: two fresh machines
+  // running the same workload produce identical virtual-cycle results, and
+  // no fault counter moves.
+  apps::PsConfig cfg;
+  cfg.backend = apps::PsBackend::kSuvm;
+  cfg.mode = apps::PsExecMode::kSgxRpc;
+  cfg.data_bytes = 1 << 20;
+  cfg.suvm.epc_pp_pages = 32;
+  cfg.suvm.backing_bytes = 4 << 20;
+  cfg.suvm.swapper_low_watermark = 0;
+
+  sim::Machine m1, m2;
+  const apps::PsRunResult r1 = apps::RunPsWorkload(m1, cfg, 8, 64, 200);
+  const apps::PsRunResult r2 = apps::RunPsWorkload(m2, cfg, 8, 64, 200);
+  EXPECT_EQ(r1.total_cycles, r2.total_cycles);
+  EXPECT_EQ(r1.handler_cycles, r2.handler_cycles);
+  EXPECT_EQ(r1.requests, r2.requests);
+  EXPECT_EQ(m1.fault_injector().total_injected(), 0u);
+}
+
+}  // namespace
+}  // namespace eleos::suvm

@@ -1,17 +1,22 @@
 // Copyright (c) Eleos reproduction authors. MIT license.
 //
 // RPC subsystem under stress: queue wraparound, many producers/consumers,
-// result integrity under contention, and accounting invariants.
+// result integrity under contention, accounting invariants — and hostile-host
+// scenarios (killed/stalled workers, dropped completions, queue pressure)
+// driven by the machine's FaultInjector.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
 #include "src/rpc/job_queue.h"
 #include "src/rpc/rpc_manager.h"
 #include "src/rpc/worker_pool.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/machine.h"
 
 namespace eleos::rpc {
 namespace {
@@ -22,9 +27,9 @@ TEST(JobQueueStress, SingleSlotQueueSerializesEverything) {
   uint64_t counter = 0;  // unsynchronized on purpose: the queue serializes
   auto fn = +[](void* arg) { ++*static_cast<uint64_t*>(arg); };
   for (int i = 0; i < 2000; ++i) {
-    const size_t slot = q.Submit(fn, &counter);
-    EXPECT_EQ(slot, 0u);
-    q.AwaitAndRelease(slot);
+    const JobTicket ticket = q.Submit(fn, &counter);
+    EXPECT_EQ(ticket.slot, 0u);
+    q.AwaitAndRelease(ticket);
   }
   EXPECT_EQ(counter, 2000u);
 }
@@ -47,8 +52,8 @@ TEST(JobQueueStress, ManyProducersManyWorkers) {
     producers.emplace_back([&, p] {
       for (uint64_t i = 0; i < 500; ++i) {
         Job job{&sum, static_cast<uint64_t>(p) * 10000 + i};
-        const size_t slot = q.Submit(fn, &job);
-        q.AwaitAndRelease(slot);  // job's stack lifetime requires completion
+        const JobTicket ticket = q.Submit(fn, &job);
+        q.AwaitAndRelease(ticket);  // job's stack lifetime requires completion
       }
     });
   }
@@ -136,6 +141,162 @@ TEST(RpcStress, DestructorRestoresCachePartitioning) {
   machine.llc().ResetStats();
   machine.llc().Access(1234, false, sim::MemKind::kUntrusted, sim::kCosEnclave);
   EXPECT_EQ(machine.llc().misses(), 1u);
+}
+
+// --- Hostile-host scenarios ---
+
+TEST(JobQueueFault, AbandonedClaimAndStaleCompletionAreGenerationChecked) {
+  // Deterministic single-slot walk through the abandon/late-complete machinery:
+  // this test plays both the submitter and a stalled worker.
+  JobQueue q(1);
+  auto fn = +[](void*) {};
+
+  const JobTicket t1 = q.Submit(fn, nullptr);
+  JobTicket claim;
+  UntrustedFn got_fn;
+  void* got_arg;
+  ASSERT_TRUE(q.TryClaim(&claim, &got_fn, &got_arg));
+
+  // The "worker" (us) sits on the claim; the submitter times out.
+  EXPECT_EQ(q.AwaitAndRelease(t1, /*spin_budget=*/128),
+            JobQueue::WaitResult::kAbandoned);
+  EXPECT_EQ(q.abandoned_slots(), 1u);
+
+  // The worker completes late: the slot is recycled, not marked done.
+  q.Complete(claim);
+  EXPECT_EQ(q.late_completions(), 1u);
+
+  // The slot is reusable under a new generation; a second stale Complete
+  // carrying the old ticket is dropped on the generation check.
+  const JobTicket t2 = q.Submit(fn, nullptr);
+  EXPECT_NE(t2.gen, t1.gen);
+  JobTicket claim2;
+  ASSERT_TRUE(q.TryClaim(&claim2, &got_fn, &got_arg));
+  q.Complete(claim);  // stale generation: must not touch the new job
+  EXPECT_EQ(q.late_completions(), 2u);
+  q.Complete(claim2);
+  EXPECT_EQ(q.AwaitAndRelease(t2, kUnboundedSpins),
+            JobQueue::WaitResult::kCompleted);
+}
+
+TEST(JobQueueFault, UnclaimedJobIsRevokedOnTimeout) {
+  JobQueue q(2);  // no workers: the job is never claimed
+  std::atomic<int> ran{0};
+  auto fn = +[](void* arg) { static_cast<std::atomic<int>*>(arg)->fetch_add(1); };
+  const JobTicket t = q.Submit(fn, &ran);
+  EXPECT_EQ(q.AwaitAndRelease(t, /*spin_budget=*/64),
+            JobQueue::WaitResult::kRevoked);
+  EXPECT_EQ(ran.load(), 0) << "a revoked job must never run";
+
+  // The revoked slot is immediately reusable.
+  const JobTicket t2 = q.Submit(fn, &ran);
+  JobTicket claim;
+  UntrustedFn got_fn;
+  void* got_arg;
+  ASSERT_TRUE(q.TryClaim(&claim, &got_fn, &got_arg));
+  got_fn(got_arg);
+  q.Complete(claim);
+  EXPECT_EQ(q.AwaitAndRelease(t2, kUnboundedSpins),
+            JobQueue::WaitResult::kCompleted);
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(RpcFault, KilledWorkersAreRespawnedByTheWatchdog) {
+  sim::Machine machine;
+  sim::Enclave enclave(machine);
+  // The host kills the first two workers that poll; the watchdog must bring
+  // the pool back and every call must still return the right value.
+  machine.fault_injector().Arm(sim::Fault::kWorkerDeath, 1.0,
+                               /*max_triggers=*/2);
+  RpcManager rpc(enclave, {.mode = RpcManager::Mode::kThreaded,
+                           .use_cat = false,
+                           .workers = 2,
+                           .queue_capacity = 4});
+  uint64_t bad = 0;
+  for (uint64_t i = 0; i < 200; ++i) {
+    const uint64_t r = rpc.Call(nullptr, 0, [i] { return 3 * i + 1; });
+    bad += r != 3 * i + 1;
+  }
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(rpc.pool()->worker_deaths(), 2u);
+  // The watchdog noticed and respawned (possibly while we were still calling).
+  for (int spins = 0; rpc.pool()->alive_workers() < 2 && spins < 2000; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(rpc.pool()->alive_workers(), 2u);
+  EXPECT_GE(rpc.pool()->worker_respawns(), 2u);
+}
+
+TEST(RpcFault, StalledWorkerTriggersFallbackOcall) {
+  sim::Machine machine;
+  sim::Enclave enclave(machine);
+  sim::FaultInjector& faults = machine.fault_injector();
+  faults.set_worker_stall_spins(1ull << 30);  // effectively forever
+  faults.Arm(sim::Fault::kWorkerStall, 1.0, /*max_triggers=*/1);
+  RpcManager rpc(enclave, {.mode = RpcManager::Mode::kThreaded,
+                           .use_cat = false,
+                           .workers = 1,
+                           .queue_capacity = 4,
+                           .await_spin_budget = 1 << 14});
+  sim::CpuContext& cpu = machine.cpu(0);
+  enclave.Enter(cpu);
+  const uint64_t flushes_before = cpu.tlb.flushes();
+  // The single worker stalls on the first claim; the call must degrade to a
+  // classic OCALL (a real exit) instead of wedging the enclave.
+  const int v = rpc.Call(&cpu, 0, [] { return 7; });
+  enclave.Exit(cpu);
+  EXPECT_EQ(v, 7);
+  EXPECT_GE(rpc.fallback_ocalls(), 1u);
+  EXPECT_GE(rpc.await_timeouts(), 1u);
+  EXPECT_GT(cpu.tlb.flushes(), flushes_before) << "fallback pays a real exit";
+}
+
+TEST(RpcFault, DroppedCompletionTriggersFallbackOcall) {
+  sim::Machine machine;
+  sim::Enclave enclave(machine);
+  machine.fault_injector().Arm(sim::Fault::kCompletionDrop, 1.0,
+                               /*max_triggers=*/1);
+  RpcManager rpc(enclave, {.mode = RpcManager::Mode::kThreaded,
+                           .use_cat = false,
+                           .workers = 1,
+                           .queue_capacity = 4,
+                           .await_spin_budget = 1 << 14});
+  uint64_t bad = 0;
+  for (uint64_t i = 0; i < 50; ++i) {
+    const uint64_t r = rpc.Call(nullptr, 0, [i] { return i ^ 0xabcdu; });
+    bad += r != (i ^ 0xabcdu);
+  }
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(rpc.pool()->completions_dropped(), 1u);
+  EXPECT_GE(rpc.fallback_ocalls(), 1u);
+}
+
+TEST(RpcFault, FullQueueTriggersSubmitTimeoutFallback) {
+  sim::Machine machine;
+  sim::Enclave enclave(machine);
+  // The host pretends the queue is permanently full: every submit round sees
+  // injected backpressure, so the bounded submit gives up and falls back.
+  machine.fault_injector().Arm(sim::Fault::kQueueFull, 1.0);
+  RpcManager rpc(enclave, {.mode = RpcManager::Mode::kThreaded,
+                           .use_cat = false,
+                           .workers = 1,
+                           .queue_capacity = 2,
+                           .submit_spin_budget = 32});
+  uint64_t bad = 0;
+  for (uint64_t i = 0; i < 20; ++i) {
+    const uint64_t r = rpc.Call(nullptr, 0, [i] { return i + 100; });
+    bad += r != i + 100;
+  }
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(rpc.submit_timeouts(), 20u);
+  EXPECT_EQ(rpc.fallback_ocalls(), 20u);
+  EXPECT_GT(rpc.queue()->queue_full_spins(), 0u);
+
+  // Pressure lifted: the exit-less path works again.
+  machine.fault_injector().Disarm(sim::Fault::kQueueFull);
+  const uint64_t r = rpc.Call(nullptr, 0, [] { return 4242; });
+  EXPECT_EQ(r, 4242u);
+  EXPECT_EQ(rpc.fallback_ocalls(), 20u) << "no new fallback once healthy";
 }
 
 }  // namespace

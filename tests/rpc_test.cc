@@ -21,22 +21,23 @@ TEST(JobQueue, SubmitClaimCompleteCycle) {
   auto fn = +[](void* arg) {
     static_cast<std::atomic<int>*>(arg)->fetch_add(1);
   };
-  const size_t slot = q.Submit(fn, &ran);
+  const JobTicket ticket = q.Submit(fn, &ran);
 
-  size_t got_slot;
+  JobTicket got;
   UntrustedFn got_fn;
   void* got_arg;
-  ASSERT_TRUE(q.TryClaim(&got_slot, &got_fn, &got_arg));
-  EXPECT_EQ(got_slot, slot);
+  ASSERT_TRUE(q.TryClaim(&got, &got_fn, &got_arg));
+  EXPECT_EQ(got.slot, ticket.slot);
+  EXPECT_EQ(got.gen, ticket.gen);
   got_fn(got_arg);
-  q.Complete(got_slot);
-  q.AwaitAndRelease(slot);
+  q.Complete(got);
+  q.AwaitAndRelease(ticket);
   EXPECT_EQ(ran.load(), 1);
 
   // Slot is reusable.
-  EXPECT_FALSE(q.TryClaim(&got_slot, &got_fn, &got_arg));
-  const size_t slot2 = q.Submit(fn, &ran);
-  EXPECT_LT(slot2, q.capacity());
+  EXPECT_FALSE(q.TryClaim(&got, &got_fn, &got_arg));
+  const JobTicket ticket2 = q.Submit(fn, &ran);
+  EXPECT_LT(ticket2.slot, q.capacity());
 }
 
 TEST(WorkerPool, ExecutesJobsOnRealThreads) {
@@ -57,10 +58,9 @@ TEST(WorkerPool, ExecutesJobsOnRealThreads) {
     auto* j = static_cast<Job*>(arg);
     j->sum->fetch_add(j->value);
   };
-  std::vector<size_t> slots;
   for (auto& j : jobs) {
-    const size_t slot = q.Submit(fn, &j);
-    q.AwaitAndRelease(slot);  // serialize: each job completes before the next
+    const JobTicket ticket = q.Submit(fn, &j);
+    q.AwaitAndRelease(ticket);  // serialize: each job completes before the next
   }
   EXPECT_EQ(sum.load(), 5050u);
   EXPECT_EQ(pool.jobs_executed(), 100u);
