@@ -1,0 +1,70 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Baseline benchmark: exit-less RPC call latency. Emits BENCH_rpc.json
+// (schema in DESIGN.md "Benchmark baselines") with p50/p95/p99 of the
+// submit→complete virtual-cycle latency plus a full metric snapshot, so CI
+// and future PRs can diff performance against a recorded baseline.
+//
+// Usage: bench_baseline_rpc [--smoke] [--out <path>]
+
+#include <cstring>
+#include <string>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "src/rpc/rpc_manager.h"
+
+int main(int argc, char** argv) {
+  using namespace eleos;
+
+  bool smoke = false;
+  std::string out = "BENCH_rpc.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const size_t kCalls = smoke ? 2000 : 200000;
+  const size_t kIoBytes = 256;
+
+  sim::Machine machine(bench::FastMachine());
+  sim::Enclave enclave(machine);
+  rpc::RpcManager rpc(enclave, {.mode = rpc::RpcManager::Mode::kInline});
+  sim::CpuContext& cpu = machine.cpu(0);
+
+  enclave.Enter(cpu);
+  uint64_t sink = 0;
+  for (size_t i = 0; i < kCalls; ++i) {
+    sink += rpc.Call(&cpu, kIoBytes, [i] { return i ^ 0x5aull; });
+  }
+  enclave.Exit(cpu);
+  rpc.PublishTelemetry();
+
+  const telemetry::Histogram* lat =
+      machine.metrics().GetHistogram("rpc.call_cycles");
+  std::string json = "{\n";
+  json += "  \"schema_version\": 1,\n";
+  json += "  \"bench\": \"rpc_baseline\",\n";
+  json += bench::JsonKv("mode", smoke ? "smoke" : "full") + ",\n";
+  json += "  \"workload\": {" + bench::JsonKv("dispatch", "inline") + ", " +
+          bench::JsonKv("calls", kCalls) + ", " +
+          bench::JsonKv("io_bytes", kIoBytes) + "},\n";
+  json += "  \"latency_cycles\": " + bench::LatencyJson(*lat) + ",\n";
+  json += "  \"metrics\": " + machine.metrics().ToJson() + "\n";
+  json += "}\n";
+
+  if (!bench::WriteFile(out, json)) {
+    std::fprintf(stderr, "bench_baseline_rpc: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("bench_baseline_rpc: %zu calls, p50=%.0f p99=%.0f cycles -> %s\n",
+              kCalls, lat->Percentile(50), lat->Percentile(99), out.c_str());
+  (void)sink;
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Baseline benchmark: SUVM paging latency under an over-committed EPC++.
+// Sequential writes populate a working set larger than the page cache, then
+// random reads drive a mix of minor and major faults. Emits BENCH_suvm.json
+// (schema in DESIGN.md "Benchmark baselines") with p50/p95/p99 of major and
+// minor fault latency, eviction behavior, and a full metric snapshot.
+//
+// Usage: bench_baseline_suvm [--smoke] [--out <path>]
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/suvm/suvm.h"
+
+int main(int argc, char** argv) {
+  using namespace eleos;
+
+  bool smoke = false;
+  std::string out = "BENCH_suvm.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // EPC++ holds a quarter of the working set: every fourth random read is a
+  // major fault in steady state, so both histograms get a real population.
+  const size_t kWsPages = smoke ? 512 : 8192;
+  const size_t kPpPages = kWsPages / 4;
+  const size_t kReads = smoke ? 4000 : 200000;
+
+  sim::Machine machine(bench::FastMachine());
+  sim::Enclave enclave(machine);
+  suvm::SuvmConfig cfg;
+  cfg.epc_pp_pages = kPpPages;
+  cfg.backing_bytes = 64ull << 20;
+  cfg.swapper_low_watermark = 0;
+  cfg.fast_seal = true;  // identical virtual-cycle charges, less wall-clock
+  suvm::Suvm suvm(enclave, cfg);
+  sim::CpuContext& cpu = machine.cpu(0);
+
+  const uint64_t base = suvm.Malloc(kWsPages * sim::kPageSize);
+  std::vector<uint8_t> buf(256, 0x5a);
+
+  enclave.Enter(cpu);
+  for (size_t p = 0; p < kWsPages; ++p) {
+    suvm.Write(&cpu, base + p * sim::kPageSize + (p % 16), buf.data(),
+               buf.size());
+  }
+  Xoshiro256 rng(42);
+  for (size_t i = 0; i < kReads; ++i) {
+    const uint64_t p = rng.NextBelow(kWsPages);
+    suvm.Read(&cpu, base + p * sim::kPageSize + (i % 256), buf.data(),
+              buf.size());
+  }
+  enclave.Exit(cpu);
+  suvm.PublishTelemetry();
+
+  const telemetry::Histogram* major =
+      machine.metrics().GetHistogram("suvm.major_fault_cycles");
+  const telemetry::Histogram* minor =
+      machine.metrics().GetHistogram("suvm.minor_fault_cycles");
+  const telemetry::Histogram* scan =
+      machine.metrics().GetHistogram("suvm.evict_scan_len");
+
+  std::string json = "{\n";
+  json += "  \"schema_version\": 1,\n";
+  json += "  \"bench\": \"suvm_baseline\",\n";
+  json += bench::JsonKv("mode", smoke ? "smoke" : "full") + ",\n";
+  json += "  \"workload\": {" + bench::JsonKv("working_set_pages", kWsPages) +
+          ", " + bench::JsonKv("epc_pp_pages", kPpPages) + ", " +
+          bench::JsonKv("random_reads", kReads) + "},\n";
+  json += "  \"major_fault_cycles\": " + bench::LatencyJson(*major) + ",\n";
+  json += "  \"minor_fault_cycles\": " + bench::LatencyJson(*minor) + ",\n";
+  json += "  \"evict_scan_len\": " + bench::LatencyJson(*scan) + ",\n";
+  json += "  \"latency_cycles\": " + bench::LatencyJson(*major) + ",\n";
+  json += "  \"metrics\": " + machine.metrics().ToJson() + "\n";
+  json += "}\n";
+
+  if (!bench::WriteFile(out, json)) {
+    std::fprintf(stderr, "bench_baseline_suvm: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf(
+      "bench_baseline_suvm: %zu reads, major p50=%.0f p99=%.0f cycles, "
+      "minor p50=%.0f -> %s\n",
+      kReads, major->Percentile(50), major->Percentile(99),
+      minor->Percentile(50), out.c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Minimal JSON emission helpers for the BENCH_*.json baseline files
+// (schema in DESIGN.md "Benchmark baselines"). Keys are emitted in a fixed
+// order so baseline diffs stay readable.
+
+#ifndef ELEOS_BENCH_BENCH_JSON_H_
+#define ELEOS_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "src/telemetry/telemetry.h"
+
+namespace eleos::bench {
+
+inline std::string JsonKv(const char* key, const std::string& value) {
+  return std::string("\"") + key + "\": \"" + value + "\"";
+}
+
+inline std::string JsonKv(const char* key, uint64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %llu", key,
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+inline std::string JsonKv(const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.1f", key, value);
+  return buf;
+}
+
+// {"count":N,"mean":..,"p50":..,"p95":..,"p99":..}
+inline std::string LatencyJson(const telemetry::Histogram& h) {
+  std::string s = "{";
+  s += JsonKv("count", h.count()) + ", ";
+  s += JsonKv("mean", h.mean()) + ", ";
+  s += JsonKv("p50", h.Percentile(50)) + ", ";
+  s += JsonKv("p95", h.Percentile(95)) + ", ";
+  s += JsonKv("p99", h.Percentile(99));
+  s += "}";
+  return s;
+}
+
+inline bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+                  content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace eleos::bench
+
+#endif  // ELEOS_BENCH_BENCH_JSON_H_

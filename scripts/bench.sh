@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the baseline benchmarks and emits BENCH_rpc.json / BENCH_suvm.json,
+# then validates the emitted files (schema, percentile sanity, non-empty
+# counters). --smoke runs a small deterministic workload for CI; the default
+# full mode is for recording real baselines.
+#
+# Usage: scripts/bench.sh [--smoke]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+OUT="${OUT_DIR:-$ROOT}"
+
+MODE_FLAG=""
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) MODE_FLAG="--smoke" ;;
+    *) echo "bench.sh: unknown argument '$arg'" >&2; exit 2 ;;
+  esac
+done
+
+if [[ ! -d "$BUILD" ]]; then
+  cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD" --target bench_baseline_rpc bench_baseline_suvm -j
+
+"$BUILD/bench/bench_baseline_rpc" $MODE_FLAG --out "$OUT/BENCH_rpc.json"
+"$BUILD/bench/bench_baseline_suvm" $MODE_FLAG --out "$OUT/BENCH_suvm.json"
+
+python3 "$ROOT/scripts/validate_bench.py" \
+  "$OUT/BENCH_rpc.json" "$OUT/BENCH_suvm.json"
+echo "bench.sh: baselines written to $OUT/BENCH_{rpc,suvm}.json"

@@ -4,8 +4,11 @@
 # 1. Full build + the whole test suite (the seed's tier-1 gate).
 # 2. A ThreadSanitizer build (-DELEOS_SANITIZE=thread) re-running the
 #    concurrency-sensitive suites: the lock-free job queue / worker pool /
-#    watchdog, SUVM's striped paging locks, and the fault-injection paths
-#    that deliberately race workers against submitter timeouts.
+#    watchdog, SUVM's striped paging locks, the relaxed-atomic telemetry
+#    layer, and the fault-injection paths that deliberately race workers
+#    against submitter timeouts.
+# 3. A benchmark smoke stage: runs the baseline benches end-to-end and
+#    validates the emitted BENCH_*.json (fails on malformed/empty output).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,8 +16,11 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
-TSAN_TESTS='^(rpc_test|rpc_stress_test|suvm_test|suvm_property_test|fault_injection_test)$'
+TSAN_TESTS='^(rpc_test|rpc_stress_test|suvm_test|suvm_property_test|fault_injection_test|telemetry_test)$'
 cmake -B build-tsan -S . -DELEOS_SANITIZE=thread
 cmake --build build-tsan -j --target \
-  rpc_test rpc_stress_test suvm_test suvm_property_test fault_injection_test
+  rpc_test rpc_stress_test suvm_test suvm_property_test fault_injection_test \
+  telemetry_test
 (cd build-tsan && ctest --output-on-failure -R "$TSAN_TESTS")
+
+OUT_DIR="$(mktemp -d)" scripts/bench.sh --smoke

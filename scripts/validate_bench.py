@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Validates BENCH_*.json baseline files emitted by the bench binaries.
+
+Checks (per file):
+  * parses as JSON, schema_version == 1, mode in {smoke, full}
+  * latency_cycles has count > 0 and p50 <= p95 <= p99
+  * every embedded histogram block is internally consistent
+  * metrics.counters is present and non-empty
+
+Exits non-zero with a message naming the offending file/field, so tier1.sh
+fails on malformed or empty output.
+"""
+
+import json
+import sys
+
+
+def check_latency_block(path: str, name: str, block: dict) -> None:
+    for key in ("count", "mean", "p50", "p95", "p99"):
+        if key not in block:
+            fail(f"{path}: {name} is missing '{key}'")
+    if block["count"] <= 0:
+        fail(f"{path}: {name}.count must be > 0, got {block['count']}")
+    if not (block["p50"] <= block["p95"] <= block["p99"]):
+        fail(
+            f"{path}: {name} percentiles not ordered: "
+            f"p50={block['p50']} p95={block['p95']} p99={block['p99']}"
+        )
+
+
+def fail(msg: str) -> None:
+    print(f"validate_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if doc.get("schema_version") != 1:
+        fail(f"{path}: schema_version must be 1, got {doc.get('schema_version')}")
+    if doc.get("mode") not in ("smoke", "full"):
+        fail(f"{path}: mode must be smoke|full, got {doc.get('mode')}")
+    if not doc.get("bench"):
+        fail(f"{path}: missing bench name")
+    if not isinstance(doc.get("workload"), dict) or not doc["workload"]:
+        fail(f"{path}: missing/empty workload")
+
+    if "latency_cycles" not in doc:
+        fail(f"{path}: missing latency_cycles")
+    check_latency_block(path, "latency_cycles", doc["latency_cycles"])
+    # Any other top-level histogram blocks ride the same checks (zero-count
+    # blocks are allowed for optional subsystems, ordering still must hold).
+    for key, value in doc.items():
+        if key == "latency_cycles" or not isinstance(value, dict):
+            continue
+        if {"p50", "p95", "p99"} <= value.keys() and value.get("count", 0) > 0:
+            check_latency_block(path, key, value)
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail(f"{path}: missing metrics snapshot")
+    counters = metrics.get("counters")
+    if not isinstance(counters, dict) or not counters:
+        fail(f"{path}: metrics.counters is missing or empty")
+    if any(not isinstance(v, int) or v < 0 for v in counters.values()):
+        fail(f"{path}: metrics.counters has non-integer or negative values")
+
+    print(f"validate_bench: OK: {path} ({doc['bench']}, {doc['mode']}, "
+          f"{len(counters)} counters)")
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail("usage: validate_bench.py <bench.json> [...]")
+    for path in sys.argv[1:]:
+        validate(path)
+
+
+if __name__ == "__main__":
+    main()

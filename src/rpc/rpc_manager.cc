@@ -9,14 +9,17 @@ RpcManager::RpcManager(sim::Enclave& enclave, Options options)
       mode_(options.mode),
       use_cat_(options.use_cat),
       submit_spin_budget_(options.submit_spin_budget),
-      await_spin_budget_(options.await_spin_budget) {
+      await_spin_budget_(options.await_spin_budget),
+      call_cycles_(enclave.machine().metrics().GetHistogram("rpc.call_cycles")),
+      cycles_rpc_(enclave.machine().metrics().GetCounter("sim.cycles.rpc")) {
   if (use_cat_) {
     enclave_->machine().llc().EnablePartitioning(0.75);
   }
   if (mode_ == Mode::kThreaded) {
     sim::FaultInjector* faults = &enclave_->machine().fault_injector();
     queue_ = std::make_unique<JobQueue>(options.queue_capacity, faults);
-    pool_ = std::make_unique<WorkerPool>(*queue_, options.workers, faults);
+    pool_ = std::make_unique<WorkerPool>(*queue_, options.workers, faults,
+                                         &enclave_->machine().metrics().trace());
   }
 }
 
@@ -36,20 +39,44 @@ void RpcManager::ChargeSubmit(sim::CpuContext* cpu, size_t io_bytes) {
   const sim::CostModel& c = m.costs();
   // Enqueue, wait for a polling worker to pick it up and run the syscall,
   // read the result back. No exit: no TLB flush, no enclave-state spill.
-  cpu->Charge(c.rpc_enqueue_cycles + c.rpc_poll_latency_cycles +
-              c.syscall_cycles + c.rpc_dequeue_cycles);
+  const uint64_t cycles = c.rpc_enqueue_cycles + c.rpc_poll_latency_cycles +
+                          c.syscall_cycles + c.rpc_dequeue_cycles;
+  cpu->Charge(cycles);
+  cycles_rpc_->Add(cycles);
   // The worker's kernel/I/O buffers pollute the LLC — only within the
   // worker's CAT partition when partitioning is on.
   const int worker_cos = use_cat_ ? sim::kCosRpcWorker : sim::kCosShared;
   m.PolluteCache(io_bytes + c.syscall_kernel_footprint, worker_cos);
 }
 
-void RpcManager::CountFallback(bool submit_side) {
+void RpcManager::CountFallback(sim::CpuContext* cpu, bool submit_side) {
   fallback_ocalls_.Inc();
   if (submit_side) {
     submit_timeouts_.Inc();
   } else {
     await_timeouts_.Inc();
+  }
+  enclave_->machine().metrics().trace().Record(
+      telemetry::TraceKind::kRpcFallbackOcall,
+      cpu != nullptr ? cpu->clock.now() : 0, submit_side ? 1 : 0);
+}
+
+void RpcManager::PublishTelemetry() {
+  telemetry::Registry& r = enclave_->machine().metrics();
+  r.GetCounter("rpc.calls")->Set(calls_.value());
+  r.GetCounter("rpc.fallback_ocalls")->Set(fallback_ocalls_.value());
+  r.GetCounter("rpc.submit_timeouts")->Set(submit_timeouts_.value());
+  r.GetCounter("rpc.await_timeouts")->Set(await_timeouts_.value());
+  if (queue_ != nullptr) {
+    r.GetCounter("rpc.queue_full_spins")->Set(queue_->queue_full_spins());
+    r.GetCounter("rpc.late_completions")->Set(queue_->late_completions());
+    r.GetCounter("rpc.abandoned_slots")->Set(queue_->abandoned_slots());
+  }
+  if (pool_ != nullptr) {
+    r.GetCounter("rpc.jobs_executed")->Set(pool_->jobs_executed());
+    r.GetCounter("rpc.worker_deaths")->Set(pool_->worker_deaths());
+    r.GetCounter("rpc.worker_respawns")->Set(pool_->worker_respawns());
+    r.GetCounter("rpc.completions_dropped")->Set(pool_->completions_dropped());
   }
 }
 

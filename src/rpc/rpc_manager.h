@@ -36,8 +36,29 @@
 #include "src/rpc/job_queue.h"
 #include "src/rpc/worker_pool.h"
 #include "src/sim/enclave.h"
+#include "src/telemetry/telemetry.h"
 
 namespace eleos::rpc {
+
+// RAII helper: records the virtual-cycle delta of a scope into a latency
+// histogram (no-op without a bound CPU — functional-only calls).
+class LatencyScope {
+ public:
+  LatencyScope(sim::CpuContext* cpu, telemetry::Histogram* histo)
+      : cpu_(cpu), histo_(histo), t0_(cpu != nullptr ? cpu->clock.now() : 0) {}
+  ~LatencyScope() {
+    if (cpu_ != nullptr) {
+      histo_->Record(cpu_->clock.now() - t0_);
+    }
+  }
+  LatencyScope(const LatencyScope&) = delete;
+  LatencyScope& operator=(const LatencyScope&) = delete;
+
+ private:
+  sim::CpuContext* cpu_;
+  telemetry::Histogram* histo_;
+  uint64_t t0_;
+};
 
 class RpcManager {
  public:
@@ -67,6 +88,8 @@ class RpcManager {
   // touches (pollutes the worker's LLC partition). Returns fn's result.
   template <typename Fn>
   std::invoke_result_t<Fn> Call(sim::CpuContext* cpu, size_t io_bytes, Fn&& fn) {
+    // Submit→complete latency (virtual cycles), including any fallback OCALL.
+    LatencyScope latency(cpu, call_cycles_);
     ChargeSubmit(cpu, io_bytes);
     if (mode_ == Mode::kThreaded) {
       return DispatchThreaded(cpu, io_bytes, std::forward<Fn>(fn));
@@ -98,6 +121,10 @@ class RpcManager {
   uint64_t await_timeouts() const { return await_timeouts_.value(); }
   JobQueue* queue() { return queue_.get(); }
   WorkerPool* pool() { return pool_.get(); }
+
+  // Mirrors the RPC counters (manager + queue + pool) into the machine's
+  // metric registry under rpc.*; the call-latency histogram is recorded live.
+  void PublishTelemetry();
 
  private:
   // Type-erased, reference-counted job context. Two owners: the submitting
@@ -137,7 +164,7 @@ class RpcManager {
   }
 
   void ChargeSubmit(sim::CpuContext* cpu, size_t io_bytes);
-  void CountFallback(bool submit_side);
+  void CountFallback(sim::CpuContext* cpu, bool submit_side);
 
   template <typename Fn>
   std::invoke_result_t<Fn> DispatchThreaded(sim::CpuContext* cpu,
@@ -152,7 +179,7 @@ class RpcManager {
     if (!queue_->TrySubmit(&Trampoline, job, &ticket, submit_spin_budget_)) {
       job->Unref();
       job->Unref();  // never enqueued: the worker reference dies with ours
-      CountFallback(/*submit_side=*/true);
+      CountFallback(cpu, /*submit_side=*/true);
       return Fallback(cpu, io_bytes, fn);
     }
     const JobQueue::WaitResult wait =
@@ -171,7 +198,7 @@ class RpcManager {
       job->Unref();  // revoked before any claim: the job will never run
     }
     job->Unref();
-    CountFallback(/*submit_side=*/false);
+    CountFallback(cpu, /*submit_side=*/false);
     return Fallback(cpu, io_bytes, fn);
   }
 
@@ -199,6 +226,9 @@ class RpcManager {
   Counter fallback_ocalls_;
   Counter submit_timeouts_;
   Counter await_timeouts_;
+  // Telemetry (resolved from the machine's registry at construction).
+  telemetry::Histogram* call_cycles_;
+  telemetry::Counter* cycles_rpc_;
 };
 
 }  // namespace eleos::rpc

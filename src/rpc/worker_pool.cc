@@ -9,8 +9,9 @@
 namespace eleos::rpc {
 
 WorkerPool::WorkerPool(JobQueue& queue, size_t num_workers,
-                       sim::FaultInjector* faults)
-    : queue_(queue), faults_(faults) {
+                       sim::FaultInjector* faults,
+                       telemetry::TraceRing* trace)
+    : queue_(queue), faults_(faults), trace_(trace) {
   workers_.reserve(num_workers);
   for (size_t i = 0; i < num_workers; ++i) {
     auto worker = std::make_unique<Worker>();
@@ -94,6 +95,10 @@ void WorkerPool::WatchdogLoop() {
         w->alive.store(true, std::memory_order_release);
         w->thread = std::thread([this, worker = w.get()] { WorkerLoop(worker); });
         worker_respawns_.Inc();
+        if (trace_ != nullptr) {
+          trace_->Record(telemetry::TraceKind::kRpcWorkerRespawn, 0,
+                         worker_respawns_.value());
+        }
       }
     }
   }

@@ -25,13 +25,15 @@
 #include "src/common/stats.h"
 #include "src/rpc/job_queue.h"
 #include "src/sim/fault_injector.h"
+#include "src/telemetry/telemetry.h"
 
 namespace eleos::rpc {
 
 class WorkerPool {
  public:
   WorkerPool(JobQueue& queue, size_t num_workers,
-             sim::FaultInjector* faults = nullptr);
+             sim::FaultInjector* faults = nullptr,
+             telemetry::TraceRing* trace = nullptr);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -57,6 +59,7 @@ class WorkerPool {
 
   JobQueue& queue_;
   sim::FaultInjector* faults_;
+  telemetry::TraceRing* trace_;  // optional: respawns are trace-worthy
   std::atomic<bool> stop_{false};
   Counter jobs_executed_;
   Counter worker_deaths_;

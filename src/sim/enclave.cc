@@ -11,6 +11,8 @@ Enclave::Enclave(Machine& machine, std::string name)
     : machine_(&machine), name_(std::move(name)) {
   id_ = machine_->driver().RegisterEnclave(this);
   vaddr_base_ = (static_cast<uint64_t>(id_) + 1) * kVaddrStride;
+  cycles_transitions_ = machine_->metrics().GetCounter("sim.cycles.transitions");
+  cycles_crypto_ = machine_->metrics().GetCounter("sim.cycles.crypto");
 }
 
 Enclave::~Enclave() { machine_->driver().UnregisterEnclave(id_); }
@@ -70,12 +72,14 @@ void Enclave::Write(CpuContext* cpu, uint64_t vaddr, const void* src, size_t len
 
 void Enclave::Enter(CpuContext& cpu) {
   cpu.Charge(machine_->costs().eenter_cycles);
+  cycles_transitions_->Add(machine_->costs().eenter_cycles);
   cpu.enclave = this;
   ++threads_inside_;
 }
 
 void Enclave::Exit(CpuContext& cpu) {
   cpu.Charge(machine_->costs().eexit_cycles);
+  cycles_transitions_->Add(machine_->costs().eexit_cycles);
   cpu.tlb.FlushAll();
   ++cpu.tlb_epoch;
   cpu.enclave = nullptr;
@@ -85,17 +89,22 @@ void Enclave::Exit(CpuContext& cpu) {
 void Enclave::ChargeGcm(CpuContext* cpu, size_t bytes) {
   if (cpu != nullptr) {
     const CostModel& c = machine_->costs();
-    cpu->Charge(c.aes_gcm_setup_cycles +
-                static_cast<uint64_t>(c.aes_gcm_cycles_per_byte *
-                                      static_cast<double>(bytes)));
+    const uint64_t cycles =
+        c.aes_gcm_setup_cycles +
+        static_cast<uint64_t>(c.aes_gcm_cycles_per_byte *
+                              static_cast<double>(bytes));
+    cpu->Charge(cycles);
+    cycles_crypto_->Add(cycles);
   }
 }
 
 void Enclave::ChargeCtr(CpuContext* cpu, size_t bytes) {
   if (cpu != nullptr) {
     const CostModel& c = machine_->costs();
-    cpu->Charge(static_cast<uint64_t>(c.aes_ctr_cycles_per_byte *
-                                      static_cast<double>(bytes)));
+    const uint64_t cycles = static_cast<uint64_t>(
+        c.aes_ctr_cycles_per_byte * static_cast<double>(bytes));
+    cpu->Charge(cycles);
+    cycles_crypto_->Add(cycles);
   }
 }
 

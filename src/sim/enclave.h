@@ -93,6 +93,9 @@ class Enclave {
   uint64_t bump_ = 0;
   size_t reserved_pages_ = 0;
   int threads_inside_ = 0;
+  // Per-subsystem cycle attribution (sim.cycles.* metrics).
+  telemetry::Counter* cycles_transitions_;
+  telemetry::Counter* cycles_crypto_;
 };
 
 // RAII ECALL scope: enters on construction, exits on destruction.

@@ -19,6 +19,7 @@
 #include "src/sim/fault_injector.h"
 #include "src/sim/sgx_driver.h"
 #include "src/sim/vclock.h"
+#include "src/telemetry/telemetry.h"
 
 namespace eleos::sim {
 
@@ -43,6 +44,12 @@ class Machine {
   SgxDriver& driver() { return driver_; }
   // Hostile-host fault injection switchboard (disarmed by default).
   FaultInjector& fault_injector() { return fault_injector_; }
+  // Machine-wide metric registry (counters, latency histograms, trace ring).
+  // Components resolve their metric pointers from it at construction; the
+  // bench harness snapshots it via Registry::ToJson. See DESIGN.md
+  // "Telemetry" for the metric catalogue.
+  telemetry::Registry& metrics() { return metrics_; }
+  const telemetry::Registry& metrics() const { return metrics_; }
 
   // Simulated hardware threads (created eagerly; addresses are stable).
   CpuContext& cpu(size_t i) { return *cpus_[i]; }
@@ -72,6 +79,9 @@ class Machine {
 
  private:
   CostModel costs_;
+  // Declared before the driver/CPUs so metric pointers resolved by other
+  // components during teardown stay valid until the very end.
+  telemetry::Registry metrics_;
   CacheModel llc_;
   Epc epc_;
   SgxDriver driver_;

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "src/common/spinlock.h"
@@ -26,7 +27,8 @@ class PageCache {
       : enclave_(&enclave),
         max_pages_(max_pages),
         target_pages_(max_pages),
-        base_vaddr_(enclave.Alloc(max_pages * sim::kPageSize)) {
+        base_vaddr_(enclave.Alloc(max_pages * sim::kPageSize)),
+        is_free_(max_pages, true) {
     free_list_.reserve(max_pages);
     for (size_t i = max_pages; i > 0; --i) {
       free_list_.push_back(static_cast<int>(i - 1));
@@ -47,12 +49,24 @@ class PageCache {
     }
     const int slot = free_list_.back();
     free_list_.pop_back();
+    is_free_[static_cast<size_t>(slot)] = false;
     ++in_use_;
     return slot;
   }
 
+  // Double-free here is always a caller bug (two PageMeta entries claiming
+  // the same slot), and a silently duplicated free-list entry later hands the
+  // same slot to two pages — data corruption far from the root cause. Fail
+  // loudly at the bug instead.
   void FreeSlot(int slot) {
     std::lock_guard guard(lock_);
+    if (slot < 0 || static_cast<size_t>(slot) >= max_pages_) {
+      throw std::logic_error("PageCache::FreeSlot: slot out of range");
+    }
+    if (is_free_[static_cast<size_t>(slot)]) {
+      throw std::logic_error("PageCache::FreeSlot: double free of slot");
+    }
+    is_free_[static_cast<size_t>(slot)] = true;
     free_list_.push_back(slot);
     --in_use_;
   }
@@ -89,6 +103,7 @@ class PageCache {
   uint64_t base_vaddr_;
   mutable Spinlock lock_;
   std::vector<int> free_list_;
+  std::vector<bool> is_free_;  // per-slot free state for double-free detection
   size_t in_use_ = 0;
 };
 

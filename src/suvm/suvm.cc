@@ -32,7 +32,20 @@ Suvm::Suvm(sim::Enclave& enclave, SuvmConfig config)
       cache_(enclave, config.epc_pp_pages),
       sealer_(crypto::DeriveAesKey("suvm-app-key", config.key_seed).data()),
       slot_to_page_(config.epc_pp_pages, kInvalidAddr),
-      nonce_rng_(config.key_seed ^ 0x9e3779b97f4a7c15ull) {
+      nonce_rng_(config.key_seed ^ 0x9e3779b97f4a7c15ull),
+      major_fault_cycles_(
+          enclave.machine().metrics().GetHistogram("suvm.major_fault_cycles")),
+      minor_fault_cycles_(
+          enclave.machine().metrics().GetHistogram("suvm.minor_fault_cycles")),
+      evict_scan_len_(
+          enclave.machine().metrics().GetHistogram("suvm.evict_scan_len")),
+      cycles_paging_(
+          enclave.machine().metrics().GetCounter("sim.cycles.suvm_paging")),
+      direct_read_bytes_(
+          enclave.machine().metrics().GetCounter("suvm.direct_read_bytes")),
+      direct_write_bytes_(
+          enclave.machine().metrics().GetCounter("suvm.direct_write_bytes")),
+      trace_(&enclave.machine().metrics().trace()) {
   if (sim::kPageSize % config.subpage_size != 0) {
     throw std::invalid_argument("Suvm: subpage_size must divide the page size");
   }
@@ -65,6 +78,39 @@ void Suvm::ThrowStatus(const Status& status) {
   throw std::runtime_error(status.message());
 }
 
+size_t Suvm::PageTableEntries() const {
+  size_t n = 0;
+  for (const Stripe& st : stripes_) {
+    std::lock_guard sl(st.lock);
+    n += st.map.size();
+  }
+  return n;
+}
+
+void Suvm::PublishTelemetry() {
+  telemetry::Registry& r = enclave_->machine().metrics();
+  r.GetCounter("suvm.major_faults")->Set(stats_.major_faults.load());
+  r.GetCounter("suvm.minor_faults")->Set(stats_.minor_faults.load());
+  r.GetCounter("suvm.evictions")->Set(stats_.evictions.load());
+  r.GetCounter("suvm.writebacks")->Set(stats_.writebacks.load());
+  r.GetCounter("suvm.clean_drops")->Set(stats_.clean_drops.load());
+  r.GetCounter("suvm.direct_reads")->Set(stats_.direct_reads.load());
+  r.GetCounter("suvm.direct_writes")->Set(stats_.direct_writes.load());
+  r.GetCounter("suvm.mac_failures")->Set(stats_.mac_failures.load());
+  r.GetCounter("suvm.rollbacks_detected")->Set(stats_.rollbacks_detected.load());
+  r.GetCounter("suvm.retries")->Set(stats_.retries.load());
+  r.GetCounter("suvm.alloc_failures")->Set(stats_.alloc_failures.load());
+  r.GetCounter("suvm.page_table_entries")->Set(PageTableEntries());
+  r.GetCounter("suvm.epc_pp_in_use")->Set(cache_.in_use());
+  r.GetCounter("suvm.epc_pp_target")->Set(cache_.target_pages());
+}
+
+void Suvm::NoteMacFailure(sim::CpuContext* cpu, uint64_t bs_page) {
+  stats_.mac_failures.fetch_add(1, std::memory_order_relaxed);
+  trace_->Record(telemetry::TraceKind::kSuvmMacFailure,
+                 cpu != nullptr ? cpu->clock.now() : 0, bs_page);
+}
+
 uint64_t Suvm::Malloc(size_t bytes) {
   StatusOr<uint64_t> addr = TryMalloc(bytes);
   return addr.ok() ? *addr : kInvalidAddr;
@@ -85,14 +131,19 @@ StatusOr<uint64_t> Suvm::TryMalloc(size_t bytes) {
 }
 
 void Suvm::Free(uint64_t addr) {
-  // Pages overlapped by this allocation may be resident; drop them without
-  // write-back only when the whole page belongs to the freed block (pages
-  // can be shared by multiple sub-page allocations).
+  // Pages overlapped by this allocation may be resident or sealed. A page is
+  // dropped (no write-back, metadata erased) only when it lies *entirely*
+  // inside the freed block — pages can be shared with neighboring sub-page
+  // allocations whose dirty data must survive. On a partially-owned edge
+  // page only the freed byte-range is scrubbed to zero (so a future owner of
+  // these backing-store bytes reads zeros, not a stale neighbor's secrets);
+  // the page itself stays and is sealed back on its normal eviction path.
   const size_t block = store_.BlockSize(addr);
-  if (block >= sim::kPageSize) {
+  if (block > 0) {
     std::lock_guard pg(paging_lock_);
+    const uint64_t end = addr + block;
     for (uint64_t page = addr / sim::kPageSize;
-         page <= (addr + block - 1) / sim::kPageSize; ++page) {
+         page <= (end - 1) / sim::kPageSize; ++page) {
       Stripe& st = StripeFor(page);
       std::lock_guard sl(st.lock);
       auto it = st.map.find(page);
@@ -100,14 +151,54 @@ void Suvm::Free(uint64_t addr) {
         continue;
       }
       PageMeta& m = it->second;
-      if (m.refcount != 0) {
-        throw std::logic_error("Suvm::Free: page still pinned by a spointer");
+      const uint64_t page_start = page * sim::kPageSize;
+      const bool fully_owned =
+          page_start >= addr && page_start + sim::kPageSize <= end;
+      if (fully_owned) {
+        if (m.refcount != 0) {
+          throw std::logic_error("Suvm::Free: page still pinned by a spointer");
+        }
+        if (m.slot >= 0) {
+          slot_to_page_[static_cast<size_t>(m.slot)] = kInvalidAddr;
+          cache_.FreeSlot(m.slot);
+        }
+        st.map.erase(it);
+        continue;
       }
-      if (m.slot >= 0) {
-        slot_to_page_[static_cast<size_t>(m.slot)] = kInvalidAddr;
-        cache_.FreeSlot(m.slot);
+      // Edge page shared with a live neighbor. Bring it resident if it only
+      // exists as a seal, then scrub the freed range in the plaintext copy.
+      if (m.slot < 0 && !m.has_data && m.subs == nullptr) {
+        continue;  // never materialized: already reads as zeros
       }
-      st.map.erase(it);
+      if (m.slot < 0) {
+        int slot = cache_.AllocSlot();
+        while (slot < 0) {
+          if (!EvictOneLocked(nullptr, StripeIndex(page))) {
+            break;  // every slot pinned: leave the stale seal (no reader has
+                    // a live allocation covering the freed range right now)
+          }
+          slot = cache_.AllocSlot();
+        }
+        if (slot < 0) {
+          continue;
+        }
+        if (!LoadPage(nullptr, page, m, slot).ok()) {
+          // Tampered seal: nothing trustworthy to preserve or scrub.
+          cache_.FreeSlot(slot);
+          continue;
+        }
+        m.slot = slot;
+        m.ref_bit = true;
+        m.dirty = false;
+        slot_to_page_[static_cast<size_t>(slot)] = page;
+      }
+      const uint64_t lo = page_start > addr ? page_start : addr;
+      const uint64_t hi =
+          page_start + sim::kPageSize < end ? page_start + sim::kPageSize : end;
+      uint8_t* data = SlotData(nullptr, m.slot, lo - page_start, hi - lo,
+                               /*write=*/true);
+      std::memset(data, 0, hi - lo);
+      m.dirty = true;
     }
   }
   store_.Free(addr);
@@ -124,7 +215,9 @@ void Suvm::TouchIpt(sim::CpuContext* cpu, int slot, bool write) {
   (void)slot;
   (void)write;
   if (cpu != nullptr) {
-    cpu->Charge(enclave_->machine().costs().suvm_pt_lookup_cycles);
+    const uint64_t cycles = enclave_->machine().costs().suvm_pt_lookup_cycles;
+    cpu->Charge(cycles);
+    cycles_paging_->Add(cycles);
   }
 }
 
@@ -148,18 +241,26 @@ int Suvm::PinPage(sim::CpuContext* cpu, uint64_t bs_page) {
 
 Status Suvm::TryPinPage(sim::CpuContext* cpu, uint64_t bs_page, int* slot_out) {
   Stripe& st = StripeFor(bs_page);
+  const uint64_t t0 = cpu != nullptr ? cpu->clock.now() : 0;
 
   // Fast path: resident page (a "minor fault" for an unlinked spointer).
+  // find(), never operator[]: a pure miss must not default-insert a PageMeta —
+  // the entry is created only once a slot is actually being filled, otherwise
+  // miss-heavy probing grows the page table without bound.
   {
     std::lock_guard sl(st.lock);
-    PageMeta& m = st.map[bs_page];
-    if (m.slot >= 0) {
+    auto it = st.map.find(bs_page);
+    if (it != st.map.end() && it->second.slot >= 0) {
+      PageMeta& m = it->second;
       ++m.refcount;
       m.ref_bit = true;
       stats_.minor_faults.fetch_add(1, std::memory_order_relaxed);
       *slot_out = m.slot;
       // One inverse-page-table lookup (reference-count update).
       TouchIpt(cpu, m.slot, /*write=*/true);
+      if (cpu != nullptr) {
+        minor_fault_cycles_->Record(cpu->clock.now() - t0);
+      }
       return Status::Ok();
     }
   }
@@ -167,19 +268,26 @@ Status Suvm::TryPinPage(sim::CpuContext* cpu, uint64_t bs_page, int* slot_out) {
   // Major fault: serialize paging.
   std::lock_guard pg(paging_lock_);
   std::lock_guard sl(st.lock);
-  PageMeta& m = st.map[bs_page];
+  const auto [it, inserted] = st.map.try_emplace(bs_page);
+  PageMeta& m = it->second;
   if (m.slot >= 0) {  // raced with another faulting thread
     ++m.refcount;
     m.ref_bit = true;
     stats_.minor_faults.fetch_add(1, std::memory_order_relaxed);
     *slot_out = m.slot;
     TouchIpt(cpu, m.slot, /*write=*/true);
+    if (cpu != nullptr) {
+      minor_fault_cycles_->Record(cpu->clock.now() - t0);
+    }
     return Status::Ok();
   }
 
   int slot = cache_.AllocSlot();
   while (slot < 0) {
     if (!EvictOneLocked(cpu, StripeIndex(bs_page))) {
+      if (inserted) {
+        st.map.erase(it);  // undo the speculative entry: nothing was paged in
+      }
       return Status::ResourceExhausted(
           "Suvm: EPC++ exhausted — every cached page is pinned");
     }
@@ -188,13 +296,19 @@ Status Suvm::TryPinPage(sim::CpuContext* cpu, uint64_t bs_page, int* slot_out) {
 
   stats_.major_faults.fetch_add(1, std::memory_order_relaxed);
   if (cpu != nullptr) {
-    cpu->Charge(enclave_->machine().costs().suvm_fault_logic_cycles);
+    const uint64_t fault_cycles =
+        enclave_->machine().costs().suvm_fault_logic_cycles;
+    cpu->Charge(fault_cycles);
+    cycles_paging_->Add(fault_cycles);
   }
   const Status status = LoadPage(cpu, bs_page, m, slot);
   if (!status.ok()) {
     // Integrity failure on page-in: return the slot so the cache stays
     // consistent (the page remains non-resident; retrying is safe).
     cache_.FreeSlot(slot);
+    if (inserted) {
+      st.map.erase(it);
+    }
     return status;
   }
   m.slot = slot;
@@ -205,6 +319,12 @@ Status Suvm::TryPinPage(sim::CpuContext* cpu, uint64_t bs_page, int* slot_out) {
   TouchIpt(cpu, slot, /*write=*/true);
   TouchCryptoMeta(cpu, bs_page, /*write=*/false);
   *slot_out = slot;
+  trace_->Record(telemetry::TraceKind::kSuvmMajorFault,
+                 cpu != nullptr ? cpu->clock.now() : 0, bs_page,
+                 static_cast<uint64_t>(slot));
+  if (cpu != nullptr) {
+    major_fault_cycles_->Record(cpu->clock.now() - t0);
+  }
   return Status::Ok();
 }
 
@@ -285,12 +405,17 @@ bool Suvm::EvictOneLocked(sim::CpuContext* cpu, size_t held_stripe) {
         config_.direct_mode
             ? (m.subs != nullptr)  // conservatively: sub seals exist
             : m.has_data;
-    if (m.dirty || !have_seal || !config_.clean_page_skip) {
+    const bool wrote_back = m.dirty || !have_seal || !config_.clean_page_skip;
+    if (wrote_back) {
       SealResident(cpu, bs_page, m);
       stats_.writebacks.fetch_add(1, std::memory_order_relaxed);
     } else {
       stats_.clean_drops.fetch_add(1, std::memory_order_relaxed);
     }
+    evict_scan_len_->Record(scanned + 1);
+    trace_->Record(wrote_back ? telemetry::TraceKind::kSuvmEvictWriteback
+                              : telemetry::TraceKind::kSuvmEvictCleanDrop,
+                   cpu != nullptr ? cpu->clock.now() : 0, bs_page, slot);
     TouchCryptoMeta(cpu, bs_page, /*write=*/true);
     m.slot = -1;
     m.dirty = false;
@@ -339,7 +464,7 @@ Status Suvm::LoadPage(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m,
             ct[0] ^= 0x01;
           }
           if (!ok) {
-            stats_.mac_failures.fetch_add(1, std::memory_order_relaxed);
+            NoteMacFailure(cpu, bs_page);
             return Status::DataCorruption(
                 "Suvm: sub-page integrity check failed");
           }
@@ -399,7 +524,7 @@ Status Suvm::OpenPageCiphertext(sim::CpuContext* cpu, uint64_t bs_page,
       std::memcpy(ct, fresh.data(), sim::kPageSize);
     }
     if (!ok) {
-      stats_.mac_failures.fetch_add(1, std::memory_order_relaxed);
+      NoteMacFailure(cpu, bs_page);
       if (rolled_back) {
         // The enclave-held nonce/tag bind this address to the *newest* seal,
         // so a replayed older seal necessarily fails the MAC — that failure
@@ -570,6 +695,18 @@ void Suvm::Memset(sim::CpuContext* cpu, uint64_t addr, uint8_t value, size_t len
 
 void Suvm::Memcpy(sim::CpuContext* cpu, uint64_t dst, uint64_t src, size_t len) {
   uint8_t buf[512];
+  if (dst > src && dst < src + len) {
+    // Forward-overlapping ranges: front-to-back staging would re-read bytes a
+    // previous chunk already overwrote. Copy back-to-front (memmove-style);
+    // each chunk is staged through buf, so intra-chunk overlap is safe too.
+    while (len > 0) {
+      const size_t chunk = std::min(len, sizeof(buf));
+      len -= chunk;
+      Read(cpu, src + len, buf, chunk);
+      Write(cpu, dst + len, buf, chunk);
+    }
+    return;
+  }
   while (len > 0) {
     const size_t chunk = std::min(len, sizeof(buf));
     Read(cpu, src, buf, chunk);
@@ -637,16 +774,24 @@ Status Suvm::TryReadDirect(sim::CpuContext* cpu, uint64_t addr, void* dst,
 
     Stripe& st = StripeFor(page);
     std::lock_guard sl(st.lock);
-    PageMeta& m = st.map[page];
+    // Reads never materialize page-table entries: a miss on a never-written
+    // page is answered with zeros straight away (default-inserting here let
+    // read-only probes grow the page table without bound).
+    auto it = st.map.find(page);
     stats_.direct_reads.fetch_add(1, std::memory_order_relaxed);
+    direct_read_bytes_->Add(chunk);
     TouchCryptoMeta(cpu, page, /*write=*/false);
-    if (m.slot >= 0) {
+    if (it == st.map.end()) {
+      std::memset(out, 0, chunk);  // never-written data reads as zero
+    } else if (it->second.slot >= 0) {
       // Consistency: the cached copy wins (paper: "reads are consistent by
       // checking that the page is not resident in the page cache first").
+      PageMeta& m = it->second;
       m.ref_bit = true;
       const uint8_t* data = SlotData(cpu, m.slot, page_off, chunk, false);
       std::memcpy(out, data, chunk);
     } else {
+      PageMeta& m = it->second;
       Status status = DirectSubRead(cpu, m, page, sub, sub_off, out, chunk);
       if (status.code() == StatusCode::kDataCorruption) {
         stats_.retries.fetch_add(1, std::memory_order_relaxed);
@@ -679,8 +824,12 @@ Status Suvm::TryWriteDirect(sim::CpuContext* cpu, uint64_t addr, const void* src
 
     Stripe& st = StripeFor(page);
     std::lock_guard sl(st.lock);
-    PageMeta& m = st.map[page];
+    // Writes legitimately materialize an entry (the page now has contents),
+    // but a failed write must not leave a husk behind.
+    const auto [it, inserted] = st.map.try_emplace(page);
+    PageMeta& m = it->second;
     stats_.direct_writes.fetch_add(1, std::memory_order_relaxed);
+    direct_write_bytes_->Add(chunk);
     TouchCryptoMeta(cpu, page, /*write=*/true);
     if (m.slot >= 0) {
       m.ref_bit = true;
@@ -694,6 +843,9 @@ Status Suvm::TryWriteDirect(sim::CpuContext* cpu, uint64_t addr, const void* src
         status = DirectSubWrite(cpu, m, page, sub, sub_off, in, chunk);
       }
       if (!status.ok()) {
+        if (inserted) {
+          st.map.erase(it);
+        }
         return status;
       }
     }
@@ -730,7 +882,7 @@ Status Suvm::DirectSubRead(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
       ct[0] ^= 0x01;
     }
     if (!ok) {
-      stats_.mac_failures.fetch_add(1, std::memory_order_relaxed);
+      NoteMacFailure(cpu, bs_page);
       return Status::DataCorruption("Suvm: sub-page integrity check failed");
     }
   }
@@ -767,7 +919,7 @@ Status Suvm::DirectSubWrite(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
         ct[0] ^= 0x01;
       }
       if (!ok) {
-        stats_.mac_failures.fetch_add(1, std::memory_order_relaxed);
+        NoteMacFailure(cpu, bs_page);
         return Status::DataCorruption("Suvm: sub-page integrity check failed");
       }
     }
@@ -815,10 +967,21 @@ size_t Suvm::BalloonPass(sim::CpuContext* cpu) {
   sim::SgxDriver& driver = enclave_->machine().driver();
   const size_t share = driver.AvailableFramesFor(enclave_->id());
   // Leave room for the enclave's non-EPC++ pages (metadata tables, app heap).
-  const size_t other_pages = enclave_->reserved_pages() - cache_.max_pages();
+  // An enclave sized tighter than its cache (reserved < max_pages) must clamp
+  // to zero here — the unsigned subtraction would otherwise wrap and compute
+  // an astronomically large slack, ballooning the cache down to one page.
+  const size_t reserved = enclave_->reserved_pages();
+  const size_t other_pages =
+      reserved > cache_.max_pages() ? reserved - cache_.max_pages() : 0;
   const size_t slack = other_pages + config_.swapper_low_watermark + 8;
   const size_t target = share > slack ? share - slack : 1;
+  const size_t before = cache_.target_pages();
   ResizeEpcPp(cpu, target);
+  if (cache_.target_pages() != before) {
+    trace_->Record(telemetry::TraceKind::kSuvmBalloonResize,
+                   cpu != nullptr ? cpu->clock.now() : 0, before,
+                   cache_.target_pages());
+  }
   return cache_.target_pages();
 }
 

@@ -35,6 +35,7 @@
 #include "src/sim/fault_injector.h"
 #include "src/suvm/backing_store.h"
 #include "src/suvm/page_cache.h"
+#include "src/telemetry/telemetry.h"
 
 namespace eleos::suvm {
 
@@ -146,6 +147,15 @@ class Suvm {
   const Stats& stats() const { return stats_; }
   void ResetStats();
 
+  // Live page-table footprint: the number of PageMeta entries across all
+  // stripes. Bounded by the touched working set — read-only misses must NOT
+  // grow it (regression guard for the default-insert bug).
+  size_t PageTableEntries() const;
+
+  // Mirrors Stats and the page-table gauge into the machine's metric
+  // registry under suvm.*; latency/scan histograms are recorded live.
+  void PublishTelemetry();
+
   sim::Enclave& enclave() { return *enclave_; }
   const SuvmConfig& config() const { return config_; }
   PageCache& page_cache() { return cache_; }
@@ -172,11 +182,14 @@ class Suvm {
 
   static constexpr size_t kStripes = 64;
   struct Stripe {
-    Spinlock lock;
+    mutable Spinlock lock;
     std::unordered_map<uint64_t, PageMeta> map;
   };
 
   Stripe& StripeFor(uint64_t bs_page) { return stripes_[bs_page % kStripes]; }
+  const Stripe& StripeFor(uint64_t bs_page) const {
+    return stripes_[bs_page % kStripes];
+  }
   static size_t StripeIndex(uint64_t bs_page) { return bs_page % kStripes; }
 
   // Paging internals. EvictOneLocked requires paging_lock_ held;
@@ -194,6 +207,9 @@ class Suvm {
   Status OpenPageCiphertext(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m,
                             uint8_t* dst);
   [[noreturn]] static void ThrowStatus(const Status& status);
+
+  // Bumps mac_failures and drops a trace event (all four Open sites).
+  void NoteMacFailure(sim::CpuContext* cpu, uint64_t bs_page);
 
   // Accounting touches on SUVM's own (EPC-resident, natively evictable)
   // metadata tables.
@@ -235,6 +251,17 @@ class Suvm {
   Spinlock nonce_lock_;
   Xoshiro256 nonce_rng_;
   Stats stats_;
+
+  // Telemetry (resolved from the machine's registry at construction; the
+  // registry outlives this object). Histograms are hot-path-cheap (relaxed
+  // atomics); the trace ring records only rare paging events.
+  telemetry::Histogram* major_fault_cycles_;
+  telemetry::Histogram* minor_fault_cycles_;
+  telemetry::Histogram* evict_scan_len_;
+  telemetry::Counter* cycles_paging_;
+  telemetry::Counter* direct_read_bytes_;
+  telemetry::Counter* direct_write_bytes_;
+  telemetry::TraceRing* trace_;
 };
 
 }  // namespace eleos::suvm

@@ -1,0 +1,241 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include "src/telemetry/telemetry.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+
+namespace eleos::telemetry {
+namespace {
+
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+// Metric names are [a-z0-9._] identifiers, so escaping is a formality; keep
+// it anyway so an odd name can never produce malformed JSON.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double Histogram::Percentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) {
+    return 0.0;
+  }
+  if (p < 0.0) {
+    p = 0.0;
+  }
+  if (p > 100.0) {
+    p = 100.0;
+  }
+  // The sample with (1-based) rank ceil(p/100 * n).
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(n));
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    const uint64_t c = bucket(b);
+    if (c == 0) {
+      continue;
+    }
+    if (seen + c >= rank) {
+      // Linear interpolation inside the bucket's value range.
+      const double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(c);
+      const double lo = static_cast<double>(BucketLower(b));
+      const double hi = static_cast<double>(BucketUpper(b));
+      return lo + (hi - lo) * frac;
+    }
+    seen += c;
+  }
+  return static_cast<double>(BucketUpper(kBuckets - 1));
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSuvmMajorFault:
+      return "suvm_major_fault";
+    case TraceKind::kSuvmEvictWriteback:
+      return "suvm_evict_writeback";
+    case TraceKind::kSuvmEvictCleanDrop:
+      return "suvm_evict_clean_drop";
+    case TraceKind::kSuvmMacFailure:
+      return "suvm_mac_failure";
+    case TraceKind::kRpcFallbackOcall:
+      return "rpc_fallback_ocall";
+    case TraceKind::kRpcWorkerRespawn:
+      return "rpc_worker_respawn";
+    case TraceKind::kSuvmBalloonResize:
+      return "suvm_balloon_resize";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRing::Record(TraceKind kind, uint64_t tsc, uint64_t arg0,
+                       uint64_t arg1) {
+  std::lock_guard guard(lock_);
+  TraceEvent& e = ring_[next_seq_ % ring_.size()];
+  e.seq = next_seq_++;
+  e.tsc = tsc;
+  e.kind = kind;
+  e.arg0 = arg0;
+  e.arg1 = arg1;
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  std::lock_guard guard(lock_);
+  const size_t n = next_seq_ < ring_.size() ? next_seq_ : ring_.size();
+  std::vector<TraceEvent> out;
+  out.reserve(n);
+  const uint64_t first = next_seq_ - n;
+  for (uint64_t s = first; s < next_seq_; ++s) {
+    out.push_back(ring_[s % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t TraceRing::recorded() const {
+  std::lock_guard guard(lock_);
+  return next_seq_;
+}
+
+uint64_t TraceRing::dropped() const {
+  std::lock_guard guard(lock_);
+  return next_seq_ < ring_.size() ? 0 : next_seq_ - ring_.size();
+}
+
+void TraceRing::Reset() {
+  std::lock_guard guard(lock_);
+  next_seq_ = 0;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard guard(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard guard(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+std::string HistogramToJson(const Histogram& h) {
+  std::string out = "{";
+  AppendF(out, "\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"mean\":%.1f",
+          h.count(), h.sum(), h.mean());
+  AppendF(out, ",\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f", h.Percentile(50),
+          h.Percentile(95), h.Percentile(99));
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+    const uint64_t c = h.bucket(b);
+    if (c == 0) {
+      continue;
+    }
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    AppendF(out, "{\"lower\":%" PRIu64 ",\"count\":%" PRIu64 "}",
+            Histogram::BucketLower(b), c);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Registry::ToJson(size_t trace_events) const {
+  std::lock_guard guard(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    AppendF(out, "\"%s\":%" PRIu64, JsonEscape(name).c_str(), c->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    AppendF(out, "\"%s\":", JsonEscape(name).c_str());
+    out += HistogramToJson(*h);
+  }
+  out += "},\"trace\":{";
+  AppendF(out, "\"recorded\":%" PRIu64 ",\"dropped\":%" PRIu64 ",\"events\":[",
+          trace_.recorded(), trace_.dropped());
+  std::vector<TraceEvent> events = trace_.Snapshot();
+  const size_t start =
+      events.size() > trace_events ? events.size() - trace_events : 0;
+  for (size_t i = start; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i != start) {
+      out += ',';
+    }
+    AppendF(out,
+            "{\"seq\":%" PRIu64 ",\"tsc\":%" PRIu64
+            ",\"kind\":\"%s\",\"arg0\":%" PRIu64 ",\"arg1\":%" PRIu64 "}",
+            e.seq, e.tsc, TraceKindName(e.kind), e.arg0, e.arg1);
+  }
+  out += "]}}";
+  return out;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard guard(mutex_);
+  for (auto& [name, c] : counters_) {
+    c->Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h->Reset();
+  }
+  trace_.Reset();
+}
+
+}  // namespace eleos::telemetry

@@ -1,0 +1,195 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Lightweight in-enclave observability: named counters, fixed-bucket (log2)
+// latency histograms, and a bounded trace ring for paging/RPC events.
+//
+// Design constraints (the paper's claims are quantitative, so measurement
+// must not distort them):
+//  * Recording a counter or histogram sample is lock-free — a handful of
+//    relaxed atomic adds, no branches beyond the bucket index. Safe to call
+//    from enclave threads and untrusted workers concurrently.
+//  * Metric registration (GetCounter/GetHistogram) is the cold path and takes
+//    a mutex; components resolve their metric pointers once at construction
+//    and keep them for their lifetime. Pointers are stable until the Registry
+//    dies (the Registry must outlive every component that records into it —
+//    in practice it is owned by sim::Machine, the root object).
+//  * The trace ring is bounded (overwrites oldest) and spinlocked: trace
+//    events are rare (major faults, evictions, RPC fallbacks), never
+//    per-memory-access.
+//
+// Snapshots (ToJson) are racy-but-consistent-enough: relaxed loads of
+// monotonic values, which is all the benchmark harness needs.
+
+#ifndef ELEOS_SRC_TELEMETRY_TELEMETRY_H_
+#define ELEOS_SRC_TELEMETRY_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/spinlock.h"
+
+namespace eleos::telemetry {
+
+// Monotonic named counter. `Set` exists so components that already keep
+// authoritative atomics (e.g. Suvm::Stats) can mirror them into the registry
+// at snapshot time without double-counting the hot path.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Log2-bucketed histogram: bucket b counts samples v with bit_width(v) == b,
+// i.e. bucket 0 holds v == 0 and bucket b >= 1 holds [2^(b-1), 2^b).
+// 65 buckets cover the full uint64 range. Percentiles interpolate linearly
+// inside the winning bucket, so p50/p95/p99 carry at worst a 2x quantization
+// error — adequate for latency *distributions* (orders of magnitude and tail
+// shifts), which is what adaptive policies consume.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t v) {
+    buckets_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  // Percentile estimate (p in [0, 100]) from the bucket counts.
+  double Percentile(double p) const;
+
+  void Reset();
+
+  static size_t BucketFor(uint64_t v) {
+    size_t b = 0;
+    while (v != 0) {
+      ++b;
+      v >>= 1;
+    }
+    return b;
+  }
+  // [lower, upper) value range of bucket b.
+  static uint64_t BucketLower(size_t b) {
+    return b == 0 ? 0 : (b == 1 ? 1 : 1ull << (b - 1));
+  }
+  static uint64_t BucketUpper(size_t b) {
+    return b == 0 ? 1 : (b >= 64 ? UINT64_MAX : 1ull << b);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// Event kinds recorded into the trace ring. Kept coarse on purpose: the ring
+// answers "what was the system doing around this anomaly", not "every access".
+enum class TraceKind : uint32_t {
+  kSuvmMajorFault = 0,
+  kSuvmEvictWriteback = 1,
+  kSuvmEvictCleanDrop = 2,
+  kSuvmMacFailure = 3,
+  kRpcFallbackOcall = 4,
+  kRpcWorkerRespawn = 5,
+  kSuvmBalloonResize = 6,
+};
+
+const char* TraceKindName(TraceKind kind);
+
+struct TraceEvent {
+  uint64_t seq = 0;    // global sequence number (monotonic)
+  uint64_t tsc = 0;    // recording CPU's virtual-cycle clock (0 if unbound)
+  TraceKind kind = TraceKind::kSuvmMajorFault;
+  uint64_t arg0 = 0;   // kind-specific (e.g. bs_page, slot, io_bytes)
+  uint64_t arg1 = 0;
+};
+
+// Bounded ring of recent TraceEvents; overwrites the oldest when full.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 1024);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void Record(TraceKind kind, uint64_t tsc, uint64_t arg0 = 0,
+              uint64_t arg1 = 0);
+
+  // Retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+  uint64_t recorded() const;
+  uint64_t dropped() const;  // recorded - retained
+  size_t capacity() const { return ring_.size(); }
+  void Reset();
+
+ private:
+  mutable Spinlock lock_;
+  std::vector<TraceEvent> ring_;
+  uint64_t next_seq_ = 0;
+};
+
+// The metric registry: owns every metric; names are stable identifiers (see
+// DESIGN.md "Telemetry" for the catalogue). Lookup interns by name, so two
+// components asking for the same name share the metric.
+class Registry {
+ public:
+  Registry() = default;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+  TraceRing& trace() { return trace_; }
+  const TraceRing& trace() const { return trace_; }
+
+  // JSON object {"counters":{...},"histograms":{...},"trace":{...}} with
+  // keys sorted by name. `trace_events` bounds the number of (most recent)
+  // events embedded in the snapshot.
+  std::string ToJson(size_t trace_events = 64) const;
+
+  // Zeroes every metric and the ring (bench harness phase separation).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mutex_;  // registration + snapshot iteration only
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  TraceRing trace_;
+};
+
+// Serializes one histogram as a JSON object (count/sum/mean/p50/p95/p99 and
+// the non-empty buckets). Shared by Registry::ToJson and tests.
+std::string HistogramToJson(const Histogram& h);
+
+}  // namespace eleos::telemetry
+
+#endif  // ELEOS_SRC_TELEMETRY_TELEMETRY_H_

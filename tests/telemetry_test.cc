@@ -1,0 +1,180 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Telemetry layer: counters, log2 histograms (bucketing, percentiles),
+// bounded trace ring, registry interning, and JSON snapshots.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/telemetry/telemetry.h"
+
+namespace eleos::telemetry {
+namespace {
+
+TEST(Counter, AddSetReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Set(7);
+  EXPECT_EQ(c.value(), 7u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  EXPECT_EQ(Histogram::BucketFor(0), 0u);
+  EXPECT_EQ(Histogram::BucketFor(1), 1u);
+  EXPECT_EQ(Histogram::BucketFor(2), 2u);
+  EXPECT_EQ(Histogram::BucketFor(3), 2u);
+  EXPECT_EQ(Histogram::BucketFor(4), 3u);
+  EXPECT_EQ(Histogram::BucketFor(UINT64_MAX), 64u);
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+    // Every bucket's own bounds map back into the bucket.
+    EXPECT_EQ(Histogram::BucketFor(Histogram::BucketLower(b)), b);
+    EXPECT_LT(Histogram::BucketLower(b), Histogram::BucketUpper(b));
+  }
+}
+
+TEST(Histogram, CountSumMean) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, PercentilesAreOrderedAndBucketAccurate) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) {
+    h.Record(100);  // bucket [64, 128)
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Record(100000);  // bucket [65536, 131072)
+  }
+  const double p50 = h.Percentile(50);
+  const double p95 = h.Percentile(95);
+  const double p99 = h.Percentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Log2 buckets promise at worst 2x quantization error.
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LT(p50, 128.0);
+  EXPECT_GE(p99, 65536.0);
+  EXPECT_LT(p99, 131072.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(Histogram, ConcurrentRecordsAllLand) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : ts) {
+    t.join();
+  }
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(TraceRing, BoundedOverwriteOldestFirst) {
+  TraceRing ring(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ring.Record(TraceKind::kSuvmMajorFault, /*tsc=*/i, /*arg0=*/i);
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  const std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6 + i);  // oldest retained first
+    EXPECT_EQ(events[i].arg0, 6 + i);
+  }
+  ring.Reset();
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_TRUE(ring.Snapshot().empty());
+}
+
+TEST(Registry, InternsByName) {
+  Registry r;
+  Counter* a = r.GetCounter("x.count");
+  Counter* b = r.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(r.GetCounter("y.count"), a);
+  Histogram* h1 = r.GetHistogram("x.lat");
+  Histogram* h2 = r.GetHistogram("x.lat");
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(Registry, ToJsonContainsMetricsAndTrace) {
+  Registry r;
+  r.GetCounter("suvm.major_faults")->Set(3);
+  r.GetHistogram("rpc.call_cycles")->Record(1000);
+  r.trace().Record(TraceKind::kRpcFallbackOcall, 42, 1);
+  const std::string json = r.ToJson();
+  EXPECT_NE(json.find("\"suvm.major_faults\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rpc.call_cycles\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("rpc_fallback_ocall"), std::string::npos);
+  // Crude structural check: balanced braces, no trailing comma before '}'.
+  int depth = 0;
+  for (size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '{') {
+      ++depth;
+    } else if (json[i] == '}') {
+      --depth;
+      ASSERT_GE(depth, 0);
+      ASSERT_NE(json[i - 1], ',') << "trailing comma at " << i;
+    }
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Registry, ResetAllZeroesEverything) {
+  Registry r;
+  r.GetCounter("a")->Add(5);
+  r.GetHistogram("b")->Record(9);
+  r.trace().Record(TraceKind::kSuvmEvictWriteback, 1);
+  r.ResetAll();
+  EXPECT_EQ(r.GetCounter("a")->value(), 0u);
+  EXPECT_EQ(r.GetHistogram("b")->count(), 0u);
+  EXPECT_EQ(r.trace().recorded(), 0u);
+}
+
+TEST(TraceKindNames, AllDistinct) {
+  const TraceKind kinds[] = {
+      TraceKind::kSuvmMajorFault,    TraceKind::kSuvmEvictWriteback,
+      TraceKind::kSuvmEvictCleanDrop, TraceKind::kSuvmMacFailure,
+      TraceKind::kRpcFallbackOcall,  TraceKind::kRpcWorkerRespawn,
+      TraceKind::kSuvmBalloonResize,
+  };
+  std::vector<std::string> names;
+  for (TraceKind k : kinds) {
+    names.emplace_back(TraceKindName(k));
+  }
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_FALSE(names[i].empty());
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eleos::telemetry
