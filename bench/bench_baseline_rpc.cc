@@ -5,6 +5,14 @@
 // submit→complete virtual-cycle latency plus a full metric snapshot, so CI
 // and future PRs can diff performance against a recorded baseline.
 //
+// Besides the benign inline baseline, the bench runs a hostile profile pair
+// (threaded dispatch under a permanently "full" host queue) that pits a
+// static spin budget against the circuit breaker: the static config burns
+// its submit budget on every call before falling back, while the breaker
+// opens after a few timeouts and routes calls straight to the OCALL path,
+// capping tail latency. Both hostile runs are fully deterministic — no call
+// ever reaches the worker, so no wall-clock race leaks into virtual cycles.
+//
 // Usage: bench_baseline_rpc [--smoke] [--out <path>]
 
 #include <cstring>
@@ -13,6 +21,59 @@
 #include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "src/rpc/rpc_manager.h"
+#include "src/sim/fault_injector.h"
+
+namespace {
+
+struct HostileResult {
+  std::string latency_json;
+  uint64_t submit_timeouts = 0;
+  uint64_t fallback_ocalls = 0;
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_short_circuits = 0;
+  uint64_t breaker_probes = 0;
+  double p99 = 0.0;
+};
+
+// One hostile run on a fresh machine: every submit finds the queue "full".
+HostileResult RunHostile(size_t calls, size_t io_bytes, bool breaker) {
+  using namespace eleos;
+  sim::Machine machine(bench::FastMachine());
+  sim::Enclave enclave(machine);
+  rpc::RpcManager::Options opts;
+  opts.mode = rpc::RpcManager::Mode::kThreaded;
+  opts.workers = 1;
+  opts.submit_spin_budget = 1 << 12;  // burned whole on every static-call
+  opts.breaker_enabled = breaker;
+  opts.adaptive_spin = breaker;  // static profile = fixed budget, no healing
+  rpc::RpcManager rpc(enclave, opts);
+  sim::CpuContext& cpu = machine.cpu(0);
+
+  machine.fault_injector().Arm(sim::Fault::kQueueFull, 1.0);
+  enclave.Enter(cpu);
+  uint64_t sink = 0;
+  for (size_t i = 0; i < calls; ++i) {
+    sink += rpc.Call(&cpu, io_bytes, [i] { return i ^ 0x5aull; });
+  }
+  enclave.Exit(cpu);
+  machine.fault_injector().Disarm(sim::Fault::kQueueFull);
+  machine.PublishAll();
+
+  const telemetry::Histogram* lat =
+      machine.metrics().GetHistogram("rpc.call_cycles");
+  HostileResult r;
+  r.latency_json = bench::LatencyJson(*lat);
+  r.submit_timeouts = rpc.submit_timeouts();
+  r.fallback_ocalls = rpc.fallback_ocalls();
+  r.breaker_opens = rpc.breaker_opens();
+  r.breaker_short_circuits = rpc.breaker_short_circuits();
+  r.breaker_probes = rpc.breaker_probes();
+  r.p99 = lat->Percentile(99);
+  (void)sink;
+  return r;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace eleos;
@@ -31,6 +92,7 @@ int main(int argc, char** argv) {
   }
 
   const size_t kCalls = smoke ? 2000 : 200000;
+  const size_t kHostileCalls = smoke ? 2000 : 20000;
   const size_t kIoBytes = 256;
 
   sim::Machine machine(bench::FastMachine());
@@ -44,7 +106,12 @@ int main(int argc, char** argv) {
     sink += rpc.Call(&cpu, kIoBytes, [i] { return i ^ 0x5aull; });
   }
   enclave.Exit(cpu);
-  rpc.PublishTelemetry();
+  machine.PublishAll();
+
+  const HostileResult stat =
+      RunHostile(kHostileCalls, kIoBytes, /*breaker=*/false);
+  const HostileResult brk =
+      RunHostile(kHostileCalls, kIoBytes, /*breaker=*/true);
 
   const telemetry::Histogram* lat =
       machine.metrics().GetHistogram("rpc.call_cycles");
@@ -56,6 +123,19 @@ int main(int argc, char** argv) {
           bench::JsonKv("calls", kCalls) + ", " +
           bench::JsonKv("io_bytes", kIoBytes) + "},\n";
   json += "  \"latency_cycles\": " + bench::LatencyJson(*lat) + ",\n";
+  json += "  \"hostile\": {\n";
+  json += "    \"workload\": {" + bench::JsonKv("dispatch", "threaded") +
+          ", " + bench::JsonKv("calls", kHostileCalls) + ", " +
+          bench::JsonKv("fault", "queue_full") + "},\n";
+  json += "    \"static\": {\"latency_cycles\": " + stat.latency_json + ", " +
+          bench::JsonKv("submit_timeouts", stat.submit_timeouts) + ", " +
+          bench::JsonKv("fallback_ocalls", stat.fallback_ocalls) + "},\n";
+  json += "    \"breaker\": {\"latency_cycles\": " + brk.latency_json + ", " +
+          bench::JsonKv("breaker_opens", brk.breaker_opens) + ", " +
+          bench::JsonKv("breaker_short_circuits", brk.breaker_short_circuits) +
+          ", " + bench::JsonKv("breaker_probes", brk.breaker_probes) + ", " +
+          bench::JsonKv("fallback_ocalls", brk.fallback_ocalls) + "}\n";
+  json += "  },\n";
   json += "  \"metrics\": " + machine.metrics().ToJson() + "\n";
   json += "}\n";
 
@@ -63,8 +143,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_baseline_rpc: cannot write %s\n", out.c_str());
     return 1;
   }
-  std::printf("bench_baseline_rpc: %zu calls, p50=%.0f p99=%.0f cycles -> %s\n",
-              kCalls, lat->Percentile(50), lat->Percentile(99), out.c_str());
+  std::printf("bench_baseline_rpc: %zu calls, p50=%.0f p99=%.0f cycles; "
+              "hostile p99 static=%.0f breaker=%.0f -> %s\n",
+              kCalls, lat->Percentile(50), lat->Percentile(99), stat.p99,
+              brk.p99, out.c_str());
   (void)sink;
   return 0;
 }

@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
               buf.size());
   }
   enclave.Exit(cpu);
-  suvm.PublishTelemetry();
+  machine.PublishAll();
 
   const telemetry::Histogram* major =
       machine.metrics().GetHistogram("suvm.major_fault_cycles");

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full-length chaos soak: the deterministic fault-schedule harness at scale
+# (default 1.2M ops per seed, three seeds). The tier-1 suite runs the same
+# harness as a ~30k-op smoke; this script is the long version referenced by
+# the `chaos_soak_full` ctest registration (label `soak`, disabled by
+# default so plain `ctest` stays fast).
+#
+# Usage: scripts/soak.sh [build_dir]
+#   ELEOS_SOAK_OPS    ops per seed            (default 1200000)
+#   ELEOS_SOAK_SEEDS  space-separated seeds   (default "1 2 3")
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+OPS="${ELEOS_SOAK_OPS:-1200000}"
+SEEDS="${ELEOS_SOAK_SEEDS:-1 2 3}"
+
+if [[ ! -x "$BUILD/tests/chaos_soak_test" ]]; then
+  echo "soak.sh: $BUILD/tests/chaos_soak_test not built (run cmake --build $BUILD)" >&2
+  exit 2
+fi
+
+for seed in $SEEDS; do
+  echo "=== chaos soak: seed=$seed ops=$OPS ==="
+  ELEOS_SOAK_OPS="$OPS" ELEOS_SOAK_SEED="$seed" \
+    "$BUILD/tests/chaos_soak_test"
+done
+echo "=== chaos soak: all seeds clean ==="

@@ -1,26 +1,37 @@
 #!/usr/bin/env bash
 # Tier-1 verification.
 #
-# 1. Full build + the whole test suite (the seed's tier-1 gate).
+# 1. Full build + the whole test suite (the seed's tier-1 gate). The long
+#    chaos soak (label `soak`) is excluded here — its smoke variant runs as a
+#    normal test; the full-length run is scripts/soak.sh.
 # 2. A ThreadSanitizer build (-DELEOS_SANITIZE=thread) re-running the
 #    concurrency-sensitive suites: the lock-free job queue / worker pool /
 #    watchdog, SUVM's striped paging locks, the relaxed-atomic telemetry
-#    layer, and the fault-injection paths that deliberately race workers
-#    against submitter timeouts.
-# 3. A benchmark smoke stage: runs the baseline benches end-to-end and
+#    layer, the HealthFsm, and the fault-injection paths that deliberately
+#    race workers against submitter timeouts.
+# 3. An ASan+UBSan build re-running the hostile-host suites: fault injection,
+#    the chaos-soak smoke, and the secure channel — the paths that poke at
+#    lifetimes (abandoned jobs, quarantined pages, tampered slots).
+# 4. A benchmark smoke stage: runs the baseline benches end-to-end and
 #    validates the emitted BENCH_*.json (fails on malformed/empty output).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S .
 cmake --build build -j
-(cd build && ctest --output-on-failure -j"$(nproc)")
+(cd build && ctest --output-on-failure -j"$(nproc)" -LE soak)
 
-TSAN_TESTS='^(rpc_test|rpc_stress_test|suvm_test|suvm_property_test|fault_injection_test|telemetry_test)$'
+TSAN_TESTS='^(rpc_test|rpc_stress_test|suvm_test|suvm_property_test|fault_injection_test|telemetry_test|health_test)$'
 cmake -B build-tsan -S . -DELEOS_SANITIZE=thread
 cmake --build build-tsan -j --target \
   rpc_test rpc_stress_test suvm_test suvm_property_test fault_injection_test \
-  telemetry_test
+  telemetry_test health_test
 (cd build-tsan && ctest --output-on-failure -R "$TSAN_TESTS")
+
+ASAN_TESTS='^(fault_injection_test|chaos_soak_test|secure_channel_test)$'
+cmake -B build-asan -S . -DELEOS_SANITIZE=address,undefined
+cmake --build build-asan -j --target \
+  fault_injection_test chaos_soak_test secure_channel_test
+(cd build-asan && ctest --output-on-failure -R "$ASAN_TESTS")
 
 OUT_DIR="$(mktemp -d)" scripts/bench.sh --smoke

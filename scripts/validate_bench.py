@@ -6,6 +6,10 @@ Checks (per file):
   * latency_cycles has count > 0 and p50 <= p95 <= p99
   * every embedded histogram block is internally consistent
   * metrics.counters is present and non-empty
+  * rpc_baseline: the hostile profile pair is present, the breaker run
+    reports its self-healing counters, and the breaker's p99 does not
+    exceed the static-budget p99 (the tail-latency cap the breaker buys)
+  * suvm_baseline: the quarantine counters are present in the snapshot
 
 Exits non-zero with a message naming the offending file/field, so tier1.sh
 fails on malformed or empty output.
@@ -31,6 +35,31 @@ def check_latency_block(path: str, name: str, block: dict) -> None:
 def fail(msg: str) -> None:
     print(f"validate_bench: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_rpc_hostile(path: str, doc: dict) -> None:
+    hostile = doc.get("hostile")
+    if not isinstance(hostile, dict):
+        fail(f"{path}: rpc_baseline is missing the hostile profile pair")
+    for profile in ("static", "breaker"):
+        block = hostile.get(profile)
+        if not isinstance(block, dict) or "latency_cycles" not in block:
+            fail(f"{path}: hostile.{profile}.latency_cycles missing")
+        check_latency_block(
+            path, f"hostile.{profile}.latency_cycles", block["latency_cycles"]
+        )
+    for key in ("breaker_opens", "breaker_short_circuits", "breaker_probes"):
+        if key not in hostile["breaker"]:
+            fail(f"{path}: hostile.breaker is missing '{key}'")
+    if hostile["breaker"]["breaker_opens"] <= 0:
+        fail(f"{path}: hostile.breaker never opened the breaker")
+    static_p99 = hostile["static"]["latency_cycles"]["p99"]
+    breaker_p99 = hostile["breaker"]["latency_cycles"]["p99"]
+    if breaker_p99 > static_p99:
+        fail(
+            f"{path}: breaker p99 ({breaker_p99}) exceeds static-budget "
+            f"p99 ({static_p99}) — the breaker is not capping spin cost"
+        )
 
 
 def validate(path: str) -> None:
@@ -68,6 +97,13 @@ def validate(path: str) -> None:
         fail(f"{path}: metrics.counters is missing or empty")
     if any(not isinstance(v, int) or v < 0 for v in counters.values()):
         fail(f"{path}: metrics.counters has non-integer or negative values")
+
+    if doc["bench"] == "rpc_baseline":
+        check_rpc_hostile(path, doc)
+    if doc["bench"] == "suvm_baseline":
+        for key in ("suvm.pages_quarantined", "suvm.pages_restored"):
+            if key not in counters:
+                fail(f"{path}: metrics.counters is missing '{key}'")
 
     print(f"validate_bench: OK: {path} ({doc['bench']}, {doc['mode']}, "
           f"{len(counters)} counters)")

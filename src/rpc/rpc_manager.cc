@@ -2,16 +2,36 @@
 
 #include "src/rpc/rpc_manager.h"
 
+#include <algorithm>
+
 namespace eleos::rpc {
+namespace {
+
+void CanaryNop(void*) {}
+
+}  // namespace
 
 RpcManager::RpcManager(sim::Enclave& enclave, Options options)
     : enclave_(&enclave),
       mode_(options.mode),
       use_cat_(options.use_cat),
+      options_(options),
       submit_spin_budget_(options.submit_spin_budget),
       await_spin_budget_(options.await_spin_budget),
+      min_submit_spin_budget_(std::max<uint64_t>(
+          1, std::min(options.min_submit_spin_budget,
+                      options.submit_spin_budget))),
+      min_await_spin_budget_(std::max<uint64_t>(
+          1, std::min(options.min_await_spin_budget,
+                      options.await_spin_budget))),
+      breaker_(HealthFsm::Options{
+          // threshold 0 disables the FSM: Admit() always allows.
+          options.breaker_enabled ? options.breaker_failure_threshold : 0,
+          options.breaker_probe_interval}),
       call_cycles_(enclave.machine().metrics().GetHistogram("rpc.call_cycles")),
-      cycles_rpc_(enclave.machine().metrics().GetCounter("sim.cycles.rpc")) {
+      cycles_rpc_(enclave.machine().metrics().GetCounter("sim.cycles.rpc")),
+      breaker_state_gauge_(
+          enclave.machine().metrics().GetCounter("rpc.breaker_state")) {
   if (use_cat_) {
     enclave_->machine().llc().EnablePartitioning(0.75);
   }
@@ -21,9 +41,12 @@ RpcManager::RpcManager(sim::Enclave& enclave, Options options)
     pool_ = std::make_unique<WorkerPool>(*queue_, options.workers, faults,
                                          &enclave_->machine().metrics().trace());
   }
+  publisher_id_ =
+      enclave_->machine().AddPublisher([this] { PublishTelemetry(); });
 }
 
 RpcManager::~RpcManager() {
+  enclave_->machine().RemovePublisher(publisher_id_);
   pool_.reset();  // join workers before the queue dies
   if (use_cat_) {
     enclave_->machine().llc().DisablePartitioning();
@@ -49,16 +72,123 @@ void RpcManager::ChargeSubmit(sim::CpuContext* cpu, size_t io_bytes) {
   m.PolluteCache(io_bytes + c.syscall_kernel_footprint, worker_cos);
 }
 
-void RpcManager::CountFallback(sim::CpuContext* cpu, bool submit_side) {
+void RpcManager::CountFallback(sim::CpuContext* cpu, FallbackWhy why) {
   fallback_ocalls_.Inc();
-  if (submit_side) {
-    submit_timeouts_.Inc();
-  } else {
-    await_timeouts_.Inc();
+  switch (why) {
+    case FallbackWhy::kSubmitTimeout:
+      submit_timeouts_.Inc();
+      break;
+    case FallbackWhy::kAwaitTimeout:
+      await_timeouts_.Inc();
+      break;
+    case FallbackWhy::kBreakerOpen:
+      break;  // already counted in breaker_short_circuits_
   }
   enclave_->machine().metrics().trace().Record(
       telemetry::TraceKind::kRpcFallbackOcall,
-      cpu != nullptr ? cpu->clock.now() : 0, submit_side ? 1 : 0);
+      cpu != nullptr ? cpu->clock.now() : 0, static_cast<uint64_t>(why));
+}
+
+bool RpcManager::AdmitExitless(sim::CpuContext* cpu) {
+  switch (breaker_.Admit()) {
+    case HealthFsm::Gate::kAllow:
+      return true;
+    case HealthFsm::Gate::kDeny:
+      breaker_short_circuits_.Inc();
+      CountFallback(cpu, FallbackWhy::kBreakerOpen);
+      return false;
+    case HealthFsm::Gate::kProbe:
+      if (RunCanary(cpu)) {
+        if (breaker_.RecordSuccess()) {
+          breaker_state_gauge_->Set(static_cast<uint64_t>(breaker_.state()));
+          enclave_->machine().metrics().trace().Record(
+              telemetry::TraceKind::kRpcBreakerClose,
+              cpu != nullptr ? cpu->clock.now() : 0, breaker_.probes());
+        }
+        return true;  // the exit-less machinery is back; run the real call
+      }
+      breaker_.RecordFailure();  // half-open -> open, no fresh trip
+      breaker_state_gauge_->Set(static_cast<uint64_t>(breaker_.state()));
+      CountFallback(cpu, FallbackWhy::kBreakerOpen);
+      return false;
+  }
+  return true;
+}
+
+bool RpcManager::RunCanary(sim::CpuContext* cpu) {
+  // The canary is deliberately tiny: minimum budgets, no payload, so a still-
+  // dead host costs one short bounded spin per probe interval instead of a
+  // full-budget burn per call. Its burned spins are still charged.
+  JobTicket ticket;
+  if (!queue_->TrySubmit(&CanaryNop, nullptr, &ticket,
+                         min_submit_spin_budget_)) {
+    ChargeSpins(cpu, min_submit_spin_budget_);
+    return false;
+  }
+  const JobQueue::WaitResult wait =
+      queue_->AwaitAndRelease(ticket, min_await_spin_budget_);
+  if (wait != JobQueue::WaitResult::kCompleted) {
+    ChargeSpins(cpu, min_await_spin_budget_);
+    return false;
+  }
+  return true;
+}
+
+void RpcManager::ChargeSpins(sim::CpuContext* cpu, uint64_t spins) {
+  if (cpu == nullptr) {
+    return;
+  }
+  const uint64_t cycles = spins * enclave_->machine().costs().rpc_spin_cycles;
+  cpu->Charge(cycles);
+  cycles_rpc_->Add(cycles);
+}
+
+void RpcManager::OnSpinTimeout(sim::CpuContext* cpu, bool submit_side,
+                               uint64_t budget_burned) {
+  // The full budget was burned deterministically (that is what a timeout
+  // means), so — unlike a successful wait, whose length is wall-clock
+  // scheduling noise — it can be charged as virtual cycles without breaking
+  // determinism. This is what makes hostile spin cost visible in p99.
+  ChargeSpins(cpu, budget_burned);
+  if (options_.adaptive_spin) {
+    std::atomic<uint64_t>& budget =
+        submit_side ? submit_spin_budget_ : await_spin_budget_;
+    const uint64_t floor =
+        submit_side ? min_submit_spin_budget_ : min_await_spin_budget_;
+    const uint64_t cur = budget.load(std::memory_order_relaxed);
+    budget.store(std::max(floor, cur / 2), std::memory_order_relaxed);
+  }
+  if (breaker_.RecordFailure()) {
+    breaker_opens_.Inc();
+    breaker_state_gauge_->Set(static_cast<uint64_t>(breaker_.state()));
+    enclave_->machine().metrics().trace().Record(
+        telemetry::TraceKind::kRpcBreakerOpen,
+        cpu != nullptr ? cpu->clock.now() : 0, submit_side ? 1 : 0,
+        breaker_opens_.value());
+  }
+}
+
+void RpcManager::OnExitlessSuccess() {
+  breaker_.RecordSuccess();  // healthy streak bookkeeping (no transition here:
+                             // only a canary can close an open breaker)
+  if (!options_.adaptive_spin) {
+    return;
+  }
+  // Additive recovery toward the configured ceilings; a no-op at the ceiling
+  // so healthy runs never see the machinery move.
+  const auto recover = [](std::atomic<uint64_t>& budget, uint64_t floor,
+                          uint64_t ceiling) {
+    const uint64_t cur = budget.load(std::memory_order_relaxed);
+    if (cur >= ceiling) {
+      return;
+    }
+    const uint64_t step = std::max<uint64_t>(1, (ceiling - floor) / 16);
+    budget.store(std::min(ceiling, cur + step), std::memory_order_relaxed);
+  };
+  recover(submit_spin_budget_, min_submit_spin_budget_,
+          options_.submit_spin_budget);
+  recover(await_spin_budget_, min_await_spin_budget_,
+          options_.await_spin_budget);
 }
 
 void RpcManager::PublishTelemetry() {
@@ -67,6 +197,16 @@ void RpcManager::PublishTelemetry() {
   r.GetCounter("rpc.fallback_ocalls")->Set(fallback_ocalls_.value());
   r.GetCounter("rpc.submit_timeouts")->Set(submit_timeouts_.value());
   r.GetCounter("rpc.await_timeouts")->Set(await_timeouts_.value());
+  r.GetCounter("rpc.breaker_state")
+      ->Set(static_cast<uint64_t>(breaker_.state()));
+  r.GetCounter("rpc.breaker_opens")->Set(breaker_opens_.value());
+  r.GetCounter("rpc.breaker_short_circuits")
+      ->Set(breaker_short_circuits_.value());
+  r.GetCounter("rpc.breaker_probes")->Set(breaker_.probes());
+  r.GetCounter("rpc.submit_spin_budget")
+      ->Set(submit_spin_budget_.load(std::memory_order_relaxed));
+  r.GetCounter("rpc.await_spin_budget")
+      ->Set(await_spin_budget_.load(std::memory_order_relaxed));
   if (queue_ != nullptr) {
     r.GetCounter("rpc.queue_full_spins")->Set(queue_->queue_full_spins());
     r.GetCounter("rpc.late_completions")->Set(queue_->late_completions());

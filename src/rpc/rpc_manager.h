@@ -20,7 +20,20 @@
 // back to the classic OCALL path — charging the real exit costs, so the
 // degradation is visible in benchmarks — and the job context is heap-
 // allocated and reference-counted so a worker that completes (or runs) late
-// touches only memory that is still alive. Note the at-least-once caveat: an
+// touches only memory that is still alive.
+//
+// Self-healing (threaded mode): timeouts also feed a per-manager HealthFsm
+// acting as a circuit breaker. After N consecutive timeouts the breaker
+// opens and calls short-circuit straight to the OCALL fallback — no spin
+// budget burned at all — while periodic no-op canary jobs probe the queue
+// (half-open) and close the breaker the moment the untrusted side completes
+// one. Orthogonally, the spin budgets themselves adapt: multiplicative
+// shrink on timeout, additive recovery on success (AIMD), so a host that is
+// slow-but-alive settles at a budget matching its actual latency. Burned
+// spin budgets are charged as virtual cycles on the timeout paths, making
+// the breaker's p99 win measurable in the benchmarks.
+//
+// Note the at-least-once caveat: an
 // abandoned-but-claimed job may still execute on the worker after the
 // fallback OCALL ran it, exactly as in real switchless-call systems; callers
 // routing non-idempotent operations should use CallLong.
@@ -28,10 +41,12 @@
 #ifndef ELEOS_SRC_RPC_RPC_MANAGER_H_
 #define ELEOS_SRC_RPC_RPC_MANAGER_H_
 
+#include <atomic>
 #include <memory>
 #include <type_traits>
 #include <utility>
 
+#include "src/common/health.h"
 #include "src/common/stats.h"
 #include "src/rpc/job_queue.h"
 #include "src/rpc/worker_pool.h"
@@ -76,6 +91,25 @@ class RpcManager {
     // enclave forever. Fault tests shrink them to exercise the fallback.
     uint64_t submit_spin_budget = 1ull << 26;
     uint64_t await_spin_budget = 1ull << 28;
+    // --- Self-healing (threaded mode) ---
+    // Circuit breaker over the exit-less path: after `breaker_failure_
+    // threshold` consecutive submit/await timeouts the manager stops paying
+    // spin budgets at all and routes calls straight to the OCALL fallback
+    // (breaker open). Every `breaker_probe_interval`-th short-circuited call
+    // first submits a cheap no-op canary with the minimum budgets (breaker
+    // half-open); a completed canary closes the breaker again.
+    bool breaker_enabled = true;
+    uint32_t breaker_failure_threshold = 3;
+    uint64_t breaker_probe_interval = 64;
+    // Adaptive spin budgets: each timeout halves the offending budget (never
+    // below the minimum), each exit-less completion adds back 1/16 of the
+    // configured range. A flaky-but-alive host therefore degrades smoothly
+    // instead of bimodally; a benign host sits at the configured budgets
+    // forever (recovery at the ceiling is a no-op), so healthy runs are
+    // byte-identical with the feature on or off.
+    bool adaptive_spin = true;
+    uint64_t min_submit_spin_budget = 1ull << 8;
+    uint64_t min_await_spin_budget = 1ull << 10;
   };
 
   RpcManager(sim::Enclave& enclave, Options options);
@@ -122,6 +156,21 @@ class RpcManager {
   JobQueue* queue() { return queue_.get(); }
   WorkerPool* pool() { return pool_.get(); }
 
+  // Self-healing observability.
+  HealthState breaker_state() const { return breaker_.state(); }
+  const HealthFsm& breaker() const { return breaker_; }
+  uint64_t breaker_opens() const { return breaker_opens_.value(); }
+  uint64_t breaker_short_circuits() const {
+    return breaker_short_circuits_.value();
+  }
+  uint64_t breaker_probes() const { return breaker_.probes(); }
+  uint64_t submit_spin_budget() const {
+    return submit_spin_budget_.load(std::memory_order_relaxed);
+  }
+  uint64_t await_spin_budget() const {
+    return await_spin_budget_.load(std::memory_order_relaxed);
+  }
+
   // Mirrors the RPC counters (manager + queue + pool) into the machine's
   // metric registry under rpc.*; the call-latency histogram is recorded live.
   void PublishTelemetry();
@@ -163,8 +212,29 @@ class RpcManager {
     job->Unref();
   }
 
+  // Why a call took the OCALL fallback (trace arg0 / counter selection).
+  enum class FallbackWhy { kAwaitTimeout = 0, kSubmitTimeout = 1, kBreakerOpen = 2 };
+
   void ChargeSubmit(sim::CpuContext* cpu, size_t io_bytes);
-  void CountFallback(sim::CpuContext* cpu, bool submit_side);
+  void CountFallback(sim::CpuContext* cpu, FallbackWhy why);
+
+  // Breaker admission for one threaded call. True: proceed exit-less (the
+  // breaker is closed, or a half-open canary just completed and closed it).
+  // False: short-circuit to the OCALL fallback with zero spin cost.
+  bool AdmitExitless(sim::CpuContext* cpu);
+  // Submits + awaits a no-op canary job with the minimum spin budgets.
+  bool RunCanary(sim::CpuContext* cpu);
+  // Charges `spins` burned polling spins as virtual cycles (timeout paths
+  // only — see CostModel::rpc_spin_cycles).
+  void ChargeSpins(sim::CpuContext* cpu, uint64_t spins);
+  // Timeout bookkeeping shared by both spin sites: charges the burned spin
+  // budget as virtual cycles, shrinks the budget (adaptive), and feeds the
+  // breaker (possibly tripping it open).
+  void OnSpinTimeout(sim::CpuContext* cpu, bool submit_side,
+                     uint64_t budget_burned);
+  // Exit-less completion bookkeeping: feeds the breaker and lets the spin
+  // budgets recover additively toward their configured ceilings.
+  void OnExitlessSuccess();
 
   template <typename Fn>
   std::invoke_result_t<Fn> DispatchThreaded(sim::CpuContext* cpu,
@@ -174,17 +244,26 @@ class RpcManager {
     constexpr bool kVoid = std::is_void_v<R>;
     using Job = std::conditional_t<kVoid, JobImplVoid<F>,
                                    JobImpl<F, std::conditional_t<kVoid, int, R>>>;
-    auto* job = new Job(F(fn));  // copy: `fn` is reused by the fallback path
-    JobTicket ticket;
-    if (!queue_->TrySubmit(&Trampoline, job, &ticket, submit_spin_budget_)) {
-      job->Unref();
-      job->Unref();  // never enqueued: the worker reference dies with ours
-      CountFallback(cpu, /*submit_side=*/true);
+    if (!AdmitExitless(cpu)) {
       return Fallback(cpu, io_bytes, fn);
     }
+    auto* job = new Job(F(fn));  // copy: `fn` is reused by the fallback path
+    JobTicket ticket;
+    const uint64_t submit_budget =
+        submit_spin_budget_.load(std::memory_order_relaxed);
+    if (!queue_->TrySubmit(&Trampoline, job, &ticket, submit_budget)) {
+      job->Unref();
+      job->Unref();  // never enqueued: the worker reference dies with ours
+      OnSpinTimeout(cpu, /*submit_side=*/true, submit_budget);
+      CountFallback(cpu, FallbackWhy::kSubmitTimeout);
+      return Fallback(cpu, io_bytes, fn);
+    }
+    const uint64_t await_budget =
+        await_spin_budget_.load(std::memory_order_relaxed);
     const JobQueue::WaitResult wait =
-        queue_->AwaitAndRelease(ticket, await_spin_budget_);
+        queue_->AwaitAndRelease(ticket, await_budget);
     if (wait == JobQueue::WaitResult::kCompleted) {
+      OnExitlessSuccess();
       if constexpr (kVoid) {
         job->Unref();
         return;
@@ -198,7 +277,8 @@ class RpcManager {
       job->Unref();  // revoked before any claim: the job will never run
     }
     job->Unref();
-    CountFallback(cpu, /*submit_side=*/false);
+    OnSpinTimeout(cpu, /*submit_side=*/false, await_budget);
+    CountFallback(cpu, FallbackWhy::kAwaitTimeout);
     return Fallback(cpu, io_bytes, fn);
   }
 
@@ -218,17 +298,27 @@ class RpcManager {
   sim::Enclave* enclave_;
   Mode mode_;
   bool use_cat_;
-  uint64_t submit_spin_budget_;
-  uint64_t await_spin_budget_;
+  Options options_;
+  std::atomic<uint64_t> submit_spin_budget_;
+  std::atomic<uint64_t> await_spin_budget_;
+  // Effective floors/ceilings for the adaptive budgets (floors are clamped
+  // to the configured budgets so a small static budget stays static).
+  uint64_t min_submit_spin_budget_;
+  uint64_t min_await_spin_budget_;
   std::unique_ptr<JobQueue> queue_;
   std::unique_ptr<WorkerPool> pool_;
+  HealthFsm breaker_;
   Counter calls_;
   Counter fallback_ocalls_;
   Counter submit_timeouts_;
   Counter await_timeouts_;
+  Counter breaker_opens_;
+  Counter breaker_short_circuits_;
   // Telemetry (resolved from the machine's registry at construction).
   telemetry::Histogram* call_cycles_;
   telemetry::Counter* cycles_rpc_;
+  telemetry::Counter* breaker_state_gauge_;
+  size_t publisher_id_ = 0;
 };
 
 }  // namespace eleos::rpc

@@ -73,6 +73,12 @@ struct CostModel {
   uint64_t rpc_enqueue_cycles = 150;   // write job into the untrusted queue
   uint64_t rpc_dequeue_cycles = 150;   // read result back
   uint64_t rpc_poll_latency_cycles = 400;  // average wakeup latency of a spinning worker
+  // Virtual-cycle cost of one wasted polling spin (a PAUSE plus the loop
+  // around it). Charged only on the *timeout* paths — a successful wait's
+  // duration depends on wall-clock scheduling and must not perturb the
+  // deterministic accounting — so a burned spin budget shows up in the
+  // latency numbers exactly when the host really withheld progress.
+  uint64_t rpc_spin_cycles = 4;
 
   // --- Application compute (virtual-cycle charges for real work the apps
   //     perform; calibrated so the servers' compute/IO balance matches §6) ---

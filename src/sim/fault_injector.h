@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/spinlock.h"
@@ -34,7 +35,9 @@ enum class Fault : size_t {
   kCiphertextFlip = 4, // bit-flip in the sealed page before decryption
   kRollback = 5,       // host replays a stale-but-once-valid sealed page
   kBackingAllocFail = 6,  // host refuses to grow the backing arena
-  kCount = 7,
+  // Inter-enclave secure channel (untrusted message ring).
+  kChannelTamper = 7,  // bit-flip in a sealed message before the receiver opens it
+  kCount = 8,
 };
 
 inline const char* FaultName(Fault f) {
@@ -46,10 +49,29 @@ inline const char* FaultName(Fault f) {
     case Fault::kCiphertextFlip: return "ciphertext_flip";
     case Fault::kRollback: return "rollback";
     case Fault::kBackingAllocFail: return "backing_alloc_fail";
+    case Fault::kChannelTamper: return "channel_tamper";
     case Fault::kCount: break;
   }
   return "unknown";
 }
+
+// One window of a fault schedule: `fault` is armed with `probability` and
+// (the remainder of) `max_triggers` while virtual time t satisfies
+// start_tick <= t < end_tick. The trigger budget is a property of the phase,
+// not the window: a phase that deactivates and later reactivates resumes
+// with whatever budget it had left. Phases of the same fault may overlap:
+// the windows form a union (the fault is armed iff some window contains the
+// tick), and while several windows cover the same tick the LAST one in
+// schedule order supplies the probability and budget — so a short burst
+// phase overrides a long background phase, which resumes when the burst
+// window closes.
+struct FaultPhase {
+  Fault fault = Fault::kWorkerStall;
+  double probability = 1.0;
+  uint64_t max_triggers = UINT64_MAX;
+  uint64_t start_tick = 0;
+  uint64_t end_tick = UINT64_MAX;  // half-open [start_tick, end_tick)
+};
 
 class FaultInjector {
  public:
@@ -63,6 +85,25 @@ class FaultInjector {
   void Arm(Fault fault, double probability, uint64_t max_triggers = UINT64_MAX);
   void Disarm(Fault fault);
   void DisarmAll();
+
+  // --- Virtual-time multi-fault schedule ---
+  // Installs a schedule of overlapping fault windows driven by an external
+  // virtual clock (the soak harness's round counter, a workload's op count —
+  // any monotonic tick the caller owns). Replaces any previous schedule and
+  // disarms its faults; manually Arm()ed faults not named by any phase are
+  // left alone. Nothing is armed until the first AdvanceTime call.
+  void LoadSchedule(std::vector<FaultPhase> schedule);
+  // Deactivates and clears the schedule (scheduled faults are disarmed).
+  void ClearSchedule();
+  // Moves the schedule clock to `tick` (need not be monotonic): each fault is
+  // armed iff some phase window contains `tick`, using the winning phase's
+  // probability and remaining trigger budget (see FaultPhase on overlap);
+  // phases that step down have their budget saved for a later window.
+  // Deterministic given (seed, schedule, tick sequence).
+  void AdvanceTime(uint64_t tick);
+  // Number of schedule phases currently armed (after the last AdvanceTime).
+  size_t active_phases() const;
+  size_t schedule_size() const;
 
   // Rolls the dice at an injection point. Counts the check; on a hit, counts
   // the injection and consumes one trigger. Thread-safe.
@@ -94,6 +135,9 @@ class FaultInjector {
  private:
   static size_t Index(Fault f) { return static_cast<size_t>(f); }
 
+  void ArmLocked(Fault fault, double probability, uint64_t max_triggers);
+  void DisarmLocked(Fault fault);
+
   struct Point {
     std::atomic<bool> armed{false};
     double probability = 0.0;          // guarded by lock
@@ -102,10 +146,17 @@ class FaultInjector {
     Counter injected;
   };
 
+  struct PhaseState {
+    FaultPhase phase;
+    bool active = false;
+    uint64_t triggers_left = 0;  // remaining budget while inactive
+  };
+
   Point points_[static_cast<size_t>(Fault::kCount)];
   std::atomic<uint64_t> worker_stall_spins_{1ull << 22};
-  Spinlock lock_;  // serializes the RNG and arm/disarm state
+  mutable Spinlock lock_;  // serializes the RNG, arm/disarm and schedule state
   Xoshiro256 rng_;
+  std::vector<PhaseState> schedule_;  // guarded by lock_
 };
 
 }  // namespace eleos::sim

@@ -11,7 +11,11 @@
 #define ELEOS_SRC_SIM_MACHINE_H_
 
 #include <array>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "src/sim/cache_model.h"
 #include "src/sim/cost_model.h"
@@ -51,6 +55,32 @@ class Machine {
   telemetry::Registry& metrics() { return metrics_; }
   const telemetry::Registry& metrics() const { return metrics_; }
 
+  // Registry snapshots are only as fresh as the last PublishTelemetry() of
+  // each component (they keep authoritative atomics and mirror them in on
+  // demand). Components register their publisher at construction so a single
+  // PublishAll() before any ToJson/metric read can't observe stale zeros.
+  size_t AddPublisher(std::function<void()> fn) {
+    std::lock_guard guard(publishers_mutex_);
+    publishers_.emplace_back(next_publisher_id_, std::move(fn));
+    return next_publisher_id_++;
+  }
+  void RemovePublisher(size_t id) {
+    std::lock_guard guard(publishers_mutex_);
+    for (size_t i = 0; i < publishers_.size(); ++i) {
+      if (publishers_[i].first == id) {
+        publishers_.erase(publishers_.begin() + static_cast<ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+  // Runs every live component's PublishTelemetry (registration order).
+  void PublishAll() {
+    std::lock_guard guard(publishers_mutex_);
+    for (const auto& [id, fn] : publishers_) {
+      fn();
+    }
+  }
+
   // Simulated hardware threads (created eagerly; addresses are stable).
   CpuContext& cpu(size_t i) { return *cpus_[i]; }
   size_t num_cpus() const { return cpus_.size(); }
@@ -88,6 +118,9 @@ class Machine {
   FaultInjector fault_injector_;
   std::array<std::unique_ptr<CpuContext>, kMaxCpus> cpus_;
   uint64_t scratch_cursor_ = 0;
+  std::mutex publishers_mutex_;
+  std::vector<std::pair<size_t, std::function<void()>>> publishers_;
+  size_t next_publisher_id_ = 0;
 };
 
 }  // namespace eleos::sim

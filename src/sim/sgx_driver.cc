@@ -20,6 +20,15 @@ struct SealAad {
   uint64_t vpage;
 };
 
+// Synthetic untrusted vaddr for a page's sealed blob. Charging the blob's
+// host heap address would make cache-set mapping (and therefore virtual
+// cycles) depend on allocator layout, which varies run to run; vpage is
+// globally unique across enclaves, so it doubles as a stable address.
+constexpr uint64_t kSealedBlobVaddrBase = 1ull << 46;
+inline uint64_t SealedBlobVaddr(uint64_t vpage) {
+  return kSealedBlobVaddrBase + vpage * kPageSize;
+}
+
 }  // namespace
 
 SgxDriver::SgxDriver(Machine* machine)
@@ -301,11 +310,10 @@ void SgxDriver::SealPage(CpuContext* cpu, EnclaveRec& rec, uint64_t vpage,
   }
   ps.has_sealed = true;
   // Cache effects of the copy-out: read the EPC frame, write the blob.
-  // (vpage is globally unique across enclaves, so it doubles as the address.)
   machine_->StreamAccess(cpu, vpage * kPageSize, kPageSize, /*write=*/false,
                          MemKind::kEpc);
-  machine_->StreamAccess(cpu, reinterpret_cast<uint64_t>(ps.sealed.get()),
-                         kPageSize, /*write=*/true, MemKind::kUntrusted);
+  machine_->StreamAccess(cpu, SealedBlobVaddr(vpage), kPageSize,
+                         /*write=*/true, MemKind::kUntrusted);
 }
 
 void SgxDriver::UnsealPage(CpuContext* cpu, EnclaveRec& rec, uint64_t vpage,
@@ -323,8 +331,8 @@ void SgxDriver::UnsealPage(CpuContext* cpu, EnclaveRec& rec, uint64_t vpage,
   } else {
     std::memcpy(frame_data, ps.sealed.get(), kPageSize);
   }
-  machine_->StreamAccess(cpu, reinterpret_cast<uint64_t>(ps.sealed.get()),
-                         kPageSize, /*write=*/false, MemKind::kUntrusted);
+  machine_->StreamAccess(cpu, SealedBlobVaddr(vpage), kPageSize,
+                         /*write=*/false, MemKind::kUntrusted);
   machine_->StreamAccess(cpu, vpage * kPageSize, kPageSize, /*write=*/true,
                          MemKind::kEpc);
 }

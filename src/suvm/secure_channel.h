@@ -24,9 +24,11 @@
 #include <vector>
 
 #include "src/common/spinlock.h"
+#include "src/common/status.h"
 #include "src/crypto/gcm.h"
 #include "src/crypto/sha256.h"
 #include "src/sim/enclave.h"
+#include "src/sim/machine.h"
 
 namespace eleos::suvm {
 
@@ -157,32 +159,60 @@ class ChannelReceiver {
         gcm_(crypto::DeriveAesKey("eleos-channel", channel.config().key_seed)
                  .data()) {}
 
-  // Polls for the next message; on success decrypts into `out` and returns
-  // its length, or -1 when nothing is pending. Throws on any integrity,
-  // replay, or reordering violation.
-  int64_t TryRecv(sim::CpuContext* cpu, void* out, size_t out_cap) {
+  // Polls for the next message for up to `spin_budget` spins (0 = a single
+  // check: the non-blocking poll). Status-based hostile-host surface: a peer
+  // that never produces (stalled, dead, or the host withholding the slot)
+  // yields kUnavailable after the budget — never a hang — and every
+  // integrity/replay/reordering violation yields kDataCorruption. On
+  // kDataCorruption the slot is left intact: a violation caused by a
+  // transient in-flight tamper (Fault::kChannelTamper) succeeds on retry; a
+  // persistent one keeps failing with the same status, and the receiver's
+  // mac_failures counter tracks every rejection.
+  Status Recv(sim::CpuContext* cpu, void* out, size_t out_cap,
+              int64_t* len_out, uint64_t spin_budget = 0) {
     SecureChannel::Slot& slot =
         channel_->slots_[next_seq_ % channel_->slots_.size()];
-    if (slot.state.load(std::memory_order_acquire) != 1) {
-      return -1;
+    for (uint64_t spins = 0;; ++spins) {
+      if (slot.state.load(std::memory_order_acquire) == 1) {
+        break;
+      }
+      if (spins >= spin_budget) {
+        timeouts_ += spin_budget > 0 ? 1 : 0;
+        return Status::Unavailable("SecureChannel: no message pending");
+      }
+      CpuRelax();
     }
     if (slot.seq != next_seq_) {
-      throw std::runtime_error(
+      ++mac_failures_;
+      return Status::DataCorruption(
           "SecureChannel: sequence mismatch (replay or reordering attack)");
     }
     const size_t len = slot.length;
     if (len > out_cap || len > channel_->config_.max_msg_bytes) {
-      throw std::runtime_error("SecureChannel: invalid length field");
+      ++mac_failures_;
+      return Status::DataCorruption("SecureChannel: invalid length field");
     }
     uint8_t nonce[crypto::kGcmNonceSize];
     channel_internal::MakeNonce(next_seq_, nonce);
     const uint64_t aad = next_seq_;
+    // Hostile-host window: an injected in-flight bit-flip on the sealed
+    // message, undone after Open so a retry can observe the clean bytes
+    // (persistence is modeled by arming the fault with more triggers).
+    const bool flipped = channel_->machine_->fault_injector().ShouldInject(
+        sim::Fault::kChannelTamper);
+    if (flipped) {
+      slot.data[0] ^= 0x01;
+    }
     const bool ok = gcm_.Open(nonce, reinterpret_cast<const uint8_t*>(&aad),
                               sizeof(aad), slot.data.data(), len,
                               slot.data.data() + len,
                               static_cast<uint8_t*>(out));
+    if (flipped) {
+      slot.data[0] ^= 0x01;
+    }
     if (!ok) {
-      throw std::runtime_error(
+      ++mac_failures_;
+      return Status::DataCorruption(
           "SecureChannel: authentication failed (tampered message)");
     }
     slot.state.store(0, std::memory_order_release);
@@ -193,17 +223,38 @@ class ChannelReceiver {
           cpu, reinterpret_cast<uint64_t>(slot.data.data()), len,
           /*write=*/false, sim::MemKind::kUntrusted);
     }
+    *len_out = static_cast<int64_t>(len);
     ++next_seq_;
-    return static_cast<int64_t>(len);
+    return Status::Ok();
+  }
+
+  // Legacy poll: on success decrypts into `out` and returns its length, or
+  // -1 when nothing is pending. Throws on any integrity, replay, or
+  // reordering violation.
+  int64_t TryRecv(sim::CpuContext* cpu, void* out, size_t out_cap) {
+    int64_t len = -1;
+    const Status status = Recv(cpu, out, out_cap, &len, /*spin_budget=*/0);
+    if (status.ok()) {
+      return len;
+    }
+    if (status.code() == StatusCode::kUnavailable) {
+      return -1;
+    }
+    throw std::runtime_error(status.message());
   }
 
   uint64_t messages_received() const { return next_seq_; }
+  // Hostile-host observability: rejected messages and bounded-wait timeouts.
+  uint64_t mac_failures() const { return mac_failures_; }
+  uint64_t timeouts() const { return timeouts_; }
 
  private:
   SecureChannel* channel_;
   sim::Enclave* enclave_;
   crypto::AesGcm gcm_;
   uint64_t next_seq_ = 0;
+  uint64_t mac_failures_ = 0;
+  uint64_t timeouts_ = 0;
 };
 
 }  // namespace eleos::suvm

@@ -21,6 +21,19 @@ struct SubAad {
   uint64_t sub;
 };
 
+constexpr char kQuarantinedMsg[] =
+    "Suvm: page quarantined (persistent corruption; TryRestorePage to recover)";
+
+// Stable synthetic vaddr for a backing-store arena offset. Cache/TLB charges
+// must be a pure function of the simulated access pattern: the host heap
+// address of the arena varies run to run (and between instances in the same
+// process), which would leak nondeterminism into virtual cycle counts via
+// LLC set mapping. Enclave vaddrs top out well below this base.
+constexpr uint64_t kBackingVaddrBase = 1ull << 47;
+inline uint64_t BackingVaddr(uint64_t arena_off) {
+  return kBackingVaddrBase + arena_off;
+}
+
 }  // namespace
 
 Suvm::Suvm(sim::Enclave& enclave, SuvmConfig config)
@@ -33,6 +46,8 @@ Suvm::Suvm(sim::Enclave& enclave, SuvmConfig config)
       sealer_(crypto::DeriveAesKey("suvm-app-key", config.key_seed).data()),
       slot_to_page_(config.epc_pp_pages, kInvalidAddr),
       nonce_rng_(config.key_seed ^ 0x9e3779b97f4a7c15ull),
+      alloc_health_(HealthFsm::Options{config.alloc_failure_threshold,
+                                       config.alloc_probe_interval}),
       major_fault_cycles_(
           enclave.machine().metrics().GetHistogram("suvm.major_fault_cycles")),
       minor_fault_cycles_(
@@ -56,9 +71,11 @@ Suvm::Suvm(sim::Enclave& enclave, SuvmConfig config)
   meta_entries_ = config.backing_bytes / sim::kPageSize;
   const size_t meta_entry_bytes = config.direct_mode ? 160 : 48;
   meta_region_vaddr_ = enclave_->Alloc(meta_entries_ * meta_entry_bytes);
+  publisher_id_ =
+      enclave_->machine().AddPublisher([this] { PublishTelemetry(); });
 }
 
-Suvm::~Suvm() = default;
+Suvm::~Suvm() { enclave_->machine().RemovePublisher(publisher_id_); }
 
 void Suvm::ResetStats() {
   stats_.major_faults = 0;
@@ -72,6 +89,10 @@ void Suvm::ResetStats() {
   stats_.rollbacks_detected = 0;
   stats_.retries = 0;
   stats_.alloc_failures = 0;
+  stats_.pages_quarantined = 0;
+  stats_.quarantine_hits = 0;
+  stats_.pages_restored = 0;
+  stats_.degraded_rejects = 0;
 }
 
 void Suvm::ThrowStatus(const Status& status) {
@@ -100,6 +121,12 @@ void Suvm::PublishTelemetry() {
   r.GetCounter("suvm.rollbacks_detected")->Set(stats_.rollbacks_detected.load());
   r.GetCounter("suvm.retries")->Set(stats_.retries.load());
   r.GetCounter("suvm.alloc_failures")->Set(stats_.alloc_failures.load());
+  r.GetCounter("suvm.pages_quarantined")->Set(stats_.pages_quarantined.load());
+  r.GetCounter("suvm.quarantine_hits")->Set(stats_.quarantine_hits.load());
+  r.GetCounter("suvm.pages_restored")->Set(stats_.pages_restored.load());
+  r.GetCounter("suvm.degraded_rejects")->Set(stats_.degraded_rejects.load());
+  r.GetCounter("suvm.health_state")
+      ->Set(static_cast<uint64_t>(alloc_health_.state()));
   r.GetCounter("suvm.page_table_entries")->Set(PageTableEntries());
   r.GetCounter("suvm.epc_pp_in_use")->Set(cache_.in_use());
   r.GetCounter("suvm.epc_pp_target")->Set(cache_.target_pages());
@@ -117,17 +144,44 @@ uint64_t Suvm::Malloc(size_t bytes) {
 }
 
 StatusOr<uint64_t> Suvm::TryMalloc(size_t bytes) {
+  // Degraded mode ("read-mostly"): after repeated allocation failures the
+  // region stops interacting with the host for new allocations at all and
+  // fails fast, except for the periodic probe that tests recovery. Existing
+  // pages remain fully readable and writable throughout.
+  if (alloc_health_.Admit() == HealthFsm::Gate::kDeny) {
+    stats_.degraded_rejects.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "Suvm: allocation rejected (region degraded to read-mostly)");
+  }
   if (faults_->ShouldInject(sim::Fault::kBackingAllocFail)) {
     stats_.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+    NoteAllocHealth(/*ok=*/false);
     return Status::ResourceExhausted(
         "Suvm: host refused the backing-store allocation");
   }
   const uint64_t addr = store_.Alloc(bytes);
   if (addr == kInvalidAddr) {
     stats_.alloc_failures.fetch_add(1, std::memory_order_relaxed);
+    NoteAllocHealth(/*ok=*/false);
     return Status::ResourceExhausted("Suvm: backing-store arena exhausted");
   }
+  NoteAllocHealth(/*ok=*/true);
   return addr;
+}
+
+void Suvm::NoteAllocHealth(bool ok) {
+  const HealthState before = alloc_health_.state();
+  if (ok) {
+    alloc_health_.RecordSuccess();
+  } else {
+    alloc_health_.RecordFailure();
+  }
+  const HealthState after = alloc_health_.state();
+  if (after != before) {
+    trace_->Record(telemetry::TraceKind::kSuvmHealthChange, 0,
+                   static_cast<uint64_t>(before),
+                   static_cast<uint64_t>(after));
+  }
 }
 
 void Suvm::Free(uint64_t addr) {
@@ -169,6 +223,10 @@ void Suvm::Free(uint64_t addr) {
       // exists as a seal, then scrub the freed range in the plaintext copy.
       if (m.slot < 0 && !m.has_data && m.subs == nullptr) {
         continue;  // never materialized: already reads as zeros
+      }
+      if (m.poisoned) {
+        continue;  // quarantined: the seal is untrusted, nothing to scrub —
+                   // the freed range stays behind the quarantine fast-fail
       }
       if (m.slot < 0) {
         int slot = cache_.AllocSlot();
@@ -250,6 +308,11 @@ Status Suvm::TryPinPage(sim::CpuContext* cpu, uint64_t bs_page, int* slot_out) {
   {
     std::lock_guard sl(st.lock);
     auto it = st.map.find(bs_page);
+    if (it != st.map.end() && it->second.poisoned) {
+      // Quarantined: fail fast, no crypto work, no paging.
+      stats_.quarantine_hits.fetch_add(1, std::memory_order_relaxed);
+      return Status::DataCorruption(kQuarantinedMsg);
+    }
     if (it != st.map.end() && it->second.slot >= 0) {
       PageMeta& m = it->second;
       ++m.refcount;
@@ -270,6 +333,10 @@ Status Suvm::TryPinPage(sim::CpuContext* cpu, uint64_t bs_page, int* slot_out) {
   std::lock_guard sl(st.lock);
   const auto [it, inserted] = st.map.try_emplace(bs_page);
   PageMeta& m = it->second;
+  if (m.poisoned) {  // quarantined while we waited for the paging lock
+    stats_.quarantine_hits.fetch_add(1, std::memory_order_relaxed);
+    return Status::DataCorruption(kQuarantinedMsg);
+  }
   if (m.slot >= 0) {  // raced with another faulting thread
     ++m.refcount;
     m.ref_bit = true;
@@ -334,9 +401,70 @@ Status Suvm::PinPageWithRetry(sim::CpuContext* cpu, uint64_t bs_page,
   if (status.ok() || status.code() != StatusCode::kDataCorruption) {
     return status;
   }
+  if (IsQuarantined(bs_page)) {
+    return status;  // quarantine fast-fail: the retry already happened once
+  }
   // The MAC failure may stem from an in-flight tamper; one clean retry.
   stats_.retries.fetch_add(1, std::memory_order_relaxed);
-  return TryPinPage(cpu, bs_page, slot_out);
+  status = TryPinPage(cpu, bs_page, slot_out);
+  if (status.code() == StatusCode::kDataCorruption) {
+    // Persistent corruption: poison the page so every further access fails
+    // fast instead of re-paying crypto + retry forever.
+    QuarantinePage(cpu, bs_page);
+  }
+  return status;
+}
+
+bool Suvm::IsQuarantined(uint64_t bs_page) const {
+  const Stripe& st = StripeFor(bs_page);
+  std::lock_guard sl(st.lock);
+  auto it = st.map.find(bs_page);
+  return it != st.map.end() && it->second.poisoned;
+}
+
+void Suvm::MarkQuarantinedLocked(sim::CpuContext* cpu, uint64_t bs_page,
+                                 PageMeta& m) {
+  if (m.poisoned) {
+    return;
+  }
+  m.poisoned = true;
+  stats_.pages_quarantined.fetch_add(1, std::memory_order_relaxed);
+  trace_->Record(telemetry::TraceKind::kSuvmPageQuarantined,
+                 cpu != nullptr ? cpu->clock.now() : 0, bs_page);
+}
+
+void Suvm::QuarantinePage(sim::CpuContext* cpu, uint64_t bs_page) {
+  Stripe& st = StripeFor(bs_page);
+  std::lock_guard sl(st.lock);
+  // Corruption implies the page had sealed data, so the entry normally
+  // exists; try_emplace covers the belt-and-braces case anyway.
+  auto [it, inserted] = st.map.try_emplace(bs_page);
+  MarkQuarantinedLocked(cpu, bs_page, it->second);
+}
+
+Status Suvm::TryRestorePage(sim::CpuContext* cpu, uint64_t bs_page) {
+  {
+    Stripe& st = StripeFor(bs_page);
+    std::lock_guard sl(st.lock);
+    auto it = st.map.find(bs_page);
+    if (it == st.map.end() || !it->second.poisoned) {
+      return Status::FailedPrecondition("Suvm: page is not quarantined");
+    }
+    it->second.poisoned = false;
+  }
+  // Prove the page is actually usable again: a full page-in (with the usual
+  // single-retry tamper absorption). Persistent corruption re-quarantines
+  // via the retry path above.
+  int slot = -1;
+  const Status status = PinPageWithRetry(cpu, bs_page, &slot);
+  if (!status.ok()) {
+    return status;
+  }
+  UnpinPage(bs_page, slot, /*dirty=*/false);
+  stats_.pages_restored.fetch_add(1, std::memory_order_relaxed);
+  trace_->Record(telemetry::TraceKind::kSuvmPageRestored,
+                 cpu != nullptr ? cpu->clock.now() : 0, bs_page);
+  return Status::Ok();
 }
 
 void Suvm::UnpinPage(uint64_t bs_page, int slot, bool dirty) {
@@ -470,8 +598,9 @@ Status Suvm::LoadPage(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m,
           }
         }
         enclave_->ChargeGcm(cpu, sub_size);
-        machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sub_size,
-                             /*write=*/false, sim::MemKind::kUntrusted);
+        machine.StreamAccess(cpu, BackingVaddr(arena_off + s * sub_size),
+                             sub_size, /*write=*/false,
+                             sim::MemKind::kUntrusted);
       } else {
         std::memset(sub_dst, 0, sub_size);
       }
@@ -537,8 +666,9 @@ Status Suvm::OpenPageCiphertext(sim::CpuContext* cpu, uint64_t bs_page,
     }
   }
   enclave_->ChargeGcm(cpu, sim::kPageSize);
-  machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sim::kPageSize,
-                       /*write=*/false, sim::MemKind::kUntrusted);
+  machine.StreamAccess(cpu, BackingVaddr(bs_page * sim::kPageSize),
+                       sim::kPageSize, /*write=*/false,
+                       sim::MemKind::kUntrusted);
   return Status::Ok();
 }
 
@@ -568,8 +698,9 @@ void Suvm::SealResident(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m) {
       }
       m.subs[s].has_data = true;
       enclave_->ChargeGcm(cpu, sub_size);
-      machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sub_size,
-                           /*write=*/true, sim::MemKind::kUntrusted);
+      machine.StreamAccess(cpu, BackingVaddr(arena_off + s * sub_size),
+                           sub_size, /*write=*/true,
+                           sim::MemKind::kUntrusted);
     }
     return;
   }
@@ -592,7 +723,7 @@ void Suvm::SealResident(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m) {
   }
   m.has_data = true;
   enclave_->ChargeGcm(cpu, sim::kPageSize);
-  machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sim::kPageSize,
+  machine.StreamAccess(cpu, BackingVaddr(arena_off), sim::kPageSize,
                        /*write=*/true, sim::MemKind::kUntrusted);
 }
 
@@ -792,10 +923,17 @@ Status Suvm::TryReadDirect(sim::CpuContext* cpu, uint64_t addr, void* dst,
       std::memcpy(out, data, chunk);
     } else {
       PageMeta& m = it->second;
+      if (m.poisoned) {
+        stats_.quarantine_hits.fetch_add(1, std::memory_order_relaxed);
+        return Status::DataCorruption(kQuarantinedMsg);
+      }
       Status status = DirectSubRead(cpu, m, page, sub, sub_off, out, chunk);
       if (status.code() == StatusCode::kDataCorruption) {
         stats_.retries.fetch_add(1, std::memory_order_relaxed);
         status = DirectSubRead(cpu, m, page, sub, sub_off, out, chunk);
+        if (status.code() == StatusCode::kDataCorruption) {
+          MarkQuarantinedLocked(cpu, page, m);
+        }
       }
       if (!status.ok()) {
         return status;
@@ -837,10 +975,19 @@ Status Suvm::TryWriteDirect(sim::CpuContext* cpu, uint64_t addr, const void* src
       uint8_t* data = SlotData(cpu, m.slot, page_off, chunk, true);
       std::memcpy(data, in, chunk);
     } else {
+      if (m.poisoned) {
+        stats_.quarantine_hits.fetch_add(1, std::memory_order_relaxed);
+        return Status::DataCorruption(kQuarantinedMsg);
+      }
       Status status = DirectSubWrite(cpu, m, page, sub, sub_off, in, chunk);
       if (status.code() == StatusCode::kDataCorruption) {
         stats_.retries.fetch_add(1, std::memory_order_relaxed);
         status = DirectSubWrite(cpu, m, page, sub, sub_off, in, chunk);
+        if (status.code() == StatusCode::kDataCorruption) {
+          // Corruption implies the sub-page pre-existed, so `inserted` is
+          // false and the poisoned entry survives the erase below.
+          MarkQuarantinedLocked(cpu, page, m);
+        }
       }
       if (!status.ok()) {
         if (inserted) {
@@ -887,8 +1034,8 @@ Status Suvm::DirectSubRead(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
     }
   }
   enclave_->ChargeGcm(cpu, sub_size);
-  machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sub_size,
-                       /*write=*/false, sim::MemKind::kUntrusted);
+  machine.StreamAccess(cpu, BackingVaddr(bs_page * sim::kPageSize + sub * sub_size),
+                       sub_size, /*write=*/false, sim::MemKind::kUntrusted);
   std::memcpy(dst, plain.data() + off, len);
   return Status::Ok();
 }
@@ -924,8 +1071,9 @@ Status Suvm::DirectSubWrite(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
       }
     }
     enclave_->ChargeGcm(cpu, sub_size);
-    machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sub_size,
-                         /*write=*/false, sim::MemKind::kUntrusted);
+    machine.StreamAccess(cpu,
+                         BackingVaddr(bs_page * sim::kPageSize + sub * sub_size),
+                         sub_size, /*write=*/false, sim::MemKind::kUntrusted);
   }
   std::memcpy(plain.data() + off, src, len);
   if (config_.fast_seal) {
@@ -937,8 +1085,8 @@ Status Suvm::DirectSubWrite(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
   }
   m.subs[sub].has_data = true;
   enclave_->ChargeGcm(cpu, sub_size);
-  machine.StreamAccess(cpu, reinterpret_cast<uint64_t>(ct), sub_size,
-                       /*write=*/true, sim::MemKind::kUntrusted);
+  machine.StreamAccess(cpu, BackingVaddr(bs_page * sim::kPageSize + sub * sub_size),
+                       sub_size, /*write=*/true, sim::MemKind::kUntrusted);
   return Status::Ok();
 }
 

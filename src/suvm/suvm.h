@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/health.h"
 #include "src/common/rng.h"
 #include "src/common/spinlock.h"
 #include "src/common/status.h"
@@ -60,6 +61,12 @@ struct SuvmConfig {
   // AES-GCM. Virtual-cycle charges are identical; integrity is NOT enforced.
   // Large sweeps use it to keep wall-clock time down; tests never do.
   bool fast_seal = false;
+  // Self-healing: consecutive allocation failures before the region degrades
+  // to read-mostly (TryMalloc fails fast without touching the host until a
+  // periodic probe succeeds). 0 disables the health FSM.
+  uint32_t alloc_failure_threshold = 4;
+  // While degraded, every N-th TryMalloc is a real probe of the host.
+  uint64_t alloc_probe_interval = 16;
 };
 
 class Suvm {
@@ -86,6 +93,15 @@ class Suvm {
   // rolled-back backing store), kResourceExhausted when every EPC++ page is
   // pinned. The page stays non-resident on failure; retrying is safe.
   Status TryPinPage(sim::CpuContext* cpu, uint64_t bs_page, int* slot_out);
+  // --- Page quarantine (self-healing) ---
+  // A page whose single MAC-failure retry also failed is poisoned: every
+  // later access fails with kDataCorruption immediately — no crypto work, no
+  // re-retry — until explicitly restored. Restore clears the poison bit and
+  // re-attempts the page-in: success unpins and returns Ok, persistent
+  // corruption re-quarantines the page and returns kDataCorruption.
+  // kFailedPrecondition if the page is not quarantined.
+  Status TryRestorePage(sim::CpuContext* cpu, uint64_t bs_page);
+  bool IsQuarantined(uint64_t bs_page) const;
   // Releases a pin; `dirty` propagates the spointer's dirty bit to the page.
   void UnpinPage(uint64_t bs_page, int slot, bool dirty);
   // Charged access to a pinned slot's bytes. The pointer is valid until the
@@ -143,9 +159,21 @@ class Suvm {
     std::atomic<uint64_t> rollbacks_detected{0};  // stale-seal replay rejected
     std::atomic<uint64_t> retries{0};             // page-in retried after a MAC failure
     std::atomic<uint64_t> alloc_failures{0};      // backing-store Alloc refused
+    // Self-healing (page quarantine + alloc health).
+    std::atomic<uint64_t> pages_quarantined{0};   // poison events (retry failed too)
+    std::atomic<uint64_t> quarantine_hits{0};     // accesses fast-failed on poison
+    std::atomic<uint64_t> pages_restored{0};      // TryRestorePage successes
+    std::atomic<uint64_t> degraded_rejects{0};    // TryMalloc denied while degraded
   };
   const Stats& stats() const { return stats_; }
   void ResetStats();
+
+  // Allocation health (self-healing): repeated backing_alloc_fail degrades
+  // the region to "read-mostly" — existing pages stay fully readable and
+  // writable, but new allocations fail fast with kResourceExhausted (no host
+  // interaction) until a periodic probe allocation succeeds.
+  HealthState alloc_health_state() const { return alloc_health_.state(); }
+  const HealthFsm& alloc_health() const { return alloc_health_; }
 
   // Live page-table footprint: the number of PageMeta entries across all
   // stripes. Bounded by the touched working set — read-only misses must NOT
@@ -175,6 +203,7 @@ class Suvm {
     bool dirty = false;
     bool ref_bit = false;     // second chance for the EPC++ clock
     bool has_data = false;    // whole-page seal in the backing store is valid
+    bool poisoned = false;    // quarantined: accesses fast-fail, no crypto
     uint8_t nonce[crypto::kGcmNonceSize];
     uint8_t tag[crypto::kGcmTagSize];
     std::unique_ptr<SubMeta[]> subs;  // direct mode: per-sub-page metadata
@@ -210,6 +239,15 @@ class Suvm {
 
   // Bumps mac_failures and drops a trace event (all four Open sites).
   void NoteMacFailure(sim::CpuContext* cpu, uint64_t bs_page);
+
+  // Quarantine plumbing. MarkQuarantinedLocked expects the page's stripe
+  // lock held; QuarantinePage takes it.
+  void MarkQuarantinedLocked(sim::CpuContext* cpu, uint64_t bs_page,
+                             PageMeta& m);
+  void QuarantinePage(sim::CpuContext* cpu, uint64_t bs_page);
+  // Feeds one TryMalloc outcome into the alloc health FSM; traces
+  // kSuvmHealthChange on a state transition.
+  void NoteAllocHealth(bool ok);
 
   // Accounting touches on SUVM's own (EPC-resident, natively evictable)
   // metadata tables.
@@ -251,6 +289,8 @@ class Suvm {
   Spinlock nonce_lock_;
   Xoshiro256 nonce_rng_;
   Stats stats_;
+  HealthFsm alloc_health_;
+  size_t publisher_id_ = 0;
 
   // Telemetry (resolved from the machine's registry at construction; the
   // registry outlives this object). Histograms are hot-path-cheap (relaxed

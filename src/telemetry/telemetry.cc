@@ -100,6 +100,16 @@ const char* TraceKindName(TraceKind kind) {
       return "rpc_worker_respawn";
     case TraceKind::kSuvmBalloonResize:
       return "suvm_balloon_resize";
+    case TraceKind::kRpcBreakerOpen:
+      return "rpc_breaker_open";
+    case TraceKind::kRpcBreakerClose:
+      return "rpc_breaker_close";
+    case TraceKind::kSuvmPageQuarantined:
+      return "suvm_page_quarantined";
+    case TraceKind::kSuvmPageRestored:
+      return "suvm_page_restored";
+    case TraceKind::kSuvmHealthChange:
+      return "suvm_health_change";
   }
   return "unknown";
 }

@@ -120,6 +120,12 @@ enum class TraceKind : uint32_t {
   kRpcFallbackOcall = 4,
   kRpcWorkerRespawn = 5,
   kSuvmBalloonResize = 6,
+  // Self-healing layer (health FSMs).
+  kRpcBreakerOpen = 7,       // breaker tripped: calls short-circuit to OCALL
+  kRpcBreakerClose = 8,      // canary probe succeeded: exit-less path restored
+  kSuvmPageQuarantined = 9,  // page poisoned after the retry failed too
+  kSuvmPageRestored = 10,    // TryRestorePage successfully unpoisoned a page
+  kSuvmHealthChange = 11,    // SUVM alloc health FSM changed state (arg1)
 };
 
 const char* TraceKindName(TraceKind kind);

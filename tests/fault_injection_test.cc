@@ -121,12 +121,169 @@ TEST(SuvmFault, PersistentCorruptionSurfacesAsStatusAndThrow) {
   EXPECT_THROW(w.suvm->Read(nullptr, addr, back.data(), back.size()),
                std::runtime_error);
 
+  // The failed retry quarantined the page: further accesses fail fast with
+  // the same status and pay no further crypto (mac_failures stays put).
+  const uint64_t page = addr / sim::kPageSize;
+  EXPECT_TRUE(w.suvm->IsQuarantined(page));
+  EXPECT_EQ(w.suvm->stats().pages_quarantined.load(), 1u);
+  const uint64_t mac_before = w.suvm->stats().mac_failures.load();
+  const Status again =
+      w.suvm->TryRead(nullptr, addr, back.data(), back.size());
+  EXPECT_EQ(again.code(), StatusCode::kDataCorruption);
+  EXPECT_EQ(w.suvm->stats().mac_failures.load(), mac_before);
+  EXPECT_GE(w.suvm->stats().quarantine_hits.load(), 1u);
+
   // Tampering stops: the data was never actually destroyed (the flips were
-  // in flight), so reads recover completely.
+  // in flight), but the quarantine holds until an explicit restore
+  // re-verifies the sealed bytes.
   w.faults().DisarmAll();
+  EXPECT_EQ(w.suvm->TryRead(nullptr, addr, back.data(), back.size()).code(),
+            StatusCode::kDataCorruption);
+  ASSERT_TRUE(w.suvm->TryRestorePage(nullptr, page).ok());
+  EXPECT_FALSE(w.suvm->IsQuarantined(page));
+  EXPECT_EQ(w.suvm->stats().pages_restored.load(), 1u);
   ASSERT_TRUE(w.suvm->TryRead(nullptr, addr, back.data(), back.size()).ok());
   std::vector<uint8_t> first_page(data.begin(), data.begin() + sim::kPageSize);
   EXPECT_EQ(back, first_page);
+}
+
+TEST(SuvmFault, TryRestorePageRequiresQuarantine) {
+  World w(TinyCfg(4));
+  const uint64_t addr = w.suvm->Malloc(sim::kPageSize);
+  ASSERT_NE(addr, kInvalidAddr);
+  const uint64_t page = addr / sim::kPageSize;
+  EXPECT_FALSE(w.suvm->IsQuarantined(page));
+  EXPECT_EQ(w.suvm->TryRestorePage(nullptr, page).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SuvmFault, RestoreUnderOngoingTamperRequarantines) {
+  World w(TinyCfg(4));
+  const size_t pages = 16;
+  const uint64_t addr = w.suvm->Malloc(pages * sim::kPageSize);
+  ASSERT_NE(addr, kInvalidAddr);
+  FillPages(w, addr, pages, 14);
+  const uint64_t page = addr / sim::kPageSize;
+
+  w.faults().Arm(sim::Fault::kCiphertextFlip, 1.0);
+  std::vector<uint8_t> back(sim::kPageSize);
+  ASSERT_EQ(w.suvm->TryRead(nullptr, addr, back.data(), back.size()).code(),
+            StatusCode::kDataCorruption);
+  ASSERT_TRUE(w.suvm->IsQuarantined(page));
+  EXPECT_EQ(w.suvm->stats().pages_quarantined.load(), 1u);
+
+  // A restore attempted while the host is still tampering fails its
+  // verification read and the page goes straight back into quarantine
+  // (counted as a fresh quarantine event).
+  EXPECT_EQ(w.suvm->TryRestorePage(nullptr, page).code(),
+            StatusCode::kDataCorruption);
+  EXPECT_TRUE(w.suvm->IsQuarantined(page));
+  EXPECT_EQ(w.suvm->stats().pages_quarantined.load(), 2u);
+  EXPECT_EQ(w.suvm->stats().pages_restored.load(), 0u);
+
+  // Host relents: the restore verifies and lifts the quarantine for good.
+  w.faults().DisarmAll();
+  ASSERT_TRUE(w.suvm->TryRestorePage(nullptr, page).ok());
+  EXPECT_FALSE(w.suvm->IsQuarantined(page));
+  EXPECT_EQ(w.suvm->stats().pages_restored.load(), 1u);
+  ASSERT_TRUE(w.suvm->TryRead(nullptr, addr, back.data(), back.size()).ok());
+}
+
+TEST(SuvmFault, RepeatedAllocRefusalDegradesRegionToReadMostly) {
+  SuvmConfig cfg = TinyCfg(8);
+  cfg.alloc_failure_threshold = 3;
+  cfg.alloc_probe_interval = 4;
+  World w(cfg);
+  const uint64_t addr = w.suvm->Malloc(4 * sim::kPageSize);
+  ASSERT_NE(addr, kInvalidAddr);
+  const std::vector<uint8_t> data = FillPages(w, addr, 4, 31);
+
+  // Three consecutive refusals trip the allocation FSM.
+  w.faults().Arm(sim::Fault::kBackingAllocFail, 1.0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(w.suvm->TryMalloc(4096).status().code(),
+              StatusCode::kResourceExhausted);
+  }
+  EXPECT_EQ(w.suvm->alloc_health_state(), HealthState::kDegraded);
+
+  // Degraded = read-mostly: new allocations are rejected up front without a
+  // host round-trip (the injection point is never even consulted), while
+  // existing pages stay fully readable and writable.
+  const uint64_t checks = w.faults().checks(sim::Fault::kBackingAllocFail);
+  const StatusOr<uint64_t> denied = w.suvm->TryMalloc(4096);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(w.faults().checks(sim::Fault::kBackingAllocFail), checks);
+  EXPECT_GE(w.suvm->stats().degraded_rejects.load(), 1u);
+  std::vector<uint8_t> back(data.size());
+  ASSERT_TRUE(w.suvm->TryRead(nullptr, addr, back.data(), back.size()).ok());
+  EXPECT_EQ(back, data);
+  ASSERT_TRUE(w.suvm->TryWrite(nullptr, addr, data.data(), 64).ok());
+
+  // Host relents: every alloc_probe_interval-th rejected attempt retries the
+  // real allocation, and the first success closes the FSM.
+  w.faults().DisarmAll();
+  bool recovered = false;
+  for (int i = 0; i < 16 && !recovered; ++i) {
+    recovered = w.suvm->TryMalloc(4096).ok();
+  }
+  EXPECT_TRUE(recovered);
+  EXPECT_EQ(w.suvm->alloc_health_state(), HealthState::kHealthy);
+  ASSERT_TRUE(w.suvm->TryMalloc(4096).ok()) << "fully healthy again";
+}
+
+TEST(FaultInjector, ScheduleArmsAndDisarmsByVirtualTime) {
+  sim::FaultInjector f(21);
+  f.LoadSchedule({
+      {sim::Fault::kQueueFull, 1.0, UINT64_MAX, 10, 20},
+      {sim::Fault::kCiphertextFlip, 1.0, /*max_triggers=*/3, 15, 25},
+  });
+  EXPECT_EQ(f.schedule_size(), 2u);
+  EXPECT_EQ(f.active_phases(), 0u);
+  EXPECT_FALSE(f.armed(sim::Fault::kQueueFull));
+
+  f.AdvanceTime(10);
+  EXPECT_TRUE(f.armed(sim::Fault::kQueueFull));
+  EXPECT_FALSE(f.armed(sim::Fault::kCiphertextFlip));
+  f.AdvanceTime(15);
+  EXPECT_EQ(f.active_phases(), 2u);
+
+  // Burn one trigger, leave the window, come back: the remaining budget
+  // survives the deactivation.
+  EXPECT_TRUE(f.ShouldInject(sim::Fault::kCiphertextFlip));
+  f.AdvanceTime(30);
+  EXPECT_EQ(f.active_phases(), 0u);
+  EXPECT_FALSE(f.ShouldInject(sim::Fault::kCiphertextFlip));
+  f.AdvanceTime(16);  // the clock belongs to the caller: rewind is legal
+  EXPECT_TRUE(f.ShouldInject(sim::Fault::kCiphertextFlip));
+  EXPECT_TRUE(f.ShouldInject(sim::Fault::kCiphertextFlip));
+  EXPECT_FALSE(f.ShouldInject(sim::Fault::kCiphertextFlip)) << "budget spent";
+
+  f.ClearSchedule();
+  EXPECT_EQ(f.schedule_size(), 0u);
+  EXPECT_FALSE(f.armed(sim::Fault::kQueueFull));
+}
+
+TEST(FaultInjector, ScheduleIsDeterministicAcrossInstances) {
+  sim::FaultInjector a(77), b(77);
+  const std::vector<sim::FaultPhase> sched = {
+      {sim::Fault::kQueueFull, 0.3, UINT64_MAX, 0, 50},
+      {sim::Fault::kCiphertextFlip, 0.5, UINT64_MAX, 25, 75},
+  };
+  a.LoadSchedule(sched);
+  b.LoadSchedule(sched);
+  for (uint64_t t = 0; t < 100; ++t) {
+    a.AdvanceTime(t);
+    b.AdvanceTime(t);
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(a.ShouldInject(sim::Fault::kQueueFull),
+                b.ShouldInject(sim::Fault::kQueueFull));
+      EXPECT_EQ(a.ShouldInject(sim::Fault::kCiphertextFlip),
+                b.ShouldInject(sim::Fault::kCiphertextFlip));
+    }
+  }
+  EXPECT_EQ(a.total_injected(), b.total_injected());
+  EXPECT_GT(a.total_injected(), 0u);
 }
 
 TEST(SuvmFault, RollbackReplayIsDetectedAndClassified) {

@@ -1,0 +1,131 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// HealthFsm unit tests: the shared state machine behind the RPC circuit
+// breaker and the SUVM allocation degradation (closed/open/half-open in
+// breaker terms = healthy/degraded/probing here).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/health.h"
+
+namespace eleos {
+namespace {
+
+TEST(HealthFsm, TripsOnlyAfterConsecutiveFailures) {
+  HealthFsm fsm(HealthFsm::Options{.failure_threshold = 3, .probe_interval = 4});
+  EXPECT_EQ(fsm.state(), HealthState::kHealthy);
+  EXPECT_EQ(fsm.Admit(), HealthFsm::Gate::kAllow);
+
+  // Interleaved successes reset the streak: two-out-of-three never trips.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(fsm.RecordFailure());
+    EXPECT_FALSE(fsm.RecordFailure());
+    fsm.RecordSuccess();
+  }
+  EXPECT_EQ(fsm.state(), HealthState::kHealthy);
+  EXPECT_EQ(fsm.trips(), 0u);
+
+  EXPECT_FALSE(fsm.RecordFailure());
+  EXPECT_FALSE(fsm.RecordFailure());
+  EXPECT_TRUE(fsm.RecordFailure()) << "third consecutive failure trips";
+  EXPECT_EQ(fsm.state(), HealthState::kDegraded);
+  EXPECT_EQ(fsm.trips(), 1u);
+  EXPECT_EQ(fsm.Admit(), HealthFsm::Gate::kDeny);
+}
+
+TEST(HealthFsm, ProbeCycleReopensOnFailureAndClosesOnSuccess) {
+  HealthFsm fsm(HealthFsm::Options{.failure_threshold = 1, .probe_interval = 3});
+  EXPECT_TRUE(fsm.RecordFailure());
+  EXPECT_EQ(fsm.state(), HealthState::kDegraded);
+
+  // Every probe_interval-th denied admission upgrades to a probe.
+  EXPECT_EQ(fsm.Admit(), HealthFsm::Gate::kDeny);
+  EXPECT_EQ(fsm.Admit(), HealthFsm::Gate::kDeny);
+  EXPECT_EQ(fsm.Admit(), HealthFsm::Gate::kProbe);
+  EXPECT_EQ(fsm.state(), HealthState::kProbing);
+  EXPECT_EQ(fsm.probes(), 1u);
+  // While the probe is in flight everyone else is denied.
+  EXPECT_EQ(fsm.Admit(), HealthFsm::Gate::kDeny);
+
+  // Probe fails: back to degraded — a re-open, not a fresh trip.
+  EXPECT_FALSE(fsm.RecordFailure());
+  EXPECT_EQ(fsm.state(), HealthState::kDegraded);
+  EXPECT_EQ(fsm.trips(), 1u);
+
+  // Next cycle's probe succeeds: healthy again, admissions flow.
+  EXPECT_EQ(fsm.Admit(), HealthFsm::Gate::kDeny);
+  EXPECT_EQ(fsm.Admit(), HealthFsm::Gate::kDeny);
+  EXPECT_EQ(fsm.Admit(), HealthFsm::Gate::kProbe);
+  EXPECT_TRUE(fsm.RecordSuccess()) << "recovery transition reported once";
+  EXPECT_EQ(fsm.state(), HealthState::kHealthy);
+  EXPECT_EQ(fsm.Admit(), HealthFsm::Gate::kAllow);
+  EXPECT_EQ(fsm.probes(), 2u);
+  // healthy->degraded, ->probing, ->degraded, ->probing, ->healthy.
+  EXPECT_EQ(fsm.transitions(), 5u);
+}
+
+TEST(HealthFsm, ZeroThresholdDisablesTheFsm) {
+  HealthFsm fsm(HealthFsm::Options{.failure_threshold = 0, .probe_interval = 1});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fsm.RecordFailure());
+    EXPECT_EQ(fsm.Admit(), HealthFsm::Gate::kAllow);
+  }
+  EXPECT_EQ(fsm.state(), HealthState::kHealthy);
+  EXPECT_EQ(fsm.trips(), 0u);
+  EXPECT_EQ(fsm.transitions(), 0u);
+}
+
+TEST(HealthFsm, SuccessIsIdempotentWhenHealthy) {
+  HealthFsm fsm;
+  EXPECT_FALSE(fsm.RecordSuccess()) << "no transition to report";
+  EXPECT_FALSE(fsm.RecordSuccess());
+  EXPECT_EQ(fsm.transitions(), 0u);
+}
+
+TEST(HealthFsm, StateNames) {
+  EXPECT_STREQ(HealthStateName(HealthState::kHealthy), "healthy");
+  EXPECT_STREQ(HealthStateName(HealthState::kDegraded), "degraded");
+  EXPECT_STREQ(HealthStateName(HealthState::kProbing), "probing");
+}
+
+TEST(HealthFsm, ConcurrentAdmissionAndReportingIsSafe) {
+  // Hammer the FSM from several threads with a mixed success/failure diet.
+  // The point is absence of crashes/deadlocks plus basic sanity: the FSM ends
+  // in a legal state and counters are consistent.
+  HealthFsm fsm(HealthFsm::Options{.failure_threshold = 2, .probe_interval = 8});
+  std::atomic<uint64_t> allowed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&fsm, &allowed, t] {
+      for (int i = 0; i < 20000; ++i) {
+        const HealthFsm::Gate gate = fsm.Admit();
+        if (gate == HealthFsm::Gate::kDeny) {
+          continue;
+        }
+        allowed.fetch_add(1, std::memory_order_relaxed);
+        // Probes and every fourth allowed op fail; the rest succeed.
+        if (gate == HealthFsm::Gate::kProbe || (i + t) % 4 == 0) {
+          fsm.RecordFailure();
+        } else {
+          fsm.RecordSuccess();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  const HealthState end = fsm.state();
+  EXPECT_TRUE(end == HealthState::kHealthy || end == HealthState::kDegraded ||
+              end == HealthState::kProbing);
+  EXPECT_GT(allowed.load(), 0u);
+  EXPECT_GE(fsm.transitions(), fsm.trips());
+}
+
+}  // namespace
+}  // namespace eleos

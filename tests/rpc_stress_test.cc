@@ -7,10 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
 #include <vector>
+
+#include "src/common/health.h"
 
 #include "src/rpc/job_queue.h"
 #include "src/rpc/rpc_manager.h"
@@ -256,11 +259,16 @@ TEST(RpcFault, DroppedCompletionTriggersFallbackOcall) {
   sim::Enclave enclave(machine);
   machine.fault_injector().Arm(sim::Fault::kCompletionDrop, 1.0,
                                /*max_triggers=*/1);
+  // Static-path semantics under test: breaker/adaptive off so every call
+  // attempts the exit-less path (the armed drop must eventually fire even if
+  // the worker thread is scheduled late).
   RpcManager rpc(enclave, {.mode = RpcManager::Mode::kThreaded,
                            .use_cat = false,
                            .workers = 1,
                            .queue_capacity = 4,
-                           .await_spin_budget = 1 << 14});
+                           .await_spin_budget = 1 << 14,
+                           .breaker_enabled = false,
+                           .adaptive_spin = false});
   uint64_t bad = 0;
   for (uint64_t i = 0; i < 50; ++i) {
     const uint64_t r = rpc.Call(nullptr, 0, [i] { return i ^ 0xabcdu; });
@@ -277,11 +285,15 @@ TEST(RpcFault, FullQueueTriggersSubmitTimeoutFallback) {
   // The host pretends the queue is permanently full: every submit round sees
   // injected backpressure, so the bounded submit gives up and falls back.
   machine.fault_injector().Arm(sim::Fault::kQueueFull, 1.0);
+  // Static-path semantics under test: with the breaker enabled the manager
+  // would stop submitting after three timeouts (see RpcBreaker tests below).
   RpcManager rpc(enclave, {.mode = RpcManager::Mode::kThreaded,
                            .use_cat = false,
                            .workers = 1,
                            .queue_capacity = 2,
-                           .submit_spin_budget = 32});
+                           .submit_spin_budget = 32,
+                           .breaker_enabled = false,
+                           .adaptive_spin = false});
   uint64_t bad = 0;
   for (uint64_t i = 0; i < 20; ++i) {
     const uint64_t r = rpc.Call(nullptr, 0, [i] { return i + 100; });
@@ -297,6 +309,126 @@ TEST(RpcFault, FullQueueTriggersSubmitTimeoutFallback) {
   const uint64_t r = rpc.Call(nullptr, 0, [] { return 4242; });
   EXPECT_EQ(r, 4242u);
   EXPECT_EQ(rpc.fallback_ocalls(), 20u) << "no new fallback once healthy";
+}
+
+// --- Self-healing: circuit breaker + adaptive spin budgets ---
+
+TEST(RpcBreaker, OpensAfterConsecutiveTimeoutsThenCanaryCloses) {
+  sim::Machine machine;
+  sim::Enclave enclave(machine);
+  machine.fault_injector().Arm(sim::Fault::kQueueFull, 1.0);
+  RpcManager rpc(enclave, {.mode = RpcManager::Mode::kThreaded,
+                           .use_cat = false,
+                           .workers = 1,
+                           .queue_capacity = 2,
+                           .submit_spin_budget = 32,
+                           .breaker_failure_threshold = 3,
+                           .breaker_probe_interval = 4,
+                           .adaptive_spin = false,
+                           // Generous canary await so a late-scheduled worker
+                           // cannot flake the recovery half of the test.
+                           .min_await_spin_budget = 1 << 22});
+  uint64_t bad = 0;
+  for (uint64_t i = 0; i < 20; ++i) {
+    const uint64_t r = rpc.Call(nullptr, 0, [i] { return i + 100; });
+    bad += r != i + 100;
+  }
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(rpc.fallback_ocalls(), 20u) << "every call still completed";
+  // Exactly three calls paid the submit spin budget; the breaker then opened
+  // and the rest short-circuited (canary probes fail at submit while the
+  // pressure persists, but they are not counted as submit timeouts).
+  EXPECT_EQ(rpc.submit_timeouts(), 3u);
+  EXPECT_EQ(rpc.breaker_opens(), 1u);
+  EXPECT_EQ(rpc.breaker_state(), HealthState::kDegraded);
+  EXPECT_GE(rpc.breaker_short_circuits(), 10u);
+  EXPECT_GE(rpc.breaker_probes(), 1u);
+
+  // Pressure lifts: calls keep short-circuiting until a probe slot comes up,
+  // whose canary completes and closes the breaker; traffic is exit-less again.
+  machine.fault_injector().Disarm(sim::Fault::kQueueFull);
+  for (int i = 0;
+       i < 16 && rpc.breaker_state() != HealthState::kHealthy; ++i) {
+    EXPECT_EQ(rpc.Call(nullptr, 0, [] { return 4242ull; }), 4242u);
+  }
+  EXPECT_EQ(rpc.breaker_state(), HealthState::kHealthy);
+  const uint64_t fallbacks_at_close = rpc.fallback_ocalls();
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(rpc.Call(nullptr, 0, [i] { return i * 7; }), i * 7);
+  }
+  EXPECT_EQ(rpc.fallback_ocalls(), fallbacks_at_close)
+      << "no fallback once closed";
+
+  // PublishAll mirrors the breaker into the machine's metric registry.
+  machine.PublishAll();
+  EXPECT_EQ(machine.metrics().GetCounter("rpc.breaker_opens")->value(),
+            rpc.breaker_opens());
+  EXPECT_EQ(machine.metrics().GetCounter("rpc.breaker_state")->value(),
+            static_cast<uint64_t>(HealthState::kHealthy));
+  EXPECT_GT(machine.metrics().GetCounter("rpc.breaker_short_circuits")->value(),
+            0u);
+}
+
+TEST(RpcBreaker, AdaptiveBudgetsShrinkOnTimeoutAndRecoverOnSuccess) {
+  sim::Machine machine;
+  sim::Enclave enclave(machine);
+  sim::FaultInjector& faults = machine.fault_injector();
+  RpcManager rpc(enclave, {.mode = RpcManager::Mode::kThreaded,
+                           .use_cat = false,
+                           .workers = 1,
+                           .queue_capacity = 4,
+                           .submit_spin_budget = 1 << 16,
+                           .await_spin_budget = 1 << 16,
+                           .breaker_enabled = false,  // isolate the AIMD logic
+                           .min_submit_spin_budget = 1 << 8,
+                           .min_await_spin_budget = 1 << 8});
+  EXPECT_EQ(rpc.submit_spin_budget(), 1u << 16);
+  EXPECT_EQ(rpc.await_spin_budget(), 1u << 16);
+
+  // Multiplicative shrink: each submit timeout halves the submit budget.
+  faults.Arm(sim::Fault::kQueueFull, 1.0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(rpc.Call(nullptr, 0, [] { return 9u; }), 9u);
+  }
+  EXPECT_EQ(rpc.submit_spin_budget(), (1u << 16) >> 4);
+  EXPECT_EQ(rpc.await_spin_budget(), 1u << 16) << "await side untouched";
+
+  // ...but never below the floor.
+  for (int i = 0; i < 30; ++i) {
+    rpc.Call(nullptr, 0, [] { return 0u; });
+  }
+  EXPECT_EQ(rpc.submit_spin_budget(), 1u << 8);
+
+  // Await-side shrink, while the await budget still sits at its ceiling:
+  // dropped completions time out the await spin and halve the await budget
+  // (the calls still complete via fallback). Loop until both drops fired so
+  // a cold worker cannot flake the assertion.
+  faults.Disarm(sim::Fault::kQueueFull);
+  faults.Arm(sim::Fault::kCompletionDrop, 1.0, /*max_triggers=*/2);
+  uint64_t min_await = rpc.await_spin_budget();
+  for (int i = 0; i < 500 && rpc.pool()->completions_dropped() < 2; ++i) {
+    EXPECT_EQ(rpc.Call(nullptr, 0, [] { return 3u; }), 3u);
+    min_await = std::min(min_await, rpc.await_spin_budget());
+  }
+  EXPECT_EQ(rpc.pool()->completions_dropped(), 2u);
+  EXPECT_LE(min_await, 1u << 15) << "await budget shrank on timeout";
+
+  // Additive recovery: each exit-less completion walks both budgets up by
+  // 1/16 of the (floor, ceiling) range. Under CPU contention the starved
+  // worker loses wall-clock races: lost awaits halve the await budget again,
+  // and revoked jobs can genuinely fill the tiny queue, halving the submit
+  // budget mid-climb. So recovery is asserted as a strong climb off the
+  // floor, not an exact resting point — an uncontended run exits at the
+  // ceiling within a couple dozen calls.
+  faults.DisarmAll();
+  uint64_t max_await = rpc.await_spin_budget();
+  for (int i = 0; i < 8000 && rpc.submit_spin_budget() < (1u << 16); ++i) {
+    EXPECT_EQ(rpc.Call(nullptr, 0, [] { return 5u; }), 5u);
+    max_await = std::max(max_await, rpc.await_spin_budget());
+  }
+  EXPECT_GE(rpc.submit_spin_budget(), 1u << 14)
+      << "submit budget climbed well off its floor";
+  EXPECT_GT(max_await, 1u << 8) << "successes bumped the await side too";
 }
 
 }  // namespace

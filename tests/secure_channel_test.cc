@@ -10,6 +10,8 @@
 #include <string>
 #include <thread>
 
+#include "src/common/status.h"
+#include "src/sim/fault_injector.h"
 #include "src/suvm/secure_channel.h"
 
 namespace eleos::suvm {
@@ -191,6 +193,61 @@ TEST_F(ChannelAttacks, ForgedLengthRejected) {
   *slot.length = 1 << 20;  // absurd length from the untrusted field
   char out[64];
   EXPECT_THROW(rx_.TryRecv(nullptr, out, sizeof(out)), std::runtime_error);
+}
+
+TEST_F(ChannelAttacks, InjectedTransientTamperIsAStatusNotAThrow) {
+  // Fault::kChannelTamper models an in-flight flip: the Status API reports
+  // kDataCorruption, leaves the slot intact, and a retry after the transient
+  // clears recovers the message — no exception, no lost data.
+  SendOne("payload");
+  w_.machine.fault_injector().Arm(sim::Fault::kChannelTamper, 1.0,
+                                  /*max_triggers=*/1);
+  char out[64];
+  int64_t len = -1;
+  const Status bad = rx_.Recv(nullptr, out, sizeof(out), &len);
+  EXPECT_EQ(bad.code(), StatusCode::kDataCorruption);
+  EXPECT_EQ(rx_.mac_failures(), 1u);
+  EXPECT_EQ(rx_.messages_received(), 0u);
+
+  const Status good = rx_.Recv(nullptr, out, sizeof(out), &len);
+  ASSERT_TRUE(good.ok()) << good.ToString();
+  EXPECT_EQ(len, static_cast<int64_t>(std::strlen("payload") + 1));
+  EXPECT_STREQ(out, "payload");
+  EXPECT_EQ(rx_.messages_received(), 1u);
+}
+
+TEST_F(ChannelAttacks, PersistentTamperKeepsFailingWithSameStatus) {
+  SendOne("payload");
+  w_.machine.fault_injector().Arm(sim::Fault::kChannelTamper, 1.0);
+  char out[64];
+  int64_t len = -1;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(rx_.Recv(nullptr, out, sizeof(out), &len).code(),
+              StatusCode::kDataCorruption);
+  }
+  EXPECT_EQ(rx_.mac_failures(), 3u);
+  // The legacy API surfaces the same violation as a throw.
+  EXPECT_THROW(rx_.TryRecv(nullptr, out, sizeof(out)), std::runtime_error);
+  w_.machine.fault_injector().DisarmAll();
+  ASSERT_TRUE(rx_.Recv(nullptr, out, sizeof(out), &len).ok());
+  EXPECT_STREQ(out, "payload");
+}
+
+TEST_F(ChannelAttacks, StalledPeerYieldsBoundedUnavailableNotAHang) {
+  // The peer never produces (stalled, dead, or the host withholding the
+  // slot): a bounded Recv must return kUnavailable after its spin budget —
+  // never wedge the enclave thread.
+  char out[64];
+  int64_t len = -1;
+  const Status status =
+      rx_.Recv(nullptr, out, sizeof(out), &len, /*spin_budget=*/4096);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rx_.timeouts(), 1u);
+  EXPECT_EQ(rx_.mac_failures(), 0u);
+  // A message arriving afterwards is received normally.
+  SendOne("late");
+  ASSERT_TRUE(rx_.Recv(nullptr, out, sizeof(out), &len, 4096).ok());
+  EXPECT_STREQ(out, "late");
 }
 
 TEST_F(ChannelAttacks, CrossChannelSpliceDetected) {

@@ -163,6 +163,10 @@ TEST(TraceKindNames, AllDistinct) {
       TraceKind::kSuvmEvictCleanDrop, TraceKind::kSuvmMacFailure,
       TraceKind::kRpcFallbackOcall,  TraceKind::kRpcWorkerRespawn,
       TraceKind::kSuvmBalloonResize,
+      // Self-healing additions (breaker + quarantine + health).
+      TraceKind::kRpcBreakerOpen,     TraceKind::kRpcBreakerClose,
+      TraceKind::kSuvmPageQuarantined, TraceKind::kSuvmPageRestored,
+      TraceKind::kSuvmHealthChange,
   };
   std::vector<std::string> names;
   for (TraceKind k : kinds) {
@@ -174,6 +178,19 @@ TEST(TraceKindNames, AllDistinct) {
       EXPECT_NE(names[i], names[j]);
     }
   }
+}
+
+TEST(TraceKindNames, SelfHealingKindsHaveStableNames) {
+  // These names are part of the tooling contract (scripts/validate_bench.py
+  // and the soak harness grep for them).
+  EXPECT_STREQ(TraceKindName(TraceKind::kRpcBreakerOpen), "rpc_breaker_open");
+  EXPECT_STREQ(TraceKindName(TraceKind::kRpcBreakerClose), "rpc_breaker_close");
+  EXPECT_STREQ(TraceKindName(TraceKind::kSuvmPageQuarantined),
+               "suvm_page_quarantined");
+  EXPECT_STREQ(TraceKindName(TraceKind::kSuvmPageRestored),
+               "suvm_page_restored");
+  EXPECT_STREQ(TraceKindName(TraceKind::kSuvmHealthChange),
+               "suvm_health_change");
 }
 
 }  // namespace
