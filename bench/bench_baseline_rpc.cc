@@ -13,7 +13,14 @@
 // capping tail latency. Both hostile runs are fully deterministic — no call
 // ever reaches the worker, so no wall-clock race leaks into virtual cycles.
 //
-// Usage: bench_baseline_rpc [--smoke] [--out <path>]
+// With --trace-out the bench additionally runs a short *threaded* phase with
+// span tracing enabled and writes a Chrome trace-event JSON (plus a
+// .folded flamegraph next to it): enclave-side rpc.call spans with the
+// untrusted workers' executions as child spans on their own tracks. The
+// phase runs on its own machine after BENCH_rpc.json is written, so the
+// baseline artifact is byte-identical with or without the flag.
+//
+// Usage: bench_baseline_rpc [--smoke] [--out <path>] [--trace-out <path>]
 
 #include <cstring>
 #include <string>
@@ -73,6 +80,45 @@ HostileResult RunHostile(size_t calls, size_t io_bytes, bool breaker) {
   return r;
 }
 
+// Traced threaded demo: real workers, span tracing + audit on from machine
+// construction, small enough to never overflow the per-thread span buffers.
+bool RunTracedDemo(const std::string& trace_out) {
+  using namespace eleos;
+  sim::Machine machine(bench::FastMachine());
+  machine.EnableTracing(/*audit=*/true);
+  sim::Enclave enclave(machine);
+  {
+    rpc::RpcManager::Options opts;
+    opts.mode = rpc::RpcManager::Mode::kThreaded;
+    opts.workers = 2;
+    rpc::RpcManager rpc(enclave, opts);
+    sim::CpuContext& cpu = machine.cpu(0);
+    enclave.Enter(cpu);
+    uint64_t sink = 0;
+    for (size_t i = 0; i < 256; ++i) {
+      sink += rpc.Call(&cpu, 256, [i] { return i ^ 0x5aull; });
+    }
+    enclave.Exit(cpu);
+    (void)sink;
+  }  // joins the workers: all spans are closed before export
+
+  std::string error;
+  if (!machine.AuditSpanAccounting(&error)) {
+    std::fprintf(stderr, "bench_baseline_rpc: span audit failed: %s\n",
+                 error.c_str());
+    return false;
+  }
+  if (!bench::WriteFile(trace_out, machine.ExportChromeTrace()) ||
+      !bench::WriteFile(trace_out + ".folded", machine.ExportFoldedStacks())) {
+    std::fprintf(stderr, "bench_baseline_rpc: cannot write %s\n",
+                 trace_out.c_str());
+    return false;
+  }
+  std::printf("bench_baseline_rpc: trace -> %s (+ .folded)\n",
+              trace_out.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,13 +126,20 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   std::string out = "BENCH_rpc.json";
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out <path>] [--trace-out <path>]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -148,5 +201,8 @@ int main(int argc, char** argv) {
               kCalls, lat->Percentile(50), lat->Percentile(99), stat.p99,
               brk.p99, out.c_str());
   (void)sink;
+  if (!trace_out.empty() && !RunTracedDemo(trace_out)) {
+    return 1;
+  }
   return 0;
 }

@@ -6,7 +6,13 @@
 // (schema in DESIGN.md "Benchmark baselines") with p50/p95/p99 of major and
 // minor fault latency, eviction behavior, and a full metric snapshot.
 //
-// Usage: bench_baseline_suvm [--smoke] [--out <path>]
+// With --trace-out, span tracing is enabled for the whole workload and a
+// Chrome trace-event JSON (plus a .folded flamegraph next to it) is written
+// after the BENCH json: fault/evict/swapper spans on cpu0's track. The
+// workload is single-threaded and deterministic, so the trace (and the
+// span ids leaking into the metric snapshot's trace ring) are too.
+//
+// Usage: bench_baseline_suvm [--smoke] [--out <path>] [--trace-out <path>]
 
 #include <cstring>
 #include <string>
@@ -22,13 +28,20 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   std::string out = "BENCH_suvm.json";
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out <path>] [--trace-out <path>]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -40,6 +53,9 @@ int main(int argc, char** argv) {
   const size_t kReads = smoke ? 4000 : 200000;
 
   sim::Machine machine(bench::FastMachine());
+  if (!trace_out.empty()) {
+    machine.EnableTracing();  // before the enclave: Enter opens the first span
+  }
   sim::Enclave enclave(machine);
   suvm::SuvmConfig cfg;
   cfg.epc_pp_pages = kPpPages;
@@ -90,6 +106,23 @@ int main(int argc, char** argv) {
   if (!bench::WriteFile(out, json)) {
     std::fprintf(stderr, "bench_baseline_suvm: cannot write %s\n", out.c_str());
     return 1;
+  }
+  if (!trace_out.empty()) {
+    std::string error;
+    if (!machine.AuditSpanAccounting(&error)) {
+      std::fprintf(stderr, "bench_baseline_suvm: span audit failed: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    if (!bench::WriteFile(trace_out, machine.ExportChromeTrace()) ||
+        !bench::WriteFile(trace_out + ".folded",
+                          machine.ExportFoldedStacks())) {
+      std::fprintf(stderr, "bench_baseline_suvm: cannot write %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::printf("bench_baseline_suvm: trace -> %s (+ .folded)\n",
+                trace_out.c_str());
   }
   std::printf(
       "bench_baseline_suvm: %zu reads, major p50=%.0f p99=%.0f cycles, "

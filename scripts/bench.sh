@@ -4,6 +4,11 @@
 # counters). --smoke runs a small deterministic workload for CI; the default
 # full mode is for recording real baselines.
 #
+# Each bench also records a span trace (TRACE_rpc.json / TRACE_suvm.json,
+# each with a .folded flamegraph sibling) — the CI trace artifacts — and both
+# are validated with scripts/validate_trace.py; the RPC trace must prove the
+# cross-boundary link (worker-execution spans parented by enclave calls).
+#
 # Usage: scripts/bench.sh [--smoke]
 set -euo pipefail
 
@@ -24,9 +29,15 @@ if [[ ! -d "$BUILD" ]]; then
 fi
 cmake --build "$BUILD" --target bench_baseline_rpc bench_baseline_suvm -j
 
-"$BUILD/bench/bench_baseline_rpc" $MODE_FLAG --out "$OUT/BENCH_rpc.json"
-"$BUILD/bench/bench_baseline_suvm" $MODE_FLAG --out "$OUT/BENCH_suvm.json"
+"$BUILD/bench/bench_baseline_rpc" $MODE_FLAG --out "$OUT/BENCH_rpc.json" \
+  --trace-out "$OUT/TRACE_rpc.json"
+"$BUILD/bench/bench_baseline_suvm" $MODE_FLAG --out "$OUT/BENCH_suvm.json" \
+  --trace-out "$OUT/TRACE_suvm.json"
 
 python3 "$ROOT/scripts/validate_bench.py" \
   "$OUT/BENCH_rpc.json" "$OUT/BENCH_suvm.json"
-echo "bench.sh: baselines written to $OUT/BENCH_{rpc,suvm}.json"
+python3 "$ROOT/scripts/validate_trace.py" --require-worker-child \
+  "$OUT/TRACE_rpc.json"
+python3 "$ROOT/scripts/validate_trace.py" "$OUT/TRACE_suvm.json"
+echo "bench.sh: baselines written to $OUT/BENCH_{rpc,suvm}.json" \
+  "(traces: $OUT/TRACE_{rpc,suvm}.json + .folded)"

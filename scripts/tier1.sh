@@ -13,7 +13,10 @@
 #    the chaos-soak smoke, and the secure channel — the paths that poke at
 #    lifetimes (abandoned jobs, quarantined pages, tampered slots).
 # 4. A benchmark smoke stage: runs the baseline benches end-to-end and
-#    validates the emitted BENCH_*.json (fails on malformed/empty output).
+#    validates the emitted BENCH_*.json (fails on malformed/empty output)
+#    plus the TRACE_*.json span traces (phase balance, per-track timestamp
+#    monotonicity, span-id referential integrity, and the cross-boundary
+#    worker-child link in the RPC trace).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,11 +24,11 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j"$(nproc)" -LE soak)
 
-TSAN_TESTS='^(rpc_test|rpc_stress_test|suvm_test|suvm_property_test|fault_injection_test|telemetry_test|health_test)$'
+TSAN_TESTS='^(rpc_test|rpc_stress_test|suvm_test|suvm_property_test|fault_injection_test|telemetry_test|health_test|span_test)$'
 cmake -B build-tsan -S . -DELEOS_SANITIZE=thread
 cmake --build build-tsan -j --target \
   rpc_test rpc_stress_test suvm_test suvm_property_test fault_injection_test \
-  telemetry_test health_test
+  telemetry_test health_test span_test
 (cd build-tsan && ctest --output-on-failure -R "$TSAN_TESTS")
 
 ASAN_TESTS='^(fault_injection_test|chaos_soak_test|secure_channel_test)$'

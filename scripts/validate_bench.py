@@ -5,7 +5,9 @@ Checks (per file):
   * parses as JSON, schema_version == 1, mode in {smoke, full}
   * latency_cycles has count > 0 and p50 <= p95 <= p99
   * every embedded histogram block is internally consistent
-  * metrics.counters is present and non-empty
+  * metrics.counters is present, non-empty, and strictly non-negative
+    (levels that may legally decrease live in metrics.gauges)
+  * metrics.gauges is present and holds integers (negative allowed)
   * rpc_baseline: the hostile profile pair is present, the breaker run
     reports its self-healing counters, and the breaker's p99 does not
     exceed the static-budget p99 (the tail-latency cap the breaker buys)
@@ -97,16 +99,26 @@ def validate(path: str) -> None:
         fail(f"{path}: metrics.counters is missing or empty")
     if any(not isinstance(v, int) or v < 0 for v in counters.values()):
         fail(f"{path}: metrics.counters has non-integer or negative values")
+    gauges = metrics.get("gauges")
+    if not isinstance(gauges, dict):
+        fail(f"{path}: metrics.gauges is missing (gauge migration regressed?)")
+    if any(not isinstance(v, int) for v in gauges.values()):
+        fail(f"{path}: metrics.gauges has non-integer values")
 
     if doc["bench"] == "rpc_baseline":
         check_rpc_hostile(path, doc)
+        if "rpc.breaker_state" not in gauges:
+            fail(f"{path}: metrics.gauges is missing 'rpc.breaker_state'")
     if doc["bench"] == "suvm_baseline":
         for key in ("suvm.pages_quarantined", "suvm.pages_restored"):
             if key not in counters:
                 fail(f"{path}: metrics.counters is missing '{key}'")
+        for key in ("suvm.epc_pp_in_use", "suvm.epc_pp_target"):
+            if key not in gauges:
+                fail(f"{path}: metrics.gauges is missing '{key}'")
 
     print(f"validate_bench: OK: {path} ({doc['bench']}, {doc['mode']}, "
-          f"{len(counters)} counters)")
+          f"{len(counters)} counters, {len(gauges)} gauges)")
 
 
 def main() -> None:

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON emitted by the span tracer.
+
+Checks, per track (pid, tid):
+  * duration-event phases balance: every "B" has a matching "E" (the span
+    exporter only emits "X"/"i"/"M", but hand-written traces stay checkable);
+  * timestamps are monotonically non-decreasing in file order ("X"/"B"/"E"/"i"
+    events; metadata carries no timestamp);
+  * "X" events have a non-negative dur.
+Globally:
+  * every instant event ("i") that references a span (args.span_id != 0)
+    points at an "X" span that exists in the file;
+  * every "X" span's args.parent (when nonzero) exists too.
+
+--require-worker-child additionally asserts the cross-boundary causal link
+the exit-less RPC path promises: at least one "rpc.worker_exec" complete
+event whose args.parent is an "rpc.call" span on a *different* track.
+
+Usage: validate_trace.py [--require-worker-child] trace.json [more.json ...]
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"validate_trace: {path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path, require_worker_child):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(path, "no traceEvents")
+
+    span_ids = {}       # args.id -> event, for "X" events
+    open_stacks = {}    # (pid, tid) -> count of unmatched "B"
+    last_ts = {}        # (pid, tid) -> last seen timestamp
+    instants = []
+    timed = 0
+
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph is None:
+            fail(path, f"event {i} has no phase")
+        if ph == "M":
+            continue
+        track = (ev.get("pid"), ev.get("tid"))
+        if ph in ("X", "B", "E", "i"):
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)):
+                fail(path, f"event {i} ({ph}) has no numeric ts")
+            if track in last_ts and ts < last_ts[track]:
+                fail(path, f"event {i}: ts {ts} < {last_ts[track]} on track "
+                           f"{track} (per-track timestamps must not decrease)")
+            last_ts[track] = ts
+            timed += 1
+        if ph == "B":
+            open_stacks[track] = open_stacks.get(track, 0) + 1
+        elif ph == "E":
+            if open_stacks.get(track, 0) <= 0:
+                fail(path, f"event {i}: 'E' with no open 'B' on track {track}")
+            open_stacks[track] -= 1
+        elif ph == "X":
+            if ev.get("dur", 0) < 0:
+                fail(path, f"event {i}: negative dur")
+            sid = ev.get("args", {}).get("id")
+            if sid:
+                if sid in span_ids:
+                    fail(path, f"event {i}: duplicate span id {sid}")
+                span_ids[sid] = ev
+        elif ph == "i":
+            instants.append((i, ev))
+
+    for track, depth in open_stacks.items():
+        if depth != 0:
+            fail(path, f"track {track}: {depth} unmatched 'B' event(s)")
+    if timed == 0:
+        fail(path, "no timed events")
+
+    for i, ev in enumerate(events):
+        if ev.get("ph") != "X":
+            continue
+        parent = ev.get("args", {}).get("parent", 0)
+        if parent and parent not in span_ids:
+            fail(path, f"event {i}: parent span {parent} not in trace")
+    for i, ev in instants:
+        sid = ev.get("args", {}).get("span_id", 0)
+        if sid and sid not in span_ids:
+            fail(path, f"instant event {i}: span_id {sid} not in trace")
+
+    if require_worker_child:
+        linked = 0
+        for sid, ev in span_ids.items():
+            if ev.get("name") != "rpc.worker_exec":
+                continue
+            parent = span_ids.get(ev.get("args", {}).get("parent", 0))
+            if (parent is not None and parent.get("name") == "rpc.call"
+                    and parent.get("tid") != ev.get("tid")):
+                linked += 1
+        if linked == 0:
+            fail(path, "no rpc.worker_exec span with an rpc.call parent on "
+                       "another track (cross-boundary propagation broken)")
+
+    print(f"validate_trace: {path}: OK "
+          f"({len(span_ids)} spans, {len(instants)} instants, "
+          f"{len(last_ts)} tracks)")
+
+
+def main(argv):
+    require_worker_child = False
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--require-worker-child":
+            require_worker_child = True
+        else:
+            paths.append(arg)
+    if not paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in paths:
+        validate(path, require_worker_child)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

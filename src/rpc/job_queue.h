@@ -53,6 +53,12 @@ struct alignas(64) JobSlot {  // one cache line per slot: no false sharing
   std::atomic<uint64_t> gen{0};  // bumped on every release back to kEmpty
   UntrustedFn fn = nullptr;
   void* arg = nullptr;
+  // Causal-tracing context, written with fn/arg under the same kFilling ->
+  // kReady publication: the submitter's innermost span id and its virtual
+  // clock at submit time, so the claiming worker can emit its execution as a
+  // child span inside the submitting call's interval. Both 0 when untraced.
+  uint64_t span_id = 0;
+  uint64_t submit_tsc = 0;
 };
 
 // A submitted (or claimed) job: the slot index plus the generation the slot
@@ -80,7 +86,8 @@ class JobQueue {
   // exponential backoff (CpuRelax -> yield) while the queue is full; gives up
   // after `spin_budget` backoff rounds and returns false.
   bool TrySubmit(UntrustedFn fn, void* arg, JobTicket* ticket,
-                 uint64_t spin_budget) {
+                 uint64_t spin_budget, uint64_t span_id = 0,
+                 uint64_t submit_tsc = 0) {
     for (uint64_t spins = 0;; ++spins) {
       const bool injected_full =
           faults_ != nullptr && faults_->ShouldInject(sim::Fault::kQueueFull);
@@ -91,6 +98,8 @@ class JobQueue {
                   expected, SlotState::kFilling, std::memory_order_acquire)) {
             slots_[i].fn = fn;
             slots_[i].arg = arg;
+            slots_[i].span_id = span_id;
+            slots_[i].submit_tsc = submit_tsc;
             ticket->slot = i;
             ticket->gen = slots_[i].gen.load(std::memory_order_relaxed);
             slots_[i].state.store(SlotState::kReady, std::memory_order_release);
@@ -154,8 +163,11 @@ class JobQueue {
   }
 
   // Worker side: claims one ready job, or returns false. On true, the worker
-  // must call Complete(ticket) after running the job.
-  bool TryClaim(JobTicket* ticket, UntrustedFn* fn_out, void** arg_out) {
+  // must call Complete(ticket) after running the job. The optional outs
+  // surface the submitter's tracing context (0 when untraced).
+  bool TryClaim(JobTicket* ticket, UntrustedFn* fn_out, void** arg_out,
+                uint64_t* span_id_out = nullptr,
+                uint64_t* submit_tsc_out = nullptr) {
     for (size_t i = 0; i < slots_.size(); ++i) {
       SlotState expected = SlotState::kReady;
       if (slots_[i].state.compare_exchange_strong(expected, SlotState::kRunning,
@@ -165,6 +177,12 @@ class JobQueue {
         ticket->gen = slots_[i].gen.load(std::memory_order_relaxed);
         *fn_out = slots_[i].fn;
         *arg_out = slots_[i].arg;
+        if (span_id_out != nullptr) {
+          *span_id_out = slots_[i].span_id;
+        }
+        if (submit_tsc_out != nullptr) {
+          *submit_tsc_out = slots_[i].submit_tsc;
+        }
         return true;
       }
     }

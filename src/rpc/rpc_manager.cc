@@ -29,17 +29,24 @@ RpcManager::RpcManager(sim::Enclave& enclave, Options options)
           options.breaker_enabled ? options.breaker_failure_threshold : 0,
           options.breaker_probe_interval}),
       call_cycles_(enclave.machine().metrics().GetHistogram("rpc.call_cycles")),
-      cycles_rpc_(enclave.machine().metrics().GetCounter("sim.cycles.rpc")),
       breaker_state_gauge_(
-          enclave.machine().metrics().GetCounter("rpc.breaker_state")) {
+          enclave.machine().metrics().GetGauge("rpc.breaker_state")) {
   if (use_cat_) {
     enclave_->machine().llc().EnablePartitioning(0.75);
   }
   if (mode_ == Mode::kThreaded) {
     sim::FaultInjector* faults = &enclave_->machine().fault_injector();
     queue_ = std::make_unique<JobQueue>(options.queue_capacity, faults);
-    pool_ = std::make_unique<WorkerPool>(*queue_, options.workers, faults,
-                                         &enclave_->machine().metrics().trace());
+    // Workers synthesize their execution spans from the slot's submit_tsc:
+    // the modeled execution window is `syscall_cycles` long and ends
+    // `rpc_dequeue_cycles` before the submitter reads the result back (see
+    // ChargeSubmit's enqueue+poll+syscall+dequeue charge).
+    const sim::CostModel& c = enclave_->machine().costs();
+    pool_ = std::make_unique<WorkerPool>(
+        *queue_, options.workers, faults,
+        &enclave_->machine().metrics().trace(),
+        &enclave_->machine().metrics().spans(),
+        c.syscall_cycles + c.rpc_dequeue_cycles, c.syscall_cycles);
   }
   publisher_id_ =
       enclave_->machine().AddPublisher([this] { PublishTelemetry(); });
@@ -64,8 +71,7 @@ void RpcManager::ChargeSubmit(sim::CpuContext* cpu, size_t io_bytes) {
   // read the result back. No exit: no TLB flush, no enclave-state spill.
   const uint64_t cycles = c.rpc_enqueue_cycles + c.rpc_poll_latency_cycles +
                           c.syscall_cycles + c.rpc_dequeue_cycles;
-  cpu->Charge(cycles);
-  cycles_rpc_->Add(cycles);
+  m.ChargeCost(cpu, telemetry::CostCategory::kRpc, cycles);
   // The worker's kernel/I/O buffers pollute the LLC — only within the
   // worker's CAT partition when partitioning is on.
   const int worker_cos = use_cat_ ? sim::kCosRpcWorker : sim::kCosShared;
@@ -100,7 +106,7 @@ bool RpcManager::AdmitExitless(sim::CpuContext* cpu) {
     case HealthFsm::Gate::kProbe:
       if (RunCanary(cpu)) {
         if (breaker_.RecordSuccess()) {
-          breaker_state_gauge_->Set(static_cast<uint64_t>(breaker_.state()));
+          breaker_state_gauge_->Set(static_cast<int64_t>(breaker_.state()));
           enclave_->machine().metrics().trace().Record(
               telemetry::TraceKind::kRpcBreakerClose,
               cpu != nullptr ? cpu->clock.now() : 0, breaker_.probes());
@@ -108,7 +114,7 @@ bool RpcManager::AdmitExitless(sim::CpuContext* cpu) {
         return true;  // the exit-less machinery is back; run the real call
       }
       breaker_.RecordFailure();  // half-open -> open, no fresh trip
-      breaker_state_gauge_->Set(static_cast<uint64_t>(breaker_.state()));
+      breaker_state_gauge_->Set(static_cast<int64_t>(breaker_.state()));
       CountFallback(cpu, FallbackWhy::kBreakerOpen);
       return false;
   }
@@ -135,12 +141,8 @@ bool RpcManager::RunCanary(sim::CpuContext* cpu) {
 }
 
 void RpcManager::ChargeSpins(sim::CpuContext* cpu, uint64_t spins) {
-  if (cpu == nullptr) {
-    return;
-  }
   const uint64_t cycles = spins * enclave_->machine().costs().rpc_spin_cycles;
-  cpu->Charge(cycles);
-  cycles_rpc_->Add(cycles);
+  enclave_->machine().ChargeCost(cpu, telemetry::CostCategory::kRpc, cycles);
 }
 
 void RpcManager::OnSpinTimeout(sim::CpuContext* cpu, bool submit_side,
@@ -160,7 +162,7 @@ void RpcManager::OnSpinTimeout(sim::CpuContext* cpu, bool submit_side,
   }
   if (breaker_.RecordFailure()) {
     breaker_opens_.Inc();
-    breaker_state_gauge_->Set(static_cast<uint64_t>(breaker_.state()));
+    breaker_state_gauge_->Set(static_cast<int64_t>(breaker_.state()));
     enclave_->machine().metrics().trace().Record(
         telemetry::TraceKind::kRpcBreakerOpen,
         cpu != nullptr ? cpu->clock.now() : 0, submit_side ? 1 : 0,
@@ -197,16 +199,17 @@ void RpcManager::PublishTelemetry() {
   r.GetCounter("rpc.fallback_ocalls")->Set(fallback_ocalls_.value());
   r.GetCounter("rpc.submit_timeouts")->Set(submit_timeouts_.value());
   r.GetCounter("rpc.await_timeouts")->Set(await_timeouts_.value());
-  r.GetCounter("rpc.breaker_state")
-      ->Set(static_cast<uint64_t>(breaker_.state()));
+  r.GetGauge("rpc.breaker_state")->Set(static_cast<int64_t>(breaker_.state()));
   r.GetCounter("rpc.breaker_opens")->Set(breaker_opens_.value());
   r.GetCounter("rpc.breaker_short_circuits")
       ->Set(breaker_short_circuits_.value());
   r.GetCounter("rpc.breaker_probes")->Set(breaker_.probes());
-  r.GetCounter("rpc.submit_spin_budget")
-      ->Set(submit_spin_budget_.load(std::memory_order_relaxed));
-  r.GetCounter("rpc.await_spin_budget")
-      ->Set(await_spin_budget_.load(std::memory_order_relaxed));
+  r.GetGauge("rpc.submit_spin_budget")
+      ->Set(static_cast<int64_t>(
+          submit_spin_budget_.load(std::memory_order_relaxed)));
+  r.GetGauge("rpc.await_spin_budget")
+      ->Set(static_cast<int64_t>(
+          await_spin_budget_.load(std::memory_order_relaxed)));
   if (queue_ != nullptr) {
     r.GetCounter("rpc.queue_full_spins")->Set(queue_->queue_full_spins());
     r.GetCounter("rpc.late_completions")->Set(queue_->late_completions());

@@ -122,6 +122,10 @@ class RpcManager {
   // touches (pollutes the worker's LLC partition). Returns fn's result.
   template <typename Fn>
   std::invoke_result_t<Fn> Call(sim::CpuContext* cpu, size_t io_bytes, Fn&& fn) {
+    // The causal root of everything this call does: the worker's execution,
+    // a fallback OCALL, or a breaker short-circuit all become children.
+    sim::SpanScope span(&enclave_->machine().metrics().spans(), cpu,
+                        "rpc.call");
     // Submit→complete latency (virtual cycles), including any fallback OCALL.
     LatencyScope latency(cpu, call_cycles_);
     ChargeSubmit(cpu, io_bytes);
@@ -245,15 +249,26 @@ class RpcManager {
     using Job = std::conditional_t<kVoid, JobImplVoid<F>,
                                    JobImpl<F, std::conditional_t<kVoid, int, R>>>;
     if (!AdmitExitless(cpu)) {
+      sim::SpanScope denied(&enclave_->machine().metrics().spans(), cpu,
+                            "rpc.breaker_short_circuit");
       return Fallback(cpu, io_bytes, fn);
     }
     auto* job = new Job(F(fn));  // copy: `fn` is reused by the fallback path
     JobTicket ticket;
     const uint64_t submit_budget =
         submit_spin_budget_.load(std::memory_order_relaxed);
-    if (!queue_->TrySubmit(&Trampoline, job, &ticket, submit_budget)) {
+    // Propagate the causal context through the untrusted slot so the worker
+    // can emit its execution as a child span of this call.
+    telemetry::SpanTracer& spans = enclave_->machine().metrics().spans();
+    const uint64_t span_id = spans.CurrentSpanId();
+    const uint64_t submit_tsc =
+        span_id != 0 && cpu != nullptr ? cpu->clock.now() : 0;
+    if (!queue_->TrySubmit(&Trampoline, job, &ticket, submit_budget, span_id,
+                           submit_tsc)) {
       job->Unref();
       job->Unref();  // never enqueued: the worker reference dies with ours
+      sim::SpanScope fallback(&enclave_->machine().metrics().spans(), cpu,
+                              "rpc.fallback_ocall");
       OnSpinTimeout(cpu, /*submit_side=*/true, submit_budget);
       CountFallback(cpu, FallbackWhy::kSubmitTimeout);
       return Fallback(cpu, io_bytes, fn);
@@ -277,6 +292,8 @@ class RpcManager {
       job->Unref();  // revoked before any claim: the job will never run
     }
     job->Unref();
+    sim::SpanScope fallback(&enclave_->machine().metrics().spans(), cpu,
+                            "rpc.fallback_ocall");
     OnSpinTimeout(cpu, /*submit_side=*/false, await_budget);
     CountFallback(cpu, FallbackWhy::kAwaitTimeout);
     return Fallback(cpu, io_bytes, fn);
@@ -316,8 +333,7 @@ class RpcManager {
   Counter breaker_short_circuits_;
   // Telemetry (resolved from the machine's registry at construction).
   telemetry::Histogram* call_cycles_;
-  telemetry::Counter* cycles_rpc_;
-  telemetry::Counter* breaker_state_gauge_;
+  telemetry::Gauge* breaker_state_gauge_;
   size_t publisher_id_ = 0;
 };
 

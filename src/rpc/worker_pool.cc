@@ -10,11 +10,19 @@ namespace eleos::rpc {
 
 WorkerPool::WorkerPool(JobQueue& queue, size_t num_workers,
                        sim::FaultInjector* faults,
-                       telemetry::TraceRing* trace)
-    : queue_(queue), faults_(faults), trace_(trace) {
+                       telemetry::TraceRing* trace,
+                       telemetry::SpanTracer* spans,
+                       uint64_t exec_lead_cycles, uint64_t exec_cycles)
+    : queue_(queue),
+      faults_(faults),
+      trace_(trace),
+      spans_(spans),
+      exec_lead_cycles_(exec_lead_cycles),
+      exec_cycles_(exec_cycles) {
   workers_.reserve(num_workers);
   for (size_t i = 0; i < num_workers; ++i) {
     auto worker = std::make_unique<Worker>();
+    worker->index = static_cast<int>(i);
     worker->alive.store(true, std::memory_order_release);
     worker->thread = std::thread([this, w = worker.get()] { WorkerLoop(w); });
     workers_.push_back(std::move(worker));
@@ -47,12 +55,14 @@ void WorkerPool::WorkerLoop(Worker* self) {
   JobTicket ticket;
   UntrustedFn fn;
   void* arg;
+  uint64_t span_id;
+  uint64_t submit_tsc;
   while (!stop_.load(std::memory_order_acquire)) {
     if (faults_ != nullptr && faults_->ShouldInject(sim::Fault::kWorkerDeath)) {
       worker_deaths_.Inc();
       break;  // the host silently killed this worker
     }
-    if (queue_.TryClaim(&ticket, &fn, &arg)) {
+    if (queue_.TryClaim(&ticket, &fn, &arg, &span_id, &submit_tsc)) {
       if (faults_ != nullptr &&
           faults_->ShouldInject(sim::Fault::kWorkerStall)) {
         // Preempted (or maliciously delayed) while holding the claim. The
@@ -64,6 +74,15 @@ void WorkerPool::WorkerLoop(Worker* self) {
         }
       }
       fn(arg);
+      if (spans_ != nullptr && span_id != 0) {
+        // Emitted even when the completion is dropped below: the execution
+        // really happened; only its result got lost.
+        const uint64_t start =
+            submit_tsc > exec_lead_cycles_ ? submit_tsc - exec_lead_cycles_ : 0;
+        spans_->EmitComplete("rpc.worker_exec",
+                             telemetry::kWorkerTrackBase + self->index,
+                             span_id, start, start + exec_cycles_);
+      }
       if (faults_ != nullptr &&
           faults_->ShouldInject(sim::Fault::kCompletionDrop)) {
         completions_dropped_.Inc();  // ran, but the completion never lands

@@ -31,9 +31,17 @@ namespace eleos::rpc {
 
 class WorkerPool {
  public:
+  // `spans` (optional) lets workers emit their execution as child spans of
+  // the submitting enclave call. Workers have no virtual clock, so the span's
+  // window is synthesized from the slot's submit_tsc: it starts
+  // `exec_lead_cycles` before it and lasts `exec_cycles` — the RpcManager
+  // passes values that place it inside the parent call's interval (the
+  // modeled syscall portion of ChargeSubmit's enqueue+poll+syscall+dequeue).
   WorkerPool(JobQueue& queue, size_t num_workers,
              sim::FaultInjector* faults = nullptr,
-             telemetry::TraceRing* trace = nullptr);
+             telemetry::TraceRing* trace = nullptr,
+             telemetry::SpanTracer* spans = nullptr,
+             uint64_t exec_lead_cycles = 0, uint64_t exec_cycles = 0);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -52,6 +60,7 @@ class WorkerPool {
   struct Worker {
     std::thread thread;
     std::atomic<bool> alive{false};
+    int index = 0;  // worker track = telemetry::kWorkerTrackBase + index
   };
 
   void WorkerLoop(Worker* self);
@@ -60,6 +69,9 @@ class WorkerPool {
   JobQueue& queue_;
   sim::FaultInjector* faults_;
   telemetry::TraceRing* trace_;  // optional: respawns are trace-worthy
+  telemetry::SpanTracer* spans_;  // optional: cross-boundary child spans
+  uint64_t exec_lead_cycles_;
+  uint64_t exec_cycles_;
   std::atomic<bool> stop_{false};
   Counter jobs_executed_;
   Counter worker_deaths_;

@@ -11,8 +11,6 @@ Enclave::Enclave(Machine& machine, std::string name)
     : machine_(&machine), name_(std::move(name)) {
   id_ = machine_->driver().RegisterEnclave(this);
   vaddr_base_ = (static_cast<uint64_t>(id_) + 1) * kVaddrStride;
-  cycles_transitions_ = machine_->metrics().GetCounter("sim.cycles.transitions");
-  cycles_crypto_ = machine_->metrics().GetCounter("sim.cycles.crypto");
 }
 
 Enclave::~Enclave() { machine_->driver().UnregisterEnclave(id_); }
@@ -71,15 +69,17 @@ void Enclave::Write(CpuContext* cpu, uint64_t vaddr, const void* src, size_t len
 }
 
 void Enclave::Enter(CpuContext& cpu) {
-  cpu.Charge(machine_->costs().eenter_cycles);
-  cycles_transitions_->Add(machine_->costs().eenter_cycles);
+  SpanScope span(&machine_->metrics().spans(), &cpu, "enclave.enter");
+  machine_->ChargeCost(&cpu, telemetry::CostCategory::kTransitions,
+                       machine_->costs().eenter_cycles);
   cpu.enclave = this;
   ++threads_inside_;
 }
 
 void Enclave::Exit(CpuContext& cpu) {
-  cpu.Charge(machine_->costs().eexit_cycles);
-  cycles_transitions_->Add(machine_->costs().eexit_cycles);
+  SpanScope span(&machine_->metrics().spans(), &cpu, "enclave.exit");
+  machine_->ChargeCost(&cpu, telemetry::CostCategory::kTransitions,
+                       machine_->costs().eexit_cycles);
   cpu.tlb.FlushAll();
   ++cpu.tlb_epoch;
   cpu.enclave = nullptr;
@@ -87,25 +87,19 @@ void Enclave::Exit(CpuContext& cpu) {
 }
 
 void Enclave::ChargeGcm(CpuContext* cpu, size_t bytes) {
-  if (cpu != nullptr) {
-    const CostModel& c = machine_->costs();
-    const uint64_t cycles =
-        c.aes_gcm_setup_cycles +
-        static_cast<uint64_t>(c.aes_gcm_cycles_per_byte *
-                              static_cast<double>(bytes));
-    cpu->Charge(cycles);
-    cycles_crypto_->Add(cycles);
-  }
+  const CostModel& c = machine_->costs();
+  const uint64_t cycles =
+      c.aes_gcm_setup_cycles +
+      static_cast<uint64_t>(c.aes_gcm_cycles_per_byte *
+                            static_cast<double>(bytes));
+  machine_->ChargeCost(cpu, telemetry::CostCategory::kCrypto, cycles);
 }
 
 void Enclave::ChargeCtr(CpuContext* cpu, size_t bytes) {
-  if (cpu != nullptr) {
-    const CostModel& c = machine_->costs();
-    const uint64_t cycles = static_cast<uint64_t>(
-        c.aes_ctr_cycles_per_byte * static_cast<double>(bytes));
-    cpu->Charge(cycles);
-    cycles_crypto_->Add(cycles);
-  }
+  const CostModel& c = machine_->costs();
+  const uint64_t cycles = static_cast<uint64_t>(
+      c.aes_ctr_cycles_per_byte * static_cast<double>(bytes));
+  machine_->ChargeCost(cpu, telemetry::CostCategory::kCrypto, cycles);
 }
 
 }  // namespace eleos::sim

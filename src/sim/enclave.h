@@ -59,8 +59,10 @@ class Enclave {
   template <typename Fn>
   decltype(auto) Ocall(CpuContext& cpu, size_t io_bytes, Fn&& fn) {
     const CostModel& c = machine_->costs();
+    SpanScope span(&machine_->metrics().spans(), &cpu, "enclave.ocall");
     Exit(cpu);
-    cpu.Charge(c.ocall_sdk_cycles + c.syscall_cycles);
+    machine_->ChargeCost(&cpu, telemetry::CostCategory::kTransitions,
+                         c.ocall_sdk_cycles + c.syscall_cycles);
     if (io_bytes > 0) {  // io_bytes == 0: the callee models its own buffers
       machine_->TouchScratch(&cpu, io_bytes + c.syscall_kernel_footprint);
     }
@@ -93,9 +95,6 @@ class Enclave {
   uint64_t bump_ = 0;
   size_t reserved_pages_ = 0;
   int threads_inside_ = 0;
-  // Per-subsystem cycle attribution (sim.cycles.* metrics).
-  telemetry::Counter* cycles_transitions_;
-  telemetry::Counter* cycles_crypto_;
 };
 
 // RAII ECALL scope: enters on construction, exits on destruction.

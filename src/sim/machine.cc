@@ -2,6 +2,8 @@
 
 #include "src/sim/machine.h"
 
+#include <string>
+
 namespace eleos::sim {
 namespace {
 
@@ -20,9 +22,30 @@ Machine::Machine(MachineConfig cfg)
       driver_(this),
       fault_injector_(cfg.fault_seed) {
   driver_.set_seal_mode(cfg.seal_mode);
+  for (size_t c = 0; c < telemetry::kNumCostCategories; ++c) {
+    cycles_by_cat_[c] = metrics_.GetCounter(
+        std::string("sim.cycles.") +
+        telemetry::CostCategoryName(static_cast<telemetry::CostCategory>(c)));
+  }
   for (size_t i = 0; i < cpus_.size(); ++i) {
     cpus_[i] = std::make_unique<CpuContext>(this, static_cast<int>(i));
   }
+}
+
+bool Machine::AuditSpanAccounting(std::string* error) const {
+  uint64_t totals[telemetry::kNumCostCategories];
+  for (size_t c = 0; c < telemetry::kNumCostCategories; ++c) {
+    totals[c] = cycles_by_cat_[c]->value();
+  }
+  return metrics_.spans().AuditCycleAccounting(totals, error);
+}
+
+std::string Machine::ExportChromeTrace() const {
+  return telemetry::ExportChromeTrace(metrics_.spans(), metrics_.trace());
+}
+
+std::string Machine::ExportFoldedStacks() const {
+  return telemetry::ExportFoldedStacks(metrics_.spans());
 }
 
 void Machine::Access(CpuContext* cpu, uint64_t addr, size_t len, bool write,
@@ -33,14 +56,15 @@ void Machine::Access(CpuContext* cpu, uint64_t addr, size_t len, bool write,
   const uint64_t first_line = addr >> 6;
   const uint64_t last_line = (addr + len - 1) >> 6;
   uint64_t prev_vpn = UINT64_MAX;
+  uint64_t charged = 0;
   size_t line_index = 0;
   for (uint64_t line = first_line; line <= last_line; ++line, ++line_index) {
     const uint64_t vpn = line >> 6;  // 64 lines per 4 KiB page
     if (vpn != prev_vpn) {
       prev_vpn = vpn;
       if (!cpu->tlb.Access(vpn)) {
-        cpu->Charge(kind == MemKind::kEpc ? costs_.tlb_walk_epc_cycles
-                                          : costs_.tlb_walk_cycles);
+        charged += kind == MemKind::kEpc ? costs_.tlb_walk_epc_cycles
+                                         : costs_.tlb_walk_cycles;
       }
     }
     uint64_t cost = llc_.Access(line, write, kind, cpu->cos);
@@ -50,8 +74,9 @@ void Machine::Access(CpuContext* cpu, uint64_t addr, size_t len, bool write,
       cost = kind == MemKind::kEpc ? costs_.stream_epc_line_cycles
                                    : costs_.stream_line_cycles;
     }
-    cpu->Charge(cost);
+    charged += cost;
   }
+  ChargeCost(cpu, telemetry::CostCategory::kCache, charged);
 }
 
 void Machine::StreamAccess(CpuContext* cpu, uint64_t addr, size_t len, bool write,
@@ -62,19 +87,21 @@ void Machine::StreamAccess(CpuContext* cpu, uint64_t addr, size_t len, bool writ
   const uint64_t first_line = addr >> 6;
   const uint64_t last_line = (addr + len - 1) >> 6;
   uint64_t prev_vpn = UINT64_MAX;
+  uint64_t charged = 0;
   for (uint64_t line = first_line; line <= last_line; ++line) {
     const uint64_t vpn = line >> 6;
     if (vpn != prev_vpn) {
       prev_vpn = vpn;
       if (!cpu->tlb.Access(vpn)) {
-        cpu->Charge(kind == MemKind::kEpc ? costs_.tlb_walk_epc_cycles
-                                          : costs_.tlb_walk_cycles);
+        charged += kind == MemKind::kEpc ? costs_.tlb_walk_epc_cycles
+                                         : costs_.tlb_walk_cycles;
       }
     }
     llc_.Access(line, write, kind, cpu->cos);  // state effect only
-    cpu->Charge(kind == MemKind::kEpc ? costs_.stream_epc_line_cycles
-                                      : costs_.stream_line_cycles);
+    charged += kind == MemKind::kEpc ? costs_.stream_epc_line_cycles
+                                     : costs_.stream_line_cycles;
   }
+  ChargeCost(cpu, telemetry::CostCategory::kCache, charged);
 }
 
 void Machine::PolluteCache(size_t bytes, int cos, size_t pool_bytes) {

@@ -107,6 +107,34 @@ class Machine {
   // that only affects the shared LLC. Same pool semantics as TouchScratch.
   void PolluteCache(size_t bytes, int cos, size_t pool_bytes = 0);
 
+  // Central funnel for every categorized CostModel charge: advances `cpu`'s
+  // virtual clock, bumps the matching sim.cycles.* counter, and routes the
+  // cycles to the charging thread's innermost open span. The three always
+  // moving in lockstep is what makes the span audit invariant structural
+  // (see src/telemetry/span.h). Null cpu or zero cycles is a no-op, matching
+  // the null-guard semantics every call site already had.
+  void ChargeCost(CpuContext* cpu, telemetry::CostCategory cat,
+                  uint64_t cycles) {
+    if (cpu == nullptr || cycles == 0) {
+      return;
+    }
+    cpu->clock.Advance(cycles);
+    cycles_by_cat_[static_cast<size_t>(cat)]->Add(cycles);
+    metrics_.spans().ChargeCurrent(cat, cycles);
+  }
+
+  // One-call span tracing opt-in (`audit` additionally enforces span stack
+  // discipline and is meant for tests). Call before the traced workload.
+  void EnableTracing(bool audit = false) { metrics_.spans().Enable(audit); }
+
+  // Runs the tracer's cycle-accounting audit against this machine's
+  // sim.cycles.* totals. True on success; fills *error otherwise.
+  bool AuditSpanAccounting(std::string* error) const;
+
+  // Export the recorded spans (+ trace ring) once the workload quiesced.
+  std::string ExportChromeTrace() const;
+  std::string ExportFoldedStacks() const;
+
  private:
   CostModel costs_;
   // Declared before the driver/CPUs so metric pointers resolved by other
@@ -116,6 +144,9 @@ class Machine {
   Epc epc_;
   SgxDriver driver_;
   FaultInjector fault_injector_;
+  // sim.cycles.<category> counter per CostCategory, resolved once in the
+  // constructor so ChargeCost stays a few relaxed atomics.
+  telemetry::Counter* cycles_by_cat_[telemetry::kNumCostCategories] = {};
   std::array<std::unique_ptr<CpuContext>, kMaxCpus> cpus_;
   uint64_t scratch_cursor_ = 0;
   std::mutex publishers_mutex_;

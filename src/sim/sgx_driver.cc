@@ -131,6 +131,7 @@ uint8_t* SgxDriver::Touch(CpuContext* cpu, Enclave& enclave, uint64_t vpage,
   // --- Hardware EPC page fault ---
   ++stats_.faults;
   const CostModel& c = machine_->costs();
+  SpanScope fault_span(&machine_->metrics().spans(), cpu, "sgx.fault");
 
   // The driver's asynchronous swapper may be evicting concurrently with the
   // enclave's execution; model it as a pre-fault batch so that IPIs hit the
@@ -139,8 +140,11 @@ uint8_t* SgxDriver::Touch(CpuContext* cpu, Enclave& enclave, uint64_t vpage,
   RunSwapper(cpu);
 
   // The fault itself: AEX (exit cost + TLB flush) and kernel entry.
+  machine_->ChargeCost(cpu, telemetry::CostCategory::kTransitions,
+                       c.eexit_cycles);
+  machine_->ChargeCost(cpu, telemetry::CostCategory::kSgxPaging,
+                       c.fault_kernel_cycles);
   if (cpu != nullptr) {
-    cpu->Charge(c.eexit_cycles + c.fault_kernel_cycles);
     cpu->tlb.FlushAll();
     ++cpu->tlb_epoch;
   }
@@ -157,19 +161,16 @@ uint8_t* SgxDriver::Touch(CpuContext* cpu, Enclave& enclave, uint64_t vpage,
   if (ps2.has_sealed) {
     UnsealPage(cpu, rec, vpage, ps2, data);
     ++stats_.page_ins;
-    if (cpu != nullptr) {
-      cpu->Charge(c.driver_load_cycles);
-    }
+    machine_->ChargeCost(cpu, telemetry::CostCategory::kSgxPaging,
+                         c.driver_load_cycles);
   } else {
     ++stats_.zero_fills;
-    if (cpu != nullptr) {
-      cpu->Charge(c.driver_zero_fill_cycles);
-    }
+    machine_->ChargeCost(cpu, telemetry::CostCategory::kSgxPaging,
+                         c.driver_zero_fill_cycles);
   }
 
-  if (cpu != nullptr) {
-    cpu->Charge(c.eenter_cycles);  // ERESUME
-  }
+  machine_->ChargeCost(cpu, telemetry::CostCategory::kTransitions,
+                       c.eenter_cycles);  // ERESUME
   return data;
 }
 
@@ -248,6 +249,7 @@ bool SgxDriver::EvictOne(CpuContext* initiator, EnclaveId* owner_out) {
     }
 
     // Victim found: EWB (the caller runs the ETRACK round).
+    SpanScope evict_span(&machine_->metrics().spans(), initiator, "sgx.evict");
     if (owner_out != nullptr) {
       *owner_out = ref.enclave;
     }
@@ -257,9 +259,8 @@ bool SgxDriver::EvictOne(CpuContext* initiator, EnclaveId* owner_out) {
     --rit->second.resident;
     ++stats_.evictions;
     ++stats_.writebacks;  // EWB writes back unconditionally, even clean pages
-    if (initiator != nullptr) {
-      initiator->Charge(machine_->costs().driver_evict_cycles);
-    }
+    machine_->ChargeCost(initiator, telemetry::CostCategory::kSgxPaging,
+                         machine_->costs().driver_evict_cycles);
     resident_ring_[clock_hand_] = resident_ring_.back();
     resident_ring_.pop_back();
     return true;
@@ -284,11 +285,13 @@ void SgxDriver::EtrackSweep(CpuContext* initiator, EnclaveId owner,
     }
     ++stats_.ipis;
     ++stats_.shootdown_aexes;
-    if (initiator != nullptr) {
-      initiator->Charge(c.ipi_cycles);
-    }
+    machine_->ChargeCost(initiator, telemetry::CostCategory::kSgxPaging,
+                         c.ipi_cycles);
     // The receiving core is forced out of the enclave (AEX) and resumes.
-    target.Charge(c.shootdown_aex_cycles());
+    // The cycles land on the target's clock but are attributed to the
+    // initiating thread's span — the shootdown is causally its fault's cost.
+    machine_->ChargeCost(&target, telemetry::CostCategory::kTransitions,
+                         c.shootdown_aex_cycles());
     target.tlb.FlushAll();
     ++target.tlb_epoch;
   }

@@ -2,6 +2,8 @@
 
 #include "src/sim/vclock.h"
 
+#include "src/telemetry/span.h"
+
 namespace eleos::sim {
 
 namespace {
@@ -11,5 +13,22 @@ thread_local CpuContext* g_current_cpu = nullptr;
 CpuContext* CurrentCpu() { return g_current_cpu; }
 
 void BindCpu(CpuContext* cpu) { g_current_cpu = cpu; }
+
+SpanScope::SpanScope(telemetry::SpanTracer* spans, CpuContext* cpu,
+                     const char* name)
+    : spans_(spans), cpu_(cpu) {
+  if (spans_ == nullptr || cpu_ == nullptr || !spans_->enabled()) {
+    return;
+  }
+  id_ = spans_->BeginSpan(name, cpu_->clock.now(), cpu_->id);
+}
+
+SpanScope::~SpanScope() {
+  // Only close what we opened: if BeginSpan returned 0 (tracer disabled at
+  // entry) there is nothing on the stack for this scope.
+  if (id_ != 0) {
+    spans_->EndSpan(cpu_->clock.now());
+  }
+}
 
 }  // namespace eleos::sim

@@ -15,6 +15,10 @@
 #include "src/sim/cache_model.h"
 #include "src/sim/tlb_model.h"
 
+namespace eleos::telemetry {
+class SpanTracer;
+}  // namespace eleos::telemetry
+
 namespace eleos::sim {
 
 class Machine;
@@ -56,6 +60,26 @@ struct CpuContext {
 // tests that only check behaviour).
 CpuContext* CurrentCpu();
 void BindCpu(CpuContext* cpu);
+
+// RAII span bound to a CpuContext: opens a child span of the calling
+// thread's innermost open span, timestamped from the CPU's virtual clock and
+// placed on that CPU's track. No-op (id() == 0) when the tracer is null or
+// disabled, or when there is no CPU to read a clock from — span sites can be
+// unconditional. `name` must be a string literal.
+class SpanScope {
+ public:
+  SpanScope(telemetry::SpanTracer* spans, CpuContext* cpu, const char* name);
+  ~SpanScope();
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  uint64_t id() const { return id_; }
+
+ private:
+  telemetry::SpanTracer* spans_;
+  CpuContext* cpu_;
+  uint64_t id_ = 0;
+};
 
 // RAII binder.
 class ScopedCpu {

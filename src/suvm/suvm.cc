@@ -54,8 +54,6 @@ Suvm::Suvm(sim::Enclave& enclave, SuvmConfig config)
           enclave.machine().metrics().GetHistogram("suvm.minor_fault_cycles")),
       evict_scan_len_(
           enclave.machine().metrics().GetHistogram("suvm.evict_scan_len")),
-      cycles_paging_(
-          enclave.machine().metrics().GetCounter("sim.cycles.suvm_paging")),
       direct_read_bytes_(
           enclave.machine().metrics().GetCounter("suvm.direct_read_bytes")),
       direct_write_bytes_(
@@ -125,11 +123,13 @@ void Suvm::PublishTelemetry() {
   r.GetCounter("suvm.quarantine_hits")->Set(stats_.quarantine_hits.load());
   r.GetCounter("suvm.pages_restored")->Set(stats_.pages_restored.load());
   r.GetCounter("suvm.degraded_rejects")->Set(stats_.degraded_rejects.load());
-  r.GetCounter("suvm.health_state")
-      ->Set(static_cast<uint64_t>(alloc_health_.state()));
-  r.GetCounter("suvm.page_table_entries")->Set(PageTableEntries());
-  r.GetCounter("suvm.epc_pp_in_use")->Set(cache_.in_use());
-  r.GetCounter("suvm.epc_pp_target")->Set(cache_.target_pages());
+  r.GetGauge("suvm.health_state")
+      ->Set(static_cast<int64_t>(alloc_health_.state()));
+  r.GetGauge("suvm.page_table_entries")
+      ->Set(static_cast<int64_t>(PageTableEntries()));
+  r.GetGauge("suvm.epc_pp_in_use")->Set(static_cast<int64_t>(cache_.in_use()));
+  r.GetGauge("suvm.epc_pp_target")
+      ->Set(static_cast<int64_t>(cache_.target_pages()));
 }
 
 void Suvm::NoteMacFailure(sim::CpuContext* cpu, uint64_t bs_page) {
@@ -272,11 +272,9 @@ void Suvm::TouchIpt(sim::CpuContext* cpu, int slot, bool write) {
   // lookup as near-core work instead of a modeled memory round-trip.
   (void)slot;
   (void)write;
-  if (cpu != nullptr) {
-    const uint64_t cycles = enclave_->machine().costs().suvm_pt_lookup_cycles;
-    cpu->Charge(cycles);
-    cycles_paging_->Add(cycles);
-  }
+  enclave_->machine().ChargeCost(
+      cpu, telemetry::CostCategory::kSuvmPaging,
+      enclave_->machine().costs().suvm_pt_lookup_cycles);
 }
 
 void Suvm::TouchCryptoMeta(sim::CpuContext* cpu, uint64_t bs_page, bool write) {
@@ -314,6 +312,8 @@ Status Suvm::TryPinPage(sim::CpuContext* cpu, uint64_t bs_page, int* slot_out) {
       return Status::DataCorruption(kQuarantinedMsg);
     }
     if (it != st.map.end() && it->second.slot >= 0) {
+      sim::SpanScope span(&enclave_->machine().metrics().spans(), cpu,
+                          "suvm.minor_fault");
       PageMeta& m = it->second;
       ++m.refcount;
       m.ref_bit = true;
@@ -338,6 +338,8 @@ Status Suvm::TryPinPage(sim::CpuContext* cpu, uint64_t bs_page, int* slot_out) {
     return Status::DataCorruption(kQuarantinedMsg);
   }
   if (m.slot >= 0) {  // raced with another faulting thread
+    sim::SpanScope span(&enclave_->machine().metrics().spans(), cpu,
+                        "suvm.minor_fault");
     ++m.refcount;
     m.ref_bit = true;
     stats_.minor_faults.fetch_add(1, std::memory_order_relaxed);
@@ -349,6 +351,10 @@ Status Suvm::TryPinPage(sim::CpuContext* cpu, uint64_t bs_page, int* slot_out) {
     return Status::Ok();
   }
 
+  // Opened here, not earlier: a raced-in page above is a minor fault and
+  // must not be labelled major.
+  sim::SpanScope major_span(&enclave_->machine().metrics().spans(), cpu,
+                            "suvm.major_fault");
   int slot = cache_.AllocSlot();
   while (slot < 0) {
     if (!EvictOneLocked(cpu, StripeIndex(bs_page))) {
@@ -362,12 +368,9 @@ Status Suvm::TryPinPage(sim::CpuContext* cpu, uint64_t bs_page, int* slot_out) {
   }
 
   stats_.major_faults.fetch_add(1, std::memory_order_relaxed);
-  if (cpu != nullptr) {
-    const uint64_t fault_cycles =
-        enclave_->machine().costs().suvm_fault_logic_cycles;
-    cpu->Charge(fault_cycles);
-    cycles_paging_->Add(fault_cycles);
-  }
+  enclave_->machine().ChargeCost(
+      cpu, telemetry::CostCategory::kSuvmPaging,
+      enclave_->machine().costs().suvm_fault_logic_cycles);
   const Status status = LoadPage(cpu, bs_page, m, slot);
   if (!status.ok()) {
     // Integrity failure on page-in: return the slot so the cache stays
@@ -529,6 +532,8 @@ bool Suvm::EvictOneLocked(sim::CpuContext* cpu, size_t held_stripe) {
     }
 
     // Victim: write back iff dirty (or clean-skip disabled and never sealed).
+    sim::SpanScope evict_span(&enclave_->machine().metrics().spans(), cpu,
+                              "suvm.evict");
     const bool have_seal =
         config_.direct_mode
             ? (m.subs != nullptr)  // conservatively: sub seals exist
@@ -1094,6 +1099,11 @@ Status Suvm::DirectSubWrite(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
 
 void Suvm::SwapperPass(sim::CpuContext* cpu) {
   std::lock_guard pg(paging_lock_);
+  if (cache_.free_slots() >= config_.swapper_low_watermark) {
+    return;  // nothing to do: no span, so idle passes stay invisible
+  }
+  sim::SpanScope span(&enclave_->machine().metrics().spans(), cpu,
+                      "suvm.swapper_pass");
   while (cache_.free_slots() < config_.swapper_low_watermark) {
     if (!EvictOneLocked(cpu, SIZE_MAX)) {
       return;
@@ -1112,6 +1122,8 @@ void Suvm::ResizeEpcPp(sim::CpuContext* cpu, size_t pages) {
 }
 
 size_t Suvm::BalloonPass(sim::CpuContext* cpu) {
+  sim::SpanScope span(&enclave_->machine().metrics().spans(), cpu,
+                      "suvm.balloon_pass");
   sim::SgxDriver& driver = enclave_->machine().driver();
   const size_t share = driver.AvailableFramesFor(enclave_->id());
   // Leave room for the enclave's non-EPC++ pages (metadata tables, app heap).

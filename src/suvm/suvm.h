@@ -298,7 +298,6 @@ class Suvm {
   telemetry::Histogram* major_fault_cycles_;
   telemetry::Histogram* minor_fault_cycles_;
   telemetry::Histogram* evict_scan_len_;
-  telemetry::Counter* cycles_paging_;
   telemetry::Counter* direct_read_bytes_;
   telemetry::Counter* direct_write_bytes_;
   telemetry::TraceRing* trace_;

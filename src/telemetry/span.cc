@@ -1,0 +1,412 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include "src/telemetry/span.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/telemetry/telemetry.h"
+
+namespace eleos::telemetry {
+
+namespace {
+
+// Tracer uids are process-unique and never reused, so a stale thread-local
+// cache entry (from a destroyed tracer, possibly reallocated at the same
+// address) can never match a live tracer.
+std::atomic<uint64_t> g_next_tracer_uid{1};
+
+struct TlsCache {
+  uint64_t tracer_uid = 0;
+  void* state = nullptr;  // SpanTracer::ThreadState*, valid iff uid matches
+};
+thread_local TlsCache g_tls_cache;
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  *out += buf;
+}
+
+std::string TrackName(int track) {
+  char buf[32];
+  if (track >= kWorkerTrackBase) {
+    snprintf(buf, sizeof(buf), "worker%d", track - kWorkerTrackBase);
+  } else {
+    snprintf(buf, sizeof(buf), "cpu%d", track);
+  }
+  return buf;
+}
+
+}  // namespace
+
+const char* CostCategoryName(CostCategory cat) {
+  switch (cat) {
+    case CostCategory::kTransitions:
+      return "transitions";
+    case CostCategory::kCrypto:
+      return "crypto";
+    case CostCategory::kRpc:
+      return "rpc";
+    case CostCategory::kSuvmPaging:
+      return "suvm_paging";
+    case CostCategory::kSgxPaging:
+      return "sgx_paging";
+    case CostCategory::kCache:
+      return "cache";
+  }
+  return "unknown";
+}
+
+SpanTracer::SpanTracer(size_t per_thread_capacity)
+    : per_thread_capacity_(per_thread_capacity),
+      uid_(g_next_tracer_uid.fetch_add(1, std::memory_order_relaxed)) {}
+
+SpanTracer::~SpanTracer() = default;
+
+void SpanTracer::Enable(bool audit) {
+  audit_.store(audit, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void SpanTracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+SpanTracer::ThreadState* SpanTracer::GetThreadState() {
+  if (g_tls_cache.tracer_uid == uid_) {
+    return static_cast<ThreadState*>(g_tls_cache.state);
+  }
+  // Slow path: look up (or create) this thread's state in the tracer-side
+  // map. Keyed by thread id, not by TLS, so a cache miss after another
+  // tracer's use of this thread still finds the one existing state — a
+  // duplicate would orphan the open-span stack.
+  ThreadState* state;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    auto& slot = threads_[std::this_thread::get_id()];
+    if (!slot) slot = std::make_unique<ThreadState>();
+    state = slot.get();
+  }
+  g_tls_cache.tracer_uid = uid_;
+  g_tls_cache.state = state;
+  return state;
+}
+
+uint64_t SpanTracer::BeginSpan(const char* name, uint64_t start_tsc,
+                               int track) {
+  if (!enabled()) return 0;
+  ThreadState* st = GetThreadState();
+  SpanRecord rec;
+  rec.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  rec.parent = st->stack.empty() ? 0 : st->stack.back().id;
+  rec.name = name;
+  rec.track = track;
+  rec.start = start_tsc;
+  st->stack.push_back(rec);
+  return rec.id;
+}
+
+void SpanTracer::EndSpan(uint64_t end_tsc) {
+  // Deliberately no enabled() check: a span opened before Disable() must
+  // still close, or the thread's stack would leak an entry and every later
+  // charge would land on a dead span.
+  ThreadState* st = GetThreadState();
+  if (st->stack.empty()) {
+    if (audit()) {
+      throw std::logic_error("SpanTracer::EndSpan with no open span");
+    }
+    return;
+  }
+  SpanRecord rec = st->stack.back();
+  st->stack.pop_back();
+  rec.end = end_tsc;
+  std::lock_guard<Spinlock> lock(st->lock);
+  if (st->records.size() < per_thread_capacity_) {
+    st->records.push_back(rec);
+  } else {
+    ++st->dropped;
+  }
+}
+
+void SpanTracer::EmitComplete(const char* name, int track, uint64_t parent,
+                              uint64_t start_tsc, uint64_t end_tsc) {
+  if (!enabled()) return;
+  ThreadState* st = GetThreadState();
+  SpanRecord rec;
+  rec.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  rec.parent = parent;
+  rec.name = name;
+  rec.track = track;
+  rec.start = start_tsc;
+  rec.end = end_tsc;
+  std::lock_guard<Spinlock> lock(st->lock);
+  if (st->records.size() < per_thread_capacity_) {
+    st->records.push_back(rec);
+  } else {
+    ++st->dropped;
+  }
+}
+
+void SpanTracer::ChargeCurrent(CostCategory cat, uint64_t cycles) {
+  if (!enabled() || cycles == 0) return;
+  ThreadState* st = GetThreadState();
+  const size_t c = static_cast<size_t>(cat);
+  if (st->stack.empty()) {
+    st->unattributed[c].fetch_add(cycles, std::memory_order_relaxed);
+    return;
+  }
+  st->stack.back().self_cycles[c] += cycles;
+  st->attributed[c].fetch_add(cycles, std::memory_order_relaxed);
+}
+
+uint64_t SpanTracer::CurrentSpanId() {
+  if (!enabled()) return 0;
+  ThreadState* st = GetThreadState();
+  return st->stack.empty() ? 0 : st->stack.back().id;
+}
+
+void SpanTracer::CurrentContext(uint64_t* tid_out, uint64_t* span_id_out) {
+  *tid_out = 0;
+  *span_id_out = 0;
+  if (!enabled()) return;
+  ThreadState* st = GetThreadState();
+  if (st->stack.empty()) return;
+  *tid_out = static_cast<uint64_t>(st->stack.back().track);
+  *span_id_out = st->stack.back().id;
+}
+
+std::vector<SpanRecord> SpanTracer::Snapshot() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (const auto& [tid, st] : threads_) {
+      std::lock_guard<Spinlock> guard(st->lock);
+      out.insert(out.end(), st->records.begin(), st->records.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.track != b.track) return a.track < b.track;
+              if (a.start != b.start) return a.start < b.start;
+              return a.id < b.id;
+            });
+  return out;
+}
+
+uint64_t SpanTracer::dropped() const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  for (const auto& [tid, st] : threads_) {
+    std::lock_guard<Spinlock> guard(st->lock);
+    total += st->dropped;
+  }
+  return total;
+}
+
+uint64_t SpanTracer::open_spans() const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  for (const auto& [tid, st] : threads_) {
+    total += st->stack.size();
+  }
+  return total;
+}
+
+uint64_t SpanTracer::attributed(CostCategory cat) const {
+  uint64_t total = 0;
+  const size_t c = static_cast<size_t>(cat);
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  for (const auto& [tid, st] : threads_) {
+    total += st->attributed[c].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t SpanTracer::unattributed(CostCategory cat) const {
+  uint64_t total = 0;
+  const size_t c = static_cast<size_t>(cat);
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  for (const auto& [tid, st] : threads_) {
+    total += st->unattributed[c].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+bool SpanTracer::AuditCycleAccounting(
+    const uint64_t totals[kNumCostCategories], std::string* error) const {
+  for (size_t c = 0; c < kNumCostCategories; ++c) {
+    const auto cat = static_cast<CostCategory>(c);
+    const uint64_t att = attributed(cat);
+    const uint64_t unatt = unattributed(cat);
+    if (att + unatt != totals[c]) {
+      if (error) {
+        *error = std::string("category '") + CostCategoryName(cat) +
+                 "': attributed " + std::to_string(att) + " + unattributed " +
+                 std::to_string(unatt) + " != sim.cycles total " +
+                 std::to_string(totals[c]);
+      }
+      return false;
+    }
+  }
+  // With nothing dropped and nothing still open, the retained records must
+  // reproduce the attributed totals exactly.
+  if (dropped() == 0 && open_spans() == 0) {
+    uint64_t by_record[kNumCostCategories] = {};
+    for (const SpanRecord& rec : Snapshot()) {
+      for (size_t c = 0; c < kNumCostCategories; ++c) {
+        by_record[c] += rec.self_cycles[c];
+      }
+    }
+    for (size_t c = 0; c < kNumCostCategories; ++c) {
+      const auto cat = static_cast<CostCategory>(c);
+      if (by_record[c] != attributed(cat)) {
+        if (error) {
+          *error = std::string("category '") + CostCategoryName(cat) +
+                   "': record self-cycle sum " + std::to_string(by_record[c]) +
+                   " != attributed " + std::to_string(attributed(cat));
+        }
+        return false;
+      }
+    }
+  }
+  if (error) error->clear();
+  return true;
+}
+
+// --- Exporters ---
+
+std::string ExportChromeTrace(const SpanTracer& spans, const TraceRing& ring) {
+  // One Chrome "thread" per track. Ring events recorded with no span bound
+  // get a dedicated pseudo-track so they cannot break per-track timestamp
+  // monotonicity for real CPU tracks.
+  constexpr int kUnboundTrack = 999;
+
+  struct Event {
+    int track;
+    uint64_t ts;
+    char phase;  // 'X' or 'i'
+    std::string json;
+  };
+  std::vector<Event> events;
+  std::vector<int> tracks;
+  auto note_track = [&tracks](int t) {
+    if (std::find(tracks.begin(), tracks.end(), t) == tracks.end()) {
+      tracks.push_back(t);
+    }
+  };
+
+  for (const SpanRecord& rec : spans.Snapshot()) {
+    note_track(rec.track);
+    std::string e;
+    AppendF(&e,
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\","
+            "\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
+            ",\"args\":{\"id\":%" PRIu64 ",\"parent\":%" PRIu64,
+            rec.track, rec.name, rec.start,
+            rec.end >= rec.start ? rec.end - rec.start : 0, rec.id,
+            rec.parent);
+    for (size_t c = 0; c < kNumCostCategories; ++c) {
+      if (rec.self_cycles[c] == 0) continue;
+      AppendF(&e, ",\"self_%s\":%" PRIu64,
+              CostCategoryName(static_cast<CostCategory>(c)),
+              rec.self_cycles[c]);
+    }
+    e += "}}";
+    events.push_back({rec.track, rec.start, 'X', std::move(e)});
+  }
+
+  for (const TraceEvent& te : ring.Snapshot()) {
+    const int track =
+        te.span_id != 0 ? static_cast<int>(te.tid) : kUnboundTrack;
+    note_track(track);
+    std::string e;
+    AppendF(&e,
+            "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"name\":\"%s\","
+            "\"ts\":%" PRIu64 ",\"args\":{\"seq\":%" PRIu64
+            ",\"arg0\":%" PRIu64 ",\"arg1\":%" PRIu64 ",\"span_id\":%" PRIu64
+            "}}",
+            track, TraceKindName(te.kind), te.tsc, te.seq, te.arg0, te.arg1,
+            te.span_id);
+    events.push_back({track, te.tsc, 'i', std::move(e)});
+  }
+
+  // Perfetto tolerates any order, but validate_trace.py (and human diffing)
+  // wants per-track monotonic timestamps — sort by (track, ts).
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.track != b.track) return a.track < b.track;
+                     return a.ts < b.ts;
+                   });
+  std::sort(tracks.begin(), tracks.end());
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (int t : tracks) {
+    const std::string name =
+        t == kUnboundTrack ? std::string("ring.unbound") : TrackName(t);
+    AppendF(&out,
+            "%s{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\","
+            "\"args\":{\"name\":\"%s\"}}",
+            first ? "" : ",\n", t, name.c_str());
+    first = false;
+  }
+  for (const Event& e : events) {
+    out += first ? "" : ",\n";
+    out += e.json;
+    first = false;
+  }
+  out += "\n],\"displayTimeUnit\":\"ns\"}\n";
+  return out;
+}
+
+std::string ExportFoldedStacks(const SpanTracer& spans) {
+  const std::vector<SpanRecord> records = spans.Snapshot();
+  std::unordered_map<uint64_t, const SpanRecord*> by_id;
+  std::unordered_map<uint64_t, uint64_t> child_cycles;  // parent id -> sum
+  by_id.reserve(records.size());
+  for (const SpanRecord& rec : records) {
+    by_id[rec.id] = &rec;
+  }
+  for (const SpanRecord& rec : records) {
+    if (rec.parent != 0 && by_id.count(rec.parent)) {
+      child_cycles[rec.parent] +=
+          rec.end >= rec.start ? rec.end - rec.start : 0;
+    }
+  }
+
+  // Weight = self time (duration minus child durations). The name chain
+  // follows parent links across tracks, so a worker-execution span folds
+  // under the rpc.call that submitted it; the chain is rooted at the root
+  // span's track name.
+  std::map<std::string, uint64_t> folded;
+  for (const SpanRecord& rec : records) {
+    const uint64_t dur = rec.end >= rec.start ? rec.end - rec.start : 0;
+    const uint64_t kids = child_cycles.count(rec.id) ? child_cycles[rec.id] : 0;
+    const uint64_t self = dur > kids ? dur - kids : 0;
+    if (self == 0) continue;
+    std::string chain = rec.name;
+    const SpanRecord* walk = &rec;
+    size_t depth = 0;
+    while (walk->parent != 0 && by_id.count(walk->parent) && depth < 64) {
+      walk = by_id[walk->parent];
+      chain = std::string(walk->name) + ";" + chain;
+      ++depth;
+    }
+    chain = TrackName(walk->track) + ";" + chain;
+    folded[chain] += self;
+  }
+
+  std::string out;
+  for (const auto& [chain, cycles] : folded) {
+    AppendF(&out, "%s %" PRIu64 "\n", chain.c_str(), cycles);
+  }
+  return out;
+}
+
+}  // namespace eleos::telemetry

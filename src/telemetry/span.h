@@ -1,0 +1,184 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Causal span tracing with per-span virtual-cycle attribution.
+//
+// A span is a named interval on a track (one track per simulated CPU, one per
+// untrusted RPC worker) measured in virtual cycles. Spans nest through a
+// thread-local stack and propagate across the exit-less boundary: the
+// submitting enclave thread writes its innermost span id into the JobQueue
+// slot, and the worker that claims the job emits its execution as a child
+// span on its own track — so one RPC call reads as a causal tree even though
+// it crossed an untrusted thread.
+//
+// Every categorized CostModel charge (Machine::ChargeCost) is routed to the
+// innermost active span of the charging thread, giving each span a per-
+// category self-cycle breakdown. Charges that land while no span is open are
+// accumulated in a per-category "unattributed" bucket, which makes the audit
+// invariant structural:
+//
+//   for every category c:
+//     sum(span.self_cycles[c]) + unattributed[c] == sim.cycles.<c>
+//
+// (AuditCycleAccounting) — no modeled cost can escape attribution, because
+// the same funnel that advances the clocks and the sim.cycles.* counters is
+// the one that feeds the spans.
+//
+// Cost discipline: the tracer is disabled by default; a disabled tracer costs
+// one relaxed atomic load per potential span or charge. Recording is
+// per-thread (bounded buffers, overflow counted in dropped()) so enabling it
+// never perturbs virtual cycles — tracing changes observability, not the
+// simulation.
+//
+// This header must not depend on src/sim (sim depends on telemetry); all
+// timestamps are raw virtual-cycle values supplied by the caller. The RAII
+// helper that binds a sim::CpuContext lives in src/sim/vclock.h (SpanScope).
+
+#ifndef ELEOS_SRC_TELEMETRY_SPAN_H_
+#define ELEOS_SRC_TELEMETRY_SPAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/spinlock.h"
+
+namespace eleos::telemetry {
+
+class TraceRing;
+
+// Categories of modeled cost. Each category mirrors one sim.cycles.<name>
+// counter (see CostCategoryName); Machine::ChargeCost keeps the two in
+// lockstep, which is what makes the audit invariant provable.
+enum class CostCategory : uint32_t {
+  kTransitions = 0,  // EENTER/EEXIT/AEX/ERESUME + OCALL SDK marshalling
+  kCrypto = 1,       // in-enclave AES-GCM / AES-CTR work
+  kRpc = 2,          // exit-less submit/poll/spin machinery
+  kSuvmPaging = 3,   // SUVM software paging logic (IPT lookups, fault logic)
+  kSgxPaging = 4,    // driver EWB/ELDU/zero-fill/IPI hardware paging
+  kCache = 5,        // TLB walks + LLC hit/miss/stream charges
+};
+inline constexpr size_t kNumCostCategories = 6;
+const char* CostCategoryName(CostCategory cat);  // "transitions", "crypto", ...
+
+// Worker tracks are numbered kWorkerTrackBase + worker index so they can
+// never collide with CPU tracks (cpu ids are < sim::kMaxCpus).
+inline constexpr int kWorkerTrackBase = 100;
+
+// One completed span. `name` must be a string literal (spans are recorded on
+// hot paths; no allocation).
+struct SpanRecord {
+  uint64_t id = 0;      // nonzero, process-unique
+  uint64_t parent = 0;  // 0 for roots; may live on another track
+  const char* name = "";
+  int track = -1;  // cpu id, or kWorkerTrackBase + worker index
+  uint64_t start = 0;  // virtual cycles
+  uint64_t end = 0;
+  uint64_t self_cycles[kNumCostCategories] = {};
+};
+
+class SpanTracer {
+ public:
+  // `per_thread_capacity` bounds each thread's completed-span buffer; beyond
+  // it spans are dropped (counted, and the audit's record-sum check is
+  // skipped — the aggregate totals stay exact regardless).
+  explicit SpanTracer(size_t per_thread_capacity = size_t{1} << 18);
+  ~SpanTracer();
+
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  // `audit` additionally enforces stack discipline (throws std::logic_error
+  // on an EndSpan with no open span) — on in tests, off in benches.
+  void Enable(bool audit = false);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  bool audit() const { return audit_.load(std::memory_order_relaxed); }
+
+  // Opens a span as a child of the calling thread's innermost open span.
+  // Returns its id, or 0 when disabled.
+  uint64_t BeginSpan(const char* name, uint64_t start_tsc, int track);
+  // Closes the calling thread's innermost open span. Must be paired with a
+  // BeginSpan that returned nonzero (SpanScope guarantees this).
+  void EndSpan(uint64_t end_tsc);
+
+  // Emits an already-bounded span with an explicit parent, bypassing the
+  // thread-local stack. Used by untrusted workers: the parent span lives on
+  // the submitting enclave thread, and the worker has no virtual clock of its
+  // own — the caller supplies the modeled execution window.
+  void EmitComplete(const char* name, int track, uint64_t parent,
+                    uint64_t start_tsc, uint64_t end_tsc);
+
+  // Routes a categorized charge to the calling thread's innermost open span
+  // (or the unattributed bucket). Called by Machine::ChargeCost only.
+  void ChargeCurrent(CostCategory cat, uint64_t cycles);
+
+  // Innermost open span id of the calling thread (0 if none / disabled).
+  uint64_t CurrentSpanId();
+  // Track + span id of the calling thread's innermost open span; both 0 when
+  // unbound. Used by TraceRing::Record to stamp ring events.
+  void CurrentContext(uint64_t* tid_out, uint64_t* span_id_out);
+
+  // Completed spans across all threads, sorted by (track, start, id).
+  // Open spans are not included. Safe to call concurrently with recording;
+  // meant to be called after the traced workload quiesced.
+  std::vector<SpanRecord> Snapshot() const;
+
+  uint64_t dropped() const;
+  uint64_t open_spans() const;  // call only after quiescing recorder threads
+  uint64_t attributed(CostCategory cat) const;
+  uint64_t unattributed(CostCategory cat) const;
+
+  // The audit invariant. `totals[c]` are the machine's sim.cycles.* counter
+  // values (Machine::AuditSpanAccounting gathers them). Checks, per category:
+  //   attributed + unattributed == totals   (always), and
+  //   sum of retained records' self-cycles == attributed   (when nothing was
+  //   dropped and no span is still open).
+  // Returns true on success; fills *error with the first violation otherwise.
+  bool AuditCycleAccounting(const uint64_t totals[kNumCostCategories],
+                            std::string* error) const;
+
+ private:
+  struct ThreadState {
+    mutable Spinlock lock;        // guards `records` + `dropped`
+    std::vector<SpanRecord> records;
+    uint64_t dropped = 0;
+    // Owner-thread-only open-span stack (never touched cross-thread while
+    // the owner is live; open_spans() is documented quiesce-only).
+    std::vector<SpanRecord> stack;
+    std::atomic<uint64_t> attributed[kNumCostCategories] = {};
+    std::atomic<uint64_t> unattributed[kNumCostCategories] = {};
+  };
+
+  ThreadState* GetThreadState();
+
+  const size_t per_thread_capacity_;
+  const uint64_t uid_;  // process-unique; keys the thread-local state cache
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> audit_{false};
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::mutex threads_mutex_;
+  std::map<std::thread::id, std::unique_ptr<ThreadState>> threads_;
+};
+
+// --- Exporters (both take a quiesced tracer) ---
+
+// Chrome trace-event JSON (load in Perfetto / chrome://tracing): spans as
+// phase-"X" complete events (args carry id/parent/self-cycle breakdown),
+// trace-ring events as phase-"i" instants stamped with their span ids, one
+// named track per simulated CPU / worker, events time-sorted per track.
+std::string ExportChromeTrace(const SpanTracer& spans, const TraceRing& ring);
+
+// Folded-stack text for flamegraph.pl / speedscope: one line per unique
+// name-chain ("cpu0;rpc.call;enclave.ocall 1234"), weighted by the span's
+// self time in virtual cycles (duration minus child durations). Chains follow
+// parent links across tracks, so worker execution folds under its RPC call.
+std::string ExportFoldedStacks(const SpanTracer& spans);
+
+}  // namespace eleos::telemetry
+
+#endif  // ELEOS_SRC_TELEMETRY_SPAN_H_

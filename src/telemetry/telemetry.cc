@@ -118,6 +118,13 @@ TraceRing::TraceRing(size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
 
 void TraceRing::Record(TraceKind kind, uint64_t tsc, uint64_t arg0,
                        uint64_t arg1) {
+  // Resolve the causal context before taking the ring lock: CurrentContext
+  // only touches the recording thread's own span stack.
+  uint64_t tid = 0;
+  uint64_t span_id = 0;
+  if (span_source_ != nullptr) {
+    span_source_->CurrentContext(&tid, &span_id);
+  }
   std::lock_guard guard(lock_);
   TraceEvent& e = ring_[next_seq_ % ring_.size()];
   e.seq = next_seq_++;
@@ -125,6 +132,8 @@ void TraceRing::Record(TraceKind kind, uint64_t tsc, uint64_t arg0,
   e.kind = kind;
   e.arg0 = arg0;
   e.arg1 = arg1;
+  e.tid = tid;
+  e.span_id = span_id;
 }
 
 std::vector<TraceEvent> TraceRing::Snapshot() const {
@@ -154,11 +163,22 @@ void TraceRing::Reset() {
   next_seq_ = 0;
 }
 
+Registry::Registry() { trace_.set_span_source(&spans_); }
+
 Counter* Registry::GetCounter(const std::string& name) {
   std::lock_guard guard(mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard guard(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
   }
   return slot.get();
 }
@@ -207,6 +227,15 @@ std::string Registry::ToJson(size_t trace_events) const {
     first = false;
     AppendF(out, "\"%s\":%" PRIu64, JsonEscape(name).c_str(), c->value());
   }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    AppendF(out, "\"%s\":%" PRId64, JsonEscape(name).c_str(), g->value());
+  }
   out += "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : histograms_) {
@@ -230,8 +259,10 @@ std::string Registry::ToJson(size_t trace_events) const {
     }
     AppendF(out,
             "{\"seq\":%" PRIu64 ",\"tsc\":%" PRIu64
-            ",\"kind\":\"%s\",\"arg0\":%" PRIu64 ",\"arg1\":%" PRIu64 "}",
-            e.seq, e.tsc, TraceKindName(e.kind), e.arg0, e.arg1);
+            ",\"kind\":\"%s\",\"arg0\":%" PRIu64 ",\"arg1\":%" PRIu64
+            ",\"tid\":%" PRIu64 ",\"span_id\":%" PRIu64 "}",
+            e.seq, e.tsc, TraceKindName(e.kind), e.arg0, e.arg1, e.tid,
+            e.span_id);
   }
   out += "]}}";
   return out;
@@ -241,6 +272,9 @@ void Registry::ResetAll() {
   std::lock_guard guard(mutex_);
   for (auto& [name, c] : counters_) {
     c->Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->Reset();
   }
   for (auto& [name, h] : histograms_) {
     h->Reset();

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/common/spinlock.h"
+#include "src/telemetry/span.h"
 
 namespace eleos::telemetry {
 
@@ -51,6 +52,26 @@ class Counter {
 
  private:
   std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time level that may go up or down (breaker state, spin budgets,
+// EPC++ occupancy). Same relaxed-atomic implementation as Counter, but a
+// distinct type and a separate JSON section, so consumers (validate_bench.py)
+// can check counters for monotonic non-negativity without special-casing
+// which "counters" may legally decrease.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
 };
 
 // Log2-bucketed histogram: bucket b counts samples v with bit_width(v) == b,
@@ -136,6 +157,11 @@ struct TraceEvent {
   TraceKind kind = TraceKind::kSuvmMajorFault;
   uint64_t arg0 = 0;   // kind-specific (e.g. bs_page, slot, io_bytes)
   uint64_t arg1 = 0;
+  // Causal context, stamped by Record from the recording thread's innermost
+  // open span (both 0 when no span is bound / tracing is off). `tid` is the
+  // span's track, which is what the Chrome-trace export uses as its thread.
+  uint64_t tid = 0;
+  uint64_t span_id = 0;
 };
 
 // Bounded ring of recent TraceEvents; overwrites the oldest when full.
@@ -156,10 +182,15 @@ class TraceRing {
   size_t capacity() const { return ring_.size(); }
   void Reset();
 
+  // Lets Record stamp tid/span_id from the caller's innermost open span.
+  // Wired once by the owning Registry; null is fine (events stay unbound).
+  void set_span_source(SpanTracer* spans) { span_source_ = spans; }
+
  private:
   mutable Spinlock lock_;
   std::vector<TraceEvent> ring_;
   uint64_t next_seq_ = 0;
+  SpanTracer* span_source_ = nullptr;
 };
 
 // The metric registry: owns every metric; names are stable identifiers (see
@@ -167,28 +198,37 @@ class TraceRing {
 // components asking for the same name share the metric.
 class Registry {
  public:
-  Registry() = default;
+  Registry();
 
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
   Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
   TraceRing& trace() { return trace_; }
   const TraceRing& trace() const { return trace_; }
+  SpanTracer& spans() { return spans_; }
+  const SpanTracer& spans() const { return spans_; }
 
-  // JSON object {"counters":{...},"histograms":{...},"trace":{...}} with
-  // keys sorted by name. `trace_events` bounds the number of (most recent)
-  // events embedded in the snapshot.
+  // JSON object {"counters":{...},"gauges":{...},"histograms":{...},
+  // "trace":{...}} with keys sorted by name. `trace_events` bounds the
+  // number of (most recent) events embedded in the snapshot.
   std::string ToJson(size_t trace_events = 64) const;
 
   // Zeroes every metric and the ring (bench harness phase separation).
+  // Does not touch the span tracer: spans are a per-run artifact exported
+  // whole, not a resettable metric.
   void ResetAll();
 
  private:
   mutable std::mutex mutex_;  // registration + snapshot iteration only
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Declared before trace_: the ring holds a pointer into the tracer, so the
+  // tracer must be constructed first and destroyed last.
+  SpanTracer spans_;
   TraceRing trace_;
 };
 

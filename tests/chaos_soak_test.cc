@@ -17,12 +17,17 @@
 // Scale knobs (also used by scripts/soak.sh for the full-length run):
 //   ELEOS_SOAK_OPS   total operations for the main soak (default 30000)
 //   ELEOS_SOAK_SEED  workload + schedule seed        (default 0xe1e05)
+//
+// Tracing: `--trace-out=<path>` (or ELEOS_TRACE_OUT) makes the traced smoke
+// test export its Chrome trace (+ a .folded flamegraph) — the chaos-soak
+// entry point for the span tracer. This binary has its own main() for that.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +41,9 @@
 #include "src/sim/machine.h"
 #include "src/suvm/suvm.h"
 #include "src/telemetry/telemetry.h"
+
+// Set by this binary's main() from --trace-out= / ELEOS_TRACE_OUT.
+static std::string g_trace_out;  // NOLINT(runtime/string)
 
 namespace eleos::suvm {
 namespace {
@@ -147,13 +155,13 @@ void ExpectDigestsEqual(const SoakDigest& a, const SoakDigest& b,
   EXPECT_EQ(a.counters.injected, b.counters.injected) << why;
 }
 
-// One full shadow-model soak over a fresh machine. `hostile` installs the
-// composed schedule; `touch_harness` (benign runs only) still loads an empty
+// One full shadow-model soak over a caller-owned machine (callers wanting
+// span tracing enable it before the soak). `hostile` installs the composed
+// schedule; `touch_harness` (benign runs only) still loads an empty
 // schedule and advances virtual time every round, which must be invisible.
 // (void-returning so ASSERT_* can abort the soak; result via `out`.)
-void RunShadowSoak(uint64_t ops, uint64_t seed, bool hostile,
-                   bool touch_harness, SoakDigest* out) {
-  sim::Machine machine;
+void RunShadowSoak(sim::Machine& machine, uint64_t ops, uint64_t seed,
+                   bool hostile, bool touch_harness, SoakDigest* out) {
   sim::Enclave enclave(machine);
   SuvmConfig cfg;
   cfg.epc_pp_pages = 16;  // working set is 4x the page cache: constant paging
@@ -302,8 +310,9 @@ void RunShadowSoak(uint64_t ops, uint64_t seed, bool hostile,
 }
 
 TEST(ChaosSoak, SuvmShadowModelSurvivesComposedFaultSchedule) {
+  sim::Machine machine;
   SoakDigest digest;
-  RunShadowSoak(SoakOps(), SoakSeed(), /*hostile=*/true,
+  RunShadowSoak(machine, SoakOps(), SoakSeed(), /*hostile=*/true,
                 /*touch_harness=*/true, &digest);
   // The schedule really fired, repeatedly, and the run still converged.
   EXPECT_GT(digest.counters.injected, 0u);
@@ -315,8 +324,9 @@ TEST(ChaosSoak, SameSeedSameHostileRun) {
   // The whole point of the harness: a hostile soak is exactly reproducible.
   const uint64_t ops = std::min<uint64_t>(SoakOps(), 20000);
   SoakDigest a, b;
-  RunShadowSoak(ops, SoakSeed(), true, true, &a);
-  RunShadowSoak(ops, SoakSeed(), true, true, &b);
+  sim::Machine ma, mb;
+  RunShadowSoak(ma, ops, SoakSeed(), true, true, &a);
+  RunShadowSoak(mb, ops, SoakSeed(), true, true, &b);
   ExpectDigestsEqual(a, b, "hostile soak diverged across identical runs");
 }
 
@@ -325,12 +335,43 @@ TEST(ChaosSoak, BenignSeedIsByteIdenticalWithHarnessDisabled) {
   // invisible: identical virtual cycles, paging behaviour, and bytes.
   const uint64_t ops = std::min<uint64_t>(SoakOps(), 20000);
   SoakDigest with, without;
-  RunShadowSoak(ops, SoakSeed(), false, true, &with);
-  RunShadowSoak(ops, SoakSeed(), false, false, &without);
+  sim::Machine ma, mb;
+  RunShadowSoak(ma, ops, SoakSeed(), false, true, &with);
+  RunShadowSoak(mb, ops, SoakSeed(), false, false, &without);
   ExpectDigestsEqual(with, without, "the disarmed harness perturbed the run");
   EXPECT_EQ(with.counters.injected, 0u);
   EXPECT_EQ(with.counters.mac_failures, 0u);
   EXPECT_EQ(with.counters.pages_quarantined, 0u);
+}
+
+TEST(ChaosSoak, TracedSmokeSeedPassesCycleAudit) {
+  // A short hostile soak with span tracing (audit mode) on from machine
+  // construction: every categorized charge must land in the attribution
+  // ledger, per category, exactly matching the sim.cycles.* totals. With
+  // --trace-out=<path> (or ELEOS_TRACE_OUT) the run also exports its trace —
+  // this is the chaos-soak harness's trace entry point.
+  sim::Machine machine;
+  machine.EnableTracing(/*audit=*/true);
+  SoakDigest digest;
+  RunShadowSoak(machine, /*ops=*/4000, SoakSeed(), /*hostile=*/true,
+                /*touch_harness=*/true, &digest);
+  EXPECT_GT(digest.counters.injected, 0u);
+
+  const telemetry::SpanTracer& spans = machine.metrics().spans();
+  EXPECT_EQ(spans.dropped(), 0u) << "smoke soak must fit the span buffers";
+  EXPECT_EQ(spans.open_spans(), 0u);
+  EXPECT_FALSE(spans.Snapshot().empty()) << "the soak pages constantly";
+  std::string error;
+  EXPECT_TRUE(machine.AuditSpanAccounting(&error)) << error;
+
+  if (!g_trace_out.empty()) {
+    std::ofstream chrome(g_trace_out);
+    chrome << machine.ExportChromeTrace();
+    std::ofstream folded(g_trace_out + ".folded");
+    folded << machine.ExportFoldedStacks();
+    ASSERT_TRUE(chrome.good() && folded.good())
+        << "cannot write " << g_trace_out;
+  }
 }
 
 TEST(ChaosSoak, KvCacheSurvivesTransientFaultSchedule) {
@@ -410,3 +451,23 @@ TEST(ChaosSoak, KvCacheSurvivesTransientFaultSchedule) {
 
 }  // namespace
 }  // namespace eleos::suvm
+
+// Own main (instead of gtest_main) so the soak binary can take the trace
+// destination on its command line; InitGoogleTest strips gtest flags first.
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      g_trace_out = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      g_trace_out = argv[++i];
+    }
+  }
+  if (g_trace_out.empty()) {
+    if (const char* env = std::getenv("ELEOS_TRACE_OUT");
+        env != nullptr && *env != '\0') {
+      g_trace_out = env;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

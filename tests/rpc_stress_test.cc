@@ -363,8 +363,8 @@ TEST(RpcBreaker, OpensAfterConsecutiveTimeoutsThenCanaryCloses) {
   machine.PublishAll();
   EXPECT_EQ(machine.metrics().GetCounter("rpc.breaker_opens")->value(),
             rpc.breaker_opens());
-  EXPECT_EQ(machine.metrics().GetCounter("rpc.breaker_state")->value(),
-            static_cast<uint64_t>(HealthState::kHealthy));
+  EXPECT_EQ(machine.metrics().GetGauge("rpc.breaker_state")->value(),
+            static_cast<int64_t>(HealthState::kHealthy));
   EXPECT_GT(machine.metrics().GetCounter("rpc.breaker_short_circuits")->value(),
             0u);
 }

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <thread>
 #include <vector>
@@ -109,6 +110,85 @@ TEST(TraceRing, BoundedOverwriteOldestFirst) {
   EXPECT_TRUE(ring.Snapshot().empty());
 }
 
+TEST(Gauge, SetAddGoesBothWays) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(5);
+  g.Add(-8);
+  EXPECT_EQ(g.value(), -3) << "gauges may legally go negative";
+  g.Set(2);
+  EXPECT_EQ(g.value(), 2);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(TraceRing, DroppedIsExactUnderConcurrentRecorders) {
+  TraceRing ring(64);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 25000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&ring, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        ring.Record(TraceKind::kSuvmMajorFault, i, static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (auto& t : ts) {
+    t.join();
+  }
+  constexpr uint64_t kTotal = kThreads * kPerThread;
+  EXPECT_EQ(ring.recorded(), kTotal);
+  EXPECT_EQ(ring.dropped(), kTotal - 64);  // exact: recorded - retained
+  const std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 64u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    // Seq numbers are assigned under the ring lock, so the retained window
+    // is exactly the last `capacity` events, oldest first.
+    EXPECT_EQ(events[i].seq, kTotal - 64 + i);
+  }
+}
+
+TEST(TraceRing, OldestFirstOrderingSurvivesMultipleWraps) {
+  TraceRing ring(8);
+  // 5 full wraps plus a partial one: the snapshot must always start at the
+  // oldest retained event and be contiguous in seq.
+  for (uint64_t i = 0; i < 8 * 5 + 3; ++i) {
+    ring.Record(TraceKind::kSuvmEvictWriteback, i * 10, i);
+    const std::vector<TraceEvent> events = ring.Snapshot();
+    ASSERT_EQ(events.size(), std::min<size_t>(i + 1, 8));
+    for (size_t j = 0; j + 1 < events.size(); ++j) {
+      ASSERT_EQ(events[j].seq + 1, events[j + 1].seq) << "after event " << i;
+    }
+    ASSERT_EQ(events.back().seq, i);
+    ASSERT_EQ(events.back().arg0, i);
+  }
+}
+
+TEST(TraceRing, EventsAreUnboundWithoutASpanSource) {
+  TraceRing ring(4);
+  ring.Record(TraceKind::kSuvmMajorFault, 5, 1, 2);
+  const std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].tid, 0u);
+  EXPECT_EQ(events[0].span_id, 0u);
+}
+
+TEST(Registry, RingEventsCarryTheRecordersInnermostSpan) {
+  Registry r;  // wires trace() to spans() at construction
+  r.spans().Enable();
+  const uint64_t id = r.spans().BeginSpan("op", /*start_tsc=*/100, /*track=*/3);
+  r.trace().Record(TraceKind::kSuvmMajorFault, 110, 7);
+  r.spans().EndSpan(120);
+  r.trace().Record(TraceKind::kSuvmMajorFault, 130, 8);  // outside any span
+  const std::vector<TraceEvent> events = r.trace().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].span_id, id);
+  EXPECT_EQ(events[0].tid, 3u);
+  EXPECT_EQ(events[1].span_id, 0u);
+  EXPECT_EQ(events[1].tid, 0u);
+}
+
 TEST(Registry, InternsByName) {
   Registry r;
   Counter* a = r.GetCounter("x.count");
@@ -118,15 +198,26 @@ TEST(Registry, InternsByName) {
   Histogram* h1 = r.GetHistogram("x.lat");
   Histogram* h2 = r.GetHistogram("x.lat");
   EXPECT_EQ(h1, h2);
+  Gauge* g1 = r.GetGauge("x.level");
+  Gauge* g2 = r.GetGauge("x.level");
+  EXPECT_EQ(g1, g2);
+  // Counters and gauges are separate namespaces (and separate JSON sections).
+  EXPECT_NE(static_cast<void*>(r.GetCounter("x.level")),
+            static_cast<void*>(g1));
 }
 
 TEST(Registry, ToJsonContainsMetricsAndTrace) {
   Registry r;
   r.GetCounter("suvm.major_faults")->Set(3);
+  r.GetGauge("rpc.breaker_state")->Set(-2);
   r.GetHistogram("rpc.call_cycles")->Record(1000);
   r.trace().Record(TraceKind::kRpcFallbackOcall, 42, 1);
   const std::string json = r.ToJson();
   EXPECT_NE(json.find("\"suvm.major_faults\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"rpc.breaker_state\":-2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tid\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"span_id\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"rpc.call_cycles\""), std::string::npos);
   EXPECT_NE(json.find("\"p50\""), std::string::npos);
   EXPECT_NE(json.find("\"p95\""), std::string::npos);
@@ -149,10 +240,12 @@ TEST(Registry, ToJsonContainsMetricsAndTrace) {
 TEST(Registry, ResetAllZeroesEverything) {
   Registry r;
   r.GetCounter("a")->Add(5);
+  r.GetGauge("g")->Set(-7);
   r.GetHistogram("b")->Record(9);
   r.trace().Record(TraceKind::kSuvmEvictWriteback, 1);
   r.ResetAll();
   EXPECT_EQ(r.GetCounter("a")->value(), 0u);
+  EXPECT_EQ(r.GetGauge("g")->value(), 0);
   EXPECT_EQ(r.GetHistogram("b")->count(), 0u);
   EXPECT_EQ(r.trace().recorded(), 0u);
 }
