@@ -15,6 +15,7 @@
 // Usage: bench_baseline_suvm [--smoke] [--out <path>] [--trace-out <path>]
 
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,53 @@ int main(int argc, char** argv) {
               buf.size());
   }
   enclave.Exit(cpu);
+
+  // Recovery profile: checkpoint/restore round-trips over a crash-consistent
+  // region. Runs on its own machine — a second Suvm publishing into the main
+  // registry would overwrite the paging profile's counters — and contributes
+  // the suvm.checkpoint_cycles / suvm.recover_cycles histograms below.
+  const size_t kRecRounds = smoke ? 4 : 24;
+  const size_t kRecPages = smoke ? 128 : 1024;
+  sim::Machine rec_machine(bench::FastMachine());
+  {
+    suvm::SuvmConfig rcfg;
+    rcfg.epc_pp_pages = kRecPages / 4;
+    rcfg.backing_bytes = 64ull << 20;
+    rcfg.swapper_low_watermark = 0;
+    rcfg.fast_seal = true;
+    rcfg.crash_consistency = true;
+    auto rec_enclave = std::make_unique<sim::Enclave>(rec_machine);
+    auto rec = std::make_unique<suvm::Suvm>(*rec_enclave, rcfg);
+    sim::CpuContext& rcpu = rec_machine.cpu(0);
+    const uint64_t rbase = rec->Malloc(kRecPages * sim::kPageSize);
+    Xoshiro256 rrng(7);
+    for (size_t round = 0; round < kRecRounds; ++round) {
+      for (size_t p = 0; p < kRecPages; ++p) {
+        if (rrng.NextBelow(4) == 0) {  // dirty ~a quarter of the set per round
+          rec->Write(&rcpu, rbase + p * sim::kPageSize, buf.data(), buf.size());
+        }
+      }
+      StatusOr<sim::SgxDriver::SealedBlob> root = rec->SealCheckpoint(&rcpu);
+      if (!root.ok()) {
+        std::fprintf(stderr, "bench_baseline_suvm: checkpoint failed: %s\n",
+                     root.status().ToString().c_str());
+        return 1;
+      }
+      // Restart: a fresh enclave + Suvm adopt the surviving arena.
+      std::shared_ptr<suvm::BackingStore> store = rec->shared_backing_store();
+      rec.reset();
+      rec_enclave = std::make_unique<sim::Enclave>(rec_machine);
+      rec = std::make_unique<suvm::Suvm>(*rec_enclave, rcfg, store);
+      suvm::Suvm::RecoveryReport report;
+      const Status recovered = rec->TryRecover(&rcpu, *root, &report);
+      if (!recovered.ok() || report.pages_quarantined != 0) {
+        std::fprintf(stderr, "bench_baseline_suvm: recovery failed: %s\n",
+                     recovered.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
   machine.PublishAll();
 
   const telemetry::Histogram* major =
@@ -88,6 +136,10 @@ int main(int argc, char** argv) {
       machine.metrics().GetHistogram("suvm.minor_fault_cycles");
   const telemetry::Histogram* scan =
       machine.metrics().GetHistogram("suvm.evict_scan_len");
+  const telemetry::Histogram* checkpoint =
+      rec_machine.metrics().GetHistogram("suvm.checkpoint_cycles");
+  const telemetry::Histogram* recover =
+      rec_machine.metrics().GetHistogram("suvm.recover_cycles");
 
   std::string json = "{\n";
   json += "  \"schema_version\": 1,\n";
@@ -95,10 +147,14 @@ int main(int argc, char** argv) {
   json += bench::JsonKv("mode", smoke ? "smoke" : "full") + ",\n";
   json += "  \"workload\": {" + bench::JsonKv("working_set_pages", kWsPages) +
           ", " + bench::JsonKv("epc_pp_pages", kPpPages) + ", " +
-          bench::JsonKv("random_reads", kReads) + "},\n";
+          bench::JsonKv("random_reads", kReads) + ", " +
+          bench::JsonKv("recovery_rounds", kRecRounds) + ", " +
+          bench::JsonKv("recovery_pages", kRecPages) + "},\n";
   json += "  \"major_fault_cycles\": " + bench::LatencyJson(*major) + ",\n";
   json += "  \"minor_fault_cycles\": " + bench::LatencyJson(*minor) + ",\n";
   json += "  \"evict_scan_len\": " + bench::LatencyJson(*scan) + ",\n";
+  json += "  \"checkpoint_cycles\": " + bench::LatencyJson(*checkpoint) + ",\n";
+  json += "  \"recover_cycles\": " + bench::LatencyJson(*recover) + ",\n";
   json += "  \"latency_cycles\": " + bench::LatencyJson(*major) + ",\n";
   json += "  \"metrics\": " + machine.metrics().ToJson() + "\n";
   json += "}\n";
@@ -126,8 +182,9 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "bench_baseline_suvm: %zu reads, major p50=%.0f p99=%.0f cycles, "
-      "minor p50=%.0f -> %s\n",
+      "minor p50=%.0f, checkpoint p50=%.0f, recover p50=%.0f -> %s\n",
       kReads, major->Percentile(50), major->Percentile(99),
-      minor->Percentile(50), out.c_str());
+      minor->Percentile(50), checkpoint->Percentile(50),
+      recover->Percentile(50), out.c_str());
   return 0;
 }

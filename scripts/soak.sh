@@ -1,28 +1,41 @@
 #!/usr/bin/env bash
-# Full-length chaos soak: the deterministic fault-schedule harness at scale
-# (default 1.2M ops per seed, three seeds). The tier-1 suite runs the same
-# harness as a ~30k-op smoke; this script is the long version referenced by
-# the `chaos_soak_full` ctest registration (label `soak`, disabled by
-# default so plain `ctest` stays fast).
+# Full-length soaks: the deterministic fault-schedule harness at scale
+# (default 1.2M ops per seed, three seeds), followed by the kill/restart
+# crash-recovery soak (default 200k ops per seed). The tier-1 suite runs the
+# same harnesses as ~30k/~4k-op smokes; this script is the long version
+# referenced by the `chaos_soak_full` / `crash_soak_full` ctest registrations
+# (label `soak`, disabled by default so plain `ctest` stays fast).
 #
 # Usage: scripts/soak.sh [build_dir]
-#   ELEOS_SOAK_OPS    ops per seed            (default 1200000)
-#   ELEOS_SOAK_SEEDS  space-separated seeds   (default "1 2 3")
+#   ELEOS_SOAK_OPS        chaos ops per seed      (default 1200000)
+#   ELEOS_CRASH_SOAK_OPS  crash ops per seed      (default 200000)
+#   ELEOS_SOAK_SEEDS      space-separated seeds   (default "1 2 3")
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="${1:-build}"
 OPS="${ELEOS_SOAK_OPS:-1200000}"
+CRASH_OPS="${ELEOS_CRASH_SOAK_OPS:-200000}"
 SEEDS="${ELEOS_SOAK_SEEDS:-1 2 3}"
 
-if [[ ! -x "$BUILD/tests/chaos_soak_test" ]]; then
-  echo "soak.sh: $BUILD/tests/chaos_soak_test not built (run cmake --build $BUILD)" >&2
-  exit 2
-fi
+for bin in chaos_soak_test crash_recovery_test; do
+  if [[ ! -x "$BUILD/tests/$bin" ]]; then
+    echo "soak.sh: $BUILD/tests/$bin not built (run cmake --build $BUILD)" >&2
+    exit 2
+  fi
+done
 
 for seed in $SEEDS; do
   echo "=== chaos soak: seed=$seed ops=$OPS ==="
   ELEOS_SOAK_OPS="$OPS" ELEOS_SOAK_SEED="$seed" \
     "$BUILD/tests/chaos_soak_test"
 done
-echo "=== chaos soak: all seeds clean ==="
+
+for seed in $SEEDS; do
+  echo "=== crash soak: seed=$seed ops=$CRASH_OPS ==="
+  # The env seed overrides every TEST_P param, so run a single param instance.
+  ELEOS_CRASH_SOAK_OPS="$CRASH_OPS" ELEOS_CRASH_SOAK_SEED="$seed" \
+    "$BUILD/tests/crash_recovery_test" \
+    --gtest_filter='Seeds/CrashSoak.KillRestartRoundsConvergeToShadow/0'
+done
+echo "=== soak: all seeds clean ==="

@@ -10,8 +10,10 @@
 #    layer, the HealthFsm, and the fault-injection paths that deliberately
 #    race workers against submitter timeouts.
 # 3. An ASan+UBSan build re-running the hostile-host suites: fault injection,
-#    the chaos-soak smoke, and the secure channel — the paths that poke at
-#    lifetimes (abandoned jobs, quarantined pages, tampered slots).
+#    the chaos-soak smoke, crash recovery (kill/restart over a surviving
+#    arena), and the secure channel — the paths that poke at lifetimes
+#    (abandoned jobs, quarantined pages, dead enclave instances, tampered
+#    slots).
 # 4. A benchmark smoke stage: runs the baseline benches end-to-end and
 #    validates the emitted BENCH_*.json (fails on malformed/empty output)
 #    plus the TRACE_*.json span traces (phase balance, per-track timestamp
@@ -24,17 +26,17 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j"$(nproc)" -LE soak)
 
-TSAN_TESTS='^(rpc_test|rpc_stress_test|suvm_test|suvm_property_test|fault_injection_test|telemetry_test|health_test|span_test)$'
+TSAN_TESTS='^(rpc_test|rpc_stress_test|suvm_test|suvm_property_test|fault_injection_test|telemetry_test|health_test|span_test|crash_recovery_test)$'
 cmake -B build-tsan -S . -DELEOS_SANITIZE=thread
 cmake --build build-tsan -j --target \
   rpc_test rpc_stress_test suvm_test suvm_property_test fault_injection_test \
-  telemetry_test health_test span_test
+  telemetry_test health_test span_test crash_recovery_test
 (cd build-tsan && ctest --output-on-failure -R "$TSAN_TESTS")
 
-ASAN_TESTS='^(fault_injection_test|chaos_soak_test|secure_channel_test)$'
+ASAN_TESTS='^(fault_injection_test|chaos_soak_test|crash_recovery_test|secure_channel_test)$'
 cmake -B build-asan -S . -DELEOS_SANITIZE=address,undefined
 cmake --build build-asan -j --target \
-  fault_injection_test chaos_soak_test secure_channel_test
+  fault_injection_test chaos_soak_test crash_recovery_test secure_channel_test
 (cd build-asan && ctest --output-on-failure -R "$ASAN_TESTS")
 
 OUT_DIR="$(mktemp -d)" scripts/bench.sh --smoke

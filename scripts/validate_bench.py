@@ -110,10 +110,27 @@ def validate(path: str) -> None:
         if "rpc.breaker_state" not in gauges:
             fail(f"{path}: metrics.gauges is missing 'rpc.breaker_state'")
     if doc["bench"] == "suvm_baseline":
-        for key in ("suvm.pages_quarantined", "suvm.pages_restored"):
+        for key in (
+            "suvm.pages_quarantined",
+            "suvm.pages_restored",
+            # Crash-consistency counters (zero when the profile ran without
+            # crash_consistency, but the keys must exist: their absence means
+            # PublishTelemetry lost the recovery block).
+            "suvm.journal_appends",
+            "suvm.journal_commits",
+            "suvm.checkpoints",
+            "suvm.host_crashes",
+            "suvm.recovery.attempts",
+            "suvm.recovery.pages_verified",
+            "suvm.recovery.pages_quarantined",
+            "suvm.recovery.journal_replayed",
+            "suvm.recovery.journal_torn",
+            "suvm.recovery.rollbacks_detected",
+        ):
             if key not in counters:
                 fail(f"{path}: metrics.counters is missing '{key}'")
-        for key in ("suvm.epc_pp_in_use", "suvm.epc_pp_target"):
+        for key in ("suvm.epc_pp_in_use", "suvm.epc_pp_target",
+                    "suvm.journal_bytes"):
             if key not in gauges:
                 fail(f"{path}: metrics.gauges is missing '{key}'")
 

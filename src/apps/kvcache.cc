@@ -17,6 +17,11 @@ uint32_t HashKey(std::string_view key) {
   return h == 0 ? 1 : h;
 }
 
+// GET's error protocol: -1 is reserved for a plain miss.
+int64_t GetErrCode(const eleos::Status& status) {
+  return status.code() == eleos::StatusCode::kDataCorruption ? -2 : -3;
+}
+
 }  // namespace
 
 // --- SlabAllocator ---
@@ -121,26 +126,34 @@ void KvCache::ChargeMetadataTouch(sim::CpuContext* cpu, size_t records) {
 int64_t KvCache::Get(sim::CpuContext* cpu, std::string_view key, void* out,
                      size_t out_cap) {
   ++stats_.gets;
+  last_status_ = Status::Ok();
   if (cpu != nullptr) {
     cpu->Charge(machine_->costs().hash_op_cycles);
   }
   const uint32_t hash = HashKey(key);
   const uint32_t item = FindLocked(cpu, key, hash);
   if (item == 0) {
-    return -1;
+    return last_status_.ok() ? -1 : GetErrCode(last_status_);
   }
   ++stats_.get_hits;
   ItemMeta& m = items_[item];
   uint32_t lens[2];
-  region_->Read(cpu, m.data, lens, sizeof(lens));
-  const size_t vlen = lens[1];
-  const size_t take = vlen < out_cap ? vlen : out_cap;
-  region_->Read(cpu, m.data + 8 + lens[0], out, take);
-  // LRU bump (metadata only).
-  LruUnlink(m.cls, item);
-  LruPushFront(m.cls, item);
-  ChargeMetadataTouch(cpu, 2);
-  return static_cast<int64_t>(vlen);
+  Status status = region_->TryRead(cpu, m.data, lens, sizeof(lens));
+  if (status.ok()) {
+    const size_t vlen = lens[1];
+    const size_t take = vlen < out_cap ? vlen : out_cap;
+    status = region_->TryRead(cpu, m.data + 8 + lens[0], out, take);
+    if (status.ok()) {
+      // LRU bump (metadata only).
+      LruUnlink(m.cls, item);
+      LruPushFront(m.cls, item);
+      ChargeMetadataTouch(cpu, 2);
+      return static_cast<int64_t>(vlen);
+    }
+  }
+  ++stats_.io_errors;
+  last_status_ = status;
+  return GetErrCode(status);
 }
 
 uint32_t KvCache::FindLocked(sim::CpuContext* cpu, std::string_view key,
@@ -150,12 +163,24 @@ uint32_t KvCache::FindLocked(sim::CpuContext* cpu, std::string_view key,
     ItemMeta& m = items_[cur];
     ChargeMetadataTouch(cpu, 1);
     if (m.key_hash == hash) {
-      // Compare the secure key bytes.
+      // Compare the secure key bytes. A failed read (quarantined page,
+      // crashed instance) is recorded in last_status_ and the probe gives
+      // up rather than walking the chain on garbage lengths.
       uint32_t lens[2];
-      region_->Read(cpu, m.data, lens, sizeof(lens));
+      Status status = region_->TryRead(cpu, m.data, lens, sizeof(lens));
+      if (!status.ok()) {
+        ++stats_.io_errors;
+        last_status_ = status;
+        return 0;
+      }
       if (lens[0] == key.size()) {
         std::vector<uint8_t> kbuf(lens[0]);
-        region_->Read(cpu, m.data + 8, kbuf.data(), lens[0]);
+        status = region_->TryRead(cpu, m.data + 8, kbuf.data(), lens[0]);
+        if (!status.ok()) {
+          ++stats_.io_errors;
+          last_status_ = status;
+          return 0;
+        }
         if (std::memcmp(kbuf.data(), key.data(), key.size()) == 0) {
           return cur;
         }
@@ -169,11 +194,15 @@ uint32_t KvCache::FindLocked(sim::CpuContext* cpu, std::string_view key,
 bool KvCache::Set(sim::CpuContext* cpu, std::string_view key, const void* value,
                   size_t value_len) {
   ++stats_.sets;
+  last_status_ = Status::Ok();
   if (cpu != nullptr) {
     cpu->Charge(machine_->costs().hash_op_cycles);
   }
   const uint32_t hash = HashKey(key);
   const uint32_t existing = FindLocked(cpu, key, hash);
+  if (existing == 0 && !last_status_.ok()) {
+    return false;  // could not even probe for the key: leave state untouched
+  }
   if (existing != 0) {
     RemoveItem(cpu, existing);
   }
@@ -189,12 +218,23 @@ bool KvCache::Set(sim::CpuContext* cpu, std::string_view key, const void* value,
     off = slab_.Alloc(need, &cls);
   }
 
-  // Secure layout: [klen u32][vlen u32][key][value].
+  // Secure layout: [klen u32][vlen u32][key][value]. A failed write hands
+  // the chunk back (the item was never linked, so no metadata to unwind).
   const uint32_t lens[2] = {static_cast<uint32_t>(key.size()),
                             static_cast<uint32_t>(value_len)};
-  region_->Write(cpu, off, lens, sizeof(lens));
-  region_->Write(cpu, off + 8, key.data(), key.size());
-  region_->Write(cpu, off + 8 + key.size(), value, value_len);
+  Status status = region_->TryWrite(cpu, off, lens, sizeof(lens));
+  if (status.ok()) {
+    status = region_->TryWrite(cpu, off + 8, key.data(), key.size());
+  }
+  if (status.ok()) {
+    status = region_->TryWrite(cpu, off + 8 + key.size(), value, value_len);
+  }
+  if (!status.ok()) {
+    ++stats_.io_errors;
+    last_status_ = status;
+    slab_.Free(off, need);
+    return false;
+  }
 
   // Untrusted metadata record.
   uint32_t item;
@@ -221,6 +261,7 @@ bool KvCache::Set(sim::CpuContext* cpu, std::string_view key, const void* value,
 }
 
 bool KvCache::Delete(sim::CpuContext* cpu, std::string_view key) {
+  last_status_ = Status::Ok();
   const uint32_t hash = HashKey(key);
   const uint32_t item = FindLocked(cpu, key, hash);
   if (item == 0) {
@@ -241,10 +282,18 @@ void KvCache::RemoveItem(sim::CpuContext* cpu, uint32_t item) {
     *link = m.hash_next;
   }
   LruUnlink(m.cls, item);
-  // Free the secure chunk (size = chunk size of its class).
+  // Free the secure chunk. The exact item size lives in secure memory and
+  // may be unreadable (quarantined page); the class chunk size round-trips
+  // through ClassFor, so it frees into the same list either way.
   uint32_t lens[2];
-  region_->Read(cpu, m.data, lens, sizeof(lens));
-  slab_.Free(m.data, 8 + lens[0] + lens[1]);
+  const Status status = region_->TryRead(cpu, m.data, lens, sizeof(lens));
+  if (status.ok()) {
+    slab_.Free(m.data, 8 + lens[0] + lens[1]);
+  } else {
+    ++stats_.io_errors;
+    last_status_ = status;
+    slab_.Free(m.data, slab_.ChunkSize(m.cls));
+  }
   m.live = false;
   free_items_.push_back(item);
   --live_items_;

@@ -58,6 +58,7 @@ struct KvStats {
   uint64_t get_hits = 0;
   uint64_t sets = 0;
   uint64_t evictions = 0;
+  uint64_t io_errors = 0;  // secure-region accesses that returned non-OK
 };
 
 class KvCache {
@@ -73,15 +74,22 @@ class KvCache {
   KvCache(sim::Machine& machine, MemRegion& region, Options options);
 
   // SET: stores key -> value, evicting LRU items of the class if needed.
+  // Returns false when the pool is exhausted OR the secure region failed the
+  // write (inspect last_status() to tell the cases apart).
   bool Set(sim::CpuContext* cpu, std::string_view key, const void* value,
            size_t value_len);
-  // GET: copies the value into out (up to out_cap); returns length or -1.
+  // GET: copies the value into out (up to out_cap); returns length, -1 on a
+  // miss, -2 when the secure region reported corruption (quarantined page),
+  // -3 on any other region failure (crashed instance, exhausted EPC++).
   int64_t Get(sim::CpuContext* cpu, std::string_view key, void* out,
               size_t out_cap);
   bool Delete(sim::CpuContext* cpu, std::string_view key);
 
   const KvStats& stats() const { return stats_; }
   size_t item_count() const { return live_items_; }
+  // The Status behind the most recent operation's failure (Ok after a clean
+  // op); lets callers map -2/-3/false to a concrete cause.
+  const Status& last_status() const { return last_status_; }
 
  private:
   struct ItemMeta {          // untrusted, cleartext (like memcached's header)
@@ -115,6 +123,7 @@ class KvCache {
   size_t live_items_ = 0;
   uint64_t metadata_probe_ = 0;  // synthetic address cursor for the ablation
   KvStats stats_;
+  Status last_status_;
 };
 
 // memaslap-style load generator + protocol shim: fills the cache, then

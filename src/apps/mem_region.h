@@ -15,8 +15,11 @@
 #include <stdexcept>
 
 #include "src/baseline/sgx_buffer.h"
+#include "src/common/status.h"
 #include "src/sim/enclave.h"
+#include "src/sim/vclock.h"
 #include "src/suvm/suvm.h"
+#include "src/suvm/suvm_c.h"
 
 namespace eleos::apps {
 
@@ -27,6 +30,21 @@ class MemRegion {
   virtual void Write(sim::CpuContext* cpu, uint64_t off, const void* src,
                      size_t n) = 0;
   virtual size_t size() const = 0;
+
+  // Error-returning variants. Backends whose accesses cannot fail (untrusted
+  // DRAM, driver-paged enclave memory) inherit these trivial wrappers;
+  // SuvmRegion overrides them to surface integrity/paging failures as codes
+  // so the application can degrade instead of unwinding.
+  virtual Status TryRead(sim::CpuContext* cpu, uint64_t off, void* dst,
+                         size_t n) {
+    Read(cpu, off, dst, n);
+    return Status::Ok();
+  }
+  virtual Status TryWrite(sim::CpuContext* cpu, uint64_t off, const void* src,
+                          size_t n) {
+    Write(cpu, off, src, n);
+    return Status::Ok();
+  }
 
   template <typename T>
   T Load(sim::CpuContext* cpu, uint64_t off) {
@@ -98,34 +116,54 @@ class SuvmRegion : public MemRegion {
   }
   ~SuvmRegion() override { suvm_->Free(addr_); }
 
-  // Accesses go through SUVM's fault-handler paths: a transient MAC failure
-  // (in-flight tamper) is absorbed by their single retry; persistent
-  // corruption or rollback still surfaces as an exception to the app.
+  // Accesses go through SUVM's fault-handler paths — routed via the C-level
+  // interface (suvm_try_*), which is how the paper's C applications consume
+  // SUVM; exercising it here keeps both bindings on one code path. A
+  // transient MAC failure (in-flight tamper) is absorbed by the single
+  // retry; persistent corruption, rollback, a crashed instance, or EPC++
+  // exhaustion surface as a Status (Try*) or an exception (Read/Write).
+  Status TryRead(sim::CpuContext* cpu, uint64_t off, void* dst,
+                 size_t n) override {
+    sim::ScopedCpu bind(cpu);  // the C ABI has no cpu parameter
+    suvm_ctx* ctx = suvm_ctx_from(suvm_);
+    const suvm_status_t code =
+        direct_ ? suvm_try_read_direct(ctx, addr_ + off, dst, n)
+                : suvm_try_get_bytes(ctx, addr_ + off, dst, n);
+    return FromC(code, "SuvmRegion: read failed");
+  }
+  Status TryWrite(sim::CpuContext* cpu, uint64_t off, const void* src,
+                  size_t n) override {
+    sim::ScopedCpu bind(cpu);
+    suvm_ctx* ctx = suvm_ctx_from(suvm_);
+    const suvm_status_t code =
+        direct_ ? suvm_try_write_direct(ctx, addr_ + off, src, n)
+                : suvm_try_set_bytes(ctx, addr_ + off, src, n);
+    return FromC(code, "SuvmRegion: write failed");
+  }
   void Read(sim::CpuContext* cpu, uint64_t off, void* dst, size_t n) override {
-    if (direct_) {
-      suvm_->ReadDirect(cpu, addr_ + off, dst, n);
-    } else {
-      const Status status = suvm_->TryRead(cpu, addr_ + off, dst, n);
-      if (!status.ok()) {
-        throw std::runtime_error(status.message());
-      }
+    const Status status = TryRead(cpu, off, dst, n);
+    if (!status.ok()) {
+      throw std::runtime_error(status.ToString());
     }
   }
   void Write(sim::CpuContext* cpu, uint64_t off, const void* src,
              size_t n) override {
-    if (direct_) {
-      suvm_->WriteDirect(cpu, addr_ + off, src, n);
-    } else {
-      const Status status = suvm_->TryWrite(cpu, addr_ + off, src, n);
-      if (!status.ok()) {
-        throw std::runtime_error(status.message());
-      }
+    const Status status = TryWrite(cpu, off, src, n);
+    if (!status.ok()) {
+      throw std::runtime_error(status.ToString());
     }
   }
   size_t size() const override { return bytes_; }
   uint64_t suvm_addr() const { return addr_; }
 
  private:
+  static Status FromC(suvm_status_t code, const char* what) {
+    if (code == SUVM_OK) {
+      return Status::Ok();
+    }
+    return Status(static_cast<StatusCode>(code), what);
+  }
+
   suvm::Suvm* suvm_;
   size_t bytes_;
   bool direct_;

@@ -145,6 +145,23 @@ class HealthFsm {
     return false;
   }
 
+  // Forces the breaker open regardless of the failure streak: used when an
+  // external event (e.g. partial crash recovery) proves the subsystem is
+  // unhealthy without having gone through `failure_threshold` admissions.
+  // Counts as a trip; no-op when the FSM is disabled or already degraded.
+  bool ForceDegrade() {
+    std::lock_guard guard(lock_);
+    if (options_.failure_threshold == 0 ||
+        state_.load(std::memory_order_relaxed) == HealthState::kDegraded) {
+      return false;
+    }
+    fail_streak_ = 0;
+    denied_since_trip_ = 0;
+    ++trips_;
+    Transition(HealthState::kDegraded);
+    return true;
+  }
+
   // Observability (all monotonic).
   uint64_t trips() const {
     std::lock_guard guard(lock_);

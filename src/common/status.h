@@ -27,6 +27,7 @@ enum class StatusCode : int {
   kUnavailable = 5,         // RPC worker stalled/dead; retry or fall back
   kNotFound = 6,
   kInternal = 7,
+  kRollbackDetected = 8,    // stale-but-genuine state replayed (freshness lost)
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -39,6 +40,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kNotFound: return "NOT_FOUND";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kRollbackDetected: return "ROLLBACK_DETECTED";
   }
   return "UNKNOWN";
 }
@@ -70,6 +72,9 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status RollbackDetected(std::string m) {
+    return Status(StatusCode::kRollbackDetected, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -37,7 +37,10 @@ enum class Fault : size_t {
   kBackingAllocFail = 6,  // host refuses to grow the backing arena
   // Inter-enclave secure channel (untrusted message ring).
   kChannelTamper = 7,  // bit-flip in a sealed message before the receiver opens it
-  kCount = 8,
+  // Crash consistency (journaled backing store).
+  kHostCrash = 8,   // host process dies mid-operation; enclave state is lost
+  kTornWrite = 9,   // the write in flight at the crash lands partially
+  kCount = 10,
 };
 
 inline const char* FaultName(Fault f) {
@@ -50,6 +53,8 @@ inline const char* FaultName(Fault f) {
     case Fault::kRollback: return "rollback";
     case Fault::kBackingAllocFail: return "backing_alloc_fail";
     case Fault::kChannelTamper: return "channel_tamper";
+    case Fault::kHostCrash: return "host_crash";
+    case Fault::kTornWrite: return "torn_write";
     case Fault::kCount: break;
   }
   return "unknown";

@@ -29,6 +29,10 @@ inline uint64_t SealedBlobVaddr(uint64_t vpage) {
   return kSealedBlobVaddrBase + vpage * kPageSize;
 }
 
+// Synthetic untrusted vaddr for data-sealing blobs (sealed roots). Distinct
+// from the per-page EWB range above and from SUVM's arena base (1ull << 47).
+constexpr uint64_t kDataSealVaddrBase = 7ull << 44;
+
 }  // namespace
 
 SgxDriver::SgxDriver(Machine* machine)
@@ -317,6 +321,61 @@ void SgxDriver::SealPage(CpuContext* cpu, EnclaveRec& rec, uint64_t vpage,
                          MemKind::kEpc);
   machine_->StreamAccess(cpu, SealedBlobVaddr(vpage), kPageSize,
                          /*write=*/true, MemKind::kUntrusted);
+}
+
+SgxDriver::SealedBlob SgxDriver::SealBlob(CpuContext* cpu, Enclave& enclave,
+                                          const uint8_t* data, size_t len) {
+  SealedBlob blob;
+  blob.ciphertext.resize(len);
+  // Bind the enclave *name*, not its id: a restarted instance has a fresh id
+  // but the same identity, exactly like MRENCLAVE-keyed sealing.
+  const auto aad = crypto::Sha256::Digest(enclave.name().data(),
+                                          enclave.name().size());
+  if (seal_mode_ == SealMode::kReal) {
+    {
+      std::lock_guard guard(lock_);
+      nonce_rng_.FillBytes(blob.nonce, sizeof(blob.nonce));
+    }
+    sealer_.Seal(blob.nonce, aad.data(), aad.size(), data, len,
+                 blob.ciphertext.data(), blob.tag);
+  } else {
+    std::memcpy(blob.ciphertext.data(), data, len);
+    blob.fast = true;
+  }
+  enclave.ChargeGcm(cpu, len);
+  machine_->StreamAccess(cpu, kDataSealVaddrBase, len, /*write=*/true,
+                         MemKind::kUntrusted);
+  return blob;
+}
+
+bool SgxDriver::UnsealBlob(CpuContext* cpu, Enclave& enclave,
+                           const SealedBlob& blob, std::vector<uint8_t>* out) {
+  out->resize(blob.ciphertext.size());
+  enclave.ChargeGcm(cpu, blob.ciphertext.size());
+  machine_->StreamAccess(cpu, kDataSealVaddrBase, blob.ciphertext.size(),
+                         /*write=*/false, MemKind::kUntrusted);
+  if (blob.fast != (seal_mode_ == SealMode::kFast)) {
+    return false;  // seal-mode mismatch: the blob cannot be authenticated
+  }
+  if (seal_mode_ == SealMode::kFast) {
+    std::memcpy(out->data(), blob.ciphertext.data(), blob.ciphertext.size());
+    return true;
+  }
+  const auto aad = crypto::Sha256::Digest(enclave.name().data(),
+                                          enclave.name().size());
+  return sealer_.Open(blob.nonce, aad.data(), aad.size(),
+                      blob.ciphertext.data(), blob.ciphertext.size(), blob.tag,
+                      out->data());
+}
+
+uint64_t SgxDriver::BumpMonotonicCounter() {
+  std::lock_guard guard(lock_);
+  return ++monotonic_counter_;
+}
+
+uint64_t SgxDriver::monotonic_counter() const {
+  std::lock_guard guard(lock_);
+  return monotonic_counter_;
 }
 
 void SgxDriver::UnsealPage(CpuContext* cpu, EnclaveRec& rec, uint64_t vpage,

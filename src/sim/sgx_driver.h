@@ -78,6 +78,30 @@ class SgxDriver {
 
   void set_seal_mode(SealMode mode) { seal_mode_ = mode; }
 
+  // --- Data sealing service (EGETKEY/sealed-blob analog) ---
+  // Seals an arbitrary enclave-produced blob so it survives enclave (and
+  // host-process) death. The AAD binds the *enclave name* — the MRENCLAVE
+  // analog — so a restarted instance of the same enclave identity (which gets
+  // a fresh EnclaveId) can unseal it, but a different enclave cannot.
+  struct SealedBlob {
+    std::vector<uint8_t> ciphertext;
+    uint8_t nonce[crypto::kGcmNonceSize] = {};
+    uint8_t tag[crypto::kGcmTagSize] = {};
+    bool fast = false;  // sealed under SealMode::kFast (no crypto)
+  };
+  SealedBlob SealBlob(CpuContext* cpu, Enclave& enclave, const uint8_t* data,
+                      size_t len);
+  // Unseals into `out`; false on a MAC failure (tampered or wrong-enclave
+  // blob) or a seal-mode mismatch. Cycle charges are identical either way.
+  bool UnsealBlob(CpuContext* cpu, Enclave& enclave, const SealedBlob& blob,
+                  std::vector<uint8_t>* out);
+
+  // --- Monotonic counter service (freshness / rollback detection) ---
+  // The driver outlives enclave instances (it is the "platform"), so the
+  // counter is what lets a restarted enclave reject a stale sealed root.
+  uint64_t BumpMonotonicCounter();
+  uint64_t monotonic_counter() const;
+
   // Background-swapper tuning: the driver keeps at least `low` frames free,
   // evicting in batches of `batch` (mirrors the async swapper thread which
   // causes IPIs even for single-threaded enclaves — paper footnote 3).
@@ -158,6 +182,7 @@ class SgxDriver {
   crypto::AesGcm sealer_;
   Xoshiro256 nonce_rng_;
   Stats stats_;
+  uint64_t monotonic_counter_ = 0;  // guarded by lock_
 };
 
 }  // namespace eleos::sim

@@ -78,7 +78,11 @@ void BackingStore::Free(uint64_t offset) {
   std::lock_guard guard(lock_);
   auto it = alloc_order_.find(offset);
   if (it == alloc_order_.end()) {
-    throw std::invalid_argument("BackingStore::Free: not an allocation start");
+    // Never allocated or double-freed: tolerated no-op (see header). Throwing
+    // here would let a confused caller abort the enclave; silently merging a
+    // bogus block would corrupt the buddy metadata. Count and refuse both.
+    ++bad_frees_;
+    return;
   }
   int order = it->second;
   alloc_order_.erase(it);
@@ -107,6 +111,97 @@ size_t BackingStore::BlockSize(uint64_t offset) const {
     return 0;
   }
   return 1ull << it->second;
+}
+
+uint64_t BackingStore::bad_frees() const {
+  std::lock_guard guard(lock_);
+  return bad_frees_;
+}
+
+// --- Write-ahead journal ---
+
+uint64_t BackingStore::JournalCrc(const JournalRecord& rec) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a 64 offset basis
+  const auto mix = [&h](const void* data, size_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h = (h ^ p[i]) * 1099511628211ull;
+    }
+  };
+  mix(&rec.bs_page, sizeof(rec.bs_page));
+  mix(&rec.version, sizeof(rec.version));
+  mix(rec.nonce, sizeof(rec.nonce));
+  mix(rec.tag, sizeof(rec.tag));
+  const uint64_t len = rec.payload.size();
+  mix(&len, sizeof(len));
+  mix(rec.payload.data(), rec.payload.size());
+  return h;
+}
+
+uint64_t BackingStore::JournalAppend(JournalRecord rec) {
+  std::lock_guard guard(journal_lock_);
+  rec.seq = journal_next_seq_++;
+  journal_bytes_ += sizeof(JournalRecord) + rec.payload.size();
+  journal_.push_back(std::move(rec));
+  return journal_.back().seq;
+}
+
+bool BackingStore::JournalCommit(uint64_t seq) {
+  std::lock_guard guard(journal_lock_);
+  // Commits follow appends almost immediately; scan from the tail.
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    if (it->seq == seq) {
+      it->committed = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void BackingStore::JournalTruncate(uint64_t up_to_seq) {
+  std::lock_guard guard(journal_lock_);
+  size_t keep = 0;
+  for (const JournalRecord& rec : journal_) {
+    if (rec.seq >= up_to_seq) {
+      break;  // records are in seq order
+    }
+    ++keep;
+  }
+  if (keep == 0) {
+    return;
+  }
+  for (size_t i = 0; i < keep; ++i) {
+    journal_bytes_ -= sizeof(JournalRecord) + journal_[i].payload.size();
+  }
+  journal_.erase(journal_.begin(),
+                 journal_.begin() + static_cast<ptrdiff_t>(keep));
+}
+
+std::vector<JournalRecord> BackingStore::JournalSnapshot(
+    uint64_t from_seq) const {
+  std::lock_guard guard(journal_lock_);
+  std::vector<JournalRecord> out;
+  for (const JournalRecord& rec : journal_) {
+    if (rec.seq >= from_seq) {
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+uint64_t BackingStore::journal_next_seq() const {
+  std::lock_guard guard(journal_lock_);
+  return journal_next_seq_;
+}
+
+size_t BackingStore::journal_records() const {
+  std::lock_guard guard(journal_lock_);
+  return journal_.size();
+}
+
+size_t BackingStore::journal_bytes() const {
+  std::lock_guard guard(journal_lock_);
+  return journal_bytes_;
 }
 
 }  // namespace eleos::suvm

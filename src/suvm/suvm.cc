@@ -2,7 +2,9 @@
 
 #include "src/suvm/suvm.h"
 
+#include <algorithm>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <stdexcept>
 
@@ -34,14 +36,61 @@ inline uint64_t BackingVaddr(uint64_t arena_off) {
   return kBackingVaddrBase + arena_off;
 }
 
+// Stable synthetic vaddr for the write-ahead journal region (untrusted
+// memory, modeled as a bounded append ring for cache purposes). Sits below
+// the arena base and clear of the driver's sealed-blob ranges.
+constexpr uint64_t kJournalVaddrBase = 3ull << 45;
+constexpr uint64_t kJournalVaddrSlots = 4096;
+inline uint64_t JournalVaddr(uint64_t seq) {
+  return kJournalVaddrBase + (seq % kJournalVaddrSlots) * sim::kPageSize;
+}
+
+// Sealed-root serialization (SealCheckpoint / TryRecover). Plain structs
+// memcpy'd into the blob: producer and consumer are the same build, and the
+// whole blob is MAC'd, so no interchange format is needed.
+constexpr uint64_t kRootMagic = 0x454c45'4f53'524f'4full;  // "ELEOSRO"+1
+constexpr uint32_t kRootFormat = 1;
+struct RootHeader {
+  uint64_t magic = 0;
+  uint32_t format = 0;
+  uint32_t reserved = 0;
+  uint64_t freshness = 0;    // platform monotonic counter at checkpoint
+  uint64_t journal_seq = 0;  // replay journal records with seq >= this
+  uint64_t entry_count = 0;
+};
+struct RootEntry {
+  uint64_t bs_page = 0;
+  uint64_t version = 0;
+  uint32_t flags = 0;  // bit 0: has_data, bit 1: poisoned
+  uint8_t nonce[crypto::kGcmNonceSize] = {};
+  uint8_t tag[crypto::kGcmTagSize] = {};
+};
+constexpr uint32_t kRootHasData = 1u << 0;
+constexpr uint32_t kRootPoisoned = 1u << 1;
+
+static_assert(kJournalNonceSize == crypto::kGcmNonceSize,
+              "journal nonce size must match GCM");
+static_assert(kJournalTagSize == crypto::kGcmTagSize,
+              "journal tag size must match GCM");
+
+constexpr char kCrashedMsg[] =
+    "Suvm: host process crashed (recover into a fresh instance)";
+
 }  // namespace
 
 Suvm::Suvm(sim::Enclave& enclave, SuvmConfig config)
+    : Suvm(enclave, config, nullptr) {}
+
+Suvm::Suvm(sim::Enclave& enclave, SuvmConfig config,
+           std::shared_ptr<BackingStore> store)
     : enclave_(&enclave),
       config_(config),
       subpages_per_page_(sim::kPageSize / config.subpage_size),
       faults_(&enclave.machine().fault_injector()),
-      store_({.capacity_bytes = config.backing_bytes}),
+      store_(store != nullptr
+                 ? std::move(store)
+                 : std::make_shared<BackingStore>(BackingStore::Config{
+                       .capacity_bytes = config.backing_bytes})),
       cache_(enclave, config.epc_pp_pages),
       sealer_(crypto::DeriveAesKey("suvm-app-key", config.key_seed).data()),
       slot_to_page_(config.epc_pp_pages, kInvalidAddr),
@@ -54,6 +103,10 @@ Suvm::Suvm(sim::Enclave& enclave, SuvmConfig config)
           enclave.machine().metrics().GetHistogram("suvm.minor_fault_cycles")),
       evict_scan_len_(
           enclave.machine().metrics().GetHistogram("suvm.evict_scan_len")),
+      checkpoint_cycles_(
+          enclave.machine().metrics().GetHistogram("suvm.checkpoint_cycles")),
+      recover_cycles_(
+          enclave.machine().metrics().GetHistogram("suvm.recover_cycles")),
       direct_read_bytes_(
           enclave.machine().metrics().GetCounter("suvm.direct_read_bytes")),
       direct_write_bytes_(
@@ -61,6 +114,14 @@ Suvm::Suvm(sim::Enclave& enclave, SuvmConfig config)
       trace_(&enclave.machine().metrics().trace()) {
   if (sim::kPageSize % config.subpage_size != 0) {
     throw std::invalid_argument("Suvm: subpage_size must divide the page size");
+  }
+  if (config.crash_consistency && config.direct_mode) {
+    throw std::invalid_argument(
+        "Suvm: crash_consistency requires whole-page mode (no direct_mode)");
+  }
+  if (store_->capacity() != config.backing_bytes) {
+    throw std::invalid_argument(
+        "Suvm: adopted backing store does not match config.backing_bytes");
   }
   // The inverse page table: one small entry per EPC++ page (paper §4.1).
   ipt_region_vaddr_ = enclave_->Alloc(config.epc_pp_pages * 16);
@@ -91,6 +152,16 @@ void Suvm::ResetStats() {
   stats_.quarantine_hits = 0;
   stats_.pages_restored = 0;
   stats_.degraded_rejects = 0;
+  stats_.journal_appends = 0;
+  stats_.journal_commits = 0;
+  stats_.checkpoints = 0;
+  stats_.host_crashes = 0;
+  stats_.recovery_attempts = 0;
+  stats_.recovery_pages_verified = 0;
+  stats_.recovery_pages_quarantined = 0;
+  stats_.recovery_journal_replayed = 0;
+  stats_.recovery_journal_torn = 0;
+  stats_.recovery_rollbacks = 0;
 }
 
 void Suvm::ThrowStatus(const Status& status) {
@@ -123,6 +194,24 @@ void Suvm::PublishTelemetry() {
   r.GetCounter("suvm.quarantine_hits")->Set(stats_.quarantine_hits.load());
   r.GetCounter("suvm.pages_restored")->Set(stats_.pages_restored.load());
   r.GetCounter("suvm.degraded_rejects")->Set(stats_.degraded_rejects.load());
+  r.GetCounter("suvm.journal_appends")->Set(stats_.journal_appends.load());
+  r.GetCounter("suvm.journal_commits")->Set(stats_.journal_commits.load());
+  r.GetCounter("suvm.checkpoints")->Set(stats_.checkpoints.load());
+  r.GetCounter("suvm.host_crashes")->Set(stats_.host_crashes.load());
+  r.GetCounter("suvm.recovery.attempts")->Set(stats_.recovery_attempts.load());
+  r.GetCounter("suvm.recovery.pages_verified")
+      ->Set(stats_.recovery_pages_verified.load());
+  r.GetCounter("suvm.recovery.pages_quarantined")
+      ->Set(stats_.recovery_pages_quarantined.load());
+  r.GetCounter("suvm.recovery.journal_replayed")
+      ->Set(stats_.recovery_journal_replayed.load());
+  r.GetCounter("suvm.recovery.journal_torn")
+      ->Set(stats_.recovery_journal_torn.load());
+  r.GetCounter("suvm.recovery.rollbacks_detected")
+      ->Set(stats_.recovery_rollbacks.load());
+  r.GetCounter("suvm.backing_bad_frees")->Set(store_->bad_frees());
+  r.GetGauge("suvm.journal_bytes")
+      ->Set(static_cast<int64_t>(store_->journal_bytes()));
   r.GetGauge("suvm.health_state")
       ->Set(static_cast<int64_t>(alloc_health_.state()));
   r.GetGauge("suvm.page_table_entries")
@@ -144,6 +233,9 @@ uint64_t Suvm::Malloc(size_t bytes) {
 }
 
 StatusOr<uint64_t> Suvm::TryMalloc(size_t bytes) {
+  if (crashed_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable(kCrashedMsg);
+  }
   // Degraded mode ("read-mostly"): after repeated allocation failures the
   // region stops interacting with the host for new allocations at all and
   // fails fast, except for the periodic probe that tests recovery. Existing
@@ -159,7 +251,7 @@ StatusOr<uint64_t> Suvm::TryMalloc(size_t bytes) {
     return Status::ResourceExhausted(
         "Suvm: host refused the backing-store allocation");
   }
-  const uint64_t addr = store_.Alloc(bytes);
+  const uint64_t addr = store_->Alloc(bytes);
   if (addr == kInvalidAddr) {
     stats_.alloc_failures.fetch_add(1, std::memory_order_relaxed);
     NoteAllocHealth(/*ok=*/false);
@@ -185,6 +277,9 @@ void Suvm::NoteAllocHealth(bool ok) {
 }
 
 void Suvm::Free(uint64_t addr) {
+  if (crashed_.load(std::memory_order_relaxed)) {
+    return;  // dead instance: the arena belongs to the recovery path now
+  }
   // Pages overlapped by this allocation may be resident or sealed. A page is
   // dropped (no write-back, metadata erased) only when it lies *entirely*
   // inside the freed block — pages can be shared with neighboring sub-page
@@ -192,7 +287,7 @@ void Suvm::Free(uint64_t addr) {
   // page only the freed byte-range is scrubbed to zero (so a future owner of
   // these backing-store bytes reads zeros, not a stale neighbor's secrets);
   // the page itself stays and is sealed back on its normal eviction path.
-  const size_t block = store_.BlockSize(addr);
+  const size_t block = store_->BlockSize(addr);
   if (block > 0) {
     std::lock_guard pg(paging_lock_);
     const uint64_t end = addr + block;
@@ -259,7 +354,7 @@ void Suvm::Free(uint64_t addr) {
       m.dirty = true;
     }
   }
-  store_.Free(addr);
+  store_->Free(addr);
 }
 
 void Suvm::FillNonce(uint8_t nonce[crypto::kGcmNonceSize]) {
@@ -296,6 +391,9 @@ int Suvm::PinPage(sim::CpuContext* cpu, uint64_t bs_page) {
 }
 
 Status Suvm::TryPinPage(sim::CpuContext* cpu, uint64_t bs_page, int* slot_out) {
+  if (crashed_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable(kCrashedMsg);
+  }
   Stripe& st = StripeFor(bs_page);
   const uint64_t t0 = cpu != nullptr ? cpu->clock.now() : 0;
 
@@ -578,7 +676,7 @@ Status Suvm::LoadPage(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m,
     for (size_t s = 0; s < subpages_per_page_; ++s) {
       uint8_t* sub_dst = dst + s * sub_size;
       if (m.subs != nullptr && m.subs[s].has_data) {
-        uint8_t* ct = store_.Raw(arena_off + s * sub_size);
+        uint8_t* ct = store_->Raw(arena_off + s * sub_size);
         if (config_.fast_seal) {
           std::memcpy(sub_dst, ct, sub_size);
         } else {
@@ -623,7 +721,7 @@ Status Suvm::LoadPage(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m,
 Status Suvm::OpenPageCiphertext(sim::CpuContext* cpu, uint64_t bs_page,
                                 PageMeta& m, uint8_t* dst) {
   sim::Machine& machine = enclave_->machine();
-  uint8_t* ct = store_.Raw(bs_page * sim::kPageSize);
+  uint8_t* ct = store_->Raw(bs_page * sim::kPageSize);
   if (config_.fast_seal) {
     std::memcpy(dst, ct, sim::kPageSize);
   } else {
@@ -691,7 +789,7 @@ void Suvm::SealResident(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m) {
     EnsureSubs(m);
     const size_t sub_size = config_.subpage_size;
     for (size_t s = 0; s < subpages_per_page_; ++s) {
-      uint8_t* ct = store_.Raw(arena_off + s * sub_size);
+      uint8_t* ct = store_->Raw(arena_off + s * sub_size);
       if (config_.fast_seal) {
         std::memcpy(ct, src + s * sub_size, sub_size);
       } else {
@@ -710,13 +808,17 @@ void Suvm::SealResident(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m) {
     return;
   }
 
-  uint8_t* ct = store_.Raw(arena_off);
+  uint8_t* ct = store_->Raw(arena_off);
   if (!config_.fast_seal && m.has_data &&
       faults_->armed(sim::Fault::kRollback)) {
     // A hostile host squirrels away the outgoing (still valid) seal so it can
     // replay it at the next page-in. Only bought while the fault is armed.
     std::lock_guard sg(stale_lock_);
     stale_seals_[bs_page].assign(ct, ct + sim::kPageSize);
+  }
+  if (config_.crash_consistency) {
+    JournaledSeal(cpu, bs_page, m, src);
+    return;
   }
   if (config_.fast_seal) {
     std::memcpy(ct, src, sim::kPageSize);
@@ -736,6 +838,88 @@ void Suvm::EnsureSubs(PageMeta& m) {
   if (m.subs == nullptr) {
     m.subs = std::make_unique<SubMeta[]>(subpages_per_page_);
   }
+}
+
+bool Suvm::CrashPoint(sim::CpuContext* cpu, uint64_t window) {
+  if (crashed_.load(std::memory_order_relaxed)) {
+    return true;
+  }
+  if (!faults_->ShouldInject(sim::Fault::kHostCrash)) {
+    return false;
+  }
+  crashed_.store(true, std::memory_order_relaxed);
+  stats_.host_crashes.fetch_add(1, std::memory_order_relaxed);
+  trace_->Record(telemetry::TraceKind::kSuvmHostCrash,
+                 cpu != nullptr ? cpu->clock.now() : 0, window);
+  return true;
+}
+
+void Suvm::JournaledSeal(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m,
+                         const uint8_t* src) {
+  sim::Machine& machine = enclave_->machine();
+  const uint64_t arena_off = bs_page * sim::kPageSize;
+  ++m.version;
+
+  // Build the sealed payload in private memory first: nothing touches the
+  // untrusted arena until the journal record exists (write-ahead rule).
+  std::vector<uint8_t> sealed(sim::kPageSize);
+  if (config_.fast_seal) {
+    std::memcpy(sealed.data(), src, sim::kPageSize);
+  } else {
+    FillNonce(m.nonce);
+    PageAad aad{bs_page};
+    sealer_.Seal(m.nonce, reinterpret_cast<const uint8_t*>(&aad), sizeof(aad),
+                 src, sim::kPageSize, sealed.data(), m.tag);
+  }
+  enclave_->ChargeGcm(cpu, sim::kPageSize);
+
+  JournalRecord rec;
+  rec.bs_page = bs_page;
+  rec.version = m.version;
+  std::memcpy(rec.nonce, m.nonce, sizeof(rec.nonce));
+  std::memcpy(rec.tag, m.tag, sizeof(rec.tag));
+  rec.payload = sealed;
+  rec.crc = BackingStore::JournalCrc(rec);
+
+  // Phase 1: append the journal record. A crash here may tear the record in
+  // flight — partial bytes land, the stored CRC no longer matches a
+  // recomputation, and replay discards it.
+  if (CrashPoint(cpu, 1)) {
+    if (faults_->ShouldInject(sim::Fault::kTornWrite)) {
+      rec.payload.resize(sim::kPageSize / 2);
+      store_->JournalAppend(std::move(rec));
+    }
+    return;
+  }
+  const uint64_t seq = store_->JournalAppend(std::move(rec));
+  stats_.journal_appends.fetch_add(1, std::memory_order_relaxed);
+  machine.StreamAccess(cpu, JournalVaddr(seq), sim::kPageSize, /*write=*/true,
+                       sim::MemKind::kUntrusted);
+
+  // Phase 2: the in-place arena write. A crash here may leave the page half
+  // old / half new — recovery re-applies the journal record over it.
+  uint8_t* ct = store_->Raw(arena_off);
+  if (CrashPoint(cpu, 2)) {
+    if (faults_->ShouldInject(sim::Fault::kTornWrite)) {
+      std::memcpy(ct, sealed.data(), sim::kPageSize / 2);
+    }
+    return;
+  }
+  std::memcpy(ct, sealed.data(), sim::kPageSize);
+  machine.StreamAccess(cpu, BackingVaddr(arena_off), sim::kPageSize,
+                       /*write=*/true, sim::MemKind::kUntrusted);
+
+  // Phase 3: the commit mark. A crash before it leaves a valid uncommitted
+  // record; replay still applies it (version-gated), writing the same bytes
+  // the in-place copy already holds.
+  if (CrashPoint(cpu, 3)) {
+    return;
+  }
+  store_->JournalCommit(seq);
+  stats_.journal_commits.fetch_add(1, std::memory_order_relaxed);
+  machine.StreamAccess(cpu, JournalVaddr(seq), 64, /*write=*/true,
+                       sim::MemKind::kUntrusted);
+  m.has_data = true;
 }
 
 // --- Unlinked bulk operations ---
@@ -899,6 +1083,9 @@ Status Suvm::TryReadDirect(sim::CpuContext* cpu, uint64_t addr, void* dst,
   if (!config_.direct_mode) {
     return Status::FailedPrecondition("Suvm::ReadDirect requires direct_mode");
   }
+  if (crashed_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable(kCrashedMsg);
+  }
   auto* out = static_cast<uint8_t*>(dst);
   const size_t sub_size = config_.subpage_size;
   while (len > 0) {
@@ -955,6 +1142,9 @@ Status Suvm::TryWriteDirect(sim::CpuContext* cpu, uint64_t addr, const void* src
                             size_t len) {
   if (!config_.direct_mode) {
     return Status::FailedPrecondition("Suvm::WriteDirect requires direct_mode");
+  }
+  if (crashed_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable(kCrashedMsg);
   }
   const auto* in = static_cast<const uint8_t*>(src);
   const size_t sub_size = config_.subpage_size;
@@ -1017,7 +1207,7 @@ Status Suvm::DirectSubRead(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
   }
   sim::Machine& machine = enclave_->machine();
   std::vector<uint8_t> plain(sub_size);
-  uint8_t* ct = store_.Raw(bs_page * sim::kPageSize + sub * sub_size);
+  uint8_t* ct = store_->Raw(bs_page * sim::kPageSize + sub * sub_size);
   if (config_.fast_seal) {
     std::memcpy(plain.data(), ct, sub_size);
   } else {
@@ -1052,7 +1242,7 @@ Status Suvm::DirectSubWrite(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
   sim::Machine& machine = enclave_->machine();
   EnsureSubs(m);
   std::vector<uint8_t> plain(sub_size, 0);
-  uint8_t* ct = store_.Raw(bs_page * sim::kPageSize + sub * sub_size);
+  uint8_t* ct = store_->Raw(bs_page * sim::kPageSize + sub * sub_size);
   SubAad aad{bs_page, sub};
   if (m.subs[sub].has_data && len < sub_size) {
     // Read-modify-write of an existing sub-page.
@@ -1143,6 +1333,294 @@ size_t Suvm::BalloonPass(sim::CpuContext* cpu) {
                    cache_.target_pages());
   }
   return cache_.target_pages();
+}
+
+// --- Crash consistency ---
+
+StatusOr<sim::SgxDriver::SealedBlob> Suvm::SealCheckpoint(sim::CpuContext* cpu) {
+  if (!config_.crash_consistency) {
+    return Status::FailedPrecondition(
+        "Suvm::SealCheckpoint requires config.crash_consistency");
+  }
+  if (crashed_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable(kCrashedMsg);
+  }
+  sim::Machine& machine = enclave_->machine();
+  sim::SpanScope span(&machine.metrics().spans(), cpu, "suvm.seal_checkpoint");
+  const uint64_t t0 = cpu != nullptr ? cpu->clock.now() : 0;
+
+  std::lock_guard pg(paging_lock_);
+  // Flush every dirty (or never-sealed) resident page through the journaled
+  // seal path. The crash injector may kill the host mid-flush; the checkpoint
+  // then fails and the previous root remains the recovery point.
+  for (size_t slot = 0; slot < slot_to_page_.size(); ++slot) {
+    const uint64_t bs_page = slot_to_page_[slot];
+    if (bs_page == kInvalidAddr) {
+      continue;
+    }
+    Stripe& st = StripeFor(bs_page);
+    std::lock_guard sl(st.lock);
+    auto it = st.map.find(bs_page);
+    if (it == st.map.end() || it->second.slot < 0) {
+      continue;
+    }
+    PageMeta& m = it->second;
+    if (!m.dirty && m.has_data) {
+      continue;
+    }
+    SealResident(cpu, bs_page, m);
+    if (crashed_.load(std::memory_order_relaxed)) {
+      return Status::Unavailable(kCrashedMsg);
+    }
+    m.dirty = false;
+  }
+
+  // Capture the metadata root: every page with sealed data or a quarantine
+  // verdict, sorted for deterministic serialization.
+  std::vector<RootEntry> entries;
+  for (Stripe& st : stripes_) {
+    std::lock_guard sl(st.lock);
+    for (auto& [bs_page, m] : st.map) {
+      if (!m.has_data && !m.poisoned) {
+        continue;  // resident-only zero-fill pages have nothing durable
+      }
+      RootEntry e;
+      e.bs_page = bs_page;
+      e.version = m.version;
+      e.flags = (m.has_data ? kRootHasData : 0u) |
+                (m.poisoned ? kRootPoisoned : 0u);
+      std::memcpy(e.nonce, m.nonce, sizeof(e.nonce));
+      std::memcpy(e.tag, m.tag, sizeof(e.tag));
+      entries.push_back(e);
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const RootEntry& a, const RootEntry& b) {
+              return a.bs_page < b.bs_page;
+            });
+
+  RootHeader hdr;
+  hdr.magic = kRootMagic;
+  hdr.format = kRootFormat;
+  hdr.freshness = machine.driver().BumpMonotonicCounter();
+  hdr.journal_seq = store_->journal_next_seq();
+  hdr.entry_count = entries.size();
+
+  std::vector<uint8_t> bytes(sizeof(RootHeader) +
+                             entries.size() * sizeof(RootEntry));
+  std::memcpy(bytes.data(), &hdr, sizeof(hdr));
+  if (!entries.empty()) {
+    std::memcpy(bytes.data() + sizeof(hdr), entries.data(),
+                entries.size() * sizeof(RootEntry));
+  }
+  sim::SgxDriver::SealedBlob blob =
+      machine.driver().SealBlob(cpu, *enclave_, bytes.data(), bytes.size());
+
+  // Everything below the captured mark is redundant with the arena + root;
+  // drop it so the journal stays bounded.
+  store_->JournalTruncate(hdr.journal_seq);
+  stats_.checkpoints.fetch_add(1, std::memory_order_relaxed);
+  trace_->Record(telemetry::TraceKind::kSuvmCheckpoint,
+                 cpu != nullptr ? cpu->clock.now() : 0, entries.size(),
+                 hdr.journal_seq);
+  if (cpu != nullptr) {
+    checkpoint_cycles_->Record(cpu->clock.now() - t0);
+  }
+  return blob;
+}
+
+Status Suvm::TryRecover(sim::CpuContext* cpu,
+                        const sim::SgxDriver::SealedBlob& root,
+                        RecoveryReport* report) {
+  if (!config_.crash_consistency) {
+    return Status::FailedPrecondition(
+        "Suvm::TryRecover requires config.crash_consistency");
+  }
+  if (crashed_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable(kCrashedMsg);
+  }
+  if (PageTableEntries() != 0) {
+    return Status::FailedPrecondition(
+        "Suvm::TryRecover requires a fresh instance (empty page table)");
+  }
+  stats_.recovery_attempts.fetch_add(1, std::memory_order_relaxed);
+  sim::Machine& machine = enclave_->machine();
+  sim::SpanScope span(&machine.metrics().spans(), cpu, "suvm.recover");
+  const uint64_t t0 = cpu != nullptr ? cpu->clock.now() : 0;
+  RecoveryReport local;
+  if (report == nullptr) {
+    report = &local;
+  }
+  *report = RecoveryReport{};
+
+  // 1. Unseal + validate the metadata root. The blob is authenticated, so a
+  // bad layout means the host handed over bytes that never came from
+  // SealCheckpoint — corruption, not a format skew.
+  std::vector<uint8_t> bytes;
+  if (!machine.driver().UnsealBlob(cpu, *enclave_, root, &bytes)) {
+    return Status::DataCorruption("Suvm: sealed root rejected (MAC failure)");
+  }
+  if (bytes.size() < sizeof(RootHeader)) {
+    return Status::DataCorruption("Suvm: sealed root truncated");
+  }
+  RootHeader hdr;
+  std::memcpy(&hdr, bytes.data(), sizeof(hdr));
+  if (hdr.magic != kRootMagic || hdr.format != kRootFormat ||
+      bytes.size() !=
+          sizeof(RootHeader) + hdr.entry_count * sizeof(RootEntry)) {
+    return Status::DataCorruption("Suvm: sealed root malformed");
+  }
+
+  // 2. Freshness: the platform monotonic counter outlives the enclave. A
+  // root sealed before the latest checkpoint is genuine but stale — the
+  // classic rollback attack — and is refused outright.
+  const uint64_t counter = machine.driver().monotonic_counter();
+  if (hdr.freshness < counter) {
+    stats_.recovery_rollbacks.fetch_add(1, std::memory_order_relaxed);
+    return Status::RollbackDetected(
+        "Suvm: sealed root is stale (platform counter advanced past it)");
+  }
+  if (hdr.freshness > counter) {
+    return Status::DataCorruption(
+        "Suvm: sealed root claims a future platform counter");
+  }
+
+  struct Recovered {
+    uint64_t version = 0;
+    bool has_data = false;
+    bool poisoned = false;
+    uint8_t nonce[crypto::kGcmNonceSize] = {};
+    uint8_t tag[crypto::kGcmTagSize] = {};
+  };
+  std::map<uint64_t, Recovered> pages;  // sorted: deterministic sweep order
+  const auto* root_entries =
+      reinterpret_cast<const RootEntry*>(bytes.data() + sizeof(RootHeader));
+  for (uint64_t i = 0; i < hdr.entry_count; ++i) {
+    const RootEntry& e = root_entries[i];
+    Recovered r;
+    r.version = e.version;
+    r.has_data = (e.flags & kRootHasData) != 0;
+    r.poisoned = (e.flags & kRootPoisoned) != 0;
+    std::memcpy(r.nonce, e.nonce, sizeof(r.nonce));
+    std::memcpy(r.tag, e.tag, sizeof(r.tag));
+    pages[e.bs_page] = r;
+  }
+
+  // 3. Journal replay (idempotent). Records are version-gated: only a record
+  // strictly newer than what the root (or an earlier record) establishes is
+  // applied, so replaying the same journal twice converges to the same arena.
+  // Whether the commit mark landed is irrelevant to correctness — a valid
+  // uncommitted record carries exactly the bytes the in-place write would
+  // have; only torn (CRC-mismatched) records are discarded.
+  {
+    sim::SpanScope replay(&machine.metrics().spans(), cpu,
+                          "suvm.journal_replay");
+    for (const JournalRecord& rec : store_->JournalSnapshot(hdr.journal_seq)) {
+      machine.StreamAccess(cpu, JournalVaddr(rec.seq), sim::kPageSize,
+                           /*write=*/false, sim::MemKind::kUntrusted);
+      machine.ChargeCost(cpu, telemetry::CostCategory::kSuvmPaging,
+                         machine.costs().suvm_fault_logic_cycles);
+      if (rec.payload.size() != sim::kPageSize ||
+          rec.crc != BackingStore::JournalCrc(rec)) {
+        ++report->journal_torn;  // torn mid-append: discard
+        continue;
+      }
+      const uint64_t arena_off = rec.bs_page * sim::kPageSize;
+      if (arena_off + sim::kPageSize > store_->capacity()) {
+        ++report->journal_torn;  // out-of-range page: equally untrustworthy
+        continue;
+      }
+      Recovered& r = pages[rec.bs_page];
+      if (r.has_data && rec.version <= r.version) {
+        ++report->journal_stale;  // already reflected in the arena/root
+        continue;
+      }
+      std::memcpy(store_->Raw(arena_off), rec.payload.data(), sim::kPageSize);
+      machine.StreamAccess(cpu, BackingVaddr(arena_off), sim::kPageSize,
+                           /*write=*/true, sim::MemKind::kUntrusted);
+      r.version = rec.version;
+      r.has_data = true;  // a root-carried poisoned flag is kept: quarantine
+                          // verdicts fail closed across the restart
+      std::memcpy(r.nonce, rec.nonce, sizeof(r.nonce));
+      std::memcpy(r.tag, rec.tag, sizeof(r.tag));
+      ++report->journal_replayed;
+    }
+    trace_->Record(telemetry::TraceKind::kSuvmJournalReplay,
+                   cpu != nullptr ? cpu->clock.now() : 0,
+                   report->journal_replayed, report->journal_torn);
+  }
+
+  // 4. Verification sweep: every recovered page re-authenticates against its
+  // enclave-held nonce/tag before the region trusts it. Failures quarantine
+  // the page instead of failing the recovery — partial data beats none.
+  std::vector<uint8_t> scratch(sim::kPageSize);
+  for (auto& [bs_page, r] : pages) {
+    if (r.has_data && !r.poisoned) {
+      if (bs_page * sim::kPageSize + sim::kPageSize > store_->capacity()) {
+        r.poisoned = true;
+      } else {
+        enclave_->ChargeGcm(cpu, sim::kPageSize);
+        machine.StreamAccess(cpu, BackingVaddr(bs_page * sim::kPageSize),
+                             sim::kPageSize, /*write=*/false,
+                             sim::MemKind::kUntrusted);
+        bool ok = true;
+        if (!config_.fast_seal) {
+          PageAad aad{bs_page};
+          ok = sealer_.Open(r.nonce, reinterpret_cast<const uint8_t*>(&aad),
+                            sizeof(aad), store_->Raw(bs_page * sim::kPageSize),
+                            sim::kPageSize, r.tag, scratch.data());
+        }
+        if (!ok) {
+          NoteMacFailure(cpu, bs_page);
+          r.poisoned = true;
+        }
+      }
+      if (r.poisoned) {
+        stats_.pages_quarantined.fetch_add(1, std::memory_order_relaxed);
+        trace_->Record(telemetry::TraceKind::kSuvmPageQuarantined,
+                       cpu != nullptr ? cpu->clock.now() : 0, bs_page);
+      } else {
+        ++report->pages_verified;
+      }
+    }
+    if (r.poisoned) {
+      ++report->pages_quarantined;
+    }
+    // Install the entry (verified, quarantined, or a root-carried verdict).
+    Stripe& st = StripeFor(bs_page);
+    std::lock_guard sl(st.lock);
+    PageMeta& m = st.map[bs_page];  // fresh instance: always a new entry
+    m.version = r.version;
+    m.has_data = r.has_data;
+    m.poisoned = r.poisoned;
+    std::memcpy(m.nonce, r.nonce, sizeof(m.nonce));
+    std::memcpy(m.tag, r.tag, sizeof(m.tag));
+  }
+
+  if (report->pages_quarantined > 0) {
+    report->degraded = true;
+    const HealthState before = alloc_health_.state();
+    if (alloc_health_.ForceDegrade()) {
+      trace_->Record(telemetry::TraceKind::kSuvmHealthChange, 0,
+                     static_cast<uint64_t>(before),
+                     static_cast<uint64_t>(alloc_health_.state()));
+    }
+  }
+  stats_.recovery_pages_verified.fetch_add(report->pages_verified,
+                                           std::memory_order_relaxed);
+  stats_.recovery_pages_quarantined.fetch_add(report->pages_quarantined,
+                                              std::memory_order_relaxed);
+  stats_.recovery_journal_replayed.fetch_add(report->journal_replayed,
+                                             std::memory_order_relaxed);
+  stats_.recovery_journal_torn.fetch_add(report->journal_torn,
+                                         std::memory_order_relaxed);
+  trace_->Record(telemetry::TraceKind::kSuvmRecovery,
+                 cpu != nullptr ? cpu->clock.now() : 0, report->pages_verified,
+                 report->pages_quarantined);
+  if (cpu != nullptr) {
+    recover_cycles_->Record(cpu->clock.now() - t0);
+  }
+  return Status::Ok();
 }
 
 }  // namespace eleos::suvm

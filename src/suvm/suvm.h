@@ -67,11 +67,22 @@ struct SuvmConfig {
   uint32_t alloc_failure_threshold = 4;
   // While degraded, every N-th TryMalloc is a real probe of the host.
   uint64_t alloc_probe_interval = 16;
+  // Crash consistency: sealed page writes go through a journaled two-phase
+  // commit (journal record -> in-place write -> commit mark), and the region
+  // supports SealCheckpoint/TryRecover. Whole-page mode only (the sub-page
+  // direct path has no journal); off by default so benign-path cycle counts
+  // are untouched.
+  bool crash_consistency = false;
 };
 
 class Suvm {
  public:
   Suvm(sim::Enclave& enclave, SuvmConfig config = {});
+  // Restart path: adopts an existing backing store (the untrusted arena +
+  // journal that survived the previous instance's death). The store capacity
+  // must match config.backing_bytes; pass nullptr for a fresh arena.
+  Suvm(sim::Enclave& enclave, SuvmConfig config,
+       std::shared_ptr<BackingStore> store);
   ~Suvm();
 
   Suvm(const Suvm&) = delete;
@@ -146,6 +157,36 @@ class Suvm {
   // to the enclave's other memory. Returns the new EPC++ page target.
   size_t BalloonPass(sim::CpuContext* cpu);
 
+  // --- Crash consistency (requires config.crash_consistency) ---
+  // Flushes every dirty resident page through the journaled seal path, then
+  // seals the metadata root (page table versions/nonces/tags, the quarantine
+  // set, a fresh platform monotonic counter, the journal high-water mark)
+  // through the driver's data-sealing service. Returns the sealed root the
+  // host must persist; the journal is truncated below the captured mark.
+  StatusOr<sim::SgxDriver::SealedBlob> SealCheckpoint(sim::CpuContext* cpu);
+
+  struct RecoveryReport {
+    uint64_t pages_verified = 0;     // MAC re-verified against the root
+    uint64_t pages_quarantined = 0;  // failed verification: poisoned
+    uint64_t journal_replayed = 0;   // records applied to the arena
+    uint64_t journal_torn = 0;       // records discarded on CRC mismatch
+    uint64_t journal_stale = 0;      // records superseded by a newer version
+    bool degraded = false;  // partial recovery: region is read-mostly
+  };
+  // Recovers a fresh (never-used) instance from a sealed root plus whatever
+  // survived in the adopted arena: unseals the root, checks freshness against
+  // the platform counter (stale root => kRollbackDetected), replays the
+  // journal (idempotent; torn records discarded), then re-verifies every
+  // page MAC. Unverifiable pages are quarantined and the region degrades to
+  // read-mostly instead of failing the whole recovery.
+  Status TryRecover(sim::CpuContext* cpu, const sim::SgxDriver::SealedBlob& root,
+                    RecoveryReport* report);
+
+  // True once an injected kHostCrash has fired: the enclave instance is dead
+  // and every entry point fails with kUnavailable (the test harness builds a
+  // fresh instance over the surviving arena and recovers into it).
+  bool crashed() const { return crashed_.load(std::memory_order_relaxed); }
+
   struct Stats {
     std::atomic<uint64_t> major_faults{0};  // page-ins (incl. zero-fills)
     std::atomic<uint64_t> minor_faults{0};  // pin of an already-resident page
@@ -164,6 +205,17 @@ class Suvm {
     std::atomic<uint64_t> quarantine_hits{0};     // accesses fast-failed on poison
     std::atomic<uint64_t> pages_restored{0};      // TryRestorePage successes
     std::atomic<uint64_t> degraded_rejects{0};    // TryMalloc denied while degraded
+    // Crash consistency.
+    std::atomic<uint64_t> journal_appends{0};     // 2PC phase 1: records written
+    std::atomic<uint64_t> journal_commits{0};     // 2PC phase 3: commit marks
+    std::atomic<uint64_t> checkpoints{0};         // sealed roots produced
+    std::atomic<uint64_t> host_crashes{0};        // injected kHostCrash fires
+    std::atomic<uint64_t> recovery_attempts{0};
+    std::atomic<uint64_t> recovery_pages_verified{0};
+    std::atomic<uint64_t> recovery_pages_quarantined{0};
+    std::atomic<uint64_t> recovery_journal_replayed{0};
+    std::atomic<uint64_t> recovery_journal_torn{0};
+    std::atomic<uint64_t> recovery_rollbacks{0};  // stale roots rejected
   };
   const Stats& stats() const { return stats_; }
   void ResetStats();
@@ -187,7 +239,10 @@ class Suvm {
   sim::Enclave& enclave() { return *enclave_; }
   const SuvmConfig& config() const { return config_; }
   PageCache& page_cache() { return cache_; }
-  BackingStore& backing_store() { return store_; }
+  BackingStore& backing_store() { return *store_; }
+  // The untrusted arena + journal: host memory that outlives the enclave
+  // instance. Hand it to the restart path's adopting constructor.
+  std::shared_ptr<BackingStore> shared_backing_store() { return store_; }
   size_t subpages_per_page() const { return subpages_per_page_; }
 
  private:
@@ -204,6 +259,7 @@ class Suvm {
     bool ref_bit = false;     // second chance for the EPC++ clock
     bool has_data = false;    // whole-page seal in the backing store is valid
     bool poisoned = false;    // quarantined: accesses fast-fail, no crypto
+    uint64_t version = 0;     // monotonic seal version (crash consistency)
     uint8_t nonce[crypto::kGcmNonceSize];
     uint8_t tag[crypto::kGcmTagSize];
     std::unique_ptr<SubMeta[]> subs;  // direct mode: per-sub-page metadata
@@ -226,6 +282,14 @@ class Suvm {
   bool EvictOneLocked(sim::CpuContext* cpu, size_t held_stripe);
   Status LoadPage(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m, int slot);
   void SealResident(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m);
+  // The journaled two-phase commit (crash_consistency): journal record with
+  // fresh nonce/tag/version -> in-place arena write -> commit mark, with
+  // kHostCrash/kTornWrite windows between the phases.
+  void JournaledSeal(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m,
+                     const uint8_t* src);
+  // Rolls the kHostCrash dice at 2PC window `window` (also true if already
+  // crashed). A fresh fire marks the instance dead and traces the window.
+  bool CrashPoint(sim::CpuContext* cpu, uint64_t window);
   void FillNonce(uint8_t nonce[crypto::kGcmNonceSize]);
 
   // Single-retry pin used by the Try{Read,Write} fault-handler paths.
@@ -265,9 +329,12 @@ class Suvm {
   SuvmConfig config_;
   size_t subpages_per_page_;
   sim::FaultInjector* faults_;  // the machine's hostile-host switchboard
-  BackingStore store_;
+  // Untrusted memory: shared so the arena + journal can outlive this enclave
+  // instance and be adopted by its post-crash successor.
+  std::shared_ptr<BackingStore> store_;
   PageCache cache_;
   crypto::AesGcm sealer_;
+  std::atomic<bool> crashed_{false};
 
   // Rollback-replay support: previously valid seals, stashed at reseal time
   // only while Fault::kRollback is armed (the "hostile host keeps old
@@ -298,6 +365,8 @@ class Suvm {
   telemetry::Histogram* major_fault_cycles_;
   telemetry::Histogram* minor_fault_cycles_;
   telemetry::Histogram* evict_scan_len_;
+  telemetry::Histogram* checkpoint_cycles_;
+  telemetry::Histogram* recover_cycles_;
   telemetry::Counter* direct_read_bytes_;
   telemetry::Counter* direct_write_bytes_;
   telemetry::TraceRing* trace_;

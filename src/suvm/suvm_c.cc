@@ -11,6 +11,10 @@ eleos::suvm::Suvm* Unwrap(suvm_ctx* ctx) {
   return reinterpret_cast<eleos::suvm::Suvm*>(ctx);
 }
 
+suvm_status_t ToC(const eleos::Status& status) {
+  return static_cast<suvm_status_t>(status.code());
+}
+
 }  // namespace
 
 extern "C" {
@@ -53,6 +57,36 @@ void suvm_read_direct(suvm_ctx* ctx, suvm_addr_t addr, void* dst, size_t len) {
 void suvm_write_direct(suvm_ctx* ctx, suvm_addr_t addr, const void* src,
                        size_t len) {
   Unwrap(ctx)->WriteDirect(eleos::sim::CurrentCpu(), addr, src, len);
+}
+
+suvm_status_t suvm_try_malloc(suvm_ctx* ctx, size_t bytes, suvm_addr_t* out) {
+  eleos::StatusOr<uint64_t> addr = Unwrap(ctx)->TryMalloc(bytes);
+  if (addr.ok()) {
+    *out = *addr;
+  }
+  return ToC(addr.status());
+}
+
+suvm_status_t suvm_try_get_bytes(suvm_ctx* ctx, suvm_addr_t addr, void* dst,
+                                 size_t len) {
+  return ToC(Unwrap(ctx)->TryRead(eleos::sim::CurrentCpu(), addr, dst, len));
+}
+
+suvm_status_t suvm_try_set_bytes(suvm_ctx* ctx, suvm_addr_t addr,
+                                 const void* src, size_t len) {
+  return ToC(Unwrap(ctx)->TryWrite(eleos::sim::CurrentCpu(), addr, src, len));
+}
+
+suvm_status_t suvm_try_read_direct(suvm_ctx* ctx, suvm_addr_t addr, void* dst,
+                                   size_t len) {
+  return ToC(
+      Unwrap(ctx)->TryReadDirect(eleos::sim::CurrentCpu(), addr, dst, len));
+}
+
+suvm_status_t suvm_try_write_direct(suvm_ctx* ctx, suvm_addr_t addr,
+                                    const void* src, size_t len) {
+  return ToC(
+      Unwrap(ctx)->TryWriteDirect(eleos::sim::CurrentCpu(), addr, src, len));
 }
 
 }  // extern "C"

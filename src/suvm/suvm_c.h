@@ -42,6 +42,41 @@ void suvm_read_direct(suvm_ctx* ctx, suvm_addr_t addr, void* dst, size_t len);
 void suvm_write_direct(suvm_ctx* ctx, suvm_addr_t addr, const void* src,
                        size_t len);
 
+// --- Error-returning ("try") variants ---
+//
+// The accessors above abort the process on an integrity or paging failure —
+// fine for benchmarks, wrong for applications that must survive a hostile
+// host (quarantined pages, exhausted EPC++, a crashed instance). These
+// variants surface the StatusCode so C callers (and KvCache) can degrade
+// gracefully instead of dying.
+//
+// Values mirror eleos::StatusCode exactly.
+typedef int suvm_status_t;
+#define SUVM_OK 0
+#define SUVM_ERR_INVALID_ARGUMENT 1
+#define SUVM_ERR_FAILED_PRECONDITION 2
+#define SUVM_ERR_RESOURCE_EXHAUSTED 3
+#define SUVM_ERR_DATA_CORRUPTION 4
+#define SUVM_ERR_UNAVAILABLE 5
+#define SUVM_ERR_NOT_FOUND 6
+#define SUVM_ERR_INTERNAL 7
+#define SUVM_ERR_ROLLBACK_DETECTED 8
+
+// On failure `*out` is untouched.
+suvm_status_t suvm_try_malloc(suvm_ctx* ctx, size_t bytes, suvm_addr_t* out);
+
+// Partial-progress caveat: a multi-page transfer that fails mid-way has
+// already transferred the earlier pages (reads filled part of dst, writes
+// dirtied part of the range) — same contract as the C++ TryRead/TryWrite.
+suvm_status_t suvm_try_get_bytes(suvm_ctx* ctx, suvm_addr_t addr, void* dst,
+                                 size_t len);
+suvm_status_t suvm_try_set_bytes(suvm_ctx* ctx, suvm_addr_t addr,
+                                 const void* src, size_t len);
+suvm_status_t suvm_try_read_direct(suvm_ctx* ctx, suvm_addr_t addr, void* dst,
+                                   size_t len);
+suvm_status_t suvm_try_write_direct(suvm_ctx* ctx, suvm_addr_t addr,
+                                    const void* src, size_t len);
+
 }  // extern "C"
 
 #endif  // ELEOS_SRC_SUVM_SUVM_C_H_

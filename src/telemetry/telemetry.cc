@@ -108,6 +108,14 @@ const char* TraceKindName(TraceKind kind) {
       return "suvm_page_quarantined";
     case TraceKind::kSuvmPageRestored:
       return "suvm_page_restored";
+    case TraceKind::kSuvmHostCrash:
+      return "suvm_host_crash";
+    case TraceKind::kSuvmCheckpoint:
+      return "suvm_checkpoint";
+    case TraceKind::kSuvmJournalReplay:
+      return "suvm_journal_replay";
+    case TraceKind::kSuvmRecovery:
+      return "suvm_recovery";
     case TraceKind::kSuvmHealthChange:
       return "suvm_health_change";
   }

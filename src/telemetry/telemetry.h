@@ -147,6 +147,11 @@ enum class TraceKind : uint32_t {
   kSuvmPageQuarantined = 9,  // page poisoned after the retry failed too
   kSuvmPageRestored = 10,    // TryRestorePage successfully unpoisoned a page
   kSuvmHealthChange = 11,    // SUVM alloc health FSM changed state (arg1)
+  // Crash consistency (journaled backing store + checkpoint/restore).
+  kSuvmHostCrash = 12,       // injected host crash (arg0 = 2PC window index)
+  kSuvmCheckpoint = 13,      // sealed root written (arg0 = pages, arg1 = seq)
+  kSuvmJournalReplay = 14,   // journal replayed (arg0 = applied, arg1 = torn)
+  kSuvmRecovery = 15,        // recovery finished (arg0 = verified, arg1 = quarantined)
 };
 
 const char* TraceKindName(TraceKind kind);

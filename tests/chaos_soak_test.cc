@@ -120,12 +120,18 @@ std::vector<sim::FaultPhase> HostileSchedule(uint64_t seed) {
        kRounds / 2 + 2},
   };
   Xoshiro256 rng(seed ^ 0x5c4eddu);
+  // The crash-consistency faults ride along in the randomized windows. This
+  // soak runs without crash_consistency, so their 2PC crash points never
+  // arm-check — they exercise the scheduler (windows open/close, armed
+  // tracking) without killing the instance; tests/crash_recovery_test.cc owns
+  // the kill/restart semantics.
   const sim::Fault kPool[] = {sim::Fault::kCiphertextFlip, sim::Fault::kRollback,
-                              sim::Fault::kBackingAllocFail};
+                              sim::Fault::kBackingAllocFail,
+                              sim::Fault::kHostCrash, sim::Fault::kTornWrite};
   for (int i = 0; i < 4; ++i) {
     const uint64_t start = rng.NextBelow(kRounds - 10);
     const uint64_t len = 2 + rng.NextBelow(kRounds / 4);
-    sched.push_back({kPool[rng.NextBelow(3)],
+    sched.push_back({kPool[rng.NextBelow(5)],
                      0.01 + 0.29 * (rng.NextBelow(100) / 100.0), UINT64_MAX,
                      start, std::min(start + len, kRounds)});
   }

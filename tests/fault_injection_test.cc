@@ -70,6 +70,24 @@ TEST(FaultInjector, SameSeedSameDecisions) {
   EXPECT_LT(a.injected(sim::Fault::kCiphertextFlip), 2000u);
 }
 
+TEST(FaultInjector, EveryFaultHasAName) {
+  for (uint32_t f = 0; f < static_cast<uint32_t>(sim::Fault::kCount); ++f) {
+    const char* name = sim::FaultName(static_cast<sim::Fault>(f));
+    EXPECT_STRNE(name, "unknown") << "Fault " << f << " missing a FaultName";
+    EXPECT_STRNE(name, "") << "Fault " << f;
+  }
+}
+
+TEST(FaultInjector, CrashFaultsArmAndFire) {
+  sim::FaultInjector f(5);
+  f.Arm(sim::Fault::kHostCrash, 1.0, /*max_triggers=*/1);
+  f.Arm(sim::Fault::kTornWrite, 1.0);
+  EXPECT_TRUE(f.armed(sim::Fault::kHostCrash));
+  EXPECT_TRUE(f.ShouldInject(sim::Fault::kHostCrash));
+  EXPECT_FALSE(f.ShouldInject(sim::Fault::kHostCrash));  // budget spent
+  EXPECT_TRUE(f.ShouldInject(sim::Fault::kTornWrite));
+}
+
 TEST(FaultInjector, TriggerBudgetDisarms) {
   sim::FaultInjector f(7);
   f.Arm(sim::Fault::kWorkerDeath, 1.0, /*max_triggers=*/3);
