@@ -24,6 +24,7 @@
 
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "bench/bench_json.h"
 #include "bench/bench_util.h"
@@ -80,6 +81,81 @@ HostileResult RunHostile(size_t calls, size_t io_bytes, bool breaker) {
   return r;
 }
 
+struct AsyncBatchResult {
+  double serial_cpc = 0.0;  // virtual cycles per completed call, serial Call
+  double batch_cpc = 0.0;   // same, CallAsyncBatch at the configured size
+  double speedup = 0.0;
+  uint64_t fallback_ocalls = 0;  // across both runs; 0 on a healthy host
+  std::string batch_hist_json;
+};
+
+// The throughput profile the async/batch rewrite is for: a serial threaded
+// Call loop vs. CallAsyncBatch+AwaitAll at `batch` jobs per doorbell, each on
+// a fresh machine. Healthy host, so every call completes exit-less and the
+// per-call virtual-cycle cost is exactly the deterministic ChargeSubmit
+// charge — the batched run amortizes the rendezvous + read-back across the
+// batch (see RpcManager::ChargeSubmit).
+struct XorOp {
+  uint64_t i;
+  uint64_t operator()() const { return i ^ 0x5aull; }
+};
+
+AsyncBatchResult RunAsyncBatch(size_t calls, size_t batch, size_t io_bytes) {
+  using namespace eleos;
+  AsyncBatchResult r;
+  {
+    sim::Machine machine(bench::FastMachine());
+    sim::Enclave enclave(machine);
+    rpc::RpcManager::Options opts;
+    opts.mode = rpc::RpcManager::Mode::kThreaded;
+    opts.workers = 2;
+    rpc::RpcManager rpc(enclave, opts);
+    sim::CpuContext& cpu = machine.cpu(0);
+    enclave.Enter(cpu);
+    const uint64_t t0 = cpu.clock.now();
+    uint64_t sink = 0;
+    for (size_t i = 0; i < calls; ++i) {
+      sink += rpc.Call(&cpu, io_bytes, [i] { return i ^ 0x5aull; });
+    }
+    r.serial_cpc = static_cast<double>(cpu.clock.now() - t0) /
+                   static_cast<double>(calls);
+    enclave.Exit(cpu);
+    r.fallback_ocalls += rpc.fallback_ocalls();
+    (void)sink;
+  }
+  {
+    sim::Machine machine(bench::FastMachine());
+    sim::Enclave enclave(machine);
+    rpc::RpcManager::Options opts;
+    opts.mode = rpc::RpcManager::Mode::kThreaded;
+    opts.workers = 2;
+    rpc::RpcManager rpc(enclave, opts);
+    sim::CpuContext& cpu = machine.cpu(0);
+    enclave.Enter(cpu);
+    const uint64_t t0 = cpu.clock.now();
+    uint64_t sink = 0;
+    std::vector<XorOp> ops(batch);
+    for (size_t g = 0; g < calls / batch; ++g) {
+      for (size_t j = 0; j < batch; ++j) {
+        ops[j].i = g * batch + j;
+      }
+      auto handles = rpc.CallAsyncBatch(&cpu, io_bytes, ops);
+      for (uint64_t v : rpc.AwaitAll(&cpu, handles)) {
+        sink += v;
+      }
+    }
+    r.batch_cpc = static_cast<double>(cpu.clock.now() - t0) /
+                  static_cast<double>(calls);
+    enclave.Exit(cpu);
+    r.fallback_ocalls += rpc.fallback_ocalls();
+    r.batch_hist_json = bench::LatencyJson(
+        *machine.metrics().GetHistogram("rpc.batch_size"));
+    (void)sink;
+  }
+  r.speedup = r.batch_cpc > 0.0 ? r.serial_cpc / r.batch_cpc : 0.0;
+  return r;
+}
+
 // Traced threaded demo: real workers, span tracing + audit on from machine
 // construction, small enough to never overflow the per-thread span buffers.
 bool RunTracedDemo(const std::string& trace_out) {
@@ -97,6 +173,24 @@ bool RunTracedDemo(const std::string& trace_out) {
     uint64_t sink = 0;
     for (size_t i = 0; i < 256; ++i) {
       sink += rpc.Call(&cpu, 256, [i] { return i ^ 0x5aull; });
+    }
+    // Async phase: singles awaited out of order, then batches — exercises
+    // the rpc.call_async/rpc.await linked spans under the cycle audit.
+    for (size_t i = 0; i < 16; ++i) {
+      auto a = rpc.CallAsync(&cpu, 256, XorOp{2 * i});
+      auto b = rpc.CallAsync(&cpu, 256, XorOp{2 * i + 1});
+      sink += rpc.Await(&cpu, b);
+      sink += rpc.Await(&cpu, a);
+    }
+    std::vector<XorOp> ops(8);
+    for (size_t g = 0; g < 8; ++g) {
+      for (size_t j = 0; j < ops.size(); ++j) {
+        ops[j].i = g * ops.size() + j;
+      }
+      auto handles = rpc.CallAsyncBatch(&cpu, 256, ops);
+      for (uint64_t v : rpc.AwaitAll(&cpu, handles)) {
+        sink += v;
+      }
     }
     enclave.Exit(cpu);
     (void)sink;
@@ -146,6 +240,8 @@ int main(int argc, char** argv) {
 
   const size_t kCalls = smoke ? 2000 : 200000;
   const size_t kHostileCalls = smoke ? 2000 : 20000;
+  const size_t kAsyncCalls = smoke ? 2000 : 40000;  // divisible by kBatch
+  const size_t kBatch = 8;
   const size_t kIoBytes = 256;
 
   sim::Machine machine(bench::FastMachine());
@@ -165,6 +261,7 @@ int main(int argc, char** argv) {
       RunHostile(kHostileCalls, kIoBytes, /*breaker=*/false);
   const HostileResult brk =
       RunHostile(kHostileCalls, kIoBytes, /*breaker=*/true);
+  const AsyncBatchResult ab = RunAsyncBatch(kAsyncCalls, kBatch, kIoBytes);
 
   const telemetry::Histogram* lat =
       machine.metrics().GetHistogram("rpc.call_cycles");
@@ -189,6 +286,20 @@ int main(int argc, char** argv) {
           ", " + bench::JsonKv("breaker_probes", brk.breaker_probes) + ", " +
           bench::JsonKv("fallback_ocalls", brk.fallback_ocalls) + "}\n";
   json += "  },\n";
+  json += "  \"async_batch\": {\n";
+  json += "    \"workload\": {" + bench::JsonKv("dispatch", "threaded") +
+          ", " + bench::JsonKv("calls", kAsyncCalls) + ", " +
+          bench::JsonKv("batch_size", kBatch) + ", " +
+          bench::JsonKv("io_bytes", kIoBytes) + "},\n";
+  json += "    " + bench::JsonKv("serial_cycles_per_call", ab.serial_cpc) +
+          ",\n";
+  json += "    " + bench::JsonKv("batch_cycles_per_call", ab.batch_cpc) +
+          ",\n";
+  json += "    " + bench::JsonKv("speedup", ab.speedup) + ",\n";
+  json += "    " + bench::JsonKv("fallback_ocalls", ab.fallback_ocalls) +
+          ",\n";
+  json += "    \"batch_size_hist\": " + ab.batch_hist_json + "\n";
+  json += "  },\n";
   json += "  \"metrics\": " + machine.metrics().ToJson() + "\n";
   json += "}\n";
 
@@ -197,9 +308,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("bench_baseline_rpc: %zu calls, p50=%.0f p99=%.0f cycles; "
-              "hostile p99 static=%.0f breaker=%.0f -> %s\n",
+              "hostile p99 static=%.0f breaker=%.0f; "
+              "batch%zu %.1f vs %.1f cyc/call (%.2fx) -> %s\n",
               kCalls, lat->Percentile(50), lat->Percentile(99), stat.p99,
-              brk.p99, out.c_str());
+              brk.p99, kBatch, ab.batch_cpc, ab.serial_cpc, ab.speedup,
+              out.c_str());
   (void)sink;
   if (!trace_out.empty() && !RunTracedDemo(trace_out)) {
     return 1;

@@ -26,11 +26,12 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j"$(nproc)" -LE soak)
 
-TSAN_TESTS='^(rpc_test|rpc_stress_test|suvm_test|suvm_property_test|fault_injection_test|telemetry_test|health_test|span_test|crash_recovery_test)$'
+TSAN_TESTS='^(rpc_test|rpc_stress_test|rpc_async_test|suvm_test|suvm_property_test|fault_injection_test|telemetry_test|health_test|span_test|crash_recovery_test)$'
 cmake -B build-tsan -S . -DELEOS_SANITIZE=thread
 cmake --build build-tsan -j --target \
-  rpc_test rpc_stress_test suvm_test suvm_property_test fault_injection_test \
-  telemetry_test health_test span_test crash_recovery_test
+  rpc_test rpc_stress_test rpc_async_test suvm_test suvm_property_test \
+  fault_injection_test telemetry_test health_test span_test \
+  crash_recovery_test
 (cd build-tsan && ctest --output-on-failure -R "$TSAN_TESTS")
 
 ASAN_TESTS='^(fault_injection_test|chaos_soak_test|crash_recovery_test|secure_channel_test)$'

@@ -11,6 +11,10 @@ Checks (per file):
   * rpc_baseline: the hostile profile pair is present, the breaker run
     reports its self-healing counters, and the breaker's p99 does not
     exceed the static-budget p99 (the tail-latency cap the breaker buys)
+  * rpc_baseline: the async_batch profile is present, batched dispatch is
+    >= 1.5x the serial cycles-per-call, the rpc.batch_size histogram was
+    recorded, and the split late-completion counter family survived
+    PublishTelemetry
   * suvm_baseline: the quarantine counters are present in the snapshot
 
 Exits non-zero with a message naming the offending file/field, so tier1.sh
@@ -64,6 +68,25 @@ def check_rpc_hostile(path: str, doc: dict) -> None:
         )
 
 
+def check_rpc_async_batch(path: str, doc: dict) -> None:
+    ab = doc.get("async_batch")
+    if not isinstance(ab, dict):
+        fail(f"{path}: rpc_baseline is missing the async_batch profile")
+    for key in ("serial_cycles_per_call", "batch_cycles_per_call", "speedup",
+                "fallback_ocalls", "batch_size_hist"):
+        if key not in ab:
+            fail(f"{path}: async_batch is missing '{key}'")
+    if ab["serial_cycles_per_call"] <= 0 or ab["batch_cycles_per_call"] <= 0:
+        fail(f"{path}: async_batch cycles-per-call must be positive")
+    if ab["speedup"] < 1.5:
+        fail(
+            f"{path}: async_batch speedup {ab['speedup']} < 1.5x — batched "
+            f"submission is not amortizing the exit-less rendezvous"
+        )
+    check_latency_block(path, "async_batch.batch_size_hist",
+                        ab["batch_size_hist"])
+
+
 def validate(path: str) -> None:
     try:
         with open(path, encoding="utf-8") as f:
@@ -107,8 +130,26 @@ def validate(path: str) -> None:
 
     if doc["bench"] == "rpc_baseline":
         check_rpc_hostile(path, doc)
+        check_rpc_async_batch(path, doc)
         if "rpc.breaker_state" not in gauges:
             fail(f"{path}: metrics.gauges is missing 'rpc.breaker_state'")
+        for key in (
+            # Split late-completion family (stale-generation drops vs
+            # abandoned-slot self-recycles) plus the liveness-fix counters;
+            # absence means PublishTelemetry regressed.
+            "rpc.stale_completions",
+            "rpc.abandoned_recycles",
+            "rpc.late_completions",
+            "rpc.abandoned_slots",
+            "rpc.terminal_abandons",
+            "rpc.abandoned_scrubs",
+            "rpc.async_calls",
+        ):
+            if key not in counters:
+                fail(f"{path}: metrics.counters is missing '{key}'")
+        hists = metrics.get("histograms")
+        if not isinstance(hists, dict) or "rpc.batch_size" not in hists:
+            fail(f"{path}: metrics.histograms is missing 'rpc.batch_size'")
     if doc["bench"] == "suvm_baseline":
         for key in (
             "suvm.pages_quarantined",

@@ -260,6 +260,82 @@ bool KvCache::Set(sim::CpuContext* cpu, std::string_view key, const void* value,
   return true;
 }
 
+namespace {
+
+// Modeled network response send for one request in a multi-op: the payload
+// has already been staged in untrusted memory; the host-side sendmsg is the
+// untrusted function a worker (or the OCALL fallback) runs. Returns the
+// bytes "sent" so the batch result is checkable end to end.
+struct SendResponseOp {
+  size_t bytes;
+  int64_t operator()() const { return static_cast<int64_t>(bytes); }
+};
+
+}  // namespace
+
+void KvCache::SendResponses(sim::CpuContext* cpu,
+                            const std::vector<size_t>& response_bytes) {
+  if (options_.rpc == nullptr || response_bytes.empty()) {
+    return;
+  }
+  std::vector<SendResponseOp> sends;
+  sends.reserve(response_bytes.size());
+  size_t total = 0;
+  for (size_t bytes : response_bytes) {
+    sends.push_back(SendResponseOp{bytes});
+    total += bytes;
+  }
+  auto handles = options_.rpc->CallAsyncBatch(
+      cpu, total / response_bytes.size(), sends);
+  options_.rpc->AwaitAll(cpu, handles);
+}
+
+size_t KvCache::MultiGet(sim::CpuContext* cpu,
+                         const std::vector<std::string>& keys,
+                         std::vector<std::vector<uint8_t>>* values) {
+  values->assign(keys.size(), {});
+  std::vector<size_t> response_bytes;
+  response_bytes.reserve(keys.size());
+  std::vector<uint8_t> scratch(64 << 10);
+  size_t hits = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const int64_t len = Get(cpu, keys[i], scratch.data(), scratch.size());
+    if (len >= 0) {
+      const size_t take =
+          static_cast<size_t>(len) < scratch.size()
+              ? static_cast<size_t>(len)
+              : scratch.size();
+      (*values)[i].assign(scratch.begin(),
+                          scratch.begin() + static_cast<int64_t>(take));
+      // "VALUE <key> <flags> <len>\r\n<data>\r\nEND\r\n"-shaped response.
+      response_bytes.push_back(keys[i].size() + take + 32);
+      ++hits;
+    } else {
+      response_bytes.push_back(8);  // bare "END\r\n" miss marker
+    }
+  }
+  SendResponses(cpu, response_bytes);
+  return hits;
+}
+
+size_t KvCache::MultiSet(
+    sim::CpuContext* cpu,
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::vector<size_t> response_bytes;
+  response_bytes.reserve(pairs.size());
+  size_t stored = 0;
+  for (const auto& [key, value] : pairs) {
+    if (Set(cpu, key, value.data(), value.size())) {
+      ++stored;
+      response_bytes.push_back(8);  // "STORED\r\n"
+    } else {
+      response_bytes.push_back(12);  // "NOT_STORED\r\n"
+    }
+  }
+  SendResponses(cpu, response_bytes);
+  return stored;
+}
+
 bool KvCache::Delete(sim::CpuContext* cpu, std::string_view key) {
   last_status_ = Status::Ok();
   const uint32_t hash = HashKey(key);

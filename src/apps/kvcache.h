@@ -69,6 +69,12 @@ class KvCache {
     // Paper §5.1 ablation: keep *all* metadata in secure memory instead of
     // the optimized cleartext-metadata split (3-7% slower in §6.2.2).
     bool metadata_in_secure_memory = false;
+    // When set, MultiGet/MultiSet push their per-request network responses
+    // through one batched exit-less doorbell (RpcManager::CallAsyncBatch)
+    // instead of one boundary crossing per request — the serving-loop
+    // amortization the paper's memcached integration is after. Null keeps
+    // the multi ops purely local (no response I/O modeled).
+    rpc::RpcManager* rpc = nullptr;
   };
 
   KvCache(sim::Machine& machine, MemRegion& region, Options options);
@@ -84,6 +90,18 @@ class KvCache {
   int64_t Get(sim::CpuContext* cpu, std::string_view key, void* out,
               size_t out_cap);
   bool Delete(sim::CpuContext* cpu, std::string_view key);
+
+  // Batched lookup (memcached "get k1 k2 ..."): performs the secure-region
+  // reads, then sends all responses — hits and the trailing miss markers —
+  // through the batched RPC path when Options::rpc is attached. values[i] is
+  // the value for keys[i], empty on miss or error. Returns the hit count.
+  size_t MultiGet(sim::CpuContext* cpu, const std::vector<std::string>& keys,
+                  std::vector<std::vector<uint8_t>>* values);
+  // Batched store: one Set per pair, then the "STORED"/"NOT_STORED" acks go
+  // out through the batched RPC path. Returns the stored count.
+  size_t MultiSet(
+      sim::CpuContext* cpu,
+      const std::vector<std::pair<std::string, std::string>>& pairs);
 
   const KvStats& stats() const { return stats_; }
   size_t item_count() const { return live_items_; }
@@ -110,6 +128,10 @@ class KvCache {
   bool EvictOneFrom(sim::CpuContext* cpu, int cls);
   void RemoveItem(sim::CpuContext* cpu, uint32_t item);
   void ChargeMetadataTouch(sim::CpuContext* cpu, size_t records);
+  // Pushes one modeled response send per entry through the batched RPC path
+  // (no-op without Options::rpc).
+  void SendResponses(sim::CpuContext* cpu,
+                     const std::vector<size_t>& response_bytes);
 
   sim::Machine* machine_;
   MemRegion* region_;

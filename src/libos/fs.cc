@@ -58,6 +58,103 @@ int EnclaveFs::Unlink(sim::CpuContext* cpu, const std::string& path) {
   return Forward(cpu, path.size() + 16, [&] { return host_->Unlink(path); });
 }
 
+namespace {
+
+// Copyable host-call functors for the batched RPC path: each slice becomes
+// one refcounted job, so the callable must own its parameters by value.
+struct PreadOp {
+  MemFs* host;
+  int fd;
+  IoSlice s;
+  int64_t operator()() const { return host->Pread(fd, s.buf, s.len, s.offset); }
+};
+struct PwriteOp {
+  MemFs* host;
+  int fd;
+  ConstIoSlice s;
+  int64_t operator()() const {
+    return host->Pwrite(fd, s.buf, s.len, s.offset);
+  }
+};
+
+}  // namespace
+
+int64_t EnclaveFs::Preadv(sim::CpuContext* cpu, int fd, const IoSlice* slices,
+                          size_t n) {
+  if (n == 0) {
+    return 0;
+  }
+  syscalls_ += n;  // still one host syscall per slice, however it exits
+  size_t total_bytes = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total_bytes += slices[i].len;
+  }
+  int64_t total = 0;
+  if (mode_ == ExitMode::kRpc) {
+    std::vector<PreadOp> ops;
+    ops.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      ops.push_back(PreadOp{host_, fd, slices[i]});
+    }
+    auto handles = rpc_->CallAsyncBatch(cpu, total_bytes / n, ops);
+    for (int64_t r : rpc_->AwaitAll(cpu, handles)) {
+      if (r < 0) {
+        return r;
+      }
+      total += r;
+    }
+    return total;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const IoSlice& s = slices[i];
+    const auto op = [&] { return host_->Pread(fd, s.buf, s.len, s.offset); };
+    const int64_t r = cpu != nullptr ? enclave_->Ocall(*cpu, s.len, op) : op();
+    if (r < 0) {
+      return r;
+    }
+    total += r;
+  }
+  return total;
+}
+
+int64_t EnclaveFs::Pwritev(sim::CpuContext* cpu, int fd,
+                           const ConstIoSlice* slices, size_t n) {
+  if (n == 0) {
+    return 0;
+  }
+  syscalls_ += n;
+  size_t total_bytes = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total_bytes += slices[i].len;
+  }
+  int64_t total = 0;
+  if (mode_ == ExitMode::kRpc) {
+    std::vector<PwriteOp> ops;
+    ops.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      ops.push_back(PwriteOp{host_, fd, slices[i]});
+    }
+    auto handles = rpc_->CallAsyncBatch(cpu, total_bytes / n, ops);
+    for (int64_t r : rpc_->AwaitAll(cpu, handles)) {
+      if (r < 0) {
+        return r;
+      }
+      total += r;
+    }
+    return total;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const ConstIoSlice& s = slices[i];
+    const auto op = [&] { return host_->Pwrite(fd, s.buf, s.len, s.offset); };
+    const int64_t r = cpu != nullptr ? enclave_->Ocall(*cpu, s.len, op) : op();
+    if (r < 0) {
+      return r;
+    }
+    total += r;
+  }
+  return total;
+}
+
 // --- ProtectedFile ---
 
 ProtectedFile::ProtectedFile(EnclaveFs& fs, sim::Enclave& enclave,

@@ -32,6 +32,19 @@ enum class ExitMode {
   kRpc,    // Eleos: exit-less delegation to a worker
 };
 
+// One element of a vectored positional I/O request (preadv/pwritev-style,
+// with an explicit offset per slice).
+struct IoSlice {
+  void* buf = nullptr;
+  size_t len = 0;
+  uint64_t offset = 0;
+};
+struct ConstIoSlice {
+  const void* buf = nullptr;
+  size_t len = 0;
+  uint64_t offset = 0;
+};
+
 // Trusted file API: every method performs one host "syscall" through the
 // configured exit mode, with the I/O buffer footprint charged accordingly.
 class EnclaveFs {
@@ -49,6 +62,16 @@ class EnclaveFs {
                  uint64_t offset);
   int64_t Seek(sim::CpuContext* cpu, int fd, int64_t offset, int whence);
   int Unlink(sim::CpuContext* cpu, const std::string& path);
+
+  // Vectored positional I/O: still one host syscall per slice, but in RPC
+  // mode all slices are published under a single exit-less doorbell
+  // (RpcManager::CallAsyncBatch) so the rendezvous cost is paid once per
+  // vector instead of once per slice. Returns the total bytes transferred,
+  // or the first slice's error (kMemFsError) if any slice fails.
+  int64_t Preadv(sim::CpuContext* cpu, int fd, const IoSlice* slices,
+                 size_t n);
+  int64_t Pwritev(sim::CpuContext* cpu, int fd, const ConstIoSlice* slices,
+                  size_t n);
 
   uint64_t syscalls() const { return syscalls_; }
 

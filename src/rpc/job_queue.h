@@ -10,6 +10,14 @@
 // real system where the enclave enqueues "the pointer to the untrusted
 // function and its parameters".
 //
+// Slot placement is O(1): submitters and workers each keep a monotonically
+// advancing ring cursor (tail_ / head_) and probe from it, so the common case
+// touches exactly one slot and concurrent submitters fan out across the ring
+// instead of all CAS-ing slot 0. The cursors are hints, not ownership: a slot
+// parked in a non-empty state (abandoned, awaiting release) is simply skipped
+// by the probe, which preserves all revoke/abandon semantics of the per-slot
+// state machine below.
+//
 // Hostile-host hardening: the workers are untrusted, so a worker may stall
 // forever, die holding a claimed slot, or never publish a completion. Every
 // slot therefore carries a generation counter (bumped each time the slot is
@@ -17,7 +25,9 @@
 // generation-checked: a late Complete() from a stalled worker can never mark
 // a recycled slot done. Submitters use bounded spin budgets; on timeout a
 // never-claimed job is revoked (it will never run) and an in-flight job is
-// abandoned (the worker recycles the slot when it eventually completes).
+// abandoned (the worker recycles the slot when it eventually completes; if
+// that worker dies first, the WorkerPool watchdog scrubs the slot via
+// ScrubAbandoned).
 
 #ifndef ELEOS_SRC_RPC_JOB_QUEUE_H_
 #define ELEOS_SRC_RPC_JOB_QUEUE_H_
@@ -76,6 +86,15 @@ class JobQueue {
     kAbandoned,  // timed out while a worker held it; job may still run late
   };
 
+  // A claimed job with its tracing context, as drained by TryClaimBatch.
+  struct ClaimedJob {
+    JobTicket ticket;
+    UntrustedFn fn = nullptr;
+    void* arg = nullptr;
+    uint64_t span_id = 0;
+    uint64_t submit_tsc = 0;
+  };
+
   explicit JobQueue(size_t capacity = 64, sim::FaultInjector* faults = nullptr)
       : slots_(capacity), faults_(faults) {}
 
@@ -91,21 +110,9 @@ class JobQueue {
     for (uint64_t spins = 0;; ++spins) {
       const bool injected_full =
           faults_ != nullptr && faults_->ShouldInject(sim::Fault::kQueueFull);
-      if (!injected_full) {
-        for (size_t i = 0; i < slots_.size(); ++i) {
-          SlotState expected = SlotState::kEmpty;
-          if (slots_[i].state.compare_exchange_strong(
-                  expected, SlotState::kFilling, std::memory_order_acquire)) {
-            slots_[i].fn = fn;
-            slots_[i].arg = arg;
-            slots_[i].span_id = span_id;
-            slots_[i].submit_tsc = submit_tsc;
-            ticket->slot = i;
-            ticket->gen = slots_[i].gen.load(std::memory_order_relaxed);
-            slots_[i].state.store(SlotState::kReady, std::memory_order_release);
-            return true;
-          }
-        }
+      if (!injected_full &&
+          SubmitRun(&fn, &arg, ticket, 1, span_id, submit_tsc) == 1) {
+        return true;
       }
       // Queue full: make the backpressure observable, then back off.
       queue_full_spins_.Inc();
@@ -114,6 +121,30 @@ class JobQueue {
       }
       Backoff(spins);
     }
+  }
+
+  // Submitter side, batched: publishes up to `n` jobs in one pass from the
+  // tail cursor — one doorbell for the whole run, so workers draining with
+  // TryClaimBatch pick the jobs up as a contiguous ready run. Returns the
+  // number published (0 when the ring is full or backpressure is injected);
+  // tickets[0..ret) are filled. Does NOT spin: the caller owns retry policy
+  // for the unplaced remainder.
+  size_t TrySubmitBatch(const UntrustedFn* fns, void* const* args,
+                        JobTicket* tickets, size_t n, uint64_t span_id = 0,
+                        uint64_t submit_tsc = 0) {
+    if (n == 0) {
+      return 0;
+    }
+    if (faults_ != nullptr && faults_->ShouldInject(sim::Fault::kQueueFull)) {
+      queue_full_spins_.Inc();
+      return 0;
+    }
+    const size_t published = SubmitRun(fns, args, tickets, n, span_id,
+                                       submit_tsc);
+    if (published == 0) {
+      queue_full_spins_.Inc();
+    }
+    return published;
   }
 
   // Legacy unbounded submit.
@@ -150,9 +181,35 @@ class JobQueue {
       abandoned_slots_.Inc();
       return WaitResult::kAbandoned;
     }
-    // Lost both races: the worker published kDone in between. Take it.
-    while (s.state.load(std::memory_order_acquire) != SlotState::kDone) {
+    // Lost both races. An honest worker published kDone in between — but the
+    // slot state lives in untrusted memory, so a hostile host can park it in
+    // any value and the historical wait-for-kDone loop here would wedge the
+    // enclave forever. Re-check under the same bounded budget instead.
+    for (uint64_t spins = 0; spins <= spin_budget; ++spins) {
+      SlotState st = s.state.load(std::memory_order_acquire);
+      if (st == SlotState::kDone) {
+        Release(s);
+        return WaitResult::kCompleted;
+      }
+      if (st == SlotState::kRunning &&
+          s.state.compare_exchange_strong(st, SlotState::kAbandoned,
+                                          std::memory_order_acq_rel)) {
+        abandoned_slots_.Inc();
+        return WaitResult::kAbandoned;
+      }
       CpuRelax();
+    }
+    // Budget exhausted: force the slot to kAbandoned so a late honest
+    // Complete (or the watchdog scrub) recycles it, taking kDone if it lands
+    // first. Never wait unboundedly on host-controlled state.
+    SlotState cur = s.state.load(std::memory_order_acquire);
+    while (cur != SlotState::kDone) {
+      if (s.state.compare_exchange_weak(cur, SlotState::kAbandoned,
+                                        std::memory_order_acq_rel)) {
+        terminal_abandons_.Inc();
+        abandoned_slots_.Inc();
+        return WaitResult::kAbandoned;
+      }
     }
     Release(s);
     return WaitResult::kCompleted;
@@ -168,34 +225,64 @@ class JobQueue {
   bool TryClaim(JobTicket* ticket, UntrustedFn* fn_out, void** arg_out,
                 uint64_t* span_id_out = nullptr,
                 uint64_t* submit_tsc_out = nullptr) {
-    for (size_t i = 0; i < slots_.size(); ++i) {
+    ClaimedJob job;
+    if (TryClaimBatch(&job, 1) != 1) {
+      return false;
+    }
+    *ticket = job.ticket;
+    *fn_out = job.fn;
+    *arg_out = job.arg;
+    if (span_id_out != nullptr) {
+      *span_id_out = job.span_id;
+    }
+    if (submit_tsc_out != nullptr) {
+      *submit_tsc_out = job.submit_tsc;
+    }
+    return true;
+  }
+
+  // Worker side, batched: claims up to `max_n` ready jobs in one pass from
+  // the head cursor — the first ready slot found, then the contiguous run of
+  // ready slots after it (a batch published under one doorbell drains in one
+  // claim). Returns the number claimed; the worker must Complete each.
+  size_t TryClaimBatch(ClaimedJob* out, size_t max_n) {
+    const size_t cap = slots_.size();
+    const uint64_t start = head_.load(std::memory_order_relaxed);
+    size_t claimed = 0;
+    size_t probed = 0;
+    for (; probed < cap && claimed < max_n; ++probed) {
+      JobSlot& s = slots_[(start + probed) % cap];
       SlotState expected = SlotState::kReady;
-      if (slots_[i].state.compare_exchange_strong(expected, SlotState::kRunning,
-                                                  std::memory_order_acquire)) {
-        ticket->slot = i;
+      if (s.state.compare_exchange_strong(expected, SlotState::kRunning,
+                                          std::memory_order_acquire)) {
+        ClaimedJob& job = out[claimed++];
+        job.ticket.slot = (start + probed) % cap;
         // Stable while we hold the claim: gen only moves on release-to-empty.
-        ticket->gen = slots_[i].gen.load(std::memory_order_relaxed);
-        *fn_out = slots_[i].fn;
-        *arg_out = slots_[i].arg;
-        if (span_id_out != nullptr) {
-          *span_id_out = slots_[i].span_id;
-        }
-        if (submit_tsc_out != nullptr) {
-          *submit_tsc_out = slots_[i].submit_tsc;
-        }
-        return true;
+        job.ticket.gen = s.gen.load(std::memory_order_relaxed);
+        job.fn = s.fn;
+        job.arg = s.arg;
+        job.span_id = s.span_id;
+        job.submit_tsc = s.submit_tsc;
+      } else if (claimed > 0) {
+        break;  // end of the ready run; hint stays at the non-ready slot
       }
     }
-    return false;
+    if (claimed > 0) {
+      // Racy hint: concurrent workers may clobber each other's store, which
+      // only costs extra probes on the next claim, never correctness.
+      head_.store(start + probed, std::memory_order_relaxed);
+    }
+    return claimed;
   }
 
   // Worker side: publishes completion. Generation-checked — a completion for
-  // a slot that has since been abandoned-and-recycled is dropped, and a
-  // completion for an abandoned (but not yet recycled) slot recycles it.
+  // a slot that has since been abandoned-and-recycled is dropped
+  // (stale_completions), and a completion for an abandoned but not yet
+  // recycled slot recycles it (abandoned_recycles).
   void Complete(JobTicket ticket) {
     JobSlot& s = slots_[ticket.slot];
     if (s.gen.load(std::memory_order_acquire) != ticket.gen) {
-      late_completions_.Inc();  // stale: the slot moved on without us
+      stale_completions_.Inc();  // stale: the slot moved on without us
       return;
     }
     SlotState expected = SlotState::kRunning;
@@ -205,19 +292,92 @@ class JobQueue {
     }
     if (expected == SlotState::kAbandoned) {
       // The submitter gave up on us; recycle the slot ourselves.
-      late_completions_.Inc();
+      abandoned_recycles_.Inc();
       Release(s);
     }
+  }
+
+  // Watchdog side: recycles an abandoned slot whose claiming worker died
+  // before its Complete could run — without this the slot would stay
+  // kAbandoned forever, permanently shrinking capacity. Generation-checked:
+  // only the exact claim the dead worker held is scrubbed. Returns true when
+  // the ticket needs no further tracking (scrubbed, or the slot moved on by
+  // itself); false while the slot is still in flight (e.g. kRunning because
+  // the submitter has not yet timed out) and should be re-checked later.
+  bool ScrubAbandoned(JobTicket ticket) {
+    JobSlot& s = slots_[ticket.slot];
+    if (s.gen.load(std::memory_order_acquire) != ticket.gen) {
+      return true;  // already recycled through some other path
+    }
+    SlotState expected = SlotState::kAbandoned;
+    if (s.state.compare_exchange_strong(expected, SlotState::kFilling,
+                                        std::memory_order_acq_rel)) {
+      abandoned_scrubs_.Inc();
+      Release(s);
+      return true;
+    }
+    return false;
+  }
+
+  // Test-only hostile-host hook: models the untrusted host scribbling an
+  // arbitrary value into a slot's state word.
+  void HostileWriteStateForTest(size_t slot, SlotState state) {
+    slots_[slot].state.store(state, std::memory_order_release);
   }
 
   size_t capacity() const { return slots_.size(); }
 
   // Observability for the hardening paths.
   uint64_t queue_full_spins() const { return queue_full_spins_.value(); }
-  uint64_t late_completions() const { return late_completions_.value(); }
   uint64_t abandoned_slots() const { return abandoned_slots_.value(); }
+  // Worker-side completions that arrived after the submitter moved on, split
+  // by what they found: a recycled slot (generation mismatch, dropped) vs. an
+  // abandoned slot (recycled by the worker itself).
+  uint64_t stale_completions() const { return stale_completions_.value(); }
+  uint64_t abandoned_recycles() const { return abandoned_recycles_.value(); }
+  uint64_t late_completions() const {  // legacy aggregate of the two above
+    return stale_completions_.value() + abandoned_recycles_.value();
+  }
+  // Awaits that exhausted the bounded terminal re-check and force-abandoned
+  // host-controlled slot state (hostile hosts only; always 0 honest).
+  uint64_t terminal_abandons() const { return terminal_abandons_.value(); }
+  // Abandoned slots recycled by the watchdog on behalf of dead workers.
+  uint64_t abandoned_scrubs() const { return abandoned_scrubs_.value(); }
 
  private:
+  // Claims up to `n` empty slots starting at the tail cursor and publishes
+  // one job into each. Single O(capacity) worst-case pass, O(1) common case:
+  // the cursor points at the next expected-empty slot, and parked slots
+  // (ready/running/abandoned) are skipped, not waited on.
+  size_t SubmitRun(const UntrustedFn* fns, void* const* args,
+                   JobTicket* tickets, size_t n, uint64_t span_id,
+                   uint64_t submit_tsc) {
+    const size_t cap = slots_.size();
+    const uint64_t start = tail_.load(std::memory_order_relaxed);
+    size_t published = 0;
+    size_t probed = 0;
+    for (; probed < cap && published < n; ++probed) {
+      JobSlot& s = slots_[(start + probed) % cap];
+      SlotState expected = SlotState::kEmpty;
+      if (s.state.compare_exchange_strong(expected, SlotState::kFilling,
+                                          std::memory_order_acquire)) {
+        s.fn = fns[published];
+        s.arg = args[published];
+        s.span_id = span_id;
+        s.submit_tsc = submit_tsc;
+        tickets[published].slot = (start + probed) % cap;
+        tickets[published].gen = s.gen.load(std::memory_order_relaxed);
+        s.state.store(SlotState::kReady, std::memory_order_release);
+        ++published;
+      }
+    }
+    if (published > 0) {
+      // Racy hint, same contract as head_ in TryClaimBatch.
+      tail_.store(start + probed, std::memory_order_relaxed);
+    }
+    return published;
+  }
+
   void Release(JobSlot& s) {
     // Bump the generation before reopening the slot so any in-flight stale
     // Complete() fails its generation check.
@@ -237,9 +397,16 @@ class JobQueue {
 
   std::vector<JobSlot> slots_;
   sim::FaultInjector* faults_;
+  // Ring cursors: where the next submit (tail_) / claim (head_) probe starts.
+  // Monotonic position hints reduced mod capacity; never authoritative.
+  std::atomic<uint64_t> tail_{0};
+  std::atomic<uint64_t> head_{0};
   Counter queue_full_spins_;
-  Counter late_completions_;
+  Counter stale_completions_;
+  Counter abandoned_recycles_;
   Counter abandoned_slots_;
+  Counter terminal_abandons_;
+  Counter abandoned_scrubs_;
 };
 
 }  // namespace eleos::rpc

@@ -43,8 +43,10 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "src/common/health.h"
 #include "src/common/stats.h"
@@ -76,8 +78,99 @@ class LatencyScope {
 };
 
 class RpcManager {
+  // Type-erased, reference-counted job context. Two owners: the submitting
+  // enclave thread and the (potential) worker execution. Whoever drops the
+  // last reference frees it, so a worker running an abandoned job after the
+  // caller moved on never touches dead stack frames. (Declared before the
+  // public section so AsyncCall below can name JobImpl in its members.)
+  struct JobBase {
+    std::atomic<int> refs{2};
+    virtual void Run() = 0;
+    virtual ~JobBase() = default;
+    void Unref() {
+      if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        delete this;
+      }
+    }
+  };
+
+  template <typename F, typename R>
+  struct JobImpl : JobBase {
+    F fn;
+    R result{};
+    explicit JobImpl(F f) : fn(std::move(f)) {}
+    void Run() override { result = fn(); }
+  };
+
+  template <typename F>
+  struct JobImplVoid : JobBase {
+    F fn;
+    explicit JobImplVoid(F f) : fn(std::move(f)) {}
+    void Run() override { fn(); }
+  };
+
  public:
   enum class Mode { kInline, kThreaded };
+
+  // Handle for an in-flight CallAsync/CallAsyncBatch submission. Move-only;
+  // resolve it with Await (or AwaitAll) exactly once. The handle carries the
+  // pending exit-less state (refcounted job + queue ticket) or, when the call
+  // already resolved at submit time (inline mode, breaker short-circuit,
+  // submit-timeout fallback), the finished result. Destroying a still-pending
+  // handle without awaiting is memory-safe (the job is refcounted) but parks
+  // the queue slot until the worker pipeline recycles it — always await.
+  template <typename R, typename F>
+  class AsyncCall {
+   public:
+    AsyncCall() = default;
+    AsyncCall(AsyncCall&& o) noexcept
+        : fn_(std::move(o.fn_)),
+          job_(o.job_),
+          ticket_(o.ticket_),
+          io_bytes_(o.io_bytes_),
+          result_(std::move(o.result_)) {
+      o.job_ = nullptr;
+      o.fn_.reset();
+      o.result_.reset();
+    }
+    AsyncCall& operator=(AsyncCall&& o) noexcept {
+      if (this != &o) {
+        DropPending();
+        fn_ = std::move(o.fn_);
+        job_ = o.job_;
+        ticket_ = o.ticket_;
+        io_bytes_ = o.io_bytes_;
+        result_ = std::move(o.result_);
+        o.job_ = nullptr;
+        o.fn_.reset();
+        o.result_.reset();
+      }
+      return *this;
+    }
+    ~AsyncCall() { DropPending(); }
+
+    AsyncCall(const AsyncCall&) = delete;
+    AsyncCall& operator=(const AsyncCall&) = delete;
+
+    // Still waiting on the untrusted side (vs. resolved at submit time).
+    bool pending() const { return job_ != nullptr; }
+    // False once awaited (or for a default-constructed handle).
+    bool valid() const { return job_ != nullptr || result_.has_value(); }
+
+   private:
+    friend class RpcManager;
+    void DropPending() {
+      if (job_ != nullptr) {
+        job_->Unref();
+        job_ = nullptr;
+      }
+    }
+    std::optional<F> fn_;  // fallback copy, alive while pending
+    JobImpl<F, R>* job_ = nullptr;
+    JobTicket ticket_{};
+    size_t io_bytes_ = 0;
+    std::optional<R> result_;  // resolved-at-submit result
+  };
 
   struct Options {
     Mode mode = Mode::kInline;
@@ -141,6 +234,208 @@ class RpcManager {
     return enclave_->Ocall(cpu, io_bytes, std::forward<Fn>(fn));
   }
 
+  // Asynchronous exit-less call: submits the job and returns immediately with
+  // a handle, so one enclave thread can keep the whole worker pool busy and
+  // overlap its own work with the untrusted side. Resolve with Await /
+  // AwaitAll. Breaker, adaptive spin budgets, and fallback-to-OCALL behave
+  // exactly as in Call — a breaker-open or submit-timeout call resolves at
+  // submit time through the fallback and Await returns instantly. The
+  // at-least-once caveat applies doubly here: an abandoned async job may
+  // still run late on a worker after Await already fell back, so only route
+  // idempotent operations through this path.
+  template <typename Fn>
+  auto CallAsync(sim::CpuContext* cpu, size_t io_bytes, Fn&& fn)
+      -> AsyncCall<std::invoke_result_t<Fn>, std::decay_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    using F = std::decay_t<Fn>;
+    static_assert(!std::is_void_v<R>,
+                  "CallAsync needs a result to carry; use Call for void fns");
+    AsyncCall<R, F> handle;
+    handle.io_bytes_ = io_bytes;
+    // The causal root of the submission; the worker's execution becomes its
+    // child via the slot's span_id, linking submit and exec across threads.
+    sim::SpanScope span(&enclave_->machine().metrics().spans(), cpu,
+                        "rpc.call_async");
+    ChargeSubmit(cpu, io_bytes);
+    async_calls_.Inc();
+    if (mode_ != Mode::kThreaded) {
+      handle.result_.emplace(fn());
+      return handle;
+    }
+    if (!AdmitExitless(cpu)) {
+      sim::SpanScope denied(&enclave_->machine().metrics().spans(), cpu,
+                            "rpc.breaker_short_circuit");
+      handle.result_.emplace(Fallback(cpu, io_bytes, fn));
+      return handle;
+    }
+    auto* job = new JobImpl<F, R>(F(fn));
+    JobTicket ticket;
+    const uint64_t submit_budget =
+        submit_spin_budget_.load(std::memory_order_relaxed);
+    telemetry::SpanTracer& spans = enclave_->machine().metrics().spans();
+    const uint64_t span_id = spans.CurrentSpanId();
+    const uint64_t submit_tsc =
+        span_id != 0 && cpu != nullptr ? cpu->clock.now() : 0;
+    if (!queue_->TrySubmit(&Trampoline, job, &ticket, submit_budget, span_id,
+                           submit_tsc)) {
+      job->Unref();
+      job->Unref();  // never enqueued: the worker reference dies with ours
+      sim::SpanScope fallback(&enclave_->machine().metrics().spans(), cpu,
+                              "rpc.fallback_ocall");
+      OnSpinTimeout(cpu, /*submit_side=*/true, submit_budget);
+      CountFallback(cpu, FallbackWhy::kSubmitTimeout);
+      handle.result_.emplace(Fallback(cpu, io_bytes, fn));
+      return handle;
+    }
+    handle.job_ = job;
+    handle.ticket_ = ticket;
+    handle.fn_.emplace(std::forward<Fn>(fn));
+    return handle;
+  }
+
+  // Batched submission: publishes one job per element of `fns` under a
+  // single doorbell (JobQueue::TrySubmitBatch), so the rendezvous latency and
+  // the result read-back pass are paid once per batch instead of once per
+  // call — see ChargeSubmit's batch-aware charge and the rpc.batch_size
+  // histogram. Elements that do not fit the ring retry individually under the
+  // submit budget and fall back to the OCALL path on timeout. Returns one
+  // handle per element, in order.
+  template <typename Fn>
+  auto CallAsyncBatch(sim::CpuContext* cpu, size_t io_bytes_each,
+                      std::vector<Fn>& fns)
+      -> std::vector<AsyncCall<std::invoke_result_t<Fn>, std::decay_t<Fn>>> {
+    using R = std::invoke_result_t<Fn>;
+    using F = std::decay_t<Fn>;
+    static_assert(!std::is_void_v<R>,
+                  "CallAsyncBatch needs result types; use Call for void fns");
+    const size_t n = fns.size();
+    std::vector<AsyncCall<R, F>> handles(n);
+    if (n == 0) {
+      return handles;
+    }
+    for (auto& h : handles) {
+      h.io_bytes_ = io_bytes_each;
+    }
+    sim::SpanScope span(&enclave_->machine().metrics().spans(), cpu,
+                        "rpc.call_batch");
+    ChargeSubmit(cpu, io_bytes_each * n, n);
+    async_calls_.Inc(n);
+    if (mode_ != Mode::kThreaded) {
+      for (size_t i = 0; i < n; ++i) {
+        handles[i].result_.emplace(fns[i]());
+      }
+      return handles;
+    }
+    if (!AdmitExitless(cpu)) {
+      sim::SpanScope denied(&enclave_->machine().metrics().spans(), cpu,
+                            "rpc.breaker_short_circuit");
+      for (size_t i = 0; i < n; ++i) {
+        handles[i].result_.emplace(Fallback(cpu, io_bytes_each, fns[i]));
+      }
+      return handles;
+    }
+    std::vector<JobImpl<F, R>*> jobs;
+    jobs.reserve(n);
+    std::vector<UntrustedFn> trampolines(n, &Trampoline);
+    std::vector<void*> args;
+    args.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      jobs.push_back(new JobImpl<F, R>(F(fns[i])));
+      args.push_back(jobs.back());
+    }
+    std::vector<JobTicket> tickets(n);
+    telemetry::SpanTracer& spans = enclave_->machine().metrics().spans();
+    const uint64_t span_id = spans.CurrentSpanId();
+    const uint64_t submit_tsc =
+        span_id != 0 && cpu != nullptr ? cpu->clock.now() : 0;
+    const size_t published = queue_->TrySubmitBatch(
+        trampolines.data(), args.data(), tickets.data(), n, span_id,
+        submit_tsc);
+    for (size_t i = 0; i < published; ++i) {
+      handles[i].job_ = jobs[i];
+      handles[i].ticket_ = tickets[i];
+      handles[i].fn_.emplace(F(fns[i]));
+    }
+    // Remainder that missed the doorbell: individual bounded submits (with
+    // backoff), OCALL fallback on timeout — same contract as CallAsync.
+    for (size_t i = published; i < n; ++i) {
+      const uint64_t submit_budget =
+          submit_spin_budget_.load(std::memory_order_relaxed);
+      JobTicket ticket;
+      if (queue_->TrySubmit(&Trampoline, jobs[i], &ticket, submit_budget,
+                            span_id, submit_tsc)) {
+        handles[i].job_ = jobs[i];
+        handles[i].ticket_ = ticket;
+        handles[i].fn_.emplace(F(fns[i]));
+        continue;
+      }
+      jobs[i]->Unref();
+      jobs[i]->Unref();
+      sim::SpanScope fallback(&enclave_->machine().metrics().spans(), cpu,
+                              "rpc.fallback_ocall");
+      OnSpinTimeout(cpu, /*submit_side=*/true, submit_budget);
+      CountFallback(cpu, FallbackWhy::kSubmitTimeout);
+      handles[i].result_.emplace(Fallback(cpu, io_bytes_each, fns[i]));
+    }
+    return handles;
+  }
+
+  // Resolves an async handle: returns the job's result, falling back to the
+  // OCALL path (and re-running the fallback copy of fn) on await timeout.
+  // A handle that resolved at submit time returns instantly.
+  template <typename R, typename F>
+  R Await(sim::CpuContext* cpu, AsyncCall<R, F>& handle) {
+    sim::SpanScope span(&enclave_->machine().metrics().spans(), cpu,
+                        "rpc.await");
+    if (handle.job_ == nullptr) {
+      if (!handle.result_.has_value()) {
+        return R{};  // double-await / empty handle: nothing to return
+      }
+      R result = std::move(*handle.result_);
+      handle.result_.reset();
+      handle.fn_.reset();
+      return result;
+    }
+    auto* job = handle.job_;
+    handle.job_ = nullptr;
+    const uint64_t await_budget =
+        await_spin_budget_.load(std::memory_order_relaxed);
+    const JobQueue::WaitResult wait =
+        queue_->AwaitAndRelease(handle.ticket_, await_budget);
+    if (wait == JobQueue::WaitResult::kCompleted) {
+      OnExitlessSuccess();
+      R result = std::move(job->result);
+      job->Unref();
+      handle.fn_.reset();
+      return result;
+    }
+    if (wait == JobQueue::WaitResult::kRevoked) {
+      job->Unref();  // revoked before any claim: the job will never run
+    }
+    job->Unref();
+    sim::SpanScope fallback(&enclave_->machine().metrics().spans(), cpu,
+                            "rpc.fallback_ocall");
+    OnSpinTimeout(cpu, /*submit_side=*/false, await_budget);
+    CountFallback(cpu, FallbackWhy::kAwaitTimeout);
+    // The job may still run late on a worker; the fallback re-runs our own
+    // copy of fn, never touching the (possibly racing) job's result.
+    R result = Fallback(cpu, handle.io_bytes_, *handle.fn_);
+    handle.fn_.reset();
+    return result;
+  }
+
+  // Resolves a batch of handles in order (submission order == await order).
+  template <typename R, typename F>
+  std::vector<R> AwaitAll(sim::CpuContext* cpu,
+                          std::vector<AsyncCall<R, F>>& handles) {
+    std::vector<R> results;
+    results.reserve(handles.size());
+    for (auto& handle : handles) {
+      results.push_back(Await(cpu, handle));
+    }
+    return results;
+  }
+
   // The class of service enclave threads should run with under this manager.
   int enclave_cos() const {
     return use_cat_ ? sim::kCosEnclave : sim::kCosShared;
@@ -151,6 +446,7 @@ class RpcManager {
   }
 
   uint64_t calls() const { return calls_.value(); }
+  uint64_t async_calls() const { return async_calls_.value(); }
   sim::Enclave& enclave() { return *enclave_; }
 
   // Hostile-host observability (threaded mode; all zero in healthy runs).
@@ -180,36 +476,6 @@ class RpcManager {
   void PublishTelemetry();
 
  private:
-  // Type-erased, reference-counted job context. Two owners: the submitting
-  // enclave thread and the (potential) worker execution. Whoever drops the
-  // last reference frees it, so a worker running an abandoned job after the
-  // caller moved on never touches dead stack frames.
-  struct JobBase {
-    std::atomic<int> refs{2};
-    virtual void Run() = 0;
-    virtual ~JobBase() = default;
-    void Unref() {
-      if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        delete this;
-      }
-    }
-  };
-
-  template <typename F, typename R>
-  struct JobImpl : JobBase {
-    F fn;
-    R result{};
-    explicit JobImpl(F f) : fn(std::move(f)) {}
-    void Run() override { result = fn(); }
-  };
-
-  template <typename F>
-  struct JobImplVoid : JobBase {
-    F fn;
-    explicit JobImplVoid(F f) : fn(std::move(f)) {}
-    void Run() override { fn(); }
-  };
-
   static void Trampoline(void* arg) {
     auto* job = static_cast<JobBase*>(arg);
     job->Run();
@@ -219,7 +485,9 @@ class RpcManager {
   // Why a call took the OCALL fallback (trace arg0 / counter selection).
   enum class FallbackWhy { kAwaitTimeout = 0, kSubmitTimeout = 1, kBreakerOpen = 2 };
 
-  void ChargeSubmit(sim::CpuContext* cpu, size_t io_bytes);
+  // Charges the submit-side cost of `batch` calls published under one
+  // doorbell and records the batch size. batch == 1 is the plain Call shape.
+  void ChargeSubmit(sim::CpuContext* cpu, size_t io_bytes, size_t batch = 1);
   void CountFallback(sim::CpuContext* cpu, FallbackWhy why);
 
   // Breaker admission for one threaded call. True: proceed exit-less (the
@@ -326,6 +594,7 @@ class RpcManager {
   std::unique_ptr<WorkerPool> pool_;
   HealthFsm breaker_;
   Counter calls_;
+  Counter async_calls_;
   Counter fallback_ocalls_;
   Counter submit_timeouts_;
   Counter await_timeouts_;
@@ -333,6 +602,7 @@ class RpcManager {
   Counter breaker_short_circuits_;
   // Telemetry (resolved from the machine's registry at construction).
   telemetry::Histogram* call_cycles_;
+  telemetry::Histogram* batch_size_;  // calls per doorbell (1 for plain Call)
   telemetry::Gauge* breaker_state_gauge_;
   size_t publisher_id_ = 0;
 };

@@ -52,17 +52,34 @@ size_t WorkerPool::alive_workers() const {
 }
 
 void WorkerPool::WorkerLoop(Worker* self) {
-  JobTicket ticket;
-  UntrustedFn fn;
-  void* arg;
-  uint64_t span_id;
-  uint64_t submit_tsc;
-  while (!stop_.load(std::memory_order_acquire)) {
+  JobQueue::ClaimedJob jobs[kWorkerDrainMax];
+  bool killed = false;
+  while (!killed && !stop_.load(std::memory_order_acquire)) {
     if (faults_ != nullptr && faults_->ShouldInject(sim::Fault::kWorkerDeath)) {
       worker_deaths_.Inc();
-      break;  // the host silently killed this worker
+      break;  // the host silently killed this worker while idle
     }
-    if (queue_.TryClaim(&ticket, &fn, &arg, &span_id, &submit_tsc)) {
+    const size_t n = queue_.TryClaimBatch(jobs, kWorkerDrainMax);
+    if (n == 0) {
+      // Be polite on a shared machine: yield instead of hard-spinning. The
+      // modeled poll latency is in CostModel, not wall-clock.
+      std::this_thread::yield();
+      continue;
+    }
+    // Record the whole run before executing anything, so the watchdog can
+    // scrub every claim we might die holding.
+    self->n_claims = n;
+    for (size_t j = 0; j < n; ++j) {
+      self->claims[j] = jobs[j].ticket;
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if (faults_ != nullptr &&
+          faults_->ShouldInject(sim::Fault::kWorkerDeathWithClaim)) {
+        // Killed between claiming and completing: claims[j..n) stay held.
+        worker_deaths_.Inc();
+        killed = true;
+        break;
+      }
       if (faults_ != nullptr &&
           faults_->ShouldInject(sim::Fault::kWorkerStall)) {
         // Preempted (or maliciously delayed) while holding the claim. The
@@ -73,33 +90,40 @@ void WorkerPool::WorkerLoop(Worker* self) {
           CpuRelax();
         }
       }
-      fn(arg);
-      if (spans_ != nullptr && span_id != 0) {
+      jobs[j].fn(jobs[j].arg);
+      if (spans_ != nullptr && jobs[j].span_id != 0) {
         // Emitted even when the completion is dropped below: the execution
         // really happened; only its result got lost.
+        const uint64_t tsc = jobs[j].submit_tsc;
         const uint64_t start =
-            submit_tsc > exec_lead_cycles_ ? submit_tsc - exec_lead_cycles_ : 0;
+            tsc > exec_lead_cycles_ ? tsc - exec_lead_cycles_ : 0;
         spans_->EmitComplete("rpc.worker_exec",
                              telemetry::kWorkerTrackBase + self->index,
-                             span_id, start, start + exec_cycles_);
+                             jobs[j].span_id, start, start + exec_cycles_);
       }
       if (faults_ != nullptr &&
           faults_->ShouldInject(sim::Fault::kCompletionDrop)) {
-        completions_dropped_.Inc();  // ran, but the completion never lands
+        // Ran, but the completion never lands. The claim entry stays
+        // unresolved: if we die later in this run, the watchdog scrub is the
+        // only thing that can ever recycle the slot.
+        completions_dropped_.Inc();
       } else {
-        queue_.Complete(ticket);
+        queue_.Complete(jobs[j].ticket);
+        self->claims[j].slot = SIZE_MAX;  // resolved
       }
       jobs_executed_.Inc();
-    } else {
-      // Be polite on a shared machine: yield instead of hard-spinning. The
-      // modeled poll latency is in CostModel, not wall-clock.
-      std::this_thread::yield();
+    }
+    if (!killed) {
+      self->n_claims = 0;
     }
   }
   self->alive.store(false, std::memory_order_release);
 }
 
 void WorkerPool::WatchdogLoop() {
+  // Claims collected from dead workers, still waiting for their slot to
+  // become scrubbable (it stays kRunning until the submitter abandons it).
+  std::vector<JobTicket> orphans;
   while (!stop_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
     for (auto& w : workers_) {
@@ -111,6 +135,14 @@ void WorkerPool::WatchdogLoop() {
         if (w->thread.joinable()) {
           w->thread.join();
         }
+        // Joined: safe to read the dead worker's claim log. Anything it died
+        // holding becomes an orphan for the scrub pass below.
+        for (size_t j = 0; j < w->n_claims; ++j) {
+          if (w->claims[j].slot != SIZE_MAX) {
+            orphans.push_back(w->claims[j]);
+          }
+        }
+        w->n_claims = 0;
         w->alive.store(true, std::memory_order_release);
         w->thread = std::thread([this, worker = w.get()] { WorkerLoop(worker); });
         worker_respawns_.Inc();
@@ -119,6 +151,9 @@ void WorkerPool::WatchdogLoop() {
                          worker_respawns_.value());
         }
       }
+    }
+    for (auto it = orphans.begin(); it != orphans.end();) {
+      it = queue_.ScrubAbandoned(*it) ? orphans.erase(it) : it + 1;
     }
   }
 }

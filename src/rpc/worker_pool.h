@@ -6,12 +6,19 @@
 // virtual-cycle accounting themselves (their cost is charged on the
 // submitting enclave thread by RpcManager; their LLC pollution is modeled
 // there too) — this keeps the shared simulation models single-writer while
-// the *mechanism* (polling, claiming, completion) is fully real.
+// the *mechanism* (polling, claiming, completion) is fully real. Workers
+// drain runs of ready slots in one claim pass (TryClaimBatch), so a batch
+// published under a single doorbell is picked up without per-job rescans.
 //
-// The workers are untrusted: the host may stall them, kill them, or swallow
-// their completions (driven by sim::FaultInjector). A watchdog thread detects
-// workers that exited outside shutdown and respawns them, so a hostile host
-// can delay service but not permanently shrink the pool.
+// The workers are untrusted: the host may stall them, kill them (idle or
+// mid-claim), or swallow their completions (driven by sim::FaultInjector). A
+// watchdog thread detects workers that exited outside shutdown and respawns
+// them, so a hostile host can delay service but not permanently shrink the
+// pool. The watchdog also scrubs claims a worker died holding: once the
+// submitter abandons such a slot nobody is left to recycle it, so the
+// watchdog hands the generation-checked ticket back to the queue
+// (JobQueue::ScrubAbandoned) — otherwise each killed-in-flight claim would
+// permanently shrink queue capacity.
 
 #ifndef ELEOS_SRC_RPC_WORKER_POOL_H_
 #define ELEOS_SRC_RPC_WORKER_POOL_H_
@@ -28,6 +35,9 @@
 #include "src/telemetry/telemetry.h"
 
 namespace eleos::rpc {
+
+// Most ready slots a worker drains per claim pass.
+inline constexpr size_t kWorkerDrainMax = 8;
 
 class WorkerPool {
  public:
@@ -61,6 +71,12 @@ class WorkerPool {
     std::thread thread;
     std::atomic<bool> alive{false};
     int index = 0;  // worker track = telemetry::kWorkerTrackBase + index
+    // Claims from the current drain pass that have not been completed yet.
+    // Written only by the worker thread; the watchdog reads them only after
+    // joining the dead thread (slot == SIZE_MAX marks a resolved entry), so
+    // plain fields suffice — the join is the synchronization point.
+    size_t n_claims = 0;
+    JobTicket claims[kWorkerDrainMax];
   };
 
   void WorkerLoop(Worker* self);

@@ -40,7 +40,9 @@ enum class Fault : size_t {
   // Crash consistency (journaled backing store).
   kHostCrash = 8,   // host process dies mid-operation; enclave state is lost
   kTornWrite = 9,   // the write in flight at the crash lands partially
-  kCount = 10,
+  // RPC layer, continued (appended to keep earlier fault ids stable).
+  kWorkerDeathWithClaim = 10,  // worker dies between claiming and completing
+  kCount = 11,
 };
 
 inline const char* FaultName(Fault f) {
@@ -55,6 +57,7 @@ inline const char* FaultName(Fault f) {
     case Fault::kChannelTamper: return "channel_tamper";
     case Fault::kHostCrash: return "host_crash";
     case Fault::kTornWrite: return "torn_write";
+    case Fault::kWorkerDeathWithClaim: return "worker_death_with_claim";
     case Fault::kCount: break;
   }
   return "unknown";

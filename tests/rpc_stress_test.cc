@@ -165,9 +165,13 @@ TEST(JobQueueFault, AbandonedClaimAndStaleCompletionAreGenerationChecked) {
             JobQueue::WaitResult::kAbandoned);
   EXPECT_EQ(q.abandoned_slots(), 1u);
 
-  // The worker completes late: the slot is recycled, not marked done.
+  // The worker completes late: the slot is recycled, not marked done. This
+  // is the abandoned-recycle flavor of a late completion (same generation,
+  // slot parked as kAbandoned), not a stale-generation drop.
   q.Complete(claim);
-  EXPECT_EQ(q.late_completions(), 1u);
+  EXPECT_EQ(q.abandoned_recycles(), 1u);
+  EXPECT_EQ(q.stale_completions(), 0u);
+  EXPECT_EQ(q.late_completions(), 1u);  // legacy aggregate = sum of the two
 
   // The slot is reusable under a new generation; a second stale Complete
   // carrying the old ticket is dropped on the generation check.
@@ -176,6 +180,8 @@ TEST(JobQueueFault, AbandonedClaimAndStaleCompletionAreGenerationChecked) {
   JobTicket claim2;
   ASSERT_TRUE(q.TryClaim(&claim2, &got_fn, &got_arg));
   q.Complete(claim);  // stale generation: must not touch the new job
+  EXPECT_EQ(q.stale_completions(), 1u);
+  EXPECT_EQ(q.abandoned_recycles(), 1u);
   EXPECT_EQ(q.late_completions(), 2u);
   q.Complete(claim2);
   EXPECT_EQ(q.AwaitAndRelease(t2, kUnboundedSpins),
