@@ -28,6 +28,7 @@
 
 #include "bench/bench_json.h"
 #include "bench/bench_util.h"
+#include "src/libos/fs.h"
 #include "src/rpc/rpc_manager.h"
 #include "src/sim/fault_injector.h"
 
@@ -78,6 +79,82 @@ HostileResult RunHostile(size_t calls, size_t io_bytes, bool breaker) {
   r.breaker_probes = rpc.breaker_probes();
   r.p99 = lat->Percentile(99);
   (void)sink;
+  return r;
+}
+
+struct BoundaryResult {
+  uint64_t calls = 0;
+  uint64_t rejected_inputs = 0;      // boundary.rejected_inputs snapshot
+  uint64_t double_fetch_races = 0;   // boundary.double_fetch_races snapshot
+  uint64_t iago_rejects = 0;         // EnclaveFs's own reject counter
+  uint64_t benign_errors = 0;        // post-disarm sanity failures (must be 0)
+};
+
+// Hostile boundary profile (DESIGN.md §12): a lying host. Every Pread's
+// byte-count return is mangled on the untrusted side (kIagoReturn at
+// probability 1.0 — OCALL dispatch, no worker threads, so the run is fully
+// deterministic), plus one iovec-overflow request rejected before any host
+// call. Each mangled result must be rejected fail-closed by the trusted
+// validation layer, so boundary.rejected_inputs lands at exactly calls + 1.
+// The benign main run is the complement: its snapshot must hold both
+// boundary.* counters at zero (validate_bench.py checks both directions).
+BoundaryResult RunBoundaryHostile(size_t calls) {
+  using namespace eleos;
+  sim::Machine machine(bench::FastMachine());
+  sim::Enclave enclave(machine);
+  libos::MemFs host_fs;
+  libos::EnclaveFs fs(enclave, host_fs, libos::ExitMode::kOcall);
+  sim::CpuContext& cpu = machine.cpu(0);
+
+  BoundaryResult r;
+  r.calls = calls;
+  enclave.Enter(cpu);
+  uint8_t buf[256];
+  const int fd = fs.Open(&cpu, "/boundary", libos::OpenFlags::kCreate |
+                                                libos::OpenFlags::kRdWr);
+  for (size_t i = 0; i < sizeof(buf); ++i) {
+    buf[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  if (fd == libos::kMemFsError ||
+      fs.Pwrite(&cpu, fd, buf, sizeof(buf), 0) !=
+          static_cast<int64_t>(sizeof(buf))) {
+    ++r.benign_errors;
+  }
+
+  machine.fault_injector().Arm(sim::Fault::kIagoReturn, 1.0);
+  for (size_t i = 0; i < calls; ++i) {
+    if (fs.Pread(&cpu, fd, buf, sizeof(buf), 0) != libos::kMemFsError ||
+        fs.last_status().ok()) {
+      ++r.benign_errors;  // a mangled result slipped past validation
+    }
+  }
+  machine.fault_injector().Disarm(sim::Fault::kIagoReturn);
+
+  // One structurally hostile request: iovec lengths summing past SIZE_MAX
+  // must be rejected before any cost is charged or host call made.
+  libos::IoSlice overflow[2] = {{buf, SIZE_MAX - 4, 0}, {buf, 8, 0}};
+  if (fs.Preadv(&cpu, fd, overflow, 2) != libos::kMemFsError ||
+      fs.last_status().ok()) {
+    ++r.benign_errors;
+  }
+
+  // Fail-closed means the honest path still works once the host stops lying.
+  uint8_t check[256];
+  if (fs.Pread(&cpu, fd, check, sizeof(check), 0) !=
+          static_cast<int64_t>(sizeof(check)) ||
+      !fs.last_status().ok() ||
+      std::memcmp(check, buf, sizeof(check)) != 0) {
+    ++r.benign_errors;
+  }
+  fs.Close(&cpu, fd);
+  enclave.Exit(cpu);
+  machine.PublishAll();
+
+  r.rejected_inputs =
+      machine.metrics().GetCounter("boundary.rejected_inputs")->value();
+  r.double_fetch_races =
+      machine.metrics().GetCounter("boundary.double_fetch_races")->value();
+  r.iago_rejects = fs.iago_rejects();
   return r;
 }
 
@@ -262,6 +339,14 @@ int main(int argc, char** argv) {
   const HostileResult brk =
       RunHostile(kHostileCalls, kIoBytes, /*breaker=*/true);
   const AsyncBatchResult ab = RunAsyncBatch(kAsyncCalls, kBatch, kIoBytes);
+  const BoundaryResult bnd = RunBoundaryHostile(kHostileCalls);
+  if (bnd.benign_errors != 0) {
+    std::fprintf(stderr,
+                 "bench_baseline_rpc: boundary profile saw %llu validation "
+                 "escapes/sanity failures\n",
+                 static_cast<unsigned long long>(bnd.benign_errors));
+    return 1;
+  }
 
   const telemetry::Histogram* lat =
       machine.metrics().GetHistogram("rpc.call_cycles");
@@ -300,6 +385,17 @@ int main(int argc, char** argv) {
           ",\n";
   json += "    \"batch_size_hist\": " + ab.batch_hist_json + "\n";
   json += "  },\n";
+  json += "  \"boundary\": {\n";
+  json += "    \"workload\": {" + bench::JsonKv("dispatch", "ocall") + ", " +
+          bench::JsonKv("calls", bnd.calls) + ", " +
+          bench::JsonKv("fault", "iago_return") + "},\n";
+  json += "    " + bench::JsonKv("rejected_inputs", bnd.rejected_inputs) +
+          ",\n";
+  json +=
+      "    " + bench::JsonKv("double_fetch_races", bnd.double_fetch_races) +
+      ",\n";
+  json += "    " + bench::JsonKv("iago_rejects", bnd.iago_rejects) + "\n";
+  json += "  },\n";
   json += "  \"metrics\": " + machine.metrics().ToJson() + "\n";
   json += "}\n";
 
@@ -309,9 +405,11 @@ int main(int argc, char** argv) {
   }
   std::printf("bench_baseline_rpc: %zu calls, p50=%.0f p99=%.0f cycles; "
               "hostile p99 static=%.0f breaker=%.0f; "
-              "batch%zu %.1f vs %.1f cyc/call (%.2fx) -> %s\n",
+              "batch%zu %.1f vs %.1f cyc/call (%.2fx); "
+              "boundary rejects=%llu -> %s\n",
               kCalls, lat->Percentile(50), lat->Percentile(99), stat.p99,
               brk.p99, kBatch, ab.batch_cpc, ab.serial_cpc, ab.speedup,
+              static_cast<unsigned long long>(bnd.rejected_inputs),
               out.c_str());
   (void)sink;
   if (!trace_out.empty() && !RunTracedDemo(trace_out)) {

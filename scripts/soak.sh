@@ -7,18 +7,20 @@
 # (label `soak`, disabled by default so plain `ctest` stays fast).
 #
 # Usage: scripts/soak.sh [build_dir]
-#   ELEOS_SOAK_OPS        chaos ops per seed      (default 1200000)
-#   ELEOS_CRASH_SOAK_OPS  crash ops per seed      (default 200000)
-#   ELEOS_SOAK_SEEDS      space-separated seeds   (default "1 2 3")
+#   ELEOS_SOAK_OPS            chaos ops per seed     (default 1200000)
+#   ELEOS_CRASH_SOAK_OPS      crash ops per seed     (default 200000)
+#   ELEOS_BOUNDARY_FUZZ_OPS   boundary-fuzz ops/seed (default 200000)
+#   ELEOS_SOAK_SEEDS          space-separated seeds  (default "1 2 3")
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="${1:-build}"
 OPS="${ELEOS_SOAK_OPS:-1200000}"
 CRASH_OPS="${ELEOS_CRASH_SOAK_OPS:-200000}"
+FUZZ_OPS="${ELEOS_BOUNDARY_FUZZ_OPS:-200000}"
 SEEDS="${ELEOS_SOAK_SEEDS:-1 2 3}"
 
-for bin in chaos_soak_test crash_recovery_test; do
+for bin in chaos_soak_test crash_recovery_test boundary_fuzz_test; do
   if [[ ! -x "$BUILD/tests/$bin" ]]; then
     echo "soak.sh: $BUILD/tests/$bin not built (run cmake --build $BUILD)" >&2
     exit 2
@@ -37,5 +39,15 @@ for seed in $SEEDS; do
   ELEOS_CRASH_SOAK_OPS="$CRASH_OPS" ELEOS_CRASH_SOAK_SEED="$seed" \
     "$BUILD/tests/crash_recovery_test" \
     --gtest_filter='Seeds/CrashSoak.KillRestartRoundsConvergeToShadow/0'
+done
+
+# Long boundary fuzz: the tier-1 smoke's ~5k ops per seed become 200k+, with
+# the concurrent scribbler and Iago windows live the whole run. The env seed
+# offsets the base, so one param instance per seed is enough.
+for seed in $SEEDS; do
+  echo "=== boundary fuzz: seed=$seed ops=$FUZZ_OPS ==="
+  ELEOS_BOUNDARY_FUZZ_OPS="$FUZZ_OPS" ELEOS_BOUNDARY_FUZZ_SEED="$seed" \
+    "$BUILD/tests/boundary_fuzz_test" \
+    --gtest_filter='Seeds/BoundaryFuzz.EveryOpEndsCorrectOrFailClosedUnderLiveScribbler/0'
 done
 echo "=== soak: all seeds clean ==="

@@ -15,6 +15,11 @@ Checks (per file):
     >= 1.5x the serial cycles-per-call, the rpc.batch_size histogram was
     recorded, and the split late-completion counter family survived
     PublishTelemetry
+  * rpc_baseline: the hostile boundary profile is present with
+    rejected_inputs > 0 and iago_rejects > 0 (the Iago validation layer
+    fired), while the benign main snapshot holds boundary.rejected_inputs
+    and boundary.double_fetch_races at exactly zero (no false rejects on an
+    honest host)
   * suvm_baseline: the quarantine counters are present in the snapshot
 
 Exits non-zero with a message naming the offending file/field, so tier1.sh
@@ -66,6 +71,35 @@ def check_rpc_hostile(path: str, doc: dict) -> None:
             f"{path}: breaker p99 ({breaker_p99}) exceeds static-budget "
             f"p99 ({static_p99}) — the breaker is not capping spin cost"
         )
+
+
+def check_rpc_boundary(path: str, doc: dict) -> None:
+    boundary = doc.get("boundary")
+    if not isinstance(boundary, dict):
+        fail(f"{path}: rpc_baseline is missing the hostile boundary profile")
+    for key in ("rejected_inputs", "double_fetch_races", "iago_rejects"):
+        if key not in boundary:
+            fail(f"{path}: boundary is missing '{key}'")
+        if not isinstance(boundary[key], int) or boundary[key] < 0:
+            fail(f"{path}: boundary.{key} must be a non-negative integer")
+    if boundary["rejected_inputs"] <= 0:
+        fail(
+            f"{path}: boundary.rejected_inputs is 0 under the hostile "
+            f"profile — the Iago validation layer never fired"
+        )
+    if boundary["iago_rejects"] <= 0:
+        fail(f"{path}: boundary.iago_rejects is 0 under the hostile profile")
+    # The benign main run must not reject anything: a false positive at the
+    # boundary layer would silently turn honest host results into errors.
+    counters = doc["metrics"]["counters"]
+    for key in ("boundary.rejected_inputs", "boundary.double_fetch_races"):
+        if key not in counters:
+            fail(f"{path}: metrics.counters is missing '{key}'")
+        if counters[key] != 0:
+            fail(
+                f"{path}: benign profile has {key}={counters[key]} — the "
+                f"boundary layer rejected honest host results"
+            )
 
 
 def check_rpc_async_batch(path: str, doc: dict) -> None:
@@ -131,6 +165,7 @@ def validate(path: str) -> None:
     if doc["bench"] == "rpc_baseline":
         check_rpc_hostile(path, doc)
         check_rpc_async_batch(path, doc)
+        check_rpc_boundary(path, doc)
         if "rpc.breaker_state" not in gauges:
             fail(f"{path}: metrics.gauges is missing 'rpc.breaker_state'")
         for key in (

@@ -67,6 +67,7 @@ uint64_t SlabAllocator::Alloc(size_t bytes, int* class_out) {
   }
   const uint64_t slab = bump_;
   bump_ += kSlabBytes;
+  slab_class_.push_back(static_cast<int16_t>(cls));
   const size_t chunk = ChunkSize(cls);
   const size_t count = kSlabBytes / chunk;
   freelist.reserve(freelist.size() + count - 1);
@@ -75,6 +76,21 @@ uint64_t SlabAllocator::Alloc(size_t bytes, int* class_out) {
   }
   used_bytes_ += chunk;
   return slab;
+}
+
+bool SlabAllocator::ValidChunk(uint64_t offset, int cls) const {
+  if (cls < 0 || static_cast<size_t>(cls) >= class_sizes_.size()) {
+    return false;
+  }
+  if (offset >= bump_) {
+    return false;
+  }
+  const size_t slab = offset / kSlabBytes;
+  if (slab >= slab_class_.size() ||
+      slab_class_[slab] != static_cast<int16_t>(cls)) {
+    return false;
+  }
+  return (offset % kSlabBytes) % ChunkSize(cls) == 0;
 }
 
 void SlabAllocator::Free(uint64_t offset, size_t bytes) {
@@ -95,11 +111,41 @@ KvCache::KvCache(sim::Machine& machine, MemRegion& region, Options options)
       slab_(options.pool_bytes),
       buckets_(options.hash_buckets, 0),
       lru_head_(slab_.classes(), 0),
-      lru_tail_(slab_.classes(), 0) {
+      lru_tail_(slab_.classes(), 0),
+      rejected_inputs_(
+          machine.metrics().GetCounter("boundary.rejected_inputs")) {
   if (region.size() < options.pool_bytes) {
     throw std::invalid_argument("KvCache: region smaller than pool");
   }
   items_.resize(1);  // index 0 is the null item
+}
+
+void KvCache::RejectMetadata(sim::CpuContext* cpu) {
+  metadata_rejects_.Inc();
+  rejected_inputs_->Add(1);
+  machine_->metrics().trace().Record(
+      telemetry::TraceKind::kBoundaryReject,
+      cpu != nullptr ? cpu->clock.now() : 0,
+      static_cast<uint64_t>(BoundarySite::kKvMetadata));
+  last_status_ = Status::HostileInput("untrusted cache metadata rejected");
+}
+
+Status KvCache::CheckedRead(sim::CpuContext* cpu, uint64_t off, void* out,
+                            size_t len) {
+  if (!RangeFits(off, len, region_->size())) {
+    RejectMetadata(cpu);
+    return last_status_;
+  }
+  return region_->TryRead(cpu, off, out, len);
+}
+
+Status KvCache::CheckedWrite(sim::CpuContext* cpu, uint64_t off,
+                             const void* data, size_t len) {
+  if (!RangeFits(off, len, region_->size())) {
+    RejectMetadata(cpu);
+    return last_status_;
+  }
+  return region_->TryWrite(cpu, off, data, len);
 }
 
 uint32_t* KvCache::BucketHead(uint32_t hash) {
@@ -136,13 +182,25 @@ int64_t KvCache::Get(sim::CpuContext* cpu, std::string_view key, void* out,
     return last_status_.ok() ? -1 : GetErrCode(last_status_);
   }
   ++stats_.get_hits;
-  ItemMeta& m = items_[item];
+  // Snapshot the untrusted record once; all checks and reads below use the
+  // snapshot, never a second fetch of the shared metadata (DESIGN.md §12).
+  const ItemMeta m = items_[item];
   uint32_t lens[2];
-  Status status = region_->TryRead(cpu, m.data, lens, sizeof(lens));
+  Status status = CheckedRead(cpu, m.data, lens, sizeof(lens));
   if (status.ok()) {
+    // The lengths came from the secure record, but the offset that located
+    // them is untrusted: insist the whole record fits its chunk before
+    // deriving any further addresses from it.
+    size_t record = 0;
+    if (!CheckedAdd(8, lens[0], &record) ||
+        !CheckedAdd(record, lens[1], &record) ||
+        record > slab_.ChunkSize(m.cls)) {
+      RejectMetadata(cpu);
+      return GetErrCode(last_status_);
+    }
     const size_t vlen = lens[1];
     const size_t take = vlen < out_cap ? vlen : out_cap;
-    status = region_->TryRead(cpu, m.data + 8 + lens[0], out, take);
+    status = CheckedRead(cpu, m.data + 8 + lens[0], out, take);
     if (status.ok()) {
       // LRU bump (metadata only).
       LruUnlink(m.cls, item);
@@ -159,23 +217,38 @@ int64_t KvCache::Get(sim::CpuContext* cpu, std::string_view key, void* out,
 uint32_t KvCache::FindLocked(sim::CpuContext* cpu, std::string_view key,
                              uint32_t hash) {
   uint32_t cur = *BucketHead(hash);
+  size_t steps = 0;
   while (cur != 0) {
+    // Chain links are untrusted: bound the walk (a scribbled link can form a
+    // cycle) and validate every index and chunk pointer before use.
+    if (cur >= items_.size() || ++steps > items_.size()) {
+      RejectMetadata(cpu);
+      return 0;
+    }
     ItemMeta& m = items_[cur];
     ChargeMetadataTouch(cpu, 1);
+    if (!m.live || !slab_.ValidChunk(m.data, m.cls)) {
+      RejectMetadata(cpu);
+      return 0;
+    }
     if (m.key_hash == hash) {
-      // Compare the secure key bytes. A failed read (quarantined page,
-      // crashed instance) is recorded in last_status_ and the probe gives
-      // up rather than walking the chain on garbage lengths.
+      // Compare the secure key bytes: the key echo in secure memory is what
+      // authenticates an untrusted metadata pointer — a redirected m.data
+      // lands on some other (whole, class-valid) record whose key will not
+      // match. A failed read (quarantined page, crashed instance) is
+      // recorded in last_status_ and the probe gives up rather than walking
+      // the chain on garbage lengths.
       uint32_t lens[2];
-      Status status = region_->TryRead(cpu, m.data, lens, sizeof(lens));
+      Status status = CheckedRead(cpu, m.data, lens, sizeof(lens));
       if (!status.ok()) {
         ++stats_.io_errors;
         last_status_ = status;
         return 0;
       }
-      if (lens[0] == key.size()) {
+      if (lens[0] == key.size() &&
+          8 + static_cast<size_t>(lens[0]) <= slab_.ChunkSize(m.cls)) {
         std::vector<uint8_t> kbuf(lens[0]);
-        status = region_->TryRead(cpu, m.data + 8, kbuf.data(), lens[0]);
+        status = CheckedRead(cpu, m.data + 8, kbuf.data(), lens[0]);
         if (!status.ok()) {
           ++stats_.io_errors;
           last_status_ = status;
@@ -199,12 +272,16 @@ bool KvCache::Set(sim::CpuContext* cpu, std::string_view key, const void* value,
     cpu->Charge(machine_->costs().hash_op_cycles);
   }
   const uint32_t hash = HashKey(key);
-  const uint32_t existing = FindLocked(cpu, key, hash);
+  uint32_t existing = FindLocked(cpu, key, hash);
   if (existing == 0 && !last_status_.ok()) {
     return false;  // could not even probe for the key: leave state untouched
   }
+  // Overwrite protocol: unlink the old record but KEEP its storage until the
+  // replacement is fully written. A partial write failure then restores the
+  // old value (RelinkItem) instead of losing it — the old code removed the
+  // item up front, so a failed write destroyed the previous value too.
   if (existing != 0) {
-    RemoveItem(cpu, existing);
+    UnlinkItem(cpu, existing);
   }
 
   const size_t need = 8 + key.size() + value_len;
@@ -212,28 +289,46 @@ bool KvCache::Set(sim::CpuContext* cpu, std::string_view key, const void* value,
   uint64_t off = slab_.Alloc(need, &cls);
   while (off == UINT64_MAX) {
     const int want_cls = slab_.ClassFor(need);
-    if (want_cls < 0 || !EvictOneFrom(cpu, want_cls)) {
-      return false;  // value larger than any class, or nothing to evict
+    if (want_cls >= 0 && EvictOneFrom(cpu, want_cls)) {
+      off = slab_.Alloc(need, &cls);
+      continue;
     }
-    off = slab_.Alloc(need, &cls);
+    if (existing != 0) {
+      // Nothing evictable in the class: last resort, cannibalize the old
+      // record's storage (the overwrite-on-full behaviour of the old code).
+      // Past this point a write failure loses the old value — unavoidable
+      // once its chunk is the only capacity left.
+      FreeItemStorage(cpu, existing);
+      existing = 0;
+      off = slab_.Alloc(need, &cls);
+      continue;
+    }
+    return false;  // value larger than any class, or nothing to evict
   }
 
   // Secure layout: [klen u32][vlen u32][key][value]. A failed write hands
-  // the chunk back (the item was never linked, so no metadata to unwind).
+  // the chunk back and relinks the old record (if one was held).
   const uint32_t lens[2] = {static_cast<uint32_t>(key.size()),
                             static_cast<uint32_t>(value_len)};
-  Status status = region_->TryWrite(cpu, off, lens, sizeof(lens));
+  Status status = CheckedWrite(cpu, off, lens, sizeof(lens));
   if (status.ok()) {
-    status = region_->TryWrite(cpu, off + 8, key.data(), key.size());
+    status = CheckedWrite(cpu, off + 8, key.data(), key.size());
   }
   if (status.ok()) {
-    status = region_->TryWrite(cpu, off + 8 + key.size(), value, value_len);
+    status = CheckedWrite(cpu, off + 8 + key.size(), value, value_len);
   }
   if (!status.ok()) {
     ++stats_.io_errors;
     last_status_ = status;
     slab_.Free(off, need);
+    if (existing != 0) {
+      RelinkItem(cpu, existing);  // the old value survives the failed write
+    }
     return false;
+  }
+  // The replacement is durable; now the old record can go.
+  if (existing != 0) {
+    FreeItemStorage(cpu, existing);
   }
 
   // Untrusted metadata record.
@@ -348,37 +443,77 @@ bool KvCache::Delete(sim::CpuContext* cpu, std::string_view key) {
 }
 
 void KvCache::RemoveItem(sim::CpuContext* cpu, uint32_t item) {
+  UnlinkItem(cpu, item);
+  FreeItemStorage(cpu, item);
+}
+
+void KvCache::UnlinkItem(sim::CpuContext* cpu, uint32_t item) {
   ItemMeta& m = items_[item];
-  // Unlink from the hash chain.
+  // Unlink from the hash chain. The links are untrusted: bound the walk and
+  // validate every index; a corrupt chain means the item simply cannot be
+  // unlinked from the hash side (the bucket was already lost to garbage).
   uint32_t* link = BucketHead(m.key_hash);
-  while (*link != 0 && *link != item) {
+  size_t steps = 0;
+  while (link != nullptr && *link != 0 && *link != item) {
+    if (*link >= items_.size() || ++steps > items_.size()) {
+      RejectMetadata(cpu);
+      link = nullptr;
+      break;
+    }
     link = &items_[*link].hash_next;
   }
-  if (*link == item) {
+  if (link != nullptr && *link == item) {
     *link = m.hash_next;
   }
+  m.hash_next = 0;
   LruUnlink(m.cls, item);
-  // Free the secure chunk. The exact item size lives in secure memory and
-  // may be unreadable (quarantined page); the class chunk size round-trips
-  // through ClassFor, so it frees into the same list either way.
-  uint32_t lens[2];
-  const Status status = region_->TryRead(cpu, m.data, lens, sizeof(lens));
-  if (status.ok()) {
-    slab_.Free(m.data, 8 + lens[0] + lens[1]);
-  } else {
-    ++stats_.io_errors;
-    last_status_ = status;
-    slab_.Free(m.data, slab_.ChunkSize(m.cls));
-  }
   m.live = false;
-  free_items_.push_back(item);
   --live_items_;
   ChargeMetadataTouch(cpu, 2);
 }
 
+void KvCache::RelinkItem(sim::CpuContext* cpu, uint32_t item) {
+  ItemMeta& m = items_[item];
+  uint32_t* head = BucketHead(m.key_hash);
+  m.hash_next = *head;
+  *head = item;
+  LruPushFront(m.cls, item);
+  m.live = true;
+  ++live_items_;
+  ChargeMetadataTouch(cpu, 2);
+}
+
+void KvCache::FreeItemStorage(sim::CpuContext* cpu, uint32_t item) {
+  ItemMeta& m = items_[item];
+  free_items_.push_back(item);
+  if (!slab_.ValidChunk(m.data, m.cls)) {
+    // Scribbled offset or class: freeing would poison the free lists and let
+    // a future alloc overlap a live chunk. Leak the capacity instead — the
+    // fail-closed cost of hostile metadata is capacity, never correctness.
+    RejectMetadata(cpu);
+    return;
+  }
+  // Free by the chunk's class size: it lands in the same free list as the
+  // exact item size would (ClassFor is idempotent on class sizes) without
+  // trusting a secure-region read that may be unavailable (quarantined page).
+  slab_.Free(m.data, slab_.ChunkSize(m.cls));
+}
+
 bool KvCache::EvictOneFrom(sim::CpuContext* cpu, int cls) {
+  if (!ValidCls(cls)) {
+    return false;
+  }
   const uint32_t victim = lru_tail_[static_cast<size_t>(cls)];
   if (victim == 0) {
+    return false;
+  }
+  if (victim >= items_.size() || !items_[victim].live) {
+    // The LRU cursor was scribbled: the list is unrecoverable garbage.
+    // Drop it (its items stay reachable through the hash chains; only
+    // eviction order is lost) rather than walk out of bounds.
+    RejectMetadata(cpu);
+    lru_head_[static_cast<size_t>(cls)] = 0;
+    lru_tail_[static_cast<size_t>(cls)] = 0;
     return false;
   }
   RemoveItem(cpu, victim);
@@ -387,9 +522,25 @@ bool KvCache::EvictOneFrom(sim::CpuContext* cpu, int cls) {
 }
 
 void KvCache::LruUnlink(int cls, uint32_t item) {
+  if (!ValidCls(cls)) {
+    RejectMetadata(nullptr);
+    return;
+  }
   ItemMeta& m = items_[item];
   auto& head = lru_head_[static_cast<size_t>(cls)];
   auto& tail = lru_tail_[static_cast<size_t>(cls)];
+  if ((m.lru_prev != 0 && m.lru_prev >= items_.size()) ||
+      (m.lru_next != 0 && m.lru_next >= items_.size())) {
+    // Scribbled neighbor links: the list around this item is garbage. Sever
+    // our own links and drop the cursors if they point at us; the remaining
+    // list items stay reachable through the hash chains.
+    RejectMetadata(nullptr);
+    m.lru_next = 0;
+    m.lru_prev = 0;
+    if (head == item) head = 0;
+    if (tail == item) tail = 0;
+    return;
+  }
   if (m.lru_prev != 0) {
     items_[m.lru_prev].lru_next = m.lru_next;
   } else if (head == item) {
@@ -405,8 +556,20 @@ void KvCache::LruUnlink(int cls, uint32_t item) {
 }
 
 void KvCache::LruPushFront(int cls, uint32_t item) {
+  if (!ValidCls(cls)) {
+    RejectMetadata(nullptr);
+    return;
+  }
   auto& head = lru_head_[static_cast<size_t>(cls)];
   auto& tail = lru_tail_[static_cast<size_t>(cls)];
+  if ((head != 0 && head >= items_.size()) ||
+      (tail != 0 && tail >= items_.size())) {
+    // Scribbled cursors: reset the list before pushing, so we never write
+    // through an out-of-range "previous head".
+    RejectMetadata(nullptr);
+    head = 0;
+    tail = 0;
+  }
   ItemMeta& m = items_[item];
   m.lru_prev = 0;
   m.lru_next = head;
@@ -416,6 +579,40 @@ void KvCache::LruPushFront(int cls, uint32_t item) {
   head = item;
   if (tail == 0) {
     tail = item;
+  }
+}
+
+void KvCache::HostileScribbleMetadata(uint64_t rnd) {
+  // Same-thread adversary hook (see header): flips one value in the
+  // cleartext metadata the way a hostile host could. Deliberately leaves
+  // ItemMeta::live alone so live_items_ accounting stays meaningful — the
+  // random-scribbler model targets the pointers and sizes that can steer
+  // memory accesses, which is where validation has to hold the line.
+  switch ((rnd >> 2) % 7) {
+    case 0:
+      buckets_[(rnd >> 16) % buckets_.size()] =
+          static_cast<uint32_t>(rnd >> 32);
+      break;
+    case 1: {
+      auto& lru = (rnd & 1) ? lru_head_ : lru_tail_;
+      lru[(rnd >> 16) % lru.size()] = static_cast<uint32_t>(rnd >> 32);
+      break;
+    }
+    default: {
+      if (items_.size() <= 1) {
+        break;
+      }
+      ItemMeta& m = items_[1 + (rnd >> 16) % (items_.size() - 1)];
+      switch ((rnd >> 40) % 6) {
+        case 0: m.data = rnd >> 8; break;
+        case 1: m.hash_next = static_cast<uint32_t>(rnd >> 32); break;
+        case 2: m.lru_next = static_cast<uint32_t>(rnd >> 32); break;
+        case 3: m.lru_prev = static_cast<uint32_t>(rnd >> 32); break;
+        case 4: m.key_hash = static_cast<uint32_t>(rnd >> 32); break;
+        case 5: m.cls = static_cast<int16_t>(rnd >> 48); break;
+      }
+      break;
+    }
   }
 }
 

@@ -20,6 +20,8 @@
 
 #include "src/apps/mem_region.h"
 #include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/untrusted.h"
 #include "src/crypto/ctr.h"
 #include "src/rpc/rpc_manager.h"
 
@@ -45,11 +47,20 @@ class SlabAllocator {
   size_t classes() const { return class_sizes_.size(); }
   size_t used_bytes() const { return used_bytes_; }
 
+  // True iff (offset, cls) names a genuine chunk boundary of a slab page
+  // carved for exactly that class. This is the validation gate for chunk
+  // offsets recovered from untrusted metadata (DESIGN.md §12): an accepted
+  // offset can never overlap a chunk of another item, so scribbled metadata
+  // can redirect a lookup only to a whole (key-checked) record, never into
+  // the middle of one.
+  bool ValidChunk(uint64_t offset, int cls) const;
+
  private:
   size_t pool_bytes_;
   uint64_t bump_ = 0;  // next unallocated slab page
   std::vector<size_t> class_sizes_;
   std::vector<std::vector<uint64_t>> free_lists_;
+  std::vector<int16_t> slab_class_;  // class each carved slab page serves
   size_t used_bytes_ = 0;
 };
 
@@ -106,8 +117,20 @@ class KvCache {
   const KvStats& stats() const { return stats_; }
   size_t item_count() const { return live_items_; }
   // The Status behind the most recent operation's failure (Ok after a clean
-  // op); lets callers map -2/-3/false to a concrete cause.
+  // op); lets callers map -2/-3/false to a concrete cause. kHostileInput
+  // means untrusted metadata failed validation (DESIGN.md §12).
   const Status& last_status() const { return last_status_; }
+
+  // Adversary hook: models the hostile host scribbling one random value into
+  // the cleartext metadata (bucket heads, LRU cursors, item records — the
+  // state the paper deliberately keeps in untrusted memory, §5.1). Called
+  // from the same thread as the cache ops (the metadata is plain state, not
+  // atomics); every subsequent op must stay in-bounds and end correct or
+  // fail-closed with metadata_rejects() counted.
+  void HostileScribbleMetadata(uint64_t rnd);
+  // Metadata validations failed by this instance (subset of
+  // boundary.rejected_inputs).
+  uint64_t metadata_rejects() const { return metadata_rejects_.value(); }
 
  private:
   struct ItemMeta {          // untrusted, cleartext (like memcached's header)
@@ -126,7 +149,27 @@ class KvCache {
   void LruUnlink(int cls, uint32_t item);
   void LruPushFront(int cls, uint32_t item);
   bool EvictOneFrom(sim::CpuContext* cpu, int cls);
+  // RemoveItem = UnlinkItem + FreeItemStorage. The split lets Set keep the
+  // old record's storage alive (unlinked) until the replacement is fully
+  // written, and RelinkItem restore it when the write fails — so an
+  // overwrite can no longer lose the old value on partial failure.
   void RemoveItem(sim::CpuContext* cpu, uint32_t item);
+  void UnlinkItem(sim::CpuContext* cpu, uint32_t item);
+  void RelinkItem(sim::CpuContext* cpu, uint32_t item);
+  void FreeItemStorage(sim::CpuContext* cpu, uint32_t item);
+  bool ValidCls(int cls) const {
+    return cls >= 0 && static_cast<size_t>(cls) < slab_.classes();
+  }
+  // Fail-closed handling of metadata that failed validation: counts the
+  // reject (local + boundary.rejected_inputs), records a kBoundaryReject
+  // trace event, and sets last_status_ to kHostileInput.
+  void RejectMetadata(sim::CpuContext* cpu);
+  // Region access with the offset/length validated against the region before
+  // any bytes move (untrusted metadata supplies the offsets; the underlying
+  // regions do not bounds-check). Rejection returns kHostileInput.
+  Status CheckedRead(sim::CpuContext* cpu, uint64_t off, void* out, size_t len);
+  Status CheckedWrite(sim::CpuContext* cpu, uint64_t off, const void* data,
+                      size_t len);
   void ChargeMetadataTouch(sim::CpuContext* cpu, size_t records);
   // Pushes one modeled response send per entry through the batched RPC path
   // (no-op without Options::rpc).
@@ -146,6 +189,8 @@ class KvCache {
   uint64_t metadata_probe_ = 0;  // synthetic address cursor for the ablation
   KvStats stats_;
   Status last_status_;
+  telemetry::Counter* rejected_inputs_;  // boundary.rejected_inputs (shared)
+  Counter metadata_rejects_;
 };
 
 // memaslap-style load generator + protocol shim: fills the cache, then

@@ -28,6 +28,7 @@ enum class StatusCode : int {
   kNotFound = 6,
   kInternal = 7,
   kRollbackDetected = 8,    // stale-but-genuine state replayed (freshness lost)
+  kHostileInput = 9,        // untrusted-memory value failed boundary validation
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -41,6 +42,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kNotFound: return "NOT_FOUND";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kRollbackDetected: return "ROLLBACK_DETECTED";
+    case StatusCode::kHostileInput: return "HOSTILE_INPUT";
   }
   return "UNKNOWN";
 }
@@ -75,6 +77,9 @@ class Status {
   }
   static Status RollbackDetected(std::string m) {
     return Status(StatusCode::kRollbackDetected, std::move(m));
+  }
+  static Status HostileInput(std::string m) {
+    return Status(StatusCode::kHostileInput, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

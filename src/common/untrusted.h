@@ -1,0 +1,124 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// The trusted boundary over host-shared memory (DESIGN.md §12).
+//
+// Eleos moves the syscall interface into untrusted shared memory, so every
+// field the enclave reads from a JobSlot, a ring cursor, or a host return
+// value can change between two loads (double-fetch / TOCTOU) or simply lie
+// (Iago). The discipline enforced here is snapshot-then-validate:
+//
+//   1. Copy the shared POD into enclave-private storage exactly ONCE
+//      (SnapshotIn / UntrustedView::Snapshot). The copy uses per-byte
+//      volatile reads so the compiler can never re-read the shared source.
+//   2. Validate every invariant (enum range, length <= capacity, overflow-
+//      free offset arithmetic) on the PRIVATE copy.
+//   3. All subsequent logic — including re-checks — reads only the snapshot.
+//      A second read of shared memory for "the same" value is a bug.
+//
+// Nothing here makes hostile values impossible; it makes them *detectable*
+// and turns every boundary crossing into correct-or-fail-closed
+// (StatusCode::kHostileInput), counted under boundary.*.
+
+#ifndef ELEOS_SRC_COMMON_UNTRUSTED_H_
+#define ELEOS_SRC_COMMON_UNTRUSTED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace eleos {
+
+// Copies `*src` (host-shared POD) into enclave-private `*dst` with exactly
+// one pass of volatile byte reads: the compiler cannot fuse, elide, or
+// re-issue loads from the shared source, so later validation and use see one
+// consistent (if hostile) snapshot. Returns a reference to the snapshot.
+template <typename T>
+T& SnapshotIn(const volatile T* src, T* dst) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SnapshotIn requires trivially copyable shared PODs");
+  const volatile auto* s = reinterpret_cast<const volatile unsigned char*>(src);
+  auto* d = reinterpret_cast<unsigned char*>(dst);
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    d[i] = s[i];
+  }
+  return *dst;
+}
+
+// Copies an enclave-private POD out to host-shared memory (single volatile
+// pass, mirror of SnapshotIn). The host may scribble it afterwards — results
+// the enclave will read back must flow through SnapshotIn again.
+template <typename T>
+void CopyOut(volatile T* dst, const T& src) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "CopyOut requires trivially copyable shared PODs");
+  auto* d = reinterpret_cast<volatile unsigned char*>(dst);
+  const auto* s = reinterpret_cast<const unsigned char*>(&src);
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    d[i] = s[i];
+  }
+}
+
+// A typed handle to one host-shared POD. Wraps the raw pointer so call sites
+// can only get at the contents through Snapshot() — there is no operator->
+// on purpose: dereferencing shared memory twice is exactly the bug class
+// this layer exists to kill.
+template <typename T>
+class UntrustedView {
+ public:
+  explicit UntrustedView(const T* shared)
+      : shared_(reinterpret_cast<const volatile T*>(shared)) {}
+
+  // One consistent private copy of the shared object as of now.
+  T Snapshot() const {
+    T out;
+    SnapshotIn(shared_, &out);
+    return out;
+  }
+
+ private:
+  const volatile T* shared_;
+};
+
+// --- Overflow-safe arithmetic for offsets/lengths from untrusted inputs ---
+
+// *out = a + b; false on size_t wraparound.
+inline bool CheckedAdd(size_t a, size_t b, size_t* out) {
+  if (a > SIZE_MAX - b) {
+    return false;
+  }
+  *out = a + b;
+  return true;
+}
+
+// *out = a * b; false on size_t wraparound.
+inline bool CheckedMul(size_t a, size_t b, size_t* out) {
+  if (b != 0 && a > SIZE_MAX / b) {
+    return false;
+  }
+  *out = a * b;
+  return true;
+}
+
+// True iff [offset, offset+len) fits inside a buffer of `capacity` bytes,
+// with no intermediate overflow. The canonical check for untrusted offsets.
+inline bool RangeFits(uint64_t offset, size_t len, size_t capacity) {
+  return offset <= capacity && len <= capacity - offset;
+}
+
+// True iff `v` names a valid enumerator in [0, count) — for untrusted enum
+// words (e.g. a slot state) after snapshotting.
+inline bool EnumInRange(uint64_t v, uint64_t count) { return v < count; }
+
+// Where a boundary validation rejected a hostile value — recorded as arg0 of
+// telemetry::TraceKind::kBoundaryReject and useful for counter breakdowns.
+enum class BoundarySite : uint64_t {
+  kRpcForgedCompletion = 0,  // kDone published for a job that never ran
+  kRpcSlotScribbled = 1,     // claim/await hit a scribbled slot (kHostile)
+  kFsResultRange = 2,        // host syscall return outside [-1, requested]
+  kFsIovecOverflow = 3,      // iovec total byte count overflowed size_t
+  kKvMetadata = 4,           // untrusted cache metadata failed validation
+};
+
+}  // namespace eleos
+
+#endif  // ELEOS_SRC_COMMON_UNTRUSTED_H_

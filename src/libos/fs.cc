@@ -13,10 +13,59 @@ namespace eleos::libos {
 
 EnclaveFs::EnclaveFs(sim::Enclave& enclave, MemFs& host_fs, ExitMode mode,
                      rpc::RpcManager* rpc)
-    : enclave_(&enclave), host_(&host_fs), mode_(mode), rpc_(rpc) {
+    : enclave_(&enclave),
+      host_(&host_fs),
+      mode_(mode),
+      rpc_(rpc),
+      faults_(&enclave.machine().fault_injector()),
+      rejected_inputs_(enclave.machine().metrics().GetCounter(
+          "boundary.rejected_inputs")) {
   if (mode == ExitMode::kRpc && rpc == nullptr) {
     throw std::invalid_argument("EnclaveFs: RPC mode requires an RpcManager");
   }
+}
+
+int64_t EnclaveFs::IagoMangle(int64_t genuine, size_t requested) {
+  if (faults_ == nullptr || !faults_->armed(sim::Fault::kIagoReturn) ||
+      !faults_->ShouldInject(sim::Fault::kIagoReturn)) {
+    return genuine;
+  }
+  // Rotate through the classic lying-host shapes: one past the buffer, a
+  // giant positive, an errno outside the allow-set, a high-bit-tagged count.
+  switch (iago_cycle_.fetch_add(1, std::memory_order_relaxed) % 4) {
+    case 0:
+      return static_cast<int64_t>(requested) + 1;
+    case 1:
+      return INT64_MAX;
+    case 2:
+      return -4096;
+    default:
+      return static_cast<int64_t>((1ull << 62) | requested);
+  }
+}
+
+int64_t EnclaveFs::ValidateCount(sim::CpuContext* cpu, int64_t r,
+                                 size_t requested) {
+  // The allow-set for a byte-count result: the genuine error value, or a
+  // transfer no larger than what was asked for. Everything else is an Iago
+  // return — using it would let the host walk trusted pointers out of the
+  // caller's buffer.
+  if (r == kMemFsError ||
+      (r >= 0 && static_cast<uint64_t>(r) <= requested)) {
+    last_status_ = Status::Ok();
+    return r;
+  }
+  return RejectBoundary(cpu, BoundarySite::kFsResultRange);
+}
+
+int64_t EnclaveFs::RejectBoundary(sim::CpuContext* cpu, BoundarySite site) {
+  iago_rejects_.Inc();
+  rejected_inputs_->Add(1);
+  enclave_->machine().metrics().trace().Record(
+      telemetry::TraceKind::kBoundaryReject,
+      cpu != nullptr ? cpu->clock.now() : 0, static_cast<uint64_t>(site));
+  last_status_ = Status::HostileInput("untrusted fs result rejected");
+  return kMemFsError;
 }
 
 int EnclaveFs::Open(sim::CpuContext* cpu, const std::string& path, int flags) {
@@ -29,24 +78,33 @@ int EnclaveFs::Close(sim::CpuContext* cpu, int fd) {
 }
 
 int64_t EnclaveFs::Read(sim::CpuContext* cpu, int fd, void* buf, size_t count) {
-  return Forward(cpu, count, [&] { return host_->Read(fd, buf, count); });
+  const int64_t r = Forward(
+      cpu, count, [&] { return IagoMangle(host_->Read(fd, buf, count), count); });
+  return ValidateCount(cpu, r, count);
 }
 
 int64_t EnclaveFs::Write(sim::CpuContext* cpu, int fd, const void* buf,
                          size_t count) {
-  return Forward(cpu, count, [&] { return host_->Write(fd, buf, count); });
+  const int64_t r = Forward(cpu, count, [&] {
+    return IagoMangle(host_->Write(fd, buf, count), count);
+  });
+  return ValidateCount(cpu, r, count);
 }
 
 int64_t EnclaveFs::Pread(sim::CpuContext* cpu, int fd, void* buf, size_t count,
                          uint64_t offset) {
-  return Forward(cpu, count,
-                 [&] { return host_->Pread(fd, buf, count, offset); });
+  const int64_t r = Forward(cpu, count, [&] {
+    return IagoMangle(host_->Pread(fd, buf, count, offset), count);
+  });
+  return ValidateCount(cpu, r, count);
 }
 
 int64_t EnclaveFs::Pwrite(sim::CpuContext* cpu, int fd, const void* buf,
                           size_t count, uint64_t offset) {
-  return Forward(cpu, count,
-                 [&] { return host_->Pwrite(fd, buf, count, offset); });
+  const int64_t r = Forward(cpu, count, [&] {
+    return IagoMangle(host_->Pwrite(fd, buf, count, offset), count);
+  });
+  return ValidateCount(cpu, r, count);
 }
 
 int64_t EnclaveFs::Seek(sim::CpuContext* cpu, int fd, int64_t offset,
@@ -58,46 +116,56 @@ int EnclaveFs::Unlink(sim::CpuContext* cpu, const std::string& path) {
   return Forward(cpu, path.size() + 16, [&] { return host_->Unlink(path); });
 }
 
-namespace {
-
 // Copyable host-call functors for the batched RPC path: each slice becomes
-// one refcounted job, so the callable must own its parameters by value.
+// one refcounted job, so the callable must own its parameters by value. They
+// run on the untrusted side, so the kIagoReturn mangle hook sits here —
+// downstream of the genuine host call, upstream of the trusted validation.
 struct PreadOp {
-  MemFs* host;
+  EnclaveFs* fs;
   int fd;
   IoSlice s;
-  int64_t operator()() const { return host->Pread(fd, s.buf, s.len, s.offset); }
+  int64_t operator()() const {
+    return fs->IagoMangle(fs->host_->Pread(fd, s.buf, s.len, s.offset), s.len);
+  }
 };
 struct PwriteOp {
-  MemFs* host;
+  EnclaveFs* fs;
   int fd;
   ConstIoSlice s;
   int64_t operator()() const {
-    return host->Pwrite(fd, s.buf, s.len, s.offset);
+    return fs->IagoMangle(fs->host_->Pwrite(fd, s.buf, s.len, s.offset),
+                          s.len);
   }
 };
-
-}  // namespace
 
 int64_t EnclaveFs::Preadv(sim::CpuContext* cpu, int fd, const IoSlice* slices,
                           size_t n) {
   if (n == 0) {
     return 0;
   }
-  syscalls_ += n;  // still one host syscall per slice, however it exits
+  // The slice lengths are caller inputs of untrusted provenance (a hostile
+  // host can hand back a forged iovec through a prior syscall): reject a
+  // wrapping total BEFORE any cost is charged or any host call is made, so
+  // an overflow can never buy a tiny charge for a huge transfer.
   size_t total_bytes = 0;
   for (size_t i = 0; i < n; ++i) {
-    total_bytes += slices[i].len;
+    if (!CheckedAdd(total_bytes, slices[i].len, &total_bytes)) {
+      return RejectBoundary(cpu, BoundarySite::kFsIovecOverflow);
+    }
   }
+  syscalls_ += n;  // still one host syscall per slice, however it exits
   int64_t total = 0;
   if (mode_ == ExitMode::kRpc) {
     std::vector<PreadOp> ops;
     ops.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      ops.push_back(PreadOp{host_, fd, slices[i]});
+      ops.push_back(PreadOp{this, fd, slices[i]});
     }
     auto handles = rpc_->CallAsyncBatch(cpu, total_bytes / n, ops);
-    for (int64_t r : rpc_->AwaitAll(cpu, handles)) {
+    std::vector<int64_t> results = rpc_->AwaitAll(cpu, handles);
+    for (size_t i = 0; i < results.size(); ++i) {
+      // Per-slice Iago validation: each count is clamped to ITS request.
+      const int64_t r = ValidateCount(cpu, results[i], slices[i].len);
       if (r < 0) {
         return r;
       }
@@ -107,8 +175,12 @@ int64_t EnclaveFs::Preadv(sim::CpuContext* cpu, int fd, const IoSlice* slices,
   }
   for (size_t i = 0; i < n; ++i) {
     const IoSlice& s = slices[i];
-    const auto op = [&] { return host_->Pread(fd, s.buf, s.len, s.offset); };
-    const int64_t r = cpu != nullptr ? enclave_->Ocall(*cpu, s.len, op) : op();
+    const auto op = [&] {
+      return IagoMangle(host_->Pread(fd, s.buf, s.len, s.offset), s.len);
+    };
+    const int64_t raw =
+        cpu != nullptr ? enclave_->Ocall(*cpu, s.len, op) : op();
+    const int64_t r = ValidateCount(cpu, raw, s.len);
     if (r < 0) {
       return r;
     }
@@ -122,20 +194,25 @@ int64_t EnclaveFs::Pwritev(sim::CpuContext* cpu, int fd,
   if (n == 0) {
     return 0;
   }
-  syscalls_ += n;
+  // Same overflow-before-charge contract as Preadv.
   size_t total_bytes = 0;
   for (size_t i = 0; i < n; ++i) {
-    total_bytes += slices[i].len;
+    if (!CheckedAdd(total_bytes, slices[i].len, &total_bytes)) {
+      return RejectBoundary(cpu, BoundarySite::kFsIovecOverflow);
+    }
   }
+  syscalls_ += n;
   int64_t total = 0;
   if (mode_ == ExitMode::kRpc) {
     std::vector<PwriteOp> ops;
     ops.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      ops.push_back(PwriteOp{host_, fd, slices[i]});
+      ops.push_back(PwriteOp{this, fd, slices[i]});
     }
     auto handles = rpc_->CallAsyncBatch(cpu, total_bytes / n, ops);
-    for (int64_t r : rpc_->AwaitAll(cpu, handles)) {
+    std::vector<int64_t> results = rpc_->AwaitAll(cpu, handles);
+    for (size_t i = 0; i < results.size(); ++i) {
+      const int64_t r = ValidateCount(cpu, results[i], slices[i].len);
       if (r < 0) {
         return r;
       }
@@ -145,8 +222,12 @@ int64_t EnclaveFs::Pwritev(sim::CpuContext* cpu, int fd,
   }
   for (size_t i = 0; i < n; ++i) {
     const ConstIoSlice& s = slices[i];
-    const auto op = [&] { return host_->Pwrite(fd, s.buf, s.len, s.offset); };
-    const int64_t r = cpu != nullptr ? enclave_->Ocall(*cpu, s.len, op) : op();
+    const auto op = [&] {
+      return IagoMangle(host_->Pwrite(fd, s.buf, s.len, s.offset), s.len);
+    };
+    const int64_t raw =
+        cpu != nullptr ? enclave_->Ocall(*cpu, s.len, op) : op();
+    const int64_t r = ValidateCount(cpu, raw, s.len);
     if (r < 0) {
       return r;
     }

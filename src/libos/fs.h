@@ -12,6 +12,7 @@
 #ifndef ELEOS_SRC_LIBOS_FS_H_
 #define ELEOS_SRC_LIBOS_FS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -19,10 +20,13 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/untrusted.h"
 #include "src/crypto/gcm.h"
 #include "src/libos/memfs.h"
 #include "src/rpc/rpc_manager.h"
 #include "src/sim/enclave.h"
+#include "src/sim/fault_injector.h"
 
 namespace eleos::libos {
 
@@ -47,6 +51,18 @@ struct ConstIoSlice {
 
 // Trusted file API: every method performs one host "syscall" through the
 // configured exit mode, with the I/O buffer footprint charged accordingly.
+//
+// Iago hardening (DESIGN.md §12): the host's return values are untrusted
+// inputs. Every byte-count result is validated against the request before it
+// can steer trusted code — the allow-set is exactly {kMemFsError} ∪
+// [0, requested]; anything else (count > requested, giant positives, errno
+// values outside the allow-set) is rejected fail-closed: the call returns
+// kMemFsError, last_status() becomes kHostileInput, and the reject is
+// counted under boundary.rejected_inputs with a kBoundaryReject trace event.
+// Vectored requests additionally reject iovec total-byte overflow before any
+// cost is charged or any host call made. The sim::Fault::kIagoReturn
+// injection point mangles genuine host results on the untrusted side so the
+// validation layer is exercised end to end.
 class EnclaveFs {
  public:
   EnclaveFs(sim::Enclave& enclave, MemFs& host_fs, ExitMode mode,
@@ -74,6 +90,18 @@ class EnclaveFs {
                   size_t n);
 
   uint64_t syscalls() const { return syscalls_; }
+  // The batched-RPC slice functors live in fs.cc; they run host calls on the
+  // untrusted side and need the IagoMangle injection hook.
+  friend struct PreadOp;
+  friend struct PwriteOp;
+  // Boundary-validation outcome of the most recent I/O call on this thread
+  // of control: Ok() after a call whose host results all validated (even if
+  // the host reported a genuine kMemFsError), kHostileInput after a reject.
+  // EnclaveFs is not a concurrency point in this codebase (one logical
+  // caller per instance); last_status_ is plain state on purpose.
+  const Status& last_status() const { return last_status_; }
+  // Host results rejected by this instance (subset of boundary.rejected_inputs).
+  uint64_t iago_rejects() const { return iago_rejects_.value(); }
 
  private:
   template <typename Fn>
@@ -89,11 +117,27 @@ class EnclaveFs {
     return fn();  // functional-only path
   }
 
+  // Untrusted side of the kIagoReturn injection point: replaces a genuine
+  // host result with a rotating out-of-contract value. Runs inside the
+  // forwarded lambda (i.e. on the host/worker side of the boundary), so the
+  // trusted validation downstream sees exactly what a lying host would send.
+  int64_t IagoMangle(int64_t genuine, size_t requested);
+  // Trusted side: admits kMemFsError and [0, requested]; everything else is
+  // rejected fail-closed via RejectBoundary. Returns the validated result.
+  int64_t ValidateCount(sim::CpuContext* cpu, int64_t r, size_t requested);
+  // Counts + traces a boundary reject and returns kMemFsError.
+  int64_t RejectBoundary(sim::CpuContext* cpu, BoundarySite site);
+
   sim::Enclave* enclave_;
   MemFs* host_;
   ExitMode mode_;
   rpc::RpcManager* rpc_;
   uint64_t syscalls_ = 0;
+  sim::FaultInjector* faults_;
+  telemetry::Counter* rejected_inputs_;  // boundary.rejected_inputs (shared)
+  Counter iago_rejects_;
+  std::atomic<uint64_t> iago_cycle_{0};  // rotates the mangled-value shapes
+  Status last_status_ = Status::Ok();
 };
 
 // A confidentiality+integrity protected file over EnclaveFs. All I/O is

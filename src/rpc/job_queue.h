@@ -18,16 +18,31 @@
 // by the probe, which preserves all revoke/abandon semantics of the per-slot
 // state machine below.
 //
-// Hostile-host hardening: the workers are untrusted, so a worker may stall
-// forever, die holding a claimed slot, or never publish a completion. Every
-// slot therefore carries a generation counter (bumped each time the slot is
-// released back to kEmpty) and all worker-side transitions are
-// generation-checked: a late Complete() from a stalled worker can never mark
-// a recycled slot done. Submitters use bounded spin budgets; on timeout a
-// never-claimed job is revoked (it will never run) and an in-flight job is
-// abandoned (the worker recycles the slot when it eventually completes; if
-// that worker dies first, the WorkerPool watchdog scrubs the slot via
-// ScrubAbandoned).
+// Hostile-host hardening, liveness: workers may stall forever, die holding a
+// claimed slot, or never publish a completion. Every slot carries a
+// generation counter (bumped on each release back to kEmpty) and all
+// worker-side transitions are generation-checked; submitters use bounded
+// spin budgets with revoke/abandon on timeout (see AwaitAndRelease).
+//
+// Hostile-host hardening, *contents* (TOCTOU / Iago — DESIGN.md §12): every
+// slot field lives in host-writable memory, so nothing read from a slot is
+// trusted. The discipline is snapshot-then-validate (common/untrusted.h):
+//
+//  * Publication computes an `integrity` word over the slot payload
+//    (gen, fn, arg, span_id, submit_tsc) keyed by an enclave-private secret.
+//  * TryClaimBatch reads each field exactly ONCE into a private ClaimedJob
+//    snapshot and recomputes the integrity word over the snapshot. A
+//    mismatch means the host scribbled between publish and claim: the job is
+//    NOT run, the slot is parked in SlotState::kHostile, and the race is
+//    counted (integrity_rejects). All later logic uses only the snapshot.
+//  * Awaits generation-guard every observation: if the slot's generation
+//    moves while our claim is live (only a hostile host can do that), the
+//    wait resolves to WaitResult::kHostile and the slot is never touched
+//    again — the RpcManager falls back to the OCALL path.
+//
+// A scribbled slot can always deny service (park capacity, force fallbacks);
+// it can never make the enclave run a forged function pointer, read a freed
+// job, or return a wrong result.
 
 #ifndef ELEOS_SRC_RPC_JOB_QUEUE_H_
 #define ELEOS_SRC_RPC_JOB_QUEUE_H_
@@ -39,6 +54,7 @@
 
 #include "src/common/spinlock.h"
 #include "src/common/stats.h"
+#include "src/common/untrusted.h"
 #include "src/sim/fault_injector.h"
 
 namespace eleos::rpc {
@@ -56,19 +72,30 @@ enum class SlotState : uint32_t {
   kRunning = 3,    // a worker claimed it
   kDone = 4,       // result available; submitter must release back to kEmpty
   kAbandoned = 5,  // submitter timed out while a worker held the claim
+  kHostile = 6,    // claim snapshot failed validation; awaiting reclaim
 };
+inline constexpr uint32_t kSlotStateCount = 7;
 
 struct alignas(64) JobSlot {  // one cache line per slot: no false sharing
   std::atomic<SlotState> state{SlotState::kEmpty};
   std::atomic<uint64_t> gen{0};  // bumped on every release back to kEmpty
-  UntrustedFn fn = nullptr;
-  void* arg = nullptr;
+  // Payload fields are relaxed atomics, not plain words: the host (modeled
+  // by sim::ScribblerThread) writes them concurrently with enclave reads, so
+  // plain fields would be data races in the C++ sense even though every read
+  // is snapshot-validated. The atomics carry no ordering duty of their own —
+  // publication order comes from the state word's release/acquire edge.
+  std::atomic<uintptr_t> fn{0};
+  std::atomic<uintptr_t> arg{0};
   // Causal-tracing context, written with fn/arg under the same kFilling ->
   // kReady publication: the submitter's innermost span id and its virtual
   // clock at submit time, so the claiming worker can emit its execution as a
   // child span inside the submitting call's interval. Both 0 when untraced.
-  uint64_t span_id = 0;
-  uint64_t submit_tsc = 0;
+  std::atomic<uint64_t> span_id{0};
+  std::atomic<uint64_t> submit_tsc{0};
+  // Keyed checksum over (gen, fn, arg, span_id, submit_tsc), written at
+  // publication. The key never leaves the enclave, so the host cannot forge
+  // a matching word for scribbled payloads.
+  std::atomic<uint64_t> integrity{0};
 };
 
 // A submitted (or claimed) job: the slot index plus the generation the slot
@@ -84,9 +111,12 @@ class JobQueue {
     kCompleted,  // job ran; slot released
     kRevoked,    // timed out before any worker claimed it; job will never run
     kAbandoned,  // timed out while a worker held it; job may still run late
+    kHostile,    // the host scribbled our slot; job's fate unknowable here
   };
 
   // A claimed job with its tracing context, as drained by TryClaimBatch.
+  // This struct IS the snapshot: each field was read from the shared slot
+  // exactly once and validated; workers must never re-read the slot.
   struct ClaimedJob {
     JobTicket ticket;
     UntrustedFn fn = nullptr;
@@ -96,7 +126,10 @@ class JobQueue {
   };
 
   explicit JobQueue(size_t capacity = 64, sim::FaultInjector* faults = nullptr)
-      : slots_(capacity), faults_(faults) {}
+      : slots_(capacity),
+        faults_(faults),
+        secret_(MixBits(reinterpret_cast<uintptr_t>(this) ^
+                        0x5ec2e7c0ffee1e05ull)) {}
 
   JobQueue(const JobQueue&) = delete;
   JobQueue& operator=(const JobQueue&) = delete;
@@ -156,14 +189,18 @@ class JobQueue {
 
   // Submitter side: spin until the job completes, then release the slot.
   // Gives up after `spin_budget` spins: a still-unclaimed job is revoked
-  // (guaranteed never to run), an in-flight job is abandoned (the worker's
-  // eventual generation-checked Complete recycles the slot).
+  // (guaranteed never to run under an honest host — a hostile host can forge
+  // kReady, so revoked jobs must still be treated as may-run; see
+  // RpcManager's quarantine), an in-flight job is abandoned (the worker's
+  // eventual generation-checked Complete recycles the slot). kHostile means
+  // the host scribbled this claim's shared state: the job's fate cannot be
+  // determined from shared memory and the caller must fail closed.
   WaitResult AwaitAndRelease(JobTicket ticket, uint64_t spin_budget) {
     JobSlot& s = slots_[ticket.slot];
+    WaitResult resolved;
     for (uint64_t spins = 0; spins <= spin_budget; ++spins) {
-      if (s.state.load(std::memory_order_acquire) == SlotState::kDone) {
-        Release(s);
-        return WaitResult::kCompleted;
+      if (PollResolved(s, ticket, &resolved)) {
+        return resolved;
       }
       CpuRelax();
     }
@@ -171,6 +208,14 @@ class JobQueue {
     SlotState expected = SlotState::kReady;
     if (s.state.compare_exchange_strong(expected, SlotState::kFilling,
                                         std::memory_order_acquire)) {
+      if (s.gen.load(std::memory_order_acquire) != ticket.gen) {
+        // The kReady we took was not ours (forged kEmpty let another
+        // submitter recycle the slot). Put the state back and fail closed —
+        // the other submitter's own generation guard resolves its wait.
+        s.state.store(SlotState::kReady, std::memory_order_release);
+        hostile_gen_races_.Inc();
+        return WaitResult::kHostile;
+      }
       Release(s);
       return WaitResult::kRevoked;
     }
@@ -186,11 +231,10 @@ class JobQueue {
     // any value and the historical wait-for-kDone loop here would wedge the
     // enclave forever. Re-check under the same bounded budget instead.
     for (uint64_t spins = 0; spins <= spin_budget; ++spins) {
-      SlotState st = s.state.load(std::memory_order_acquire);
-      if (st == SlotState::kDone) {
-        Release(s);
-        return WaitResult::kCompleted;
+      if (PollResolved(s, ticket, &resolved)) {
+        return resolved;
       }
+      SlotState st = s.state.load(std::memory_order_acquire);
       if (st == SlotState::kRunning &&
           s.state.compare_exchange_strong(st, SlotState::kAbandoned,
                                           std::memory_order_acq_rel)) {
@@ -200,10 +244,16 @@ class JobQueue {
       CpuRelax();
     }
     // Budget exhausted: force the slot to kAbandoned so a late honest
-    // Complete (or the watchdog scrub) recycles it, taking kDone if it lands
-    // first. Never wait unboundedly on host-controlled state.
-    SlotState cur = s.state.load(std::memory_order_acquire);
-    while (cur != SlotState::kDone) {
+    // Complete (or the watchdog scrub) recycles it, taking kDone/kHostile if
+    // one lands first. Never wait unboundedly on host-controlled state.
+    for (;;) {
+      if (PollResolved(s, ticket, &resolved)) {
+        return resolved;
+      }
+      SlotState cur = s.state.load(std::memory_order_acquire);
+      if (cur == SlotState::kDone || cur == SlotState::kHostile) {
+        continue;  // let PollResolved take it with the generation guard
+      }
       if (s.state.compare_exchange_weak(cur, SlotState::kAbandoned,
                                         std::memory_order_acq_rel)) {
         terminal_abandons_.Inc();
@@ -211,8 +261,6 @@ class JobQueue {
         return WaitResult::kAbandoned;
       }
     }
-    Release(s);
-    return WaitResult::kCompleted;
   }
 
   void AwaitAndRelease(JobTicket ticket) {
@@ -245,6 +293,11 @@ class JobQueue {
   // the head cursor — the first ready slot found, then the contiguous run of
   // ready slots after it (a batch published under one doorbell drains in one
   // claim). Returns the number claimed; the worker must Complete each.
+  //
+  // Snapshot-then-validate (see file header): each claimed slot's payload is
+  // read exactly once into the ClaimedJob and checked against the keyed
+  // integrity word. A slot that fails validation is parked kHostile — its
+  // (possibly forged) function pointer is never called.
   size_t TryClaimBatch(ClaimedJob* out, size_t max_n) {
     const size_t cap = slots_.size();
     const uint64_t start = head_.load(std::memory_order_relaxed);
@@ -255,14 +308,30 @@ class JobQueue {
       SlotState expected = SlotState::kReady;
       if (s.state.compare_exchange_strong(expected, SlotState::kRunning,
                                           std::memory_order_acquire)) {
+        // --- Snapshot: one read per shared field, into private storage. ---
+        const uint64_t gen = s.gen.load(std::memory_order_relaxed);
+        const uintptr_t fn = s.fn.load(std::memory_order_relaxed);
+        const uintptr_t arg = s.arg.load(std::memory_order_relaxed);
+        const uint64_t span_id = s.span_id.load(std::memory_order_relaxed);
+        const uint64_t submit_tsc =
+            s.submit_tsc.load(std::memory_order_relaxed);
+        const uint64_t tag = s.integrity.load(std::memory_order_relaxed);
+        // --- Validate on the snapshot only. ---
+        if (fn == 0 ||
+            tag != SlotIntegrity(gen, fn, arg, span_id, submit_tsc)) {
+          // Scribbled between publish and claim (double fetch caught). Park
+          // the slot; the submitter's generation-guarded wait reclaims it.
+          integrity_rejects_.Inc();
+          s.state.store(SlotState::kHostile, std::memory_order_release);
+          continue;
+        }
         ClaimedJob& job = out[claimed++];
         job.ticket.slot = (start + probed) % cap;
-        // Stable while we hold the claim: gen only moves on release-to-empty.
-        job.ticket.gen = s.gen.load(std::memory_order_relaxed);
-        job.fn = s.fn;
-        job.arg = s.arg;
-        job.span_id = s.span_id;
-        job.submit_tsc = s.submit_tsc;
+        job.ticket.gen = gen;
+        job.fn = reinterpret_cast<UntrustedFn>(fn);
+        job.arg = reinterpret_cast<void*>(arg);
+        job.span_id = span_id;
+        job.submit_tsc = submit_tsc;
       } else if (claimed > 0) {
         break;  // end of the ready run; hint stays at the non-ready slot
       }
@@ -319,6 +388,50 @@ class JobQueue {
     return false;
   }
 
+  // Adversary hook, driven by sim::ScribblerThread while kSharedMemScribbler
+  // is armed: models the hostile host storing one garbage value into a
+  // random piece of live shared state — a slot field (including forged-valid
+  // state words) or a ring cursor hint. All stores are relaxed atomics so
+  // the hostility is in the VALUES, not in C++-level data races.
+  void HostileScribble(uint64_t rnd) {
+    if ((rnd & 0x7) == 7) {
+      // Ring cursor hints: never authoritative, so garbage here may only
+      // cost probes.
+      (rnd & 0x8 ? head_ : tail_).store(rnd >> 32, std::memory_order_relaxed);
+      return;
+    }
+    JobSlot& s = slots_[(rnd >> 8) % slots_.size()];
+    switch ((rnd >> 3) % 7) {
+      case 0:
+        // Any state word, in-range forged transitions included (kReady over
+        // kRunning enables bogus revokes, kDone over kRunning forges
+        // completions, kEmpty over kReady invites double publication) plus
+        // out-of-range values.
+        s.state.store(static_cast<SlotState>((rnd >> 40) % 9),
+                      std::memory_order_relaxed);
+        break;
+      case 1:
+        s.gen.store(rnd >> 13, std::memory_order_relaxed);
+        break;
+      case 2:
+        s.fn.store(rnd | 1, std::memory_order_relaxed);  // garbage code ptr
+        break;
+      case 3:
+        s.arg.store(rnd >> 5, std::memory_order_relaxed);
+        break;
+      case 4:
+        s.span_id.store(rnd >> 7, std::memory_order_relaxed);
+        break;
+      case 5:
+        s.submit_tsc.store(rnd >> 11, std::memory_order_relaxed);
+        break;
+      case 6:
+        s.integrity.store(rnd * 0x9e3779b97f4a7c15ull,
+                          std::memory_order_relaxed);
+        break;
+    }
+  }
+
   // Test-only hostile-host hook: models the untrusted host scribbling an
   // arbitrary value into a slot's state word.
   void HostileWriteStateForTest(size_t slot, SlotState state) {
@@ -343,12 +456,72 @@ class JobQueue {
   uint64_t terminal_abandons() const { return terminal_abandons_.value(); }
   // Abandoned slots recycled by the watchdog on behalf of dead workers.
   uint64_t abandoned_scrubs() const { return abandoned_scrubs_.value(); }
+  // Boundary-violation observability (all zero under an honest host):
+  // claim snapshots that failed integrity validation (double fetch caught),
+  uint64_t integrity_rejects() const { return integrity_rejects_.value(); }
+  // generations that moved under a live claim (third-party recycling),
+  uint64_t hostile_gen_races() const { return hostile_gen_races_.value(); }
+  // and kHostile parks reclaimed by their submitter.
+  uint64_t hostile_reclaims() const { return hostile_reclaims_.value(); }
 
  private:
+  // SplitMix64 finalizer: the diffusion step for the slot integrity word.
+  static uint64_t MixBits(uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  // Keyed checksum over the slot payload. The key is enclave-private, so a
+  // host that rewrites any payload field cannot produce the matching word.
+  uint64_t SlotIntegrity(uint64_t gen, uintptr_t fn, uintptr_t arg,
+                         uint64_t span_id, uint64_t submit_tsc) const {
+    uint64_t h = secret_;
+    h = MixBits(h ^ gen);
+    h = MixBits(h ^ fn);
+    h = MixBits(h ^ arg);
+    h = MixBits(h ^ span_id);
+    h = MixBits(h ^ submit_tsc);
+    return h;
+  }
+
+  // One poll step shared by every wait loop in AwaitAndRelease: resolves our
+  // kDone, our kHostile park, and third-party recycling (the generation
+  // moved while our claim was live — only a hostile host can cause that, and
+  // the slot must never be touched again once it has). Returns true with
+  // `*out` set when the wait is over.
+  bool PollResolved(JobSlot& s, const JobTicket& ticket, WaitResult* out) {
+    const SlotState st = s.state.load(std::memory_order_acquire);
+    if (s.gen.load(std::memory_order_acquire) != ticket.gen) {
+      hostile_gen_races_.Inc();
+      *out = WaitResult::kHostile;
+      return true;
+    }
+    if (st == SlotState::kDone) {
+      Release(s);
+      *out = WaitResult::kCompleted;
+      return true;
+    }
+    if (st == SlotState::kHostile) {
+      SlotState expected = SlotState::kHostile;
+      if (s.state.compare_exchange_strong(expected, SlotState::kFilling,
+                                          std::memory_order_acq_rel)) {
+        hostile_reclaims_.Inc();
+        Release(s);
+        *out = WaitResult::kHostile;
+        return true;
+      }
+    }
+    return false;
+  }
+
   // Claims up to `n` empty slots starting at the tail cursor and publishes
   // one job into each. Single O(capacity) worst-case pass, O(1) common case:
   // the cursor points at the next expected-empty slot, and parked slots
-  // (ready/running/abandoned) are skipped, not waited on.
+  // (ready/running/abandoned/hostile) are skipped, not waited on.
   size_t SubmitRun(const UntrustedFn* fns, void* const* args,
                    JobTicket* tickets, size_t n, uint64_t span_id,
                    uint64_t submit_tsc) {
@@ -361,12 +534,17 @@ class JobQueue {
       SlotState expected = SlotState::kEmpty;
       if (s.state.compare_exchange_strong(expected, SlotState::kFilling,
                                           std::memory_order_acquire)) {
-        s.fn = fns[published];
-        s.arg = args[published];
-        s.span_id = span_id;
-        s.submit_tsc = submit_tsc;
+        const uint64_t gen = s.gen.load(std::memory_order_relaxed);
+        const uintptr_t fn = reinterpret_cast<uintptr_t>(fns[published]);
+        const uintptr_t arg = reinterpret_cast<uintptr_t>(args[published]);
+        s.fn.store(fn, std::memory_order_relaxed);
+        s.arg.store(arg, std::memory_order_relaxed);
+        s.span_id.store(span_id, std::memory_order_relaxed);
+        s.submit_tsc.store(submit_tsc, std::memory_order_relaxed);
+        s.integrity.store(SlotIntegrity(gen, fn, arg, span_id, submit_tsc),
+                          std::memory_order_relaxed);
         tickets[published].slot = (start + probed) % cap;
-        tickets[published].gen = s.gen.load(std::memory_order_relaxed);
+        tickets[published].gen = gen;
         s.state.store(SlotState::kReady, std::memory_order_release);
         ++published;
       }
@@ -397,6 +575,8 @@ class JobQueue {
 
   std::vector<JobSlot> slots_;
   sim::FaultInjector* faults_;
+  // Enclave-private key for the slot integrity word (never exported).
+  const uint64_t secret_;
   // Ring cursors: where the next submit (tail_) / claim (head_) probe starts.
   // Monotonic position hints reduced mod capacity; never authoritative.
   std::atomic<uint64_t> tail_{0};
@@ -407,6 +587,9 @@ class JobQueue {
   Counter abandoned_slots_;
   Counter terminal_abandons_;
   Counter abandoned_scrubs_;
+  Counter integrity_rejects_;
+  Counter hostile_gen_races_;
+  Counter hostile_reclaims_;
 };
 
 }  // namespace eleos::rpc

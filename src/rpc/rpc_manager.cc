@@ -31,7 +31,13 @@ RpcManager::RpcManager(sim::Enclave& enclave, Options options)
       call_cycles_(enclave.machine().metrics().GetHistogram("rpc.call_cycles")),
       batch_size_(enclave.machine().metrics().GetHistogram("rpc.batch_size")),
       breaker_state_gauge_(
-          enclave.machine().metrics().GetGauge("rpc.breaker_state")) {
+          enclave.machine().metrics().GetGauge("rpc.breaker_state")),
+      rejected_inputs_metric_(enclave.machine().metrics().GetCounter(
+          "boundary.rejected_inputs")) {
+  // Register the double-fetch counter too, so both boundary.* metrics are
+  // present (as zero) in every snapshot of a benign run — validate_bench.py
+  // keys on their presence, not just their values.
+  enclave.machine().metrics().GetCounter("boundary.double_fetch_races");
   if (use_cat_) {
     enclave_->machine().llc().EnablePartitioning(0.75);
   }
@@ -56,6 +62,21 @@ RpcManager::RpcManager(sim::Enclave& enclave, Options options)
 RpcManager::~RpcManager() {
   enclave_->machine().RemovePublisher(publisher_id_);
   pool_.reset();  // join workers before the queue dies
+  // Workers are joined, so every quarantined job is quiescent. refs==2 means
+  // the trampoline never ran (never claimed, or its claimant died first):
+  // both references are now ours to drop. refs==1 means the worker already
+  // dropped its reference; one drop frees it.
+  std::vector<JobBase*> leftover;
+  {
+    std::lock_guard guard(quarantine_lock_);
+    leftover.swap(quarantine_);
+  }
+  for (JobBase* job : leftover) {
+    if (job->refs.load(std::memory_order_acquire) == 2) {
+      job->Unref();
+    }
+    job->Unref();
+  }
   if (use_cat_) {
     enclave_->machine().llc().DisablePartitioning();
   }
@@ -97,6 +118,8 @@ void RpcManager::CountFallback(sim::CpuContext* cpu, FallbackWhy why) {
       break;
     case FallbackWhy::kBreakerOpen:
       break;  // already counted in breaker_short_circuits_
+    case FallbackWhy::kHostileInput:
+      break;  // counted in hostile_rejects_ / forged_completions_
   }
   enclave_->machine().metrics().trace().Record(
       telemetry::TraceKind::kRpcFallbackOcall,
@@ -201,6 +224,68 @@ void RpcManager::OnExitlessSuccess() {
           options_.await_spin_budget);
 }
 
+void RpcManager::QuarantineJob(JobBase* job) {
+  std::lock_guard guard(quarantine_lock_);
+  quarantine_.push_back(job);
+  // Opportunistic drain: an entry at refs==1 lost its worker reference (the
+  // trampoline ran and unref'd), so only the ledger's reference remains and
+  // no worker can reach the job again — a fresh claim must pass the keyed
+  // integrity check, which the host cannot forge for a new generation. A
+  // seen-1 entry therefore cannot be unref'd concurrently; freeing here is
+  // race-free. refs==2 entries stay parked until a late run or destruction.
+  size_t kept = 0;
+  for (size_t i = 0; i < quarantine_.size(); ++i) {
+    JobBase* j = quarantine_[i];
+    if (j->refs.load(std::memory_order_acquire) == 1) {
+      j->Unref();
+      continue;
+    }
+    quarantine_[kept++] = j;
+  }
+  quarantine_.resize(kept);
+}
+
+void RpcManager::OnHostileBoundary(sim::CpuContext* cpu, BoundarySite site) {
+  hostile_rejects_.Inc();
+  rejected_inputs_metric_->Add(1);
+  enclave_->machine().metrics().trace().Record(
+      telemetry::TraceKind::kBoundaryReject,
+      cpu != nullptr ? cpu->clock.now() : 0, static_cast<uint64_t>(site));
+  // A host that only attacks never completes anything, so boundary rejects
+  // must feed the breaker like timeouts do: sustained hostility trips the
+  // short-circuit and stops paying spin budgets to an adversary.
+  if (breaker_.RecordFailure()) {
+    breaker_opens_.Inc();
+    breaker_state_gauge_->Set(static_cast<int64_t>(breaker_.state()));
+    enclave_->machine().metrics().trace().Record(
+        telemetry::TraceKind::kRpcBreakerOpen,
+        cpu != nullptr ? cpu->clock.now() : 0, /*arg0=*/2,
+        breaker_opens_.value());
+  }
+}
+
+void RpcManager::NoteAwaitFailure(sim::CpuContext* cpu,
+                                  JobQueue::WaitResult wait,
+                                  uint64_t await_budget) {
+  if (wait == JobQueue::WaitResult::kHostile) {
+    OnHostileBoundary(cpu, BoundarySite::kRpcSlotScribbled);
+    CountFallback(cpu, FallbackWhy::kHostileInput);
+    return;
+  }
+  if (wait == JobQueue::WaitResult::kCompleted) {
+    // The slot said kDone but the job's private `ran` flag is false: the
+    // completion was forged. The state word lives in untrusted memory; the
+    // flag does not — the flag wins.
+    forged_completions_.Inc();
+    OnHostileBoundary(cpu, BoundarySite::kRpcForgedCompletion);
+    CountFallback(cpu, FallbackWhy::kHostileInput);
+    return;
+  }
+  // kRevoked / kAbandoned: a plain liveness timeout.
+  OnSpinTimeout(cpu, /*submit_side=*/false, await_budget);
+  CountFallback(cpu, FallbackWhy::kAwaitTimeout);
+}
+
 void RpcManager::PublishTelemetry() {
   telemetry::Registry& r = enclave_->machine().metrics();
   r.GetCounter("rpc.calls")->Set(calls_.value());
@@ -236,6 +321,23 @@ void RpcManager::PublishTelemetry() {
       ->Set(queue_ != nullptr ? queue_->terminal_abandons() : 0);
   r.GetCounter("rpc.abandoned_scrubs")
       ->Set(queue_ != nullptr ? queue_->abandoned_scrubs() : 0);
+  // Untrusted-boundary counters (DESIGN.md §12). double_fetch_races mirrors
+  // the queue's authoritative atomics (integrity-failed claims + generation
+  // races observed at await); rejected_inputs_metric_ is Add()ed live by
+  // every boundary site (RPC, fs, kvcache) and must not be Set here.
+  r.GetCounter("rpc.integrity_rejects")
+      ->Set(queue_ != nullptr ? queue_->integrity_rejects() : 0);
+  r.GetCounter("rpc.hostile_gen_races")
+      ->Set(queue_ != nullptr ? queue_->hostile_gen_races() : 0);
+  r.GetCounter("rpc.hostile_reclaims")
+      ->Set(queue_ != nullptr ? queue_->hostile_reclaims() : 0);
+  r.GetCounter("rpc.forged_completions")->Set(forged_completions_.value());
+  r.GetGauge("rpc.quarantined_jobs")
+      ->Set(static_cast<int64_t>(quarantined_jobs()));
+  r.GetCounter("boundary.double_fetch_races")
+      ->Set(queue_ != nullptr
+                ? queue_->integrity_rejects() + queue_->hostile_gen_races()
+                : 0);
   if (pool_ != nullptr) {
     r.GetCounter("rpc.jobs_executed")->Set(pool_->jobs_executed());
     r.GetCounter("rpc.worker_deaths")->Set(pool_->worker_deaths());

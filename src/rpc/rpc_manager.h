@@ -43,13 +43,16 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "src/common/health.h"
+#include "src/common/spinlock.h"
 #include "src/common/stats.h"
+#include "src/common/untrusted.h"
 #include "src/rpc/job_queue.h"
 #include "src/rpc/worker_pool.h"
 #include "src/sim/enclave.h"
@@ -85,6 +88,12 @@ class RpcManager {
   // public section so AsyncCall below can name JobImpl in its members.)
   struct JobBase {
     std::atomic<int> refs{2};
+    // Enclave-private execution evidence the host cannot forge (the slot
+    // state word CAN be forged): `started` makes the job run-once even if a
+    // scribbled state lets a second worker claim the same published slot,
+    // and `ran` set after Run() is the proof a kDone completion is genuine.
+    std::atomic<bool> started{false};
+    std::atomic<bool> ran{false};
     virtual void Run() = 0;
     virtual ~JobBase() = default;
     void Unref() {
@@ -402,21 +411,20 @@ class RpcManager {
         await_spin_budget_.load(std::memory_order_relaxed);
     const JobQueue::WaitResult wait =
         queue_->AwaitAndRelease(handle.ticket_, await_budget);
-    if (wait == JobQueue::WaitResult::kCompleted) {
+    if (wait == JobQueue::WaitResult::kCompleted &&
+        job->ran.load(std::memory_order_acquire)) {
       OnExitlessSuccess();
       R result = std::move(job->result);
       job->Unref();
       handle.fn_.reset();
       return result;
     }
-    if (wait == JobQueue::WaitResult::kRevoked) {
-      job->Unref();  // revoked before any claim: the job will never run
-    }
-    job->Unref();
+    // Same contract as DispatchThreaded: anything but a genuine completion
+    // quarantines our job reference and resolves through the fallback.
+    QuarantineJob(job);
     sim::SpanScope fallback(&enclave_->machine().metrics().spans(), cpu,
                             "rpc.fallback_ocall");
-    OnSpinTimeout(cpu, /*submit_side=*/false, await_budget);
-    CountFallback(cpu, FallbackWhy::kAwaitTimeout);
+    NoteAwaitFailure(cpu, wait, await_budget);
     // The job may still run late on a worker; the fallback re-runs our own
     // copy of fn, never touching the (possibly racing) job's result.
     R result = Fallback(cpu, handle.io_bytes_, *handle.fn_);
@@ -453,6 +461,13 @@ class RpcManager {
   uint64_t fallback_ocalls() const { return fallback_ocalls_.value(); }
   uint64_t submit_timeouts() const { return submit_timeouts_.value(); }
   uint64_t await_timeouts() const { return await_timeouts_.value(); }
+  // Untrusted-boundary observability (DESIGN.md §12; zero in benign runs).
+  uint64_t forged_completions() const { return forged_completions_.value(); }
+  uint64_t hostile_rejects() const { return hostile_rejects_.value(); }
+  size_t quarantined_jobs() const {
+    std::lock_guard guard(quarantine_lock_);
+    return quarantine_.size();
+  }
   JobQueue* queue() { return queue_.get(); }
   WorkerPool* pool() { return pool_.get(); }
 
@@ -478,12 +493,24 @@ class RpcManager {
  private:
   static void Trampoline(void* arg) {
     auto* job = static_cast<JobBase*>(arg);
+    if (job->started.exchange(true, std::memory_order_acq_rel)) {
+      // A forged slot state let a second worker claim this already-claimed
+      // job (its payload snapshot still validates — it is genuine, just
+      // replayed). Run-once: the first execution owns the worker reference.
+      return;
+    }
     job->Run();
+    job->ran.store(true, std::memory_order_release);
     job->Unref();
   }
 
   // Why a call took the OCALL fallback (trace arg0 / counter selection).
-  enum class FallbackWhy { kAwaitTimeout = 0, kSubmitTimeout = 1, kBreakerOpen = 2 };
+  enum class FallbackWhy {
+    kAwaitTimeout = 0,
+    kSubmitTimeout = 1,
+    kBreakerOpen = 2,
+    kHostileInput = 3,  // scribbled slot or forged completion (boundary.*)
+  };
 
   // Charges the submit-side cost of `batch` calls published under one
   // doorbell and records the batch size. batch == 1 is the plain Call shape.
@@ -507,6 +534,25 @@ class RpcManager {
   // Exit-less completion bookkeeping: feeds the breaker and lets the spin
   // budgets recover additively toward their configured ceilings.
   void OnExitlessSuccess();
+
+  // Parks a job whose outcome was anything but a genuine completion. The
+  // submitter's reference transfers to the ledger: a worker may still hold
+  // (or later forge its way into) the other reference, so dropping ours on a
+  // "never claimed" guess risks use-after-free, and dropping it twice risks
+  // double-free. The ledger drains opportunistically (worker reference gone
+  // → refs==1 → safe to free) and fully in the destructor after the pool has
+  // joined. Also fixes the old leak where a dead worker's claimed job was
+  // never freed.
+  void QuarantineJob(JobBase* job);
+  // Boundary-violation bookkeeping: counts the reject (local + registry),
+  // records a kBoundaryReject trace event, and feeds the breaker so a host
+  // that only attacks (never completes) still trips the short-circuit.
+  void OnHostileBoundary(sim::CpuContext* cpu, BoundarySite site);
+  // Shared post-await failure dispatch: classifies `wait` into a timeout
+  // (revoked/abandoned → OnSpinTimeout) or a boundary violation (kHostile /
+  // forged kDone → OnHostileBoundary) and counts the fallback accordingly.
+  void NoteAwaitFailure(sim::CpuContext* cpu, JobQueue::WaitResult wait,
+                        uint64_t await_budget);
 
   template <typename Fn>
   std::invoke_result_t<Fn> DispatchThreaded(sim::CpuContext* cpu,
@@ -545,7 +591,8 @@ class RpcManager {
         await_spin_budget_.load(std::memory_order_relaxed);
     const JobQueue::WaitResult wait =
         queue_->AwaitAndRelease(ticket, await_budget);
-    if (wait == JobQueue::WaitResult::kCompleted) {
+    if (wait == JobQueue::WaitResult::kCompleted &&
+        job->ran.load(std::memory_order_acquire)) {
       OnExitlessSuccess();
       if constexpr (kVoid) {
         job->Unref();
@@ -556,14 +603,16 @@ class RpcManager {
         return result;
       }
     }
-    if (wait == JobQueue::WaitResult::kRevoked) {
-      job->Unref();  // revoked before any claim: the job will never run
-    }
-    job->Unref();
+    // Timeout (revoked/abandoned), a scribbled slot (kHostile), or a forged
+    // kDone whose job never actually ran: resolve through the OCALL
+    // fallback. The job may still run late on a worker — and a "revoked" job
+    // may secretly have been claimed, since kReady can be forged — so our
+    // reference parks in the quarantine ledger instead of being dropped on
+    // a never-claimed assumption.
+    QuarantineJob(job);
     sim::SpanScope fallback(&enclave_->machine().metrics().spans(), cpu,
                             "rpc.fallback_ocall");
-    OnSpinTimeout(cpu, /*submit_side=*/false, await_budget);
-    CountFallback(cpu, FallbackWhy::kAwaitTimeout);
+    NoteAwaitFailure(cpu, wait, await_budget);
     return Fallback(cpu, io_bytes, fn);
   }
 
@@ -600,6 +649,12 @@ class RpcManager {
   Counter await_timeouts_;
   Counter breaker_opens_;
   Counter breaker_short_circuits_;
+  // Untrusted-boundary hardening (DESIGN.md §12).
+  Counter forged_completions_;  // kDone published for a job that never ran
+  Counter hostile_rejects_;     // scribbled/forged outcomes rejected at await
+  mutable Spinlock quarantine_lock_;
+  std::vector<JobBase*> quarantine_;  // guarded by quarantine_lock_
+  telemetry::Counter* rejected_inputs_metric_;  // boundary.rejected_inputs
   // Telemetry (resolved from the machine's registry at construction).
   telemetry::Histogram* call_cycles_;
   telemetry::Histogram* batch_size_;  // calls per doorbell (1 for plain Call)

@@ -90,6 +90,15 @@ void WorkerPool::WorkerLoop(Worker* self) {
           CpuRelax();
         }
       }
+      if (jobs[j].fn == nullptr) {
+        // TryClaimBatch's integrity validation guarantees a non-null fn;
+        // belt-and-braces so a claim that slipped through a future bug can
+        // never become an arbitrary-call primitive. Resolve the slot so the
+        // submitter is not left spinning on our defensiveness.
+        queue_.Complete(jobs[j].ticket);
+        self->claims[j].slot = SIZE_MAX;
+        continue;
+      }
       jobs[j].fn(jobs[j].arg);
       if (spans_ != nullptr && jobs[j].span_id != 0) {
         // Emitted even when the completion is dropped below: the execution

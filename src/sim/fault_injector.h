@@ -16,7 +16,10 @@
 #define ELEOS_SRC_SIM_FAULT_INJECTOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
+#include <thread>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -42,7 +45,10 @@ enum class Fault : size_t {
   kTornWrite = 9,   // the write in flight at the crash lands partially
   // RPC layer, continued (appended to keep earlier fault ids stable).
   kWorkerDeathWithClaim = 10,  // worker dies between claiming and completing
-  kCount = 11,
+  // Untrusted-memory boundary (TOCTOU / Iago adversaries, DESIGN.md §12).
+  kSharedMemScribbler = 11,  // concurrent thread flips bytes in live shared state
+  kIagoReturn = 12,          // host syscall returns out-of-range sizes/statuses
+  kCount = 13,
 };
 
 inline const char* FaultName(Fault f) {
@@ -58,6 +64,8 @@ inline const char* FaultName(Fault f) {
     case Fault::kHostCrash: return "host_crash";
     case Fault::kTornWrite: return "torn_write";
     case Fault::kWorkerDeathWithClaim: return "worker_death_with_claim";
+    case Fault::kSharedMemScribbler: return "shared_mem_scribbler";
+    case Fault::kIagoReturn: return "iago_return";
     case Fault::kCount: break;
   }
   return "unknown";
@@ -165,6 +173,64 @@ class FaultInjector {
   mutable Spinlock lock_;  // serializes the RNG, arm/disarm and schedule state
   Xoshiro256 rng_;
   std::vector<PhaseState> schedule_;  // guarded by lock_
+};
+
+// A REAL hostile host thread: while kSharedMemScribbler is armed it invokes
+// `target` with fresh random values, and the target (e.g.
+// JobQueue::HostileScribble) turns each into a relaxed-atomic store of
+// garbage into live shared state — concurrently with enclave threads and
+// workers using that state. This is the adversary the snapshot-then-validate
+// boundary (common/untrusted.h) is tested against: the enclave must stay
+// crash-free and correct-or-fail-closed no matter where the stores land.
+//
+// Each scribble consumes one injector trigger, so windows are budgeted and
+// counted like every other fault; with the point disarmed the thread idles.
+class ScribblerThread {
+ public:
+  using ScribbleFn = std::function<void(uint64_t rnd)>;
+
+  ScribblerThread(FaultInjector& faults, uint64_t seed, ScribbleFn target)
+      : faults_(&faults), rng_(seed ^ 0x5c121bb1e5ull), target_(std::move(target)) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+  ~ScribblerThread() { Stop(); }
+
+  ScribblerThread(const ScribblerThread&) = delete;
+  ScribblerThread& operator=(const ScribblerThread&) = delete;
+
+  void Stop() {
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+  uint64_t scribbles() const {
+    return scribbles_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop() {
+    while (!stop_.load(std::memory_order_acquire)) {
+      if (!faults_->armed(Fault::kSharedMemScribbler)) {
+        // Idle outside windows without burning a core.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        continue;
+      }
+      if (faults_->ShouldInject(Fault::kSharedMemScribbler)) {
+        target_(rng_.Next());
+        scribbles_.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  FaultInjector* faults_;
+  Xoshiro256 rng_;  // thread-private: only Loop() touches it
+  ScribbleFn target_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> scribbles_{0};
+  std::thread thread_;
 };
 
 }  // namespace eleos::sim

@@ -118,6 +118,8 @@ const char* TraceKindName(TraceKind kind) {
       return "suvm_recovery";
     case TraceKind::kSuvmHealthChange:
       return "suvm_health_change";
+    case TraceKind::kBoundaryReject:
+      return "boundary_reject";
   }
   return "unknown";
 }

@@ -152,6 +152,8 @@ enum class TraceKind : uint32_t {
   kSuvmCheckpoint = 13,      // sealed root written (arg0 = pages, arg1 = seq)
   kSuvmJournalReplay = 14,   // journal replayed (arg0 = applied, arg1 = torn)
   kSuvmRecovery = 15,        // recovery finished (arg0 = verified, arg1 = quarantined)
+  // Untrusted-memory boundary (DESIGN.md §12).
+  kBoundaryReject = 16,      // hostile shared value rejected (arg0 = site)
 };
 
 const char* TraceKindName(TraceKind kind);

@@ -182,6 +182,119 @@ TEST(KvCache, ValueTooLargeForAnyClassFails) {
   EXPECT_FALSE(w.cache->Set(nullptr, "huge", huge.data(), huge.size()));
 }
 
+// Region whose TryWrite fails after a countdown of successful writes —
+// drives Set/MultiSet's partial-failure unwinding (each Set issues exactly
+// three region writes: header, key, value).
+class FailingRegion : public UntrustedRegion {
+ public:
+  FailingRegion(sim::Machine& machine, size_t bytes)
+      : UntrustedRegion(machine, bytes) {}
+
+  Status TryWrite(sim::CpuContext* cpu, uint64_t off, const void* src,
+                  size_t n) override {
+    if (writes_until_fail_ == 0) {
+      return Status::Unavailable("injected region write failure");
+    }
+    if (writes_until_fail_ > 0) {
+      --writes_until_fail_;
+    }
+    return UntrustedRegion::TryWrite(cpu, off, src, n);
+  }
+  void FailAfter(int64_t writes) { writes_until_fail_ = writes; }
+  void Heal() { writes_until_fail_ = -1; }
+
+ private:
+  int64_t writes_until_fail_ = -1;  // -1 = never fail
+};
+
+TEST(KvCache, OverwriteWriteFailureKeepsOldValue) {
+  // Regression: the old Set removed the existing record BEFORE writing the
+  // replacement, so a failed write lost the previous value too. The
+  // unlink-keep-relink protocol must leave the old value readable.
+  sim::Machine machine;
+  FailingRegion region(machine, 4 << 20);
+  KvCache::Options opts;
+  opts.pool_bytes = 4 << 20;
+  opts.hash_buckets = 64;
+  KvCache cache(machine, region, opts);
+
+  const std::string old_v(200, 'o'), new_v(210, 'n');
+  ASSERT_TRUE(cache.Set(nullptr, "k", old_v.data(), old_v.size()));
+
+  region.FailAfter(0);  // every region write fails
+  EXPECT_FALSE(cache.Set(nullptr, "k", new_v.data(), new_v.size()));
+  EXPECT_FALSE(cache.last_status().ok());
+  EXPECT_GT(cache.stats().io_errors, 0u);
+
+  region.Heal();
+  std::string out(1024, 0);
+  int64_t n = cache.Get(nullptr, "k", out.data(), out.size());
+  ASSERT_EQ(n, static_cast<int64_t>(old_v.size()));
+  EXPECT_EQ(out.substr(0, static_cast<size_t>(n)), old_v);
+  EXPECT_EQ(cache.item_count(), 1u);
+
+  // Fully recovered: the overwrite now lands.
+  ASSERT_TRUE(cache.Set(nullptr, "k", new_v.data(), new_v.size()));
+  n = cache.Get(nullptr, "k", out.data(), out.size());
+  ASSERT_EQ(n, static_cast<int64_t>(new_v.size()));
+  EXPECT_EQ(out.substr(0, static_cast<size_t>(n)), new_v);
+  EXPECT_EQ(cache.item_count(), 1u);
+}
+
+TEST(KvCache, OverwriteMidRecordFailureKeepsOldValue) {
+  // The header write succeeds and the key write fails: the half-written new
+  // chunk must be discarded and the old record restored.
+  sim::Machine machine;
+  FailingRegion region(machine, 4 << 20);
+  KvCache::Options opts;
+  opts.pool_bytes = 4 << 20;
+  opts.hash_buckets = 64;
+  KvCache cache(machine, region, opts);
+
+  const std::string old_v(300, 'o'), new_v(300, 'n');
+  ASSERT_TRUE(cache.Set(nullptr, "mid", old_v.data(), old_v.size()));
+
+  region.FailAfter(1);  // header lands, key write fails
+  EXPECT_FALSE(cache.Set(nullptr, "mid", new_v.data(), new_v.size()));
+
+  region.Heal();
+  std::string out(1024, 0);
+  const int64_t n = cache.Get(nullptr, "mid", out.data(), out.size());
+  ASSERT_EQ(n, static_cast<int64_t>(old_v.size()));
+  EXPECT_EQ(out.substr(0, static_cast<size_t>(n)), old_v);
+}
+
+TEST(KvCache, MultiSetPartialFailureLeavesOldValuesIntact) {
+  sim::Machine machine;
+  FailingRegion region(machine, 4 << 20);
+  KvCache::Options opts;
+  opts.pool_bytes = 4 << 20;
+  opts.hash_buckets = 64;
+  KvCache cache(machine, region, opts);
+
+  const std::string old_a(100, 'a'), old_b(100, 'b');
+  ASSERT_TRUE(cache.Set(nullptr, "a", old_a.data(), old_a.size()));
+  ASSERT_TRUE(cache.Set(nullptr, "b", old_b.data(), old_b.size()));
+
+  // The first pair's three writes land; the second pair's writes fail.
+  region.FailAfter(3);
+  const std::string new_a(120, 'A'), new_b(120, 'B');
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"a", new_a}, {"b", new_b}};
+  EXPECT_EQ(cache.MultiSet(nullptr, pairs), 1u);
+
+  region.Heal();
+  std::string out(1024, 0);
+  int64_t n = cache.Get(nullptr, "a", out.data(), out.size());
+  ASSERT_EQ(n, static_cast<int64_t>(new_a.size()));
+  EXPECT_EQ(out.substr(0, static_cast<size_t>(n)), new_a);
+  n = cache.Get(nullptr, "b", out.data(), out.size());
+  ASSERT_EQ(n, static_cast<int64_t>(old_b.size()))
+      << "partial MultiSet failure must not lose b's old value";
+  EXPECT_EQ(out.substr(0, static_cast<size_t>(n)), old_b);
+  EXPECT_EQ(cache.item_count(), 2u);
+}
+
 TEST(KvCache, MetadataPlacementAblationRuns) {
   KvCache::Options opts;
   opts.metadata_in_secure_memory = true;

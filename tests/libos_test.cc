@@ -121,6 +121,123 @@ TEST(EnclaveFs, RpcModeRequiresManager) {
                std::invalid_argument);
 }
 
+// Edge-case contract shared by both exit paths: zero-length I/O succeeds as
+// a no-op, reads at/past EOF return 0 (not an error), reads straddling EOF
+// clamp to the genuine short count, and a max-size transfer round-trips.
+void RunFsEdgeCases(World& w, EnclaveFs& fs) {
+  sim::CpuContext& cpu = w.machine.cpu(0);
+  w.enclave.Enter(cpu);
+  const int fd = fs.Open(&cpu, "/edge", kRdWr | kCreate | kTrunc);
+  ASSERT_GE(fd, 0);
+  char c = 42;
+  EXPECT_EQ(fs.Read(&cpu, fd, &c, 0), 0);
+  EXPECT_EQ(fs.Pread(&cpu, fd, &c, 0, 0), 0);
+  EXPECT_EQ(fs.Write(&cpu, fd, &c, 0), 0);
+  EXPECT_TRUE(fs.last_status().ok());
+
+  EXPECT_EQ(fs.Pread(&cpu, fd, &c, 1, 0), 0);  // empty file
+  ASSERT_EQ(fs.Pwrite(&cpu, fd, "abc", 3, 0), 3);
+  EXPECT_EQ(fs.Pread(&cpu, fd, &c, 1, 3), 0);     // exactly EOF
+  EXPECT_EQ(fs.Pread(&cpu, fd, &c, 1, 1000), 0);  // far past EOF
+  char straddle[4];
+  EXPECT_EQ(fs.Pread(&cpu, fd, straddle, 4, 1), 2);  // clamped, validated
+  EXPECT_TRUE(fs.last_status().ok());
+
+  std::vector<uint8_t> big(1 << 20);
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<uint8_t>(i * 13 + 1);
+  }
+  ASSERT_EQ(fs.Pwrite(&cpu, fd, big.data(), big.size(), 0),
+            static_cast<int64_t>(big.size()));
+  std::vector<uint8_t> back(big.size());
+  ASSERT_EQ(fs.Pread(&cpu, fd, back.data(), back.size(), 0),
+            static_cast<int64_t>(big.size()));
+  EXPECT_EQ(big, back);
+  EXPECT_EQ(fs.Close(&cpu, fd), 0);
+  EXPECT_EQ(fs.Unlink(&cpu, "/edge"), 0);
+  w.enclave.Exit(cpu);
+}
+
+TEST(EnclaveFs, EdgeCasesViaOcall) {
+  World w;
+  EnclaveFs fs(w.enclave, w.host, ExitMode::kOcall);
+  RunFsEdgeCases(w, fs);
+}
+
+TEST(EnclaveFs, EdgeCasesViaExitlessRpc) {
+  World w;
+  rpc::RpcManager rpc(w.enclave, {.mode = rpc::RpcManager::Mode::kThreaded,
+                                  .use_cat = false,
+                                  .workers = 2});
+  EnclaveFs fs(w.enclave, w.host, ExitMode::kRpc, &rpc);
+  RunFsEdgeCases(w, fs);
+}
+
+TEST(EnclaveFs, IagoResultsRejectedFailClosed) {
+  World w;
+  EnclaveFs fs(w.enclave, w.host, ExitMode::kOcall);
+  sim::CpuContext& cpu = w.machine.cpu(0);
+  w.enclave.Enter(cpu);
+  const int fd = fs.Open(&cpu, "/iago", kRdWr | kCreate);
+  ASSERT_GE(fd, 0);
+  char buf[64] = {0};
+  ASSERT_EQ(fs.Pwrite(&cpu, fd, buf, sizeof(buf), 0), 64);
+
+  w.machine.fault_injector().Arm(sim::Fault::kIagoReturn, 1.0);
+  // All four mangle shapes (requested+1, INT64_MAX, a raw -errno, a
+  // high-bit-tagged count) sit outside the allow-set {kMemFsError} ∪
+  // [0, requested] and must be rejected fail-closed.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(fs.Pread(&cpu, fd, buf, sizeof(buf), 0), kMemFsError) << i;
+    EXPECT_EQ(fs.last_status().code(), StatusCode::kHostileInput) << i;
+  }
+  EXPECT_EQ(fs.Pwrite(&cpu, fd, buf, sizeof(buf), 0), kMemFsError);
+  EXPECT_EQ(fs.last_status().code(), StatusCode::kHostileInput);
+  EXPECT_EQ(fs.iago_rejects(), 5u);
+  EXPECT_GE(w.machine.metrics().GetCounter("boundary.rejected_inputs")->value(),
+            5u);
+
+  // The host comes clean: service resumes and the status clears.
+  w.machine.fault_injector().Disarm(sim::Fault::kIagoReturn);
+  EXPECT_EQ(fs.Pread(&cpu, fd, buf, sizeof(buf), 0), 64);
+  EXPECT_TRUE(fs.last_status().ok());
+  w.enclave.Exit(cpu);
+}
+
+TEST(EnclaveFs, IovecOverflowRejectedBeforeAnyCharge) {
+  World w;
+  EnclaveFs fs(w.enclave, w.host, ExitMode::kOcall);
+  sim::CpuContext& cpu = w.machine.cpu(0);
+  w.enclave.Enter(cpu);
+  const int fd = fs.Open(&cpu, "/v", kRdWr | kCreate);
+  ASSERT_GE(fd, 0);
+
+  char a[8], b[8];
+  IoSlice slices[2] = {{a, sizeof(a), 0}, {b, SIZE_MAX - 4, 8}};
+  const uint64_t syscalls_before = fs.syscalls();
+  const uint64_t cycles_before = cpu.clock.now();
+  EXPECT_EQ(fs.Preadv(&cpu, fd, slices, 2), kMemFsError);
+  EXPECT_EQ(fs.last_status().code(), StatusCode::kHostileInput);
+  EXPECT_EQ(fs.syscalls(), syscalls_before) << "rejected before charging";
+  EXPECT_EQ(cpu.clock.now(), cycles_before) << "no cycles, no host call";
+
+  ConstIoSlice wslices[2] = {{a, SIZE_MAX / 2 + 1, 0}, {b, SIZE_MAX / 2 + 1, 8}};
+  EXPECT_EQ(fs.Pwritev(&cpu, fd, wslices, 2), kMemFsError);
+  EXPECT_EQ(fs.last_status().code(), StatusCode::kHostileInput);
+  EXPECT_EQ(fs.syscalls(), syscalls_before);
+  EXPECT_GE(fs.iago_rejects(), 2u);
+
+  // An honest vector still flows.
+  ASSERT_EQ(fs.Pwrite(&cpu, fd, "0123456789", 10, 0), 10);
+  char c[4], d[4];
+  IoSlice ok[2] = {{c, 4, 0}, {d, 4, 4}};
+  EXPECT_EQ(fs.Preadv(&cpu, fd, ok, 2), 8);
+  EXPECT_TRUE(fs.last_status().ok());
+  EXPECT_EQ(0, std::memcmp(c, "0123", 4));
+  EXPECT_EQ(0, std::memcmp(d, "4567", 4));
+  w.enclave.Exit(cpu);
+}
+
 TEST(ProtectedFile, RoundTripAcrossBlocks) {
   World w;
   EnclaveFs fs(w.enclave, w.host, ExitMode::kOcall);
