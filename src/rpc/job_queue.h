@@ -19,26 +19,32 @@
 // state machine below.
 //
 // Hostile-host hardening, liveness: workers may stall forever, die holding a
-// claimed slot, or never publish a completion. Every slot carries a
-// generation counter (bumped on each release back to kEmpty) and all
-// worker-side transitions are generation-checked; submitters use bounded
-// spin budgets with revoke/abandon on timeout (see AwaitAndRelease).
+// claimed slot, or never publish a completion. Submitters use bounded spin
+// budgets with revoke/abandon on timeout (see AwaitAndRelease).
 //
 // Hostile-host hardening, *contents* (TOCTOU / Iago — DESIGN.md §12): every
 // slot field lives in host-writable memory, so nothing read from a slot is
-// trusted. The discipline is snapshot-then-validate (common/untrusted.h):
+// trusted. Each JobSlot is therefore paired with an enclave-private
+// ShadowSlot that is the AUTHORITY for the publication:
 //
-//  * Publication computes an `integrity` word over the slot payload
-//    (gen, fn, arg, span_id, submit_tsc) keyed by an enclave-private secret.
-//  * TryClaimBatch reads each field exactly ONCE into a private ClaimedJob
-//    snapshot and recomputes the integrity word over the snapshot. A
-//    mismatch means the host scribbled between publish and claim: the job is
-//    NOT run, the slot is parked in SlotState::kHostile, and the race is
-//    counted (integrity_rejects). All later logic uses only the snapshot.
-//  * Awaits generation-guard every observation: if the slot's generation
-//    moves while our claim is live (only a hostile host can do that), the
-//    wait resolves to WaitResult::kHostile and the slot is never touched
-//    again — the RpcManager falls back to the OCALL path.
+//  * SubmitRun records the payload (fn, arg, span_id, submit_tsc) in the
+//    shadow and arms a generation-bound claim-once token (2·gen+1). The
+//    shared slot only carries a host-visible mirror of the payload plus a
+//    keyed integrity word over it.
+//  * TryClaimBatch dispatches ONLY from the shadow. The shared mirror is
+//    snapshotted exactly once and cross-checked (integrity word + field
+//    equality) purely to DETECT scribbling — a mismatch parks the slot
+//    kHostile and counts integrity_rejects; the scribbled values are never
+//    used. The claim then consumes the token with a CAS: exactly one
+//    claimant per publication can ever win, so a forged kReady over kRunning
+//    (replaying a still-valid payload) loses the CAS, counts claim_replays,
+//    and never receives the job pointer — even a job freed after a genuine
+//    completion is unreachable from a replayed claim.
+//  * All generation checks (await, Complete, scrub) read the shadow token,
+//    never the host-writable gen mirror. A token that moves while a claim is
+//    live (only hostile interleavings can cause that) resolves the wait to
+//    WaitResult::kHostile and the slot is never trusted again — the
+//    RpcManager falls back to the OCALL path.
 //
 // A scribbled slot can always deny service (park capacity, force fallbacks);
 // it can never make the enclave run a forged function pointer, read a freed
@@ -49,6 +55,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -78,7 +85,7 @@ inline constexpr uint32_t kSlotStateCount = 7;
 
 struct alignas(64) JobSlot {  // one cache line per slot: no false sharing
   std::atomic<SlotState> state{SlotState::kEmpty};
-  std::atomic<uint64_t> gen{0};  // bumped on every release back to kEmpty
+  std::atomic<uint64_t> gen{0};  // host-visible mirror of the shadow gen
   // Payload fields are relaxed atomics, not plain words: the host (modeled
   // by sim::ScribblerThread) writes them concurrently with enclave reads, so
   // plain fields would be data races in the C++ sense even though every read
@@ -115,8 +122,8 @@ class JobQueue {
   };
 
   // A claimed job with its tracing context, as drained by TryClaimBatch.
-  // This struct IS the snapshot: each field was read from the shared slot
-  // exactly once and validated; workers must never re-read the slot.
+  // Every field comes from the enclave-private ShadowSlot — never from the
+  // host-writable mirror — so workers dispatch only enclave truth.
   struct ClaimedJob {
     JobTicket ticket;
     UntrustedFn fn = nullptr;
@@ -127,9 +134,9 @@ class JobQueue {
 
   explicit JobQueue(size_t capacity = 64, sim::FaultInjector* faults = nullptr)
       : slots_(capacity),
+        shadows_(capacity),
         faults_(faults),
-        secret_(MixBits(reinterpret_cast<uintptr_t>(this) ^
-                        0x5ec2e7c0ffee1e05ull)) {}
+        secret_(EntropySecret()) {}
 
   JobQueue(const JobQueue&) = delete;
   JobQueue& operator=(const JobQueue&) = delete;
@@ -189,17 +196,19 @@ class JobQueue {
 
   // Submitter side: spin until the job completes, then release the slot.
   // Gives up after `spin_budget` spins: a still-unclaimed job is revoked
-  // (guaranteed never to run under an honest host — a hostile host can forge
-  // kReady, so revoked jobs must still be treated as may-run; see
-  // RpcManager's quarantine), an in-flight job is abandoned (the worker's
-  // eventual generation-checked Complete recycles the slot). kHostile means
-  // the host scribbled this claim's shared state: the job's fate cannot be
+  // (its claim token is consumed, so even a forged kReady can never dispatch
+  // it afterwards — but a claim that raced the revoke under forged state may
+  // already have won the token, so revoked jobs are still treated as may-run
+  // by RpcManager's quarantine), an in-flight job is abandoned (the worker's
+  // eventual token-checked Complete recycles the slot). kHostile means the
+  // host scribbled this claim's shared state: the job's fate cannot be
   // determined from shared memory and the caller must fail closed.
   WaitResult AwaitAndRelease(JobTicket ticket, uint64_t spin_budget) {
     JobSlot& s = slots_[ticket.slot];
+    ShadowSlot& sh = shadows_[ticket.slot];
     WaitResult resolved;
     for (uint64_t spins = 0; spins <= spin_budget; ++spins) {
-      if (PollResolved(s, ticket, &resolved)) {
+      if (PollResolved(s, sh, ticket, &resolved)) {
         return resolved;
       }
       CpuRelax();
@@ -208,15 +217,24 @@ class JobQueue {
     SlotState expected = SlotState::kReady;
     if (s.state.compare_exchange_strong(expected, SlotState::kFilling,
                                         std::memory_order_acquire)) {
-      if (s.gen.load(std::memory_order_acquire) != ticket.gen) {
-        // The kReady we took was not ours (forged kEmpty let another
-        // submitter recycle the slot). Put the state back and fail closed —
-        // the other submitter's own generation guard resolves its wait.
-        s.state.store(SlotState::kReady, std::memory_order_release);
+      const uint64_t tok = sh.token.load(std::memory_order_acquire);
+      if ((tok >> 1) != ticket.gen || (tok & 1) == 0) {
+        // Either the kReady we took was not our publication (a forged kEmpty
+        // let the slot be recycled under us), or our claim token was already
+        // consumed under a forged kReady (a worker is running the job even
+        // though the state word said otherwise). Fail closed. The put-back
+        // is CAS-guarded from kFilling so it can never clobber a slot some
+        // other actor has since transitioned — a blind store here could
+        // resurrect a released slot as a stale kReady.
+        SlotState fill = SlotState::kFilling;
+        s.state.compare_exchange_strong(
+            fill,
+            (tok >> 1) == ticket.gen ? SlotState::kRunning : SlotState::kReady,
+            std::memory_order_release);
         hostile_gen_races_.Inc();
         return WaitResult::kHostile;
       }
-      Release(s);
+      Release(s, sh, ticket.gen);
       return WaitResult::kRevoked;
     }
     // A worker holds the claim (or just finished). Try to abandon.
@@ -231,7 +249,7 @@ class JobQueue {
     // any value and the historical wait-for-kDone loop here would wedge the
     // enclave forever. Re-check under the same bounded budget instead.
     for (uint64_t spins = 0; spins <= spin_budget; ++spins) {
-      if (PollResolved(s, ticket, &resolved)) {
+      if (PollResolved(s, sh, ticket, &resolved)) {
         return resolved;
       }
       SlotState st = s.state.load(std::memory_order_acquire);
@@ -247,7 +265,7 @@ class JobQueue {
     // Complete (or the watchdog scrub) recycles it, taking kDone/kHostile if
     // one lands first. Never wait unboundedly on host-controlled state.
     for (;;) {
-      if (PollResolved(s, ticket, &resolved)) {
+      if (PollResolved(s, sh, ticket, &resolved)) {
         return resolved;
       }
       SlotState cur = s.state.load(std::memory_order_acquire);
@@ -294,39 +312,72 @@ class JobQueue {
   // ready slots after it (a batch published under one doorbell drains in one
   // claim). Returns the number claimed; the worker must Complete each.
   //
-  // Snapshot-then-validate (see file header): each claimed slot's payload is
-  // read exactly once into the ClaimedJob and checked against the keyed
-  // integrity word. A slot that fails validation is parked kHostile — its
-  // (possibly forged) function pointer is never called.
+  // Dispatch is from the enclave-private shadow only (see file header). The
+  // shared mirror is snapshotted once and cross-checked purely for
+  // double-fetch DETECTION; a mismatch parks the slot kHostile without
+  // running anything. The claim-once token CAS then guarantees at most one
+  // claimant per publication, so a replayed claim (forged kReady over
+  // kRunning) can never obtain the job pointer — in particular never a
+  // pointer to a job the submitter has since freed.
   size_t TryClaimBatch(ClaimedJob* out, size_t max_n) {
     const size_t cap = slots_.size();
     const uint64_t start = head_.load(std::memory_order_relaxed);
     size_t claimed = 0;
     size_t probed = 0;
     for (; probed < cap && claimed < max_n; ++probed) {
-      JobSlot& s = slots_[(start + probed) % cap];
+      const size_t idx = (start + probed) % cap;
+      JobSlot& s = slots_[idx];
+      ShadowSlot& sh = shadows_[idx];
       SlotState expected = SlotState::kReady;
       if (s.state.compare_exchange_strong(expected, SlotState::kRunning,
                                           std::memory_order_acquire)) {
-        // --- Snapshot: one read per shared field, into private storage. ---
-        const uint64_t gen = s.gen.load(std::memory_order_relaxed);
-        const uintptr_t fn = s.fn.load(std::memory_order_relaxed);
-        const uintptr_t arg = s.arg.load(std::memory_order_relaxed);
-        const uint64_t span_id = s.span_id.load(std::memory_order_relaxed);
+        const uint64_t tok = sh.token.load(std::memory_order_acquire);
+        if ((tok & 1) == 0) {
+          // kReady with no live publication behind it: a forged state word
+          // replaying an already-consumed claim (or a never-published slot).
+          claim_replays_.Inc();
+          s.state.store(SlotState::kHostile, std::memory_order_release);
+          continue;
+        }
+        const uint64_t gen = tok >> 1;
+        // --- Enclave truth: the payload we will dispatch. ---
+        const uintptr_t fn = sh.fn.load(std::memory_order_relaxed);
+        const uintptr_t arg = sh.arg.load(std::memory_order_relaxed);
+        const uint64_t span_id = sh.span_id.load(std::memory_order_relaxed);
         const uint64_t submit_tsc =
-            s.submit_tsc.load(std::memory_order_relaxed);
-        const uint64_t tag = s.integrity.load(std::memory_order_relaxed);
-        // --- Validate on the snapshot only. ---
-        if (fn == 0 ||
-            tag != SlotIntegrity(gen, fn, arg, span_id, submit_tsc)) {
+            sh.submit_tsc.load(std::memory_order_relaxed);
+        // --- Shared mirror: one read per field, detection only. ---
+        const uint64_t m_gen = s.gen.load(std::memory_order_relaxed);
+        const uintptr_t m_fn = s.fn.load(std::memory_order_relaxed);
+        const uintptr_t m_arg = s.arg.load(std::memory_order_relaxed);
+        const uint64_t m_span = s.span_id.load(std::memory_order_relaxed);
+        const uint64_t m_tsc = s.submit_tsc.load(std::memory_order_relaxed);
+        const uint64_t m_tag = s.integrity.load(std::memory_order_relaxed);
+        if (fn == 0 || m_gen != gen || m_fn != fn || m_arg != arg ||
+            m_span != span_id || m_tsc != submit_tsc ||
+            m_tag != SlotIntegrity(m_gen, m_fn, m_arg, m_span, m_tsc)) {
           // Scribbled between publish and claim (double fetch caught). Park
-          // the slot; the submitter's generation-guarded wait reclaims it.
+          // the slot; the submitter's token-guarded wait reclaims it. The
+          // token stays live, so an honest retry of the same publication can
+          // still dispatch if the submitter has not reclaimed it yet.
           integrity_rejects_.Inc();
           s.state.store(SlotState::kHostile, std::memory_order_release);
           continue;
         }
+        // Claim-once: consume the publication's token. Odd token values are
+        // unique across a slot's lifetime (generations only grow), so this
+        // CAS succeeding proves the publication was live from our token load
+        // until now — the shadow reads above were this generation's payload
+        // — and that no other claimant (replayed or otherwise) won it.
+        uint64_t live = tok;
+        if (!sh.token.compare_exchange_strong(live, gen << 1,
+                                              std::memory_order_acq_rel)) {
+          claim_replays_.Inc();
+          s.state.store(SlotState::kHostile, std::memory_order_release);
+          continue;
+        }
         ClaimedJob& job = out[claimed++];
-        job.ticket.slot = (start + probed) % cap;
+        job.ticket.slot = idx;
         job.ticket.gen = gen;
         job.fn = reinterpret_cast<UntrustedFn>(fn);
         job.arg = reinterpret_cast<void*>(arg);
@@ -344,13 +395,14 @@ class JobQueue {
     return claimed;
   }
 
-  // Worker side: publishes completion. Generation-checked — a completion for
-  // a slot that has since been abandoned-and-recycled is dropped
+  // Worker side: publishes completion. Token-checked — a completion for a
+  // slot that has since been recycled past our generation is dropped
   // (stale_completions), and a completion for an abandoned but not yet
   // recycled slot recycles it (abandoned_recycles).
   void Complete(JobTicket ticket) {
     JobSlot& s = slots_[ticket.slot];
-    if (s.gen.load(std::memory_order_acquire) != ticket.gen) {
+    ShadowSlot& sh = shadows_[ticket.slot];
+    if (sh.token.load(std::memory_order_acquire) >> 1 != ticket.gen) {
       stale_completions_.Inc();  // stale: the slot moved on without us
       return;
     }
@@ -362,27 +414,32 @@ class JobQueue {
     if (expected == SlotState::kAbandoned) {
       // The submitter gave up on us; recycle the slot ourselves.
       abandoned_recycles_.Inc();
-      Release(s);
+      Release(s, sh, ticket.gen);
+    } else if (expected == SlotState::kEmpty) {
+      // Released (our generation's token consumed, state recycled) between
+      // our token check and the CAS: the completion is stale all the same.
+      stale_completions_.Inc();
     }
   }
 
   // Watchdog side: recycles an abandoned slot whose claiming worker died
   // before its Complete could run — without this the slot would stay
-  // kAbandoned forever, permanently shrinking capacity. Generation-checked:
-  // only the exact claim the dead worker held is scrubbed. Returns true when
-  // the ticket needs no further tracking (scrubbed, or the slot moved on by
+  // kAbandoned forever, permanently shrinking capacity. Token-checked: only
+  // the exact claim the dead worker held is scrubbed. Returns true when the
+  // ticket needs no further tracking (scrubbed, or the slot moved on by
   // itself); false while the slot is still in flight (e.g. kRunning because
   // the submitter has not yet timed out) and should be re-checked later.
   bool ScrubAbandoned(JobTicket ticket) {
     JobSlot& s = slots_[ticket.slot];
-    if (s.gen.load(std::memory_order_acquire) != ticket.gen) {
+    ShadowSlot& sh = shadows_[ticket.slot];
+    if (sh.token.load(std::memory_order_acquire) >> 1 != ticket.gen) {
       return true;  // already recycled through some other path
     }
     SlotState expected = SlotState::kAbandoned;
     if (s.state.compare_exchange_strong(expected, SlotState::kFilling,
                                         std::memory_order_acq_rel)) {
       abandoned_scrubs_.Inc();
-      Release(s);
+      Release(s, sh, ticket.gen);
       return true;
     }
     return false;
@@ -392,7 +449,8 @@ class JobQueue {
   // is armed: models the hostile host storing one garbage value into a
   // random piece of live shared state — a slot field (including forged-valid
   // state words) or a ring cursor hint. All stores are relaxed atomics so
-  // the hostility is in the VALUES, not in C++-level data races.
+  // the hostility is in the VALUES, not in C++-level data races. The shadow
+  // slots are enclave-private and therefore out of the host's reach.
   void HostileScribble(uint64_t rnd) {
     if ((rnd & 0x7) == 7) {
       // Ring cursor hints: never authoritative, so garbage here may only
@@ -404,9 +462,9 @@ class JobQueue {
     switch ((rnd >> 3) % 7) {
       case 0:
         // Any state word, in-range forged transitions included (kReady over
-        // kRunning enables bogus revokes, kDone over kRunning forges
-        // completions, kEmpty over kReady invites double publication) plus
-        // out-of-range values.
+        // kRunning enables bogus revokes and replayed claims, kDone over
+        // kRunning forges completions, kEmpty over kReady invites double
+        // publication) plus out-of-range values.
         s.state.store(static_cast<SlotState>((rnd >> 40) % 9),
                       std::memory_order_relaxed);
         break;
@@ -457,14 +515,35 @@ class JobQueue {
   // Abandoned slots recycled by the watchdog on behalf of dead workers.
   uint64_t abandoned_scrubs() const { return abandoned_scrubs_.value(); }
   // Boundary-violation observability (all zero under an honest host):
-  // claim snapshots that failed integrity validation (double fetch caught),
+  // claim snapshots whose shared mirror failed validation (double fetch
+  // caught),
   uint64_t integrity_rejects() const { return integrity_rejects_.value(); }
+  // claims on a forged kReady that lost (or never had) the claim-once token
+  // — the replay attack that used to be a use-after-free vector,
+  uint64_t claim_replays() const { return claim_replays_.value(); }
   // generations that moved under a live claim (third-party recycling),
   uint64_t hostile_gen_races() const { return hostile_gen_races_.value(); }
   // and kHostile parks reclaimed by their submitter.
   uint64_t hostile_reclaims() const { return hostile_reclaims_.value(); }
 
  private:
+  // Enclave-private authority for one slot's live publication. The host can
+  // scribble every JobSlot field; it can never reach this struct. Fields are
+  // relaxed atomics because forged state words can defeat the kFilling
+  // mutual exclusion and let two enclave-side actors touch a shadow
+  // concurrently — the token CAS protocol keeps that safe; the atomics just
+  // keep it defined behaviour.
+  struct alignas(64) ShadowSlot {
+    // 2·gen+1 = publication for `gen` is live and unclaimed; even = none.
+    // Odd values never repeat (generations only grow), which is what makes
+    // the claim CAS in TryClaimBatch an exactly-once consumption.
+    std::atomic<uint64_t> token{0};
+    std::atomic<uintptr_t> fn{0};
+    std::atomic<uintptr_t> arg{0};
+    std::atomic<uint64_t> span_id{0};
+    std::atomic<uint64_t> submit_tsc{0};
+  };
+
   // SplitMix64 finalizer: the diffusion step for the slot integrity word.
   static uint64_t MixBits(uint64_t x) {
     x ^= x >> 30;
@@ -475,8 +554,21 @@ class JobQueue {
     return x;
   }
 
-  // Keyed checksum over the slot payload. The key is enclave-private, so a
-  // host that rewrites any payload field cannot produce the matching word.
+  // The integrity key must come from entropy the host can neither observe
+  // nor predict: anything derived from addresses or binary constants can be
+  // recomputed by a host that maps enclave memory and knows the binary
+  // (ASLR is brute-forceable), turning the keyed checksum into a forgeable
+  // one. Models the enclave's RDRAND-backed in-enclave key generation.
+  static uint64_t EntropySecret() {
+    std::random_device rd;
+    uint64_t s = (static_cast<uint64_t>(rd()) << 32) | rd();
+    s ^= static_cast<uint64_t>(rd());
+    return MixBits(s) | 1;  // never zero
+  }
+
+  // Keyed checksum over the slot payload mirror. The key is enclave-private,
+  // so a host that rewrites any payload field cannot produce the matching
+  // word.
   uint64_t SlotIntegrity(uint64_t gen, uintptr_t fn, uintptr_t arg,
                          uint64_t span_id, uint64_t submit_tsc) const {
     uint64_t h = secret_;
@@ -489,19 +581,21 @@ class JobQueue {
   }
 
   // One poll step shared by every wait loop in AwaitAndRelease: resolves our
-  // kDone, our kHostile park, and third-party recycling (the generation
-  // moved while our claim was live — only a hostile host can cause that, and
-  // the slot must never be touched again once it has). Returns true with
-  // `*out` set when the wait is over.
-  bool PollResolved(JobSlot& s, const JobTicket& ticket, WaitResult* out) {
+  // kDone, our kHostile park, and third-party recycling (the shadow token
+  // moved while our claim was live — only hostile interleavings can cause
+  // that, and the slot must never be trusted again once it has). Returns
+  // true with `*out` set when the wait is over.
+  bool PollResolved(JobSlot& s, ShadowSlot& sh, const JobTicket& ticket,
+                    WaitResult* out) {
     const SlotState st = s.state.load(std::memory_order_acquire);
-    if (s.gen.load(std::memory_order_acquire) != ticket.gen) {
+    const uint64_t tok = sh.token.load(std::memory_order_acquire);
+    if ((tok >> 1) != ticket.gen) {
       hostile_gen_races_.Inc();
       *out = WaitResult::kHostile;
       return true;
     }
     if (st == SlotState::kDone) {
-      Release(s);
+      Release(s, sh, ticket.gen);
       *out = WaitResult::kCompleted;
       return true;
     }
@@ -510,7 +604,7 @@ class JobQueue {
       if (s.state.compare_exchange_strong(expected, SlotState::kFilling,
                                           std::memory_order_acq_rel)) {
         hostile_reclaims_.Inc();
-        Release(s);
+        Release(s, sh, ticket.gen);
         *out = WaitResult::kHostile;
         return true;
       }
@@ -530,20 +624,42 @@ class JobQueue {
     size_t published = 0;
     size_t probed = 0;
     for (; probed < cap && published < n; ++probed) {
-      JobSlot& s = slots_[(start + probed) % cap];
+      const size_t idx = (start + probed) % cap;
+      JobSlot& s = slots_[idx];
+      ShadowSlot& sh = shadows_[idx];
       SlotState expected = SlotState::kEmpty;
       if (s.state.compare_exchange_strong(expected, SlotState::kFilling,
                                           std::memory_order_acquire)) {
-        const uint64_t gen = s.gen.load(std::memory_order_relaxed);
+        // The generation is enclave truth, derived from the shadow token —
+        // never from the host-writable gen mirror.
+        uint64_t prev = sh.token.load(std::memory_order_acquire);
+        const uint64_t gen = (prev >> 1) + 1;
         const uintptr_t fn = reinterpret_cast<uintptr_t>(fns[published]);
         const uintptr_t arg = reinterpret_cast<uintptr_t>(args[published]);
+        sh.fn.store(fn, std::memory_order_relaxed);
+        sh.arg.store(arg, std::memory_order_relaxed);
+        sh.span_id.store(span_id, std::memory_order_relaxed);
+        sh.submit_tsc.store(submit_tsc, std::memory_order_relaxed);
+        // Arm the claim-once token. CAS, not a blind store: if a forged
+        // kEmpty let two submitters into the same slot, only one publication
+        // wins and the loser withdraws — the token must never go backwards.
+        if (!sh.token.compare_exchange_strong(prev, (gen << 1) | 1,
+                                              std::memory_order_acq_rel)) {
+          SlotState fill = SlotState::kFilling;
+          s.state.compare_exchange_strong(fill, SlotState::kEmpty,
+                                          std::memory_order_release);
+          continue;
+        }
+        // Host-visible mirror + keyed integrity word, for double-fetch
+        // detection at claim time. Dispatch never reads these.
+        s.gen.store(gen, std::memory_order_relaxed);
         s.fn.store(fn, std::memory_order_relaxed);
         s.arg.store(arg, std::memory_order_relaxed);
         s.span_id.store(span_id, std::memory_order_relaxed);
         s.submit_tsc.store(submit_tsc, std::memory_order_relaxed);
         s.integrity.store(SlotIntegrity(gen, fn, arg, span_id, submit_tsc),
                           std::memory_order_relaxed);
-        tickets[published].slot = (start + probed) % cap;
+        tickets[published].slot = idx;
         tickets[published].gen = gen;
         s.state.store(SlotState::kReady, std::memory_order_release);
         ++published;
@@ -556,9 +672,16 @@ class JobQueue {
     return published;
   }
 
-  void Release(JobSlot& s) {
-    // Bump the generation before reopening the slot so any in-flight stale
-    // Complete() fails its generation check.
+  // Retires `gen`'s publication and reopens the slot. The token CAS consumes
+  // a still-live claim token (revoke path) and is a no-op if a claimant (or
+  // an earlier release) already consumed it; it can never regress a token
+  // some later publication has since advanced.
+  void Release(JobSlot& s, ShadowSlot& sh, uint64_t gen) {
+    uint64_t live = (gen << 1) | 1;
+    sh.token.compare_exchange_strong(live, gen << 1,
+                                     std::memory_order_acq_rel);
+    // Bump the shared gen mirror before reopening the slot, mirroring the
+    // real layout's recycle signal (enclave logic only trusts the token).
     s.gen.fetch_add(1, std::memory_order_release);
     s.state.store(SlotState::kEmpty, std::memory_order_release);
   }
@@ -574,6 +697,9 @@ class JobQueue {
   }
 
   std::vector<JobSlot> slots_;
+  // Enclave-private shadow of each slot's live publication (never exported,
+  // never scribbled — see ShadowSlot).
+  std::vector<ShadowSlot> shadows_;
   sim::FaultInjector* faults_;
   // Enclave-private key for the slot integrity word (never exported).
   const uint64_t secret_;
@@ -588,6 +714,7 @@ class JobQueue {
   Counter terminal_abandons_;
   Counter abandoned_scrubs_;
   Counter integrity_rejects_;
+  Counter claim_replays_;
   Counter hostile_gen_races_;
   Counter hostile_reclaims_;
 };

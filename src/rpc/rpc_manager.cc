@@ -225,24 +225,35 @@ void RpcManager::OnExitlessSuccess() {
 }
 
 void RpcManager::QuarantineJob(JobBase* job) {
+  // A bounded number of ledger entries inspected per call keeps the hostile
+  // path O(1): a sustained-hostility storm (every await failing) must not
+  // turn each fallback into an O(ledger) sweep under the spinlock — that
+  // would make the very cycle numbers the hostile benches measure quadratic
+  // in the attack length. Each call retires at least as many drainable
+  // entries on average as it adds, so the ledger stays bounded by the
+  // (finite) population of still-referenced jobs plus a constant.
+  constexpr size_t kDrainWindow = 8;
   std::lock_guard guard(quarantine_lock_);
   quarantine_.push_back(job);
   // Opportunistic drain: an entry at refs==1 lost its worker reference (the
-  // trampoline ran and unref'd), so only the ledger's reference remains and
-  // no worker can reach the job again — a fresh claim must pass the keyed
-  // integrity check, which the host cannot forge for a new generation. A
-  // seen-1 entry therefore cannot be unref'd concurrently; freeing here is
-  // race-free. refs==2 entries stay parked until a late run or destruction.
-  size_t kept = 0;
-  for (size_t i = 0; i < quarantine_.size(); ++i) {
-    JobBase* j = quarantine_[i];
-    if (j->refs.load(std::memory_order_acquire) == 1) {
-      j->Unref();
-      continue;
+  // trampoline ran and unref'd). The queue's claim-once token guarantees at
+  // most one worker ever held this job, so refs==1 proves nothing can reach
+  // it again; freeing here is race-free. refs==2 entries stay parked until
+  // a late run or destruction.
+  const size_t scans = std::min(quarantine_.size(), kDrainWindow);
+  for (size_t k = 0; k < scans; ++k) {
+    if (quarantine_cursor_ >= quarantine_.size()) {
+      quarantine_cursor_ = 0;
     }
-    quarantine_[kept++] = j;
+    JobBase* j = quarantine_[quarantine_cursor_];
+    if (j->refs.load(std::memory_order_acquire) == 1) {
+      quarantine_[quarantine_cursor_] = quarantine_.back();
+      quarantine_.pop_back();
+      j->Unref();
+    } else {
+      ++quarantine_cursor_;
+    }
   }
-  quarantine_.resize(kept);
 }
 
 void RpcManager::OnHostileBoundary(sim::CpuContext* cpu, BoundarySite site) {
@@ -322,11 +333,14 @@ void RpcManager::PublishTelemetry() {
   r.GetCounter("rpc.abandoned_scrubs")
       ->Set(queue_ != nullptr ? queue_->abandoned_scrubs() : 0);
   // Untrusted-boundary counters (DESIGN.md §12). double_fetch_races mirrors
-  // the queue's authoritative atomics (integrity-failed claims + generation
-  // races observed at await); rejected_inputs_metric_ is Add()ed live by
-  // every boundary site (RPC, fs, kvcache) and must not be Set here.
+  // the queue's authoritative atomics (integrity-failed claims + replayed
+  // claims + generation races observed at await); rejected_inputs_metric_ is
+  // Add()ed live by every boundary site (RPC, fs, kvcache) and must not be
+  // Set here.
   r.GetCounter("rpc.integrity_rejects")
       ->Set(queue_ != nullptr ? queue_->integrity_rejects() : 0);
+  r.GetCounter("rpc.claim_replays")
+      ->Set(queue_ != nullptr ? queue_->claim_replays() : 0);
   r.GetCounter("rpc.hostile_gen_races")
       ->Set(queue_ != nullptr ? queue_->hostile_gen_races() : 0);
   r.GetCounter("rpc.hostile_reclaims")
@@ -336,7 +350,8 @@ void RpcManager::PublishTelemetry() {
       ->Set(static_cast<int64_t>(quarantined_jobs()));
   r.GetCounter("boundary.double_fetch_races")
       ->Set(queue_ != nullptr
-                ? queue_->integrity_rejects() + queue_->hostile_gen_races()
+                ? queue_->integrity_rejects() + queue_->claim_replays() +
+                      queue_->hostile_gen_races()
                 : 0);
   if (pool_ != nullptr) {
     r.GetCounter("rpc.jobs_executed")->Set(pool_->jobs_executed());

@@ -89,9 +89,12 @@ class RpcManager {
   struct JobBase {
     std::atomic<int> refs{2};
     // Enclave-private execution evidence the host cannot forge (the slot
-    // state word CAN be forged): `started` makes the job run-once even if a
-    // scribbled state lets a second worker claim the same published slot,
-    // and `ran` set after Run() is the proof a kDone completion is genuine.
+    // state word CAN be forged): `ran` set after Run() is the proof a kDone
+    // completion is genuine. `started` is defense-in-depth run-once — the
+    // queue's claim-once token already guarantees at most one worker ever
+    // receives this pointer per publication (JobQueue::TryClaimBatch), which
+    // is also what makes the refcount sound: no replayed claimant can hold
+    // the raw pointer without a reference behind it.
     std::atomic<bool> started{false};
     std::atomic<bool> ran{false};
     virtual void Run() = 0;
@@ -494,9 +497,11 @@ class RpcManager {
   static void Trampoline(void* arg) {
     auto* job = static_cast<JobBase*>(arg);
     if (job->started.exchange(true, std::memory_order_acq_rel)) {
-      // A forged slot state let a second worker claim this already-claimed
-      // job (its payload snapshot still validates — it is genuine, just
-      // replayed). Run-once: the first execution owns the worker reference.
+      // Unreachable by construction: JobQueue's claim-once token admits at
+      // most one claimant per publication, and each JobBase is published
+      // exactly once. Kept as defense-in-depth so a future queue bug could
+      // at worst double-claim a LIVE job (the winner holds the worker
+      // reference until it runs), never touch a freed one.
       return;
     }
     job->Run();
@@ -537,12 +542,15 @@ class RpcManager {
 
   // Parks a job whose outcome was anything but a genuine completion. The
   // submitter's reference transfers to the ledger: a worker may still hold
-  // (or later forge its way into) the other reference, so dropping ours on a
-  // "never claimed" guess risks use-after-free, and dropping it twice risks
-  // double-free. The ledger drains opportunistically (worker reference gone
-  // → refs==1 → safe to free) and fully in the destructor after the pool has
-  // joined. Also fixes the old leak where a dead worker's claimed job was
-  // never freed.
+  // the other reference (a "revoked" job can have been claimed under forged
+  // state right as the revoke raced it), so dropping ours on a "never
+  // claimed" guess risks use-after-free, and dropping it twice risks
+  // double-free. The ledger drains opportunistically — refs==1 means the one
+  // possible worker execution (claim-once token, see JobQueue) already ran
+  // and unref'd, so nothing can ever reach the job again — and fully in the
+  // destructor after the pool has joined. The opportunistic sweep is
+  // amortized to a bounded window per call so a sustained-hostility storm
+  // (every await failing) stays O(1) per fallback instead of O(ledger).
   void QuarantineJob(JobBase* job);
   // Boundary-violation bookkeeping: counts the reject (local + registry),
   // records a kBoundaryReject trace event, and feeds the breaker so a host
@@ -654,6 +662,7 @@ class RpcManager {
   Counter hostile_rejects_;     // scribbled/forged outcomes rejected at await
   mutable Spinlock quarantine_lock_;
   std::vector<JobBase*> quarantine_;  // guarded by quarantine_lock_
+  size_t quarantine_cursor_ = 0;      // amortized-drain scan position (same)
   telemetry::Counter* rejected_inputs_metric_;  // boundary.rejected_inputs
   // Telemetry (resolved from the machine's registry at construction).
   telemetry::Histogram* call_cycles_;

@@ -250,7 +250,8 @@ TEST_P(BoundaryFuzz, EveryOpEndsCorrectOrFailClosedUnderLiveScribbler) {
   EXPECT_GE(rejected, fs.iago_rejects());
   EXPECT_EQ(
       machine.metrics().GetCounter("boundary.double_fetch_races")->value(),
-      rpc.queue()->integrity_rejects() + rpc.queue()->hostile_gen_races());
+      rpc.queue()->integrity_rejects() + rpc.queue()->claim_replays() +
+          rpc.queue()->hostile_gen_races());
 
   enclave.Exit(cpu);
 

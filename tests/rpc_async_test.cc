@@ -135,6 +135,47 @@ TEST(JobQueueHostile, AwaitNeverWedgesOnHostScribbledState) {
             JobQueue::WaitResult::kCompleted);
 }
 
+// --- Boundary fix: a replayed claim can never dispatch a job twice ---
+
+TEST(JobQueueHostile, ForgedReadyOverLiveClaimNeverDispatchesAgain) {
+  // The use-after-free vector: a worker claims the job (kReady -> kRunning),
+  // then the host forges kReady over the live claim. The payload in the slot
+  // is genuine — same generation, valid integrity word — so a snapshot-only
+  // defense would hand the SAME job pointer to a second worker that owns no
+  // reference to it. The shadow slot's claim-once token must make the replay
+  // lose instead, without it ever receiving the job.
+  JobQueue q(1);
+  auto fn = +[](void*) {};
+  const JobTicket t = q.Submit(fn, nullptr);
+  JobTicket claim;
+  UntrustedFn got_fn;
+  void* got_arg;
+  ASSERT_TRUE(q.TryClaim(&claim, &got_fn, &got_arg));   // worker A's claim
+  q.HostileWriteStateForTest(0, SlotState::kReady);     // host replays kReady
+
+  JobTicket claim2;
+  EXPECT_FALSE(q.TryClaim(&claim2, &got_fn, &got_arg));  // worker B loses
+  EXPECT_EQ(q.claim_replays(), 1u);
+
+  // The replay parked the slot kHostile; the submitter reclaims it and fails
+  // closed (the RpcManager quarantines the job and falls back to OCALL).
+  EXPECT_EQ(q.AwaitAndRelease(t, /*spin_budget=*/128),
+            JobQueue::WaitResult::kHostile);
+  EXPECT_EQ(q.hostile_reclaims(), 1u);
+
+  // Worker A's late completion is stale (the slot moved on) and is dropped;
+  // the slot is whole again for the next publication.
+  q.Complete(claim);
+  EXPECT_EQ(q.stale_completions(), 1u);
+  const JobTicket t2 = q.Submit(fn, nullptr);
+  JobTicket claim3;
+  ASSERT_TRUE(q.TryClaim(&claim3, &got_fn, &got_arg));
+  EXPECT_NE(claim3.gen, claim.gen);  // a fresh publication, not a replay
+  q.Complete(claim3);
+  EXPECT_EQ(q.AwaitAndRelease(t2, kUnboundedSpins),
+            JobQueue::WaitResult::kCompleted);
+}
+
 // --- Liveness fix: watchdog scrub of claims held by killed workers ---
 
 TEST(RpcFault, WatchdogScrubsClaimsHeldByKilledWorkers) {
