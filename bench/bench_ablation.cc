@@ -49,6 +49,8 @@ uint64_t ReadSweepCycles(bool clean_skip) {
   for (size_t i = 0; i < 8000; ++i) {
     suvm.Read(&cpu, a + rng.NextBelow(pages) * 4096, page, 4096);
   }
+  bench::SnapshotMetrics(machine,
+                         clean_skip ? "clean_skip_on" : "clean_skip_off");
   return cpu.clock.now() - t0;
 }
 
@@ -105,6 +107,7 @@ LinkingResult LinkingAblation() {
   r.unlinked_pt_lookups =
       suvm.stats().minor_faults.load() + suvm.stats().major_faults.load();
   (void)sum;
+  bench::SnapshotMetrics(machine, "spointer_linking");
   return r;
 }
 
@@ -138,14 +141,17 @@ double KvGetCycles(bool metadata_secure) {
     cache.Get(&cpu, "key-" + std::to_string(rng.NextBelow(items)), out,
               sizeof(out));
   }
+  bench::SnapshotMetrics(machine,
+                         metadata_secure ? "kv_meta_secure" : "kv_meta_untrusted");
   return static_cast<double>(cpu.clock.now() - t0) / static_cast<double>(gets);
 }
 
 }  // namespace
 }  // namespace eleos
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eleos;
+  bench::InitMetricsOut(argc, argv, "ablation");
   bench::PrintHeader("Ablations",
                      "SUVM/Eleos design-choice ablations (DESIGN.md)");
 
@@ -191,5 +197,5 @@ int main() {
     t.Print();
     std::printf("Paper: the untrusted-metadata split is 3-7%% faster.\n");
   }
-  return 0;
+  return bench::FlushMetricsOut();
 }

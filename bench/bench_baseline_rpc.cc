@@ -239,6 +239,9 @@ bool RunTracedDemo(const std::string& trace_out) {
   using namespace eleos;
   sim::Machine machine(bench::FastMachine());
   machine.EnableTracing(/*audit=*/true);
+  telemetry::TimeSeriesSampler::Options tl;
+  tl.window_cycles = 1ull << 14;  // short demo: small windows so several cut
+  machine.EnableTimeline(tl);
   sim::Enclave enclave(machine);
   {
     rpc::RpcManager::Options opts;
@@ -279,13 +282,19 @@ bool RunTracedDemo(const std::string& trace_out) {
                  error.c_str());
     return false;
   }
+  machine.CutTimeline();  // flush the open window before both exports
+  // The .timeline.json sibling holds THIS machine's windows so
+  // validate_trace.py can cross-check the trace's counter-track samples
+  // against the windows they were generated from.
   if (!bench::WriteFile(trace_out, machine.ExportChromeTrace()) ||
-      !bench::WriteFile(trace_out + ".folded", machine.ExportFoldedStacks())) {
+      !bench::WriteFile(trace_out + ".folded", machine.ExportFoldedStacks()) ||
+      !bench::WriteFile(trace_out + ".timeline.json",
+                        machine.metrics().timeline().ToJson() + "\n")) {
     std::fprintf(stderr, "bench_baseline_rpc: cannot write %s\n",
                  trace_out.c_str());
     return false;
   }
-  std::printf("bench_baseline_rpc: trace -> %s (+ .folded)\n",
+  std::printf("bench_baseline_rpc: trace -> %s (+ .folded, .timeline.json)\n",
               trace_out.c_str());
   return true;
 }
@@ -322,6 +331,12 @@ int main(int argc, char** argv) {
   const size_t kIoBytes = 256;
 
   sim::Machine machine(bench::FastMachine());
+  // Time-series sampler on the baseline machine: windows small enough that a
+  // smoke run still cuts several, cheap enough (one branch per ChargeCost)
+  // that cycle counts are identical with it off — tier-1 asserts that.
+  telemetry::TimeSeriesSampler::Options tl;
+  tl.window_cycles = 1ull << 18;
+  machine.EnableTimeline(tl);
   sim::Enclave enclave(machine);
   rpc::RpcManager rpc(enclave, {.mode = rpc::RpcManager::Mode::kInline});
   sim::CpuContext& cpu = machine.cpu(0);
@@ -332,7 +347,7 @@ int main(int argc, char** argv) {
     sink += rpc.Call(&cpu, kIoBytes, [i] { return i ^ 0x5aull; });
   }
   enclave.Exit(cpu);
-  machine.PublishAll();
+  machine.CutTimeline();  // PublishAll + flush the open window
 
   const HostileResult stat =
       RunHostile(kHostileCalls, kIoBytes, /*breaker=*/false);
@@ -351,7 +366,7 @@ int main(int argc, char** argv) {
   const telemetry::Histogram* lat =
       machine.metrics().GetHistogram("rpc.call_cycles");
   std::string json = "{\n";
-  json += "  \"schema_version\": 1,\n";
+  json += "  \"schema_version\": 2,\n";
   json += "  \"bench\": \"rpc_baseline\",\n";
   json += bench::JsonKv("mode", smoke ? "smoke" : "full") + ",\n";
   json += "  \"workload\": {" + bench::JsonKv("dispatch", "inline") + ", " +
@@ -396,6 +411,7 @@ int main(int argc, char** argv) {
       ",\n";
   json += "    " + bench::JsonKv("iago_rejects", bnd.iago_rejects) + "\n";
   json += "  },\n";
+  json += "  \"timeline\": " + machine.metrics().timeline().ToJson() + ",\n";
   json += "  \"metrics\": " + machine.metrics().ToJson() + "\n";
   json += "}\n";
 

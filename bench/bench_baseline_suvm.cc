@@ -57,6 +57,12 @@ int main(int argc, char** argv) {
   if (!trace_out.empty()) {
     machine.EnableTracing();  // before the enclave: Enter opens the first span
   }
+  // Time-series sampler: always on for the baseline artifact (the sampler
+  // charges zero virtual cycles, so latency numbers are unaffected — tier-1
+  // asserts byte-identical metrics with it off).
+  telemetry::TimeSeriesSampler::Options tl;
+  tl.window_cycles = 1ull << 18;
+  machine.EnableTimeline(tl);
   sim::Enclave enclave(machine);
   suvm::SuvmConfig cfg;
   cfg.epc_pp_pages = kPpPages;
@@ -128,7 +134,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  machine.PublishAll();
+  machine.CutTimeline();  // PublishAll + flush the open window
 
   const telemetry::Histogram* major =
       machine.metrics().GetHistogram("suvm.major_fault_cycles");
@@ -142,7 +148,7 @@ int main(int argc, char** argv) {
       rec_machine.metrics().GetHistogram("suvm.recover_cycles");
 
   std::string json = "{\n";
-  json += "  \"schema_version\": 1,\n";
+  json += "  \"schema_version\": 2,\n";
   json += "  \"bench\": \"suvm_baseline\",\n";
   json += bench::JsonKv("mode", smoke ? "smoke" : "full") + ",\n";
   json += "  \"workload\": {" + bench::JsonKv("working_set_pages", kWsPages) +
@@ -156,6 +162,7 @@ int main(int argc, char** argv) {
   json += "  \"checkpoint_cycles\": " + bench::LatencyJson(*checkpoint) + ",\n";
   json += "  \"recover_cycles\": " + bench::LatencyJson(*recover) + ",\n";
   json += "  \"latency_cycles\": " + bench::LatencyJson(*major) + ",\n";
+  json += "  \"timeline\": " + machine.metrics().timeline().ToJson() + ",\n";
   json += "  \"metrics\": " + machine.metrics().ToJson() + "\n";
   json += "}\n";
 
@@ -170,14 +177,19 @@ int main(int argc, char** argv) {
                    error.c_str());
       return 1;
     }
+    // The trace and BENCH json come from the same machine here, so the
+    // .timeline.json sibling for validate_trace.py is the same block that
+    // went into the bench document.
     if (!bench::WriteFile(trace_out, machine.ExportChromeTrace()) ||
         !bench::WriteFile(trace_out + ".folded",
-                          machine.ExportFoldedStacks())) {
+                          machine.ExportFoldedStacks()) ||
+        !bench::WriteFile(trace_out + ".timeline.json",
+                          machine.metrics().timeline().ToJson() + "\n")) {
       std::fprintf(stderr, "bench_baseline_suvm: cannot write %s\n",
                    trace_out.c_str());
       return 1;
     }
-    std::printf("bench_baseline_suvm: trace -> %s (+ .folded)\n",
+    std::printf("bench_baseline_suvm: trace -> %s (+ .folded, .timeline.json)\n",
                 trace_out.c_str());
   }
   std::printf(

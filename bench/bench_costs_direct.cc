@@ -91,6 +91,8 @@ HwFaultCosts MeasureHwFaults() {
   const uint64_t pagein_faults = m2.driver().stats().faults;
   const uint64_t pagein_only =
       (cpu2.clock.now() - t0) / (pagein_faults == 0 ? 1 : pagein_faults);
+  bench::SnapshotMetrics(m, "hw_fault_evict_pagein");
+  bench::SnapshotMetrics(m2, "hw_fault_pagein_only");
   return {pagein_only, evict_and_pagein};
 }
 
@@ -130,6 +132,7 @@ SuvmFaultCosts MeasureSuvmFaults() {
     }
     const uint64_t faults = s.stats().major_faults.load();
     out.pagein_only = (cpu.clock.now() - t0) / (faults == 0 ? 1 : faults);
+    bench::SnapshotMetrics(m, "suvm_fault_read");
   }
 
   // Write workload: steady state is all-dirty — every eviction seals.
@@ -153,6 +156,7 @@ SuvmFaultCosts MeasureSuvmFaults() {
     }
     const uint64_t faults = s.stats().major_faults.load();
     out.evict_and_pagein = (cpu.clock.now() - t0) / (faults == 0 ? 1 : faults);
+    bench::SnapshotMetrics(m, "suvm_fault_write");
   }
   return out;
 }
@@ -160,8 +164,9 @@ SuvmFaultCosts MeasureSuvmFaults() {
 }  // namespace
 }  // namespace eleos
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eleos;
+  bench::InitMetricsOut(argc, argv, "costs_direct");
   bench::PrintHeader(
       "Costs (paper §2.2, §2.3, §6.1.2)",
       "Direct transition and paging costs, hardware vs SUVM software faults");
@@ -202,5 +207,6 @@ int main() {
       "\nSoftware faults are %.1fx (read) / %.1fx (write) faster than hardware"
       " faults (paper: ~5x / ~3x).\n",
       read_speedup, write_speedup);
-  return 0;
+  bench::SnapshotMetrics(m, "transitions");
+  return bench::FlushMetricsOut();
 }

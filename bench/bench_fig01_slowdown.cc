@@ -27,15 +27,23 @@ double CyclesPerRequest(size_t data_bytes, PsExecMode mode, PsBackend backend,
     cfg.suvm.fast_seal = true;
     cfg.suvm.backing_bytes = 1;  // raised automatically to fit data_bytes
   }
-  return RunPsWorkload(machine, cfg, /*updates=*/1, /*hot=*/0, n_requests)
-      .CyclesPerRequest();
+  const double cycles =
+      RunPsWorkload(machine, cfg, /*updates=*/1, /*hot=*/0, n_requests)
+          .CyclesPerRequest();
+  char label[64];
+  std::snprintf(label, sizeof(label), "ps_%zumib_mode%d_backend%d",
+                data_bytes >> 20, static_cast<int>(mode),
+                static_cast<int>(backend));
+  bench::SnapshotMetrics(machine, label);
+  return cycles;
 }
 
 }  // namespace
 }  // namespace eleos
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eleos;
+  bench::InitMetricsOut(argc, argv, "fig01_slowdown");
   bench::PrintHeader("Figure 1",
                      "Parameter-server slowdown in enclave vs untrusted, with "
                      "and without Eleos (100k random single-value updates)");
@@ -72,5 +80,5 @@ int main() {
   std::printf(
       "\nShape targets: slowdown grows with data size; Eleos stays within a "
       "small factor of untrusted execution.\n");
-  return 0;
+  return bench::FlushMetricsOut();
 }

@@ -28,6 +28,10 @@ double HandlerCyclesPerUpdate(PsExecMode mode, PsBackend backend, size_t updates
   const size_t hot_keys = (2ull << 20) / 16;  // 2 MiB of hot entries
   const apps::PsRunResult r =
       RunPsWorkload(machine, cfg, updates, hot_keys, n_requests);
+  char label[64];
+  std::snprintf(label, sizeof(label), "pollution_mode%d_upd%zu",
+                static_cast<int>(mode), updates);
+  bench::SnapshotMetrics(machine, label);
   return static_cast<double>(r.handler_cycles) /
          static_cast<double>(r.requests * updates);
 }
@@ -35,8 +39,9 @@ double HandlerCyclesPerUpdate(PsExecMode mode, PsBackend backend, size_t updates
 }  // namespace
 }  // namespace eleos
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eleos;
+  bench::InitMetricsOut(argc, argv, "fig02a_llc_pollution");
   bench::PrintHeader(
       "Figure 2a",
       "LLC pollution cost of OCALL I/O for 'hot' requests on a 64 MiB "
@@ -65,5 +70,5 @@ int main() {
   }
   t.Print();
   std::printf("\nShape target: slowdown grows with request size, up to ~2.2x.\n");
-  return 0;
+  return bench::FlushMetricsOut();
 }

@@ -25,6 +25,10 @@ double HandlerCyclesPerUpdate(HashLayout layout, size_t updates,
   cfg.mode = PsExecMode::kSgxOcall;
   cfg.backend = PsBackend::kEnclave;
   const apps::PsRunResult r = RunPsWorkload(machine, cfg, updates, 0, n_requests);
+  char label[64];
+  std::snprintf(label, sizeof(label), "tlb_layout%d_upd%zu",
+                static_cast<int>(layout), updates);
+  bench::SnapshotMetrics(machine, label);
   return static_cast<double>(r.handler_cycles) /
          static_cast<double>(r.requests * updates);
 }
@@ -32,8 +36,9 @@ double HandlerCyclesPerUpdate(HashLayout layout, size_t updates,
 }  // namespace
 }  // namespace eleos
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eleos;
+  bench::InitMetricsOut(argc, argv, "fig02b_tlb_flush");
   bench::PrintHeader(
       "Figure 2b",
       "TLB-flush cost on a 2 MiB parameter server: open addressing vs "
@@ -66,5 +71,5 @@ int main() {
       "stays elevated as lookups grow (ratio %.2fx -> %.2fx) because every "
       "exit flushes the TLB and chains re-walk cold pages.\n",
       first_ratio, last_ratio);
-  return 0;
+  return bench::FlushMetricsOut();
 }

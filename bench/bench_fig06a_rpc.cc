@@ -22,14 +22,21 @@ double CyclesPerRequest(PsExecMode mode, PsBackend backend, size_t updates,
   cfg.data_bytes = 2ull << 20;
   cfg.mode = mode;
   cfg.backend = backend;
-  return RunPsWorkload(machine, cfg, updates, 0, n_requests).CyclesPerRequest();
+  const double cycles =
+      RunPsWorkload(machine, cfg, updates, 0, n_requests).CyclesPerRequest();
+  char label[64];
+  std::snprintf(label, sizeof(label), "rpc_mode%d_upd%zu",
+                static_cast<int>(mode), updates);
+  bench::SnapshotMetrics(machine, label);
+  return cycles;
 }
 
 }  // namespace
 }  // namespace eleos
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eleos;
+  bench::InitMetricsOut(argc, argv, "fig06a_rpc");
   bench::PrintHeader("Figure 6a",
                      "End-to-end slowdown over untrusted execution: OCALL vs "
                      "exit-less RPC (2 MiB server)");
@@ -61,5 +68,5 @@ int main() {
   std::printf(
       "\nShape target: ~6x advantage for RPC at 1 update/request, converging "
       "to parity at 64.\n");
-  return 0;
+  return bench::FlushMetricsOut();
 }

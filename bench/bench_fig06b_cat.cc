@@ -25,6 +25,10 @@ double HandlerCyclesPerUpdate(PsExecMode mode, size_t updates, size_t n_requests
   const size_t hot_keys = (2ull << 20) / 16;
   const apps::PsRunResult r =
       RunPsWorkload(machine, cfg, updates, hot_keys, n_requests);
+  char label[64];
+  std::snprintf(label, sizeof(label), "cat_mode%d_upd%zu",
+                static_cast<int>(mode), updates);
+  bench::SnapshotMetrics(machine, label);
   return static_cast<double>(r.handler_cycles) /
          static_cast<double>(r.requests * updates);
 }
@@ -32,8 +36,9 @@ double HandlerCyclesPerUpdate(PsExecMode mode, size_t updates, size_t n_requests
 }  // namespace
 }  // namespace eleos
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eleos;
+  bench::InitMetricsOut(argc, argv, "fig06b_cat");
   bench::PrintHeader("Figure 6b",
                      "LLC pollution with exit-less RPC, with and without CAT "
                      "(64 MiB server, 2 MiB hot set; in-enclave time)");
@@ -57,5 +62,5 @@ int main() {
   std::printf(
       "\nShape target: partitioning saves in-enclave time (paper: over 25%%, "
       "growing with I/O buffer size).\n");
-  return 0;
+  return bench::FlushMetricsOut();
 }

@@ -23,6 +23,10 @@ double HandlerCyclesPerUpdate(PsExecMode mode, size_t updates, size_t n_requests
   cfg.mode = mode;
   cfg.backend = PsBackend::kEnclave;
   const apps::PsRunResult r = RunPsWorkload(machine, cfg, updates, 0, n_requests);
+  char label[64];
+  std::snprintf(label, sizeof(label), "tlb_mode%d_upd%zu",
+                static_cast<int>(mode), updates);
+  bench::SnapshotMetrics(machine, label);
   return static_cast<double>(r.handler_cycles) /
          static_cast<double>(r.requests * updates);
 }
@@ -30,8 +34,9 @@ double HandlerCyclesPerUpdate(PsExecMode mode, size_t updates, size_t n_requests
 }  // namespace
 }  // namespace eleos
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eleos;
+  bench::InitMetricsOut(argc, argv, "fig06c_tlb");
   bench::PrintHeader("Figure 6c",
                      "Eliminating TLB-flush overheads with exit-less RPC "
                      "(2 MiB chained table; in-enclave time)");
@@ -54,5 +59,5 @@ int main() {
       "\nShape target: RPC keeps the TLB warm; the in-enclave speedup is "
       "largest for small requests where each OCALL's flush hits hardest "
       "(paper: up to 5.5x faster execution).\n");
-  return 0;
+  return bench::FlushMetricsOut();
 }

@@ -54,6 +54,10 @@ RunResult RunSgx(size_t buffer_bytes, bool write, size_t threads) {
     enclave.Exit(machine.cpu(t));
   }
   r.hw_faults = machine.driver().stats().faults;
+  char label[64];
+  std::snprintf(label, sizeof(label), "sgx_%zumib_%s_t%zu", buffer_bytes >> 20,
+                write ? "write" : "read", threads);
+  bench::SnapshotMetrics(machine, label);
   return r;
 }
 
@@ -103,6 +107,10 @@ RunResult RunSuvm(size_t buffer_bytes, bool write, size_t threads) {
   }
   r.hw_faults = machine.driver().stats().faults;
   r.sw_faults = suvm.stats().major_faults.load();
+  char label[64];
+  std::snprintf(label, sizeof(label), "suvm_%zumib_%s_t%zu", buffer_bytes >> 20,
+                write ? "write" : "read", threads);
+  bench::SnapshotMetrics(machine, label);
   return r;
 }
 
@@ -136,8 +144,9 @@ void RunFigure(size_t threads) {
 }  // namespace
 }  // namespace eleos
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eleos;
+  bench::InitMetricsOut(argc, argv, "fig07_suvm_speedup");
   bench::PrintHeader("Figure 7",
                      "SUVM speedup over native SGX paging (EPC++ = 60 MiB)");
   RunFigure(1);
@@ -146,5 +155,5 @@ int main() {
       "\nShape targets: ~1x inside the EPC; ~5.5x reads / ~3x writes beyond "
       "it; SUVM takes ~0 hardware faults; 4-thread speedups exceed 1-thread "
       "(no TLB-shootdown IPIs in SUVM).\n");
-  return 0;
+  return bench::FlushMetricsOut();
 }

@@ -53,6 +53,10 @@ double MeasureSuvm(size_t ws_bytes, size_t elem, bool write) {
       suvm.Read(&cpu, addr + off, buf.data(), elem);
     }
   }
+  char label[64];
+  std::snprintf(label, sizeof(label), "suvm_%zumib_e%zu_%s", ws_bytes >> 20,
+                elem, write ? "write" : "read");
+  bench::SnapshotMetrics(machine, label);
   return static_cast<double>(cpu.clock.now() - t0) / static_cast<double>(accesses);
 }
 
@@ -81,6 +85,10 @@ double MeasureRaw(size_t ws_bytes, size_t elem, bool write) {
       raw.Read(&cpu, off, buf.data(), elem);
     }
   }
+  char label[64];
+  std::snprintf(label, sizeof(label), "raw_%zumib_e%zu_%s", ws_bytes >> 20,
+                elem, write ? "write" : "read");
+  bench::SnapshotMetrics(machine, label);
   return static_cast<double>(cpu.clock.now() - t0) / static_cast<double>(accesses);
 }
 
@@ -103,8 +111,9 @@ void RunFigure(const char* name, size_t ws_bytes) {
 }  // namespace
 }  // namespace eleos
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eleos;
+  bench::InitMetricsOut(argc, argv, "fig08_spointer_overhead");
   bench::PrintHeader("Figure 8",
                      "SUVM slowdown for fault-free accesses over regular "
                      "enclave memory (pre-faulted working sets)");
@@ -113,5 +122,5 @@ int main() {
   std::printf(
       "\nShape targets: overhead bounded by ~22-25%% in-LLC and <20%% "
       "out-of-LLC, shrinking as element size grows.\n");
-  return 0;
+  return bench::FlushMetricsOut();
 }

@@ -51,6 +51,10 @@ double RunSuvmPair(size_t array_bytes, size_t pp_bytes) {
     s1.Read(&cpu, a1 + rng.NextBelow(pages) * 4096, page, 4096);
     s2.Read(&cpu, a2 + rng.NextBelow(pages) * 4096, page, 4096);
   }
+  char label[64];
+  std::snprintf(label, sizeof(label), "suvm_%zumib_pp%zumib", array_bytes >> 20,
+                pp_bytes >> 20);
+  bench::SnapshotMetrics(machine, label);
   return bench::KopsPerSec(machine.costs(), 2 * kAccessPairs,
                            cpu.clock.now() - t0);
 }
@@ -73,6 +77,9 @@ double RunSgxPair(size_t array_bytes) {
     b1.Read(&cpu, rng.NextBelow(pages) * 4096, page, 4096);
     b2.Read(&cpu, rng.NextBelow(pages) * 4096, page, 4096);
   }
+  char label[64];
+  std::snprintf(label, sizeof(label), "sgx_%zumib", array_bytes >> 20);
+  bench::SnapshotMetrics(machine, label);
   return bench::KopsPerSec(machine.costs(), 2 * kAccessPairs,
                            cpu.clock.now() - t0);
 }
@@ -80,8 +87,9 @@ double RunSgxPair(size_t array_bytes) {
 }  // namespace
 }  // namespace eleos
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eleos;
+  bench::InitMetricsOut(argc, argv, "fig09_ballooning");
   bench::PrintHeader("Figure 9",
                      "Two concurrent enclaves, 4 KiB random reads: correctly "
                      "ballooned EPC++ (30 MiB each) vs misconfigured "
@@ -107,5 +115,5 @@ int main() {
       "\nShape target: the misconfigured EPC++ (2 x 50 MiB > PRM) causes both "
       "SUVM and SGX faults — up to ~3.4x lower throughput than the ballooned "
       "configuration in the paper.\n");
-  return 0;
+  return bench::FlushMetricsOut();
 }

@@ -139,14 +139,19 @@ double Run(Config config, size_t threads, const std::vector<FaceImage>& queries)
   const double cpu_kops = bench::KopsPerSec(costs, kRequests, max_cycles);
   const double wire_kops = net.MaxRequestsPerSecond(kImageBytes + 64, 64) / 1000.0;
   (void)verified;
+  char label[64];
+  std::snprintf(label, sizeof(label), "faceverif_cfg%d_t%zu",
+                static_cast<int>(config), threads);
+  bench::SnapshotMetrics(machine, label);
   return std::min(cpu_kops, wire_kops);
 }
 
 }  // namespace
 }  // namespace eleos
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eleos;
+  bench::InitMetricsOut(argc, argv, "fig10_faceverif");
   bench::PrintHeader("Figure 10",
                      "Face verification throughput (Kops/s), 450 MiB database "
                      "(~4x PRM), one ~232 KiB histogram fetched per request");
@@ -182,5 +187,5 @@ int main() {
       "\nShape targets: native saturates the network; RPC alone barely helps "
       "(exit cost hidden by paging); SUVM reaches ~95%% of native and ~2.3x "
       "vanilla SGX.\n");
-  return 0;
+  return bench::FlushMetricsOut();
 }

@@ -174,14 +174,19 @@ double RunGets(Server& s, Config config, size_t threads) {
   if (hits != kRequests) {
     std::fprintf(stderr, "warning: %zu misses\n", kRequests - hits);
   }
+  char label[64];
+  std::snprintf(label, sizeof(label), "kv_cfg%d_v%zu_t%zu",
+                static_cast<int>(config), s.value_len, threads);
+  bench::SnapshotMetrics(machine, label);
   return bench::KopsPerSec(costs, kRequests, max_cycles);
 }
 
 }  // namespace
 }  // namespace eleos
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eleos;
+  bench::InitMetricsOut(argc, argv, "fig11_memcached");
   bench::PrintHeader("Figure 11 + Table 4",
                      "KvCache (memcached) GET throughput, 500 MiB data "
                      "(4.5x PRM), 20 B keys. Kops/s; 'norm' is normalized to "
@@ -226,5 +231,5 @@ int main() {
       "\nShape targets (paper): Eleos up to ~2.2x over the baseline; SUVM "
       "within ~15-17%% of the no-fault bound; direct access beats EPC++ for "
       "1 KiB values and loses for 4 KiB; native ~3-5x above Eleos.\n");
-  return 0;
+  return bench::FlushMetricsOut();
 }

@@ -42,14 +42,20 @@ double MissCost(Pattern pattern, Op op, sim::MemKind kind) {
         break;
     }
   }
+  char label[64];
+  std::snprintf(label, sizeof(label), "llc_p%d_op%d_kind%d",
+                static_cast<int>(pattern), static_cast<int>(op),
+                static_cast<int>(kind));
+  bench::SnapshotMetrics(m, label);
   return static_cast<double>(cycles) / static_cast<double>(accesses);
 }
 
 }  // namespace
 }  // namespace eleos
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eleos;
+  bench::InitMetricsOut(argc, argv, "tab01_llc_miss");
   bench::PrintHeader("Table 1",
                      "Relative cost of LLC misses: EPC vs untrusted memory");
 
@@ -78,5 +84,5 @@ int main() {
     t.Row().Cell(r.name).Cell(seq).Cell(rnd).Cell(r.paper_seq).Cell(r.paper_rand);
   }
   t.Print();
-  return 0;
+  return bench::FlushMetricsOut();
 }

@@ -47,6 +47,9 @@ Row RunSgx(size_t threads) {
     r.cycles = std::max(r.cycles, machine.cpu(t).clock.now());
     enclave.Exit(machine.cpu(t));
   }
+  char label[64];
+  std::snprintf(label, sizeof(label), "sgx_t%zu", threads);
+  bench::SnapshotMetrics(machine, label);
   return r;
 }
 
@@ -83,14 +86,18 @@ Row RunSuvm(size_t threads) {
     r.cycles = std::max(r.cycles, machine.cpu(t).clock.now());
     enclave.Exit(machine.cpu(t));
   }
+  char label[64];
+  std::snprintf(label, sizeof(label), "suvm_t%zu", threads);
+  bench::SnapshotMetrics(machine, label);
   return r;
 }
 
 }  // namespace
 }  // namespace eleos
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eleos;
+  bench::InitMetricsOut(argc, argv, "tab02_ipi");
   bench::PrintHeader("Table 2",
                      "IPIs and page faults: 4 KiB random reads from 200 MiB "
                      "(SGX hardware paging vs SUVM; paper used 100k reads)");
@@ -119,5 +126,5 @@ int main() {
       "\nShape targets: SGX sends IPIs (more with 4 threads); SUVM sends "
       "none; SUVM takes more (software) faults because EPC++ (60 MiB) is "
       "smaller than usable PRM (~90 MiB); speedup grows with threads.\n");
-  return 0;
+  return bench::FlushMetricsOut();
 }

@@ -56,14 +56,19 @@ double CyclesPerAccess(size_t access_bytes, bool direct) {
       suvm.Read(&cpu, a, buf.data(), access_bytes);
     }
   }
+  char label[64];
+  std::snprintf(label, sizeof(label), "%s_b%zu", direct ? "direct" : "cache",
+                access_bytes);
+  bench::SnapshotMetrics(machine, label);
   return static_cast<double>(cpu.clock.now() - t0) / static_cast<double>(kAccesses);
 }
 
 }  // namespace
 }  // namespace eleos
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eleos;
+  bench::InitMetricsOut(argc, argv, "tab03_direct_access");
   bench::PrintHeader("Table 3",
                      "Direct backing-store access (1 KiB sub-pages) vs EPC++ "
                      "page-cache access (4 KiB pages), random, no reuse");
@@ -88,5 +93,5 @@ int main() {
   std::printf(
       "\nShape target: direct access wins for short reads, roughly ties at "
       "2 KiB, and loses at 4 KiB (4x crypto setup + no page-cache hits).\n");
-  return 0;
+  return bench::FlushMetricsOut();
 }

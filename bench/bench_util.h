@@ -9,8 +9,10 @@
 #define ELEOS_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
+#include "bench/bench_json.h"
 #include "src/common/table.h"
 #include "src/sim/machine.h"
 
@@ -40,6 +42,73 @@ inline std::string Mib(size_t bytes) {
 inline double KopsPerSec(const sim::CostModel& costs, uint64_t ops,
                          uint64_t cycles) {
   return costs.OpsPerSecond(ops, cycles) / 1000.0;
+}
+
+// --- --metrics-out: Registry snapshot export for the figure/table benches ---
+//
+// The paper-figure binaries print human tables; --metrics-out additionally
+// captures each workload machine's full metric registry so a figure run
+// leaves diagnosable context (counters, histograms, trace tail) next to its
+// numbers. Protocol: call InitMetricsOut(argc, argv, "fig06a_rpc") first in
+// main (recognizes `--metrics-out <path>` and `--metrics-out=<path>`; other
+// args are ignored), SnapshotMetrics(machine, "label") after each machine's
+// workload quiesced, and `return FlushMetricsOut();` — which writes
+//   {"schema_version":1,"kind":"bench_metrics","bench":...,
+//    "snapshots":[{"label":...,"metrics":<Registry::ToJson>}, ...]}
+// to the path, or does nothing (exit 0) when the flag was absent.
+
+inline std::string g_metrics_out_path;    // empty => disabled
+inline std::string g_metrics_out_bench;
+inline std::string g_metrics_out_body;
+inline size_t g_metrics_out_count = 0;
+
+inline void InitMetricsOut(int argc, char** argv, const char* bench) {
+  g_metrics_out_bench = bench;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      g_metrics_out_path = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      g_metrics_out_path = argv[i] + 14;
+    }
+  }
+}
+
+inline void SnapshotMetrics(sim::Machine& machine, const std::string& label) {
+  if (g_metrics_out_path.empty()) {
+    return;
+  }
+  // Refresh publish-time mirrors and flush any open timeline window so the
+  // snapshot is complete (CutTimeline runs PublishAll; the cut itself is a
+  // no-op when the sampler is off).
+  machine.CutTimeline();
+  if (g_metrics_out_count++ != 0) {
+    g_metrics_out_body += ",\n";
+  }
+  // `seq` orders the snapshots; labels identify the workload and need not be
+  // unique (sweep helpers snapshot once per machine).
+  g_metrics_out_body += "    {\"seq\": " +
+                        std::to_string(g_metrics_out_count - 1) +
+                        ", \"label\": \"" + label +
+                        "\", \"metrics\": " + machine.metrics().ToJson() + "}";
+}
+
+// Returns main()'s exit code: 0 when disabled or written, 1 on I/O failure.
+inline int FlushMetricsOut() {
+  if (g_metrics_out_path.empty()) {
+    return 0;
+  }
+  std::string out = "{\n  \"schema_version\": 1,\n";
+  out += "  " + JsonKv("kind", std::string("bench_metrics")) + ",\n";
+  out += "  " + JsonKv("bench", g_metrics_out_bench) + ",\n";
+  out += "  \"snapshots\": [\n" + g_metrics_out_body + "\n  ]\n}\n";
+  if (!WriteFile(g_metrics_out_path, out)) {
+    std::fprintf(stderr, "failed to write %s\n", g_metrics_out_path.c_str());
+    return 1;
+  }
+  std::printf("metrics snapshot (%zu machine%s) written to %s\n",
+              g_metrics_out_count, g_metrics_out_count == 1 ? "" : "s",
+              g_metrics_out_path.c_str());
+  return 0;
 }
 
 }  // namespace eleos::bench

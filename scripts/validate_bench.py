@@ -2,7 +2,11 @@
 """Validates BENCH_*.json baseline files emitted by the bench binaries.
 
 Checks (per file):
-  * parses as JSON, schema_version == 1, mode in {smoke, full}
+  * parses as JSON, schema_version == 2, mode in {smoke, full}
+  * the timeline block (schema v2) is present and internally consistent:
+    positive window_cycles, non-empty windows with monotonically increasing
+    indices and end_tsc, per-window counter deltas/rates that agree, ordered
+    histogram percentiles, and well-formed SLO evaluations
   * latency_cycles has count > 0 and p50 <= p95 <= p99
   * every embedded histogram block is internally consistent
   * metrics.counters is present, non-empty, and strictly non-negative
@@ -46,6 +50,61 @@ def check_latency_block(path: str, name: str, block: dict) -> None:
 def fail(msg: str) -> None:
     print(f"validate_bench: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_timeline(path: str, doc: dict) -> None:
+    tl = doc.get("timeline")
+    if not isinstance(tl, dict):
+        fail(f"{path}: schema v2 requires a 'timeline' block")
+    for key in ("window_cycles", "windows_recorded", "windows_dropped",
+                "windows"):
+        if key not in tl:
+            fail(f"{path}: timeline is missing '{key}'")
+    if tl["window_cycles"] <= 0:
+        fail(f"{path}: timeline.window_cycles must be > 0")
+    windows = tl["windows"]
+    if not isinstance(windows, list) or not windows:
+        fail(f"{path}: timeline.windows is missing or empty — the sampler "
+             f"never cut a window (workload too short for window_cycles?)")
+    if tl["windows_recorded"] < len(windows):
+        fail(f"{path}: timeline.windows_recorded < exported window count")
+    prev_index, prev_end = -1, -1
+    for i, w in enumerate(windows):
+        where = f"timeline.windows[{i}]"
+        for key in ("index", "start_tsc", "end_tsc", "counters", "gauges",
+                    "histograms", "slo"):
+            if key not in w:
+                fail(f"{path}: {where} is missing '{key}'")
+        if w["index"] <= prev_index:
+            fail(f"{path}: {where}.index not strictly increasing")
+        if w["end_tsc"] <= prev_end:
+            fail(f"{path}: {where}.end_tsc not strictly increasing")
+        if w["start_tsc"] > w["end_tsc"]:
+            fail(f"{path}: {where} has start_tsc > end_tsc")
+        prev_index, prev_end = w["index"], w["end_tsc"]
+        duration = w["end_tsc"] - w["start_tsc"]
+        for name, c in w["counters"].items():
+            if c.get("delta", -1) < 0:
+                fail(f"{path}: {where}.counters[{name}].delta negative")
+            rate = c.get("rate_per_mcycle")
+            if duration > 0:
+                expect = c["delta"] * 1e6 / duration
+                if rate is None or abs(rate - expect) > max(1e-6, expect * 1e-3):
+                    fail(f"{path}: {where}.counters[{name}] rate {rate} "
+                         f"disagrees with delta/duration {expect}")
+        for name, h in w["histograms"].items():
+            if h.get("count", 0) <= 0:
+                fail(f"{path}: {where}.histograms[{name}] has count <= 0 "
+                     f"(empty histogram deltas must be omitted)")
+            if not (h["p50"] <= h["p95"] <= h["p99"]):
+                fail(f"{path}: {where}.histograms[{name}] percentiles "
+                     f"not ordered")
+        for j, e in enumerate(w["slo"]):
+            for key in ("rule", "value", "threshold", "violated"):
+                if key not in e:
+                    fail(f"{path}: {where}.slo[{j}] is missing '{key}'")
+            if not isinstance(e["violated"], bool):
+                fail(f"{path}: {where}.slo[{j}].violated must be a bool")
 
 
 def check_rpc_hostile(path: str, doc: dict) -> None:
@@ -128,8 +187,8 @@ def validate(path: str) -> None:
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{path}: {e}")
 
-    if doc.get("schema_version") != 1:
-        fail(f"{path}: schema_version must be 1, got {doc.get('schema_version')}")
+    if doc.get("schema_version") != 2:
+        fail(f"{path}: schema_version must be 2, got {doc.get('schema_version')}")
     if doc.get("mode") not in ("smoke", "full"):
         fail(f"{path}: mode must be smoke|full, got {doc.get('mode')}")
     if not doc.get("bench"):
@@ -147,6 +206,8 @@ def validate(path: str) -> None:
             continue
         if {"p50", "p95", "p99"} <= value.keys() and value.get("count", 0) > 0:
             check_latency_block(path, key, value)
+
+    check_timeline(path, doc)
 
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
@@ -211,7 +272,8 @@ def validate(path: str) -> None:
                 fail(f"{path}: metrics.gauges is missing '{key}'")
 
     print(f"validate_bench: OK: {path} ({doc['bench']}, {doc['mode']}, "
-          f"{len(counters)} counters, {len(gauges)} gauges)")
+          f"{len(counters)} counters, {len(gauges)} gauges, "
+          f"{len(doc['timeline']['windows'])} timeline windows)")
 
 
 def main() -> None:

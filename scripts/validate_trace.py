@@ -6,7 +6,8 @@ Checks, per track (pid, tid):
     exporter only emits "X"/"i"/"M", but hand-written traces stay checkable);
   * timestamps are monotonically non-decreasing in file order ("X"/"B"/"E"/"i"
     events; metadata carries no timestamp);
-  * "X" events have a non-negative dur.
+  * "X" events have a non-negative dur;
+  * counter events ("C") carry a numeric args.value.
 Globally:
   * every instant event ("i") that references a span (args.span_id != 0)
     points at an "X" span that exists in the file;
@@ -16,7 +17,15 @@ Globally:
 the exit-less RPC path promises: at least one "rpc.worker_exec" complete
 event whose args.parent is an "rpc.call" span on a *different* track.
 
-Usage: validate_trace.py [--require-worker-child] trace.json [more.json ...]
+--timeline-from=<json> cross-checks the trace's "C" (counter-track) events
+against the time-series windows they were exported from: every C event named
+"timeline.<metric>" at ts T must match a window with end_tsc == T whose
+counter delta (or gauge level) for <metric> equals args.value. The file may
+be a bare timeline block (the .timeline.json sibling the baseline benches
+write) or a whole BENCH document with a "timeline" key.
+
+Usage: validate_trace.py [--require-worker-child] [--timeline-from=<json>]
+                         trace.json [more.json ...]
 """
 
 import json
@@ -28,7 +37,7 @@ def fail(path, msg):
     sys.exit(1)
 
 
-def validate(path, require_worker_child):
+def validate(path, require_worker_child, timeline=None):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     events = doc.get("traceEvents")
@@ -39,6 +48,7 @@ def validate(path, require_worker_child):
     open_stacks = {}    # (pid, tid) -> count of unmatched "B"
     last_ts = {}        # (pid, tid) -> last seen timestamp
     instants = []
+    counters = []       # "C" counter-track samples
     timed = 0
 
     for i, ev in enumerate(events):
@@ -48,7 +58,7 @@ def validate(path, require_worker_child):
         if ph == "M":
             continue
         track = (ev.get("pid"), ev.get("tid"))
-        if ph in ("X", "B", "E", "i"):
+        if ph in ("X", "B", "E", "i", "C"):
             ts = ev.get("ts")
             if not isinstance(ts, (int, float)):
                 fail(path, f"event {i} ({ph}) has no numeric ts")
@@ -73,6 +83,11 @@ def validate(path, require_worker_child):
                 span_ids[sid] = ev
         elif ph == "i":
             instants.append((i, ev))
+        elif ph == "C":
+            value = ev.get("args", {}).get("value")
+            if not isinstance(value, (int, float)):
+                fail(path, f"event {i}: 'C' without numeric args.value")
+            counters.append((i, ev))
 
     for track, depth in open_stacks.items():
         if depth != 0:
@@ -104,24 +119,73 @@ def validate(path, require_worker_child):
             fail(path, "no rpc.worker_exec span with an rpc.call parent on "
                        "another track (cross-boundary propagation broken)")
 
+    if timeline is not None:
+        check_counter_tracks(path, counters, timeline)
+
     print(f"validate_trace: {path}: OK "
           f"({len(span_ids)} spans, {len(instants)} instants, "
-          f"{len(last_ts)} tracks)")
+          f"{len(counters)} counter samples, {len(last_ts)} tracks)")
+
+
+def check_counter_tracks(path, counters, timeline):
+    """Every C event must equal the window value it was exported from."""
+    windows = timeline.get("windows", [])
+    by_end = {w["end_tsc"]: w for w in windows}
+    if not counters:
+        fail(path, "--timeline-from given but the trace has no 'C' events")
+    checked = 0
+    for i, ev in counters:
+        name = ev.get("name", "")
+        if not name.startswith("timeline."):
+            continue
+        metric = name[len("timeline."):]
+        ts = ev["ts"]
+        w = by_end.get(ts)
+        if w is None:
+            fail(path, f"counter event {i} ({name}) at ts {ts} matches no "
+                       f"timeline window end_tsc")
+        value = ev["args"]["value"]
+        c = w.get("counters", {}).get(metric)
+        if c is not None:
+            if c["delta"] != value:
+                fail(path, f"counter event {i} ({name}) value {value} != "
+                           f"window {w['index']} delta {c['delta']}")
+        elif metric in w.get("gauges", {}):
+            if w["gauges"][metric] != value:
+                fail(path, f"counter event {i} ({name}) value {value} != "
+                           f"window {w['index']} gauge {w['gauges'][metric]}")
+        else:
+            fail(path, f"counter event {i} ({name}) has no matching counter "
+                       f"or gauge in window {w['index']}")
+        checked += 1
+    if checked == 0:
+        fail(path, "no timeline.* counter events to cross-check")
 
 
 def main(argv):
     require_worker_child = False
+    timeline = None
     paths = []
     for arg in argv[1:]:
         if arg == "--require-worker-child":
             require_worker_child = True
+        elif arg.startswith("--timeline-from="):
+            tl_path = arg[len("--timeline-from="):]
+            with open(tl_path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+            # Accept a whole BENCH document or a bare timeline block.
+            timeline = doc.get("timeline", doc)
+            if "windows" not in timeline:
+                print(f"validate_trace: {tl_path}: no timeline windows",
+                      file=sys.stderr)
+                return 1
         else:
             paths.append(arg)
     if not paths:
         print(__doc__, file=sys.stderr)
         return 2
     for path in paths:
-        validate(path, require_worker_child)
+        validate(path, require_worker_child, timeline)
     return 0
 
 

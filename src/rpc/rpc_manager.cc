@@ -55,11 +55,40 @@ RpcManager::RpcManager(sim::Enclave& enclave, Options options)
         &enclave_->machine().metrics().spans(),
         c.syscall_cycles + c.rpc_dequeue_cycles, c.syscall_cycles);
   }
+  fallback_metric_ = enclave.machine().metrics().GetCounter("rpc.fallback");
   publisher_id_ =
       enclave_->machine().AddPublisher([this] { PublishTelemetry(); });
+  // SLO watchdog rules + flight-recorder health source. Both registries are
+  // owned by the machine and outlive this manager; the destructor
+  // unregisters, mirroring RemovePublisher.
+  telemetry::Registry& metrics = enclave.machine().metrics();
+  {
+    telemetry::SloRule rule;
+    rule.name = "rpc.fallback_rate";
+    rule.kind = telemetry::SloRule::Kind::kCounterRate;
+    rule.metric = "rpc.fallback";
+    rule.threshold = options.slo_fallback_rate_per_mcycle;
+    slo_fallback_rule_ = metrics.timeline().AddRule(rule);
+  }
+  {
+    telemetry::SloRule rule;
+    rule.name = "rpc.breaker_duty";
+    rule.kind = telemetry::SloRule::Kind::kGaugeDuty;
+    rule.metric = "rpc.breaker_state";
+    rule.threshold = options.slo_breaker_open_duty;
+    rule.duty_windows = options.slo_duty_windows;
+    slo_duty_rule_ = metrics.timeline().AddRule(rule);
+  }
+  flight_health_source_ = metrics.flight().AddHealthSource(
+      "rpc.breaker",
+      [this] { return std::string(HealthStateName(breaker_.state())); });
 }
 
 RpcManager::~RpcManager() {
+  enclave_->machine().metrics().timeline().RemoveRule(slo_fallback_rule_);
+  enclave_->machine().metrics().timeline().RemoveRule(slo_duty_rule_);
+  enclave_->machine().metrics().flight().RemoveHealthSource(
+      flight_health_source_);
   enclave_->machine().RemovePublisher(publisher_id_);
   pool_.reset();  // join workers before the queue dies
   // Workers are joined, so every quarantined job is quiescent. refs==2 means
@@ -109,6 +138,7 @@ void RpcManager::ChargeSubmit(sim::CpuContext* cpu, size_t io_bytes,
 
 void RpcManager::CountFallback(sim::CpuContext* cpu, FallbackWhy why) {
   fallback_ocalls_.Inc();
+  fallback_metric_->Add(1);  // live: windowed rates can't wait for publish
   switch (why) {
     case FallbackWhy::kSubmitTimeout:
       submit_timeouts_.Inc();

@@ -215,6 +215,17 @@ class RpcManager {
     bool adaptive_spin = true;
     uint64_t min_submit_spin_budget = 1ull << 8;
     uint64_t min_await_spin_budget = 1ull << 10;
+    // --- Time-series SLO watchdog (DESIGN.md §13) ---
+    // Declarative per-window rules, registered unconditionally at
+    // construction (rules are inert until the machine's timeline sampler is
+    // enabled, and registering either way keeps metric registration — and
+    // thus snapshot bytes — identical whether or not sampling is on).
+    // Violations emit kSloViolation traces and slo.violations counters; they
+    // never feed the breaker itself (the breaker already reacts per call,
+    // and fallback storms opening it would feed back into this very rule).
+    double slo_fallback_rate_per_mcycle = 50.0;  // rpc.fallback deltas
+    double slo_breaker_open_duty = 0.5;          // breaker_state != 0 duty
+    size_t slo_duty_windows = 8;                 // duty-cycle lookback
   };
 
   RpcManager(sim::Enclave& enclave, Options options);
@@ -668,7 +679,15 @@ class RpcManager {
   telemetry::Histogram* call_cycles_;
   telemetry::Histogram* batch_size_;  // calls per doorbell (1 for plain Call)
   telemetry::Gauge* breaker_state_gauge_;
+  // Live hot-path twin of the publish-time rpc.fallback_ocalls mirror: the
+  // timeline sampler cuts windows from inside ChargeCost and never runs
+  // publishers, so the fallback *rate* needs a counter that is current the
+  // moment the fallback happens.
+  telemetry::Counter* fallback_metric_ = nullptr;
   size_t publisher_id_ = 0;
+  size_t slo_fallback_rule_ = 0;
+  size_t slo_duty_rule_ = 0;
+  size_t flight_health_source_ = 0;
 };
 
 }  // namespace eleos::rpc

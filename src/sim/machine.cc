@@ -27,6 +27,7 @@ Machine::Machine(MachineConfig cfg)
         std::string("sim.cycles.") +
         telemetry::CostCategoryName(static_cast<telemetry::CostCategory>(c)));
   }
+  timeline_ = &metrics_.timeline();
   for (size_t i = 0; i < cpus_.size(); ++i) {
     cpus_[i] = std::make_unique<CpuContext>(this, static_cast<int>(i));
   }
@@ -41,7 +42,8 @@ bool Machine::AuditSpanAccounting(std::string* error) const {
 }
 
 std::string Machine::ExportChromeTrace() const {
-  return telemetry::ExportChromeTrace(metrics_.spans(), metrics_.trace());
+  return telemetry::ExportChromeTrace(metrics_.spans(), metrics_.trace(),
+                                      &metrics_.timeline());
 }
 
 std::string Machine::ExportFoldedStacks() const {

@@ -23,7 +23,9 @@
 #include "src/sim/fault_injector.h"
 #include "src/sim/sgx_driver.h"
 #include "src/sim/vclock.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/telemetry.h"
+#include "src/telemetry/timeseries.h"
 
 namespace eleos::sim {
 
@@ -121,11 +123,51 @@ class Machine {
     cpu->clock.Advance(cycles);
     cycles_by_cat_[static_cast<size_t>(cat)]->Add(cycles);
     metrics_.spans().ChargeCurrent(cat, cycles);
+    // Epoch hook for the time-series sampler: charges zero cycles, one
+    // relaxed load when disabled or mid-window (see timeseries.h).
+    timeline_->MaybeSample(cpu->clock.now());
   }
 
   // One-call span tracing opt-in (`audit` additionally enforces span stack
   // discipline and is meant for tests). Call before the traced workload.
   void EnableTracing(bool audit = false) { metrics_.spans().Enable(audit); }
+
+  // One-call timeline sampling opt-in (off by default; sampling charges zero
+  // virtual cycles). Call before the sampled workload.
+  void EnableTimeline(telemetry::TimeSeriesSampler::Options options = {}) {
+    metrics_.timeline().Enable(options, MaxClock());
+  }
+
+  // Flushes the open partial timeline window at the maximum virtual clock
+  // and refreshes publish-time-only counter mirrors first, so the final
+  // window sees them. Call after the workload quiesced, before exporting.
+  void CutTimeline() {
+    PublishAll();
+    metrics_.timeline().ForceCut(MaxClock());
+  }
+
+  // Post-mortem flight bundle: publish, flush the timeline, dump. Returns
+  // the bundle path, or "" when no flight dir is configured (ELEOS_FLIGHT_DIR
+  // unset and flight().set_dir not called) — so harness hooks are free on
+  // passing runs. See src/telemetry/flight_recorder.h.
+  std::string DumpFlight(const std::string& reason) {
+    if (!metrics_.flight().configured()) {
+      return "";
+    }
+    CutTimeline();
+    return metrics_.flight().Dump(reason, MaxClock());
+  }
+
+  // The furthest-ahead virtual clock across all CPUs ("machine time").
+  uint64_t MaxClock() const {
+    uint64_t now = 0;
+    for (const auto& cpu : cpus_) {
+      if (cpu != nullptr && cpu->clock.now() > now) {
+        now = cpu->clock.now();
+      }
+    }
+    return now;
+  }
 
   // Runs the tracer's cycle-accounting audit against this machine's
   // sim.cycles.* totals. True on success; fills *error otherwise.
@@ -145,13 +187,42 @@ class Machine {
   SgxDriver driver_;
   FaultInjector fault_injector_;
   // sim.cycles.<category> counter per CostCategory, resolved once in the
-  // constructor so ChargeCost stays a few relaxed atomics.
+  // constructor so ChargeCost stays a few relaxed atomics. The sampler
+  // pointer is cached for the same reason.
   telemetry::Counter* cycles_by_cat_[telemetry::kNumCostCategories] = {};
+  telemetry::TimeSeriesSampler* timeline_ = nullptr;
   std::array<std::unique_ptr<CpuContext>, kMaxCpus> cpus_;
   uint64_t scratch_cursor_ = 0;
   std::mutex publishers_mutex_;
   std::vector<std::pair<size_t, std::function<void()>>> publishers_;
   size_t next_publisher_id_ = 0;
+};
+
+// RAII harness hook for the flight recorder: on scope exit, if `failed()`
+// reports true (e.g. a lambda over ::testing::Test::HasFailure), dumps a
+// flight bundle for `reason`. Free on passing runs and a no-op unless a
+// flight dir is configured, so soak harnesses can wrap their bodies
+// unconditionally.
+class FlightOnFailure {
+ public:
+  FlightOnFailure(Machine& machine, std::string reason,
+                  std::function<bool()> failed)
+      : machine_(&machine),
+        reason_(std::move(reason)),
+        failed_(std::move(failed)) {}
+  ~FlightOnFailure() {
+    if (failed_ && failed_()) {
+      machine_->DumpFlight(reason_);
+    }
+  }
+
+  FlightOnFailure(const FlightOnFailure&) = delete;
+  FlightOnFailure& operator=(const FlightOnFailure&) = delete;
+
+ private:
+  Machine* machine_;
+  std::string reason_;
+  std::function<bool()> failed_;
 };
 
 }  // namespace eleos::sim

@@ -132,9 +132,29 @@ Suvm::Suvm(sim::Enclave& enclave, SuvmConfig config,
   meta_region_vaddr_ = enclave_->Alloc(meta_entries_ * meta_entry_bytes);
   publisher_id_ =
       enclave_->machine().AddPublisher([this] { PublishTelemetry(); });
+  // SLO watchdog rule + flight-recorder health source (both machine-owned
+  // registries outlive this object; the destructor unregisters).
+  {
+    telemetry::SloRule rule;
+    rule.name = "suvm.major_fault_p99";
+    rule.kind = telemetry::SloRule::Kind::kHistogramP99;
+    rule.metric = "suvm.major_fault_cycles";
+    rule.threshold = config.slo_major_fault_p99_cycles;
+    slo_fault_rule_ = enclave_->machine().metrics().timeline().AddRule(rule);
+  }
+  flight_health_source_ =
+      enclave_->machine().metrics().flight().AddHealthSource(
+          "suvm.alloc", [this] {
+            return std::string(HealthStateName(alloc_health_.state()));
+          });
 }
 
-Suvm::~Suvm() { enclave_->machine().RemovePublisher(publisher_id_); }
+Suvm::~Suvm() {
+  enclave_->machine().metrics().timeline().RemoveRule(slo_fault_rule_);
+  enclave_->machine().metrics().flight().RemoveHealthSource(
+      flight_health_source_);
+  enclave_->machine().RemovePublisher(publisher_id_);
+}
 
 void Suvm::ResetStats() {
   stats_.major_faults = 0;

@@ -1,0 +1,234 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+
+#include "src/telemetry/flight_recorder.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "src/telemetry/span.h"
+#include "src/telemetry/timeseries.h"
+
+namespace eleos::telemetry {
+namespace {
+
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+std::string SanitizeReason(const std::string& reason) {
+  std::string out;
+  out.reserve(reason.size());
+  for (char c : reason) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+      out += c;
+    } else if (c >= 'A' && c <= 'Z') {
+      out += static_cast<char>(c - 'A' + 'a');
+    } else {
+      out += '_';
+    }
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(Registry* registry) : registry_(registry) {}
+
+void FlightRecorder::set_options(Options options) {
+  std::lock_guard guard(mutex_);
+  options_ = options;
+}
+
+void FlightRecorder::set_dir(std::string dir) {
+  std::lock_guard guard(mutex_);
+  dir_override_ = std::move(dir);
+}
+
+std::string FlightRecorder::dir() const {
+  std::lock_guard guard(mutex_);
+  if (!dir_override_.empty()) {
+    return dir_override_;
+  }
+  const char* env = std::getenv("ELEOS_FLIGHT_DIR");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+size_t FlightRecorder::AddHealthSource(std::string name,
+                                       std::function<std::string()> fn) {
+  std::lock_guard guard(mutex_);
+  const size_t id = next_source_id_++;
+  health_sources_.emplace_back(id,
+                               std::make_pair(std::move(name), std::move(fn)));
+  return id;
+}
+
+void FlightRecorder::RemoveHealthSource(size_t id) {
+  std::lock_guard guard(mutex_);
+  for (size_t i = 0; i < health_sources_.size(); ++i) {
+    if (health_sources_[i].first == id) {
+      health_sources_.erase(health_sources_.begin() +
+                            static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+std::string FlightRecorder::BundleJson(const std::string& reason,
+                                       uint64_t now) const {
+  Options options;
+  std::vector<std::pair<std::string, std::string>> health;
+  uint64_t seq = 0;
+  {
+    std::lock_guard guard(mutex_);
+    options = options_;
+    seq = seq_;
+    // Evaluate the sources outside any recorder state assumptions but under
+    // the lock: the fns only read component atomics (HealthFsm::state).
+    health.reserve(health_sources_.size());
+    for (const auto& [id, source] : health_sources_) {
+      health.emplace_back(source.first, source.second());
+    }
+  }
+
+  std::string out = "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"kind\": \"flight_bundle\",\n";
+  AppendF(out, "  \"reason\": \"%s\",\n", JsonEscape(reason).c_str());
+  AppendF(out, "  \"seq\": %" PRIu64 ",\n", seq);
+  AppendF(out, "  \"dump_tsc\": %" PRIu64 ",\n", now);
+
+  out += "  \"timeline\": ";
+  out += registry_->timeline().ToJson(options.timeline_windows);
+  out += ",\n";
+
+  // Trace-ring tail: the same serialization as Registry::ToJson's trace
+  // block, but with the flight recorder's (larger) bound.
+  out += "  \"trace_tail\": {";
+  const TraceRing& ring = registry_->trace();
+  AppendF(out, "\"recorded\":%" PRIu64 ",\"dropped\":%" PRIu64 ",\"events\":[",
+          ring.recorded(), ring.dropped());
+  std::vector<TraceEvent> events = ring.Snapshot();
+  const size_t start =
+      events.size() > options.trace_tail ? events.size() - options.trace_tail
+                                         : 0;
+  for (size_t i = start; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i != start) {
+      out += ',';
+    }
+    AppendF(out,
+            "{\"seq\":%" PRIu64 ",\"tsc\":%" PRIu64
+            ",\"kind\":\"%s\",\"arg0\":%" PRIu64 ",\"arg1\":%" PRIu64
+            ",\"tid\":%" PRIu64 ",\"span_id\":%" PRIu64 "}",
+            e.seq, e.tsc, TraceKindName(e.kind), e.arg0, e.arg1, e.tid,
+            e.span_id);
+  }
+  out += "]},\n";
+
+  // Open-span stacks: what every thread was in the middle of. Best-effort
+  // post-mortem read (see header comment).
+  out += "  \"open_spans\": [";
+  bool first_stack = true;
+  for (const auto& stack : registry_->spans().OpenStacks()) {
+    if (stack.empty()) {
+      continue;
+    }
+    if (!first_stack) {
+      out += ',';
+    }
+    first_stack = false;
+    AppendF(out, "{\"track\":%d,\"spans\":[", stack.front().track);
+    for (size_t i = 0; i < stack.size(); ++i) {
+      if (i != 0) {
+        out += ',';
+      }
+      AppendF(out,
+              "{\"name\":\"%s\",\"id\":%" PRIu64 ",\"parent\":%" PRIu64
+              ",\"start\":%" PRIu64 "}",
+              JsonEscape(stack[i].name).c_str(), stack[i].id, stack[i].parent,
+              stack[i].start);
+    }
+    out += "]}";
+  }
+  out += "],\n";
+
+  out += "  \"health\": {";
+  for (size_t i = 0; i < health.size(); ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    AppendF(out, "\"%s\":\"%s\"", JsonEscape(health[i].first).c_str(),
+            JsonEscape(health[i].second).c_str());
+  }
+  out += "},\n";
+
+  out += "  \"metrics\": ";
+  out += registry_->ToJson();
+  out += "\n}\n";
+  return out;
+}
+
+std::string FlightRecorder::Dump(const std::string& reason, uint64_t now) {
+  const std::string out_dir = dir();
+  if (out_dir.empty()) {
+    return "";
+  }
+  const std::string body = BundleJson(reason, now);
+  uint64_t seq = 0;
+  {
+    std::lock_guard guard(mutex_);
+    seq = seq_++;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);  // best effort
+  char name[160];
+  snprintf(name, sizeof(name), "FLIGHT_%s_%" PRIu64 ".json",
+           SanitizeReason(reason).c_str(), seq);
+  const std::string path = out_dir + "/" + name;
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    return "";
+  }
+  f << body;
+  f.close();
+  if (!f) {
+    return "";
+  }
+  std::lock_guard guard(mutex_);
+  ++dumps_;
+  return path;
+}
+
+uint64_t FlightRecorder::dumps() const {
+  std::lock_guard guard(mutex_);
+  return dumps_;
+}
+
+}  // namespace eleos::telemetry

@@ -50,6 +50,7 @@
 namespace eleos::telemetry {
 
 class TraceRing;
+class TimeSeriesSampler;
 
 // Categories of modeled cost. Each category mirrors one sim.cycles.<name>
 // counter (see CostCategoryName); Machine::ChargeCost keeps the two in
@@ -128,6 +129,13 @@ class SpanTracer {
   // meant to be called after the traced workload quiesced.
   std::vector<SpanRecord> Snapshot() const;
 
+  // Every thread's currently-open span stack, outermost first (threads with
+  // nothing open yield empty vectors). The open stacks are owner-thread-only
+  // data read here without the owner's cooperation: a best-effort post-
+  // mortem view for the flight recorder, valid when the workload is dead or
+  // quiesced — never a correctness path.
+  std::vector<std::vector<SpanRecord>> OpenStacks() const;
+
   uint64_t dropped() const;
   uint64_t open_spans() const;  // call only after quiescing recorder threads
   uint64_t attributed(CostCategory cat) const;
@@ -171,7 +179,12 @@ class SpanTracer {
 // phase-"X" complete events (args carry id/parent/self-cycle breakdown),
 // trace-ring events as phase-"i" instants stamped with their span ids, one
 // named track per simulated CPU / worker, events time-sorted per track.
-std::string ExportChromeTrace(const SpanTracer& spans, const TraceRing& ring);
+// When `timeline` is non-null its cut windows additionally render as
+// phase-"C" counter tracks (one "timeline.<metric>" series per counter
+// delta / gauge level, stamped at each window's end_tsc) so rates draw
+// alongside the spans that produced them.
+std::string ExportChromeTrace(const SpanTracer& spans, const TraceRing& ring,
+                              const TimeSeriesSampler* timeline = nullptr);
 
 // Folded-stack text for flamegraph.pl / speedscope: one line per unique
 // name-chain ("cpu0;rpc.call;enclave.ocall 1234"), weighted by the span's

@@ -7,6 +7,9 @@
 #include <cstdio>
 #include <mutex>
 
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/timeseries.h"
+
 namespace eleos::telemetry {
 namespace {
 
@@ -41,8 +44,12 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
-double Histogram::Percentile(double p) const {
-  const uint64_t n = count();
+double PercentileFromBuckets(const uint64_t buckets[Histogram::kBuckets],
+                             double p) {
+  uint64_t n = 0;
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+    n += buckets[b];
+  }
   if (n == 0) {
     return 0.0;
   }
@@ -58,8 +65,8 @@ double Histogram::Percentile(double p) const {
     rank = 1;
   }
   uint64_t seen = 0;
-  for (size_t b = 0; b < kBuckets; ++b) {
-    const uint64_t c = bucket(b);
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+    const uint64_t c = buckets[b];
     if (c == 0) {
       continue;
     }
@@ -67,13 +74,21 @@ double Histogram::Percentile(double p) const {
       // Linear interpolation inside the bucket's value range.
       const double frac =
           static_cast<double>(rank - seen) / static_cast<double>(c);
-      const double lo = static_cast<double>(BucketLower(b));
-      const double hi = static_cast<double>(BucketUpper(b));
+      const double lo = static_cast<double>(Histogram::BucketLower(b));
+      const double hi = static_cast<double>(Histogram::BucketUpper(b));
       return lo + (hi - lo) * frac;
     }
     seen += c;
   }
-  return static_cast<double>(BucketUpper(kBuckets - 1));
+  return static_cast<double>(Histogram::BucketUpper(Histogram::kBuckets - 1));
+}
+
+double Histogram::Percentile(double p) const {
+  uint64_t counts[kBuckets];
+  for (size_t b = 0; b < kBuckets; ++b) {
+    counts[b] = bucket(b);
+  }
+  return PercentileFromBuckets(counts, p);
 }
 
 void Histogram::Reset() {
@@ -120,6 +135,8 @@ const char* TraceKindName(TraceKind kind) {
       return "suvm_health_change";
     case TraceKind::kBoundaryReject:
       return "boundary_reject";
+    case TraceKind::kSloViolation:
+      return "slo_violation";
   }
   return "unknown";
 }
@@ -173,7 +190,42 @@ void TraceRing::Reset() {
   next_seq_ = 0;
 }
 
-Registry::Registry() { trace_.set_span_source(&spans_); }
+Registry::Registry() {
+  trace_.set_span_source(&spans_);
+  timeline_ = std::make_unique<TimeSeriesSampler>(this);
+  flight_ = std::make_unique<FlightRecorder>(this);
+}
+
+Registry::~Registry() = default;
+
+TimeSeriesSampler& Registry::timeline() { return *timeline_; }
+const TimeSeriesSampler& Registry::timeline() const { return *timeline_; }
+FlightRecorder& Registry::flight() { return *flight_; }
+const FlightRecorder& Registry::flight() const { return *flight_; }
+
+MetricsSnapshot Registry::TakeSnapshot() const {
+  std::lock_guard guard(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramState state;
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      state.buckets[b] = h->bucket(b);
+    }
+    state.count = h->count();
+    state.sum = h->sum();
+    snap.histograms.emplace_back(name, state);
+  }
+  return snap;
+}
 
 Counter* Registry::GetCounter(const std::string& name) {
   std::lock_guard guard(mutex_);

@@ -29,12 +29,16 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/spinlock.h"
 #include "src/telemetry/span.h"
 
 namespace eleos::telemetry {
+
+class TimeSeriesSampler;  // src/telemetry/timeseries.h
+class FlightRecorder;     // src/telemetry/flight_recorder.h
 
 // Monotonic named counter. `Set` exists so components that already keep
 // authoritative atomics (e.g. Suvm::Stats) can mirror them into the registry
@@ -105,6 +109,7 @@ class Histogram {
   }
 
   // Percentile estimate (p in [0, 100]) from the bucket counts.
+  // Equivalent to PercentileFromBuckets over a relaxed snapshot of buckets_.
   double Percentile(double p) const;
 
   void Reset();
@@ -154,6 +159,9 @@ enum class TraceKind : uint32_t {
   kSuvmRecovery = 15,        // recovery finished (arg0 = verified, arg1 = quarantined)
   // Untrusted-memory boundary (DESIGN.md §12).
   kBoundaryReject = 16,      // hostile shared value rejected (arg0 = site)
+  // Time-series SLO watchdog (DESIGN.md §13).
+  kSloViolation = 17,        // windowed SLO rule violated (arg0 = rule id,
+                             // arg1 = observed value, truncated)
 };
 
 const char* TraceKindName(TraceKind kind);
@@ -200,12 +208,29 @@ class TraceRing {
   SpanTracer* span_source_ = nullptr;
 };
 
+// Point-in-time copy of one histogram's buckets (relaxed loads), the unit of
+// the sampler's per-window log2-bucket-delta percentile math.
+struct HistogramState {
+  uint64_t buckets[Histogram::kBuckets] = {};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+};
+
+// Point-in-time copy of every registered metric. Vectors are name-sorted
+// (registry map order). Racy-but-consistent-enough, like ToJson.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramState>> histograms;
+};
+
 // The metric registry: owns every metric; names are stable identifiers (see
 // DESIGN.md "Telemetry" for the catalogue). Lookup interns by name, so two
 // components asking for the same name share the metric.
 class Registry {
  public:
   Registry();
+  ~Registry();  // out-of-line: timeline/flight members are incomplete here
 
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
@@ -217,6 +242,19 @@ class Registry {
   const TraceRing& trace() const { return trace_; }
   SpanTracer& spans() { return spans_; }
   const SpanTracer& spans() const { return spans_; }
+  // Virtual-clock time-series sampler + SLO watchdog (off by default; see
+  // src/telemetry/timeseries.h). Machine::ChargeCost drives it.
+  TimeSeriesSampler& timeline();
+  const TimeSeriesSampler& timeline() const;
+  // Post-mortem bundle writer (inert until ELEOS_FLIGHT_DIR / set_dir; see
+  // src/telemetry/flight_recorder.h).
+  FlightRecorder& flight();
+  const FlightRecorder& flight() const;
+
+  // Copies every metric's current value (relaxed loads) under the
+  // registration mutex only — safe to call from inside ChargeCost, i.e.
+  // potentially under component locks. Never runs publishers.
+  MetricsSnapshot TakeSnapshot() const;
 
   // JSON object {"counters":{...},"gauges":{...},"histograms":{...},
   // "trace":{...}} with keys sorted by name. `trace_events` bounds the
@@ -237,11 +275,24 @@ class Registry {
   // tracer must be constructed first and destroyed last.
   SpanTracer spans_;
   TraceRing trace_;
+  // Declared (and thus destroyed) after everything they observe. unique_ptr
+  // keeps telemetry.h free of the timeseries/flight_recorder headers, which
+  // include this one.
+  std::unique_ptr<TimeSeriesSampler> timeline_;
+  std::unique_ptr<FlightRecorder> flight_;
 };
 
 // Serializes one histogram as a JSON object (count/sum/mean/p50/p95/p99 and
 // the non-empty buckets). Shared by Registry::ToJson and tests.
 std::string HistogramToJson(const Histogram& h);
+
+// Percentile estimate (p in [0, 100]) from plain log2 bucket counts with
+// Histogram's bucket semantics: linear interpolation inside the winning
+// bucket, 0.0 when the buckets are empty. Shared by Histogram::Percentile
+// (cumulative counts) and the time-series sampler (per-window bucket
+// deltas).
+double PercentileFromBuckets(const uint64_t buckets[Histogram::kBuckets],
+                             double p);
 
 }  // namespace eleos::telemetry
 

@@ -37,10 +37,13 @@
 #include "src/common/health.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/rpc/rpc_manager.h"
 #include "src/sim/fault_injector.h"
 #include "src/sim/machine.h"
 #include "src/suvm/suvm.h"
 #include "src/telemetry/telemetry.h"
+#include "src/telemetry/timeseries.h"
+#include "tests/test_json.h"
 
 // Set by this binary's main() from --trace-out= / ELEOS_TRACE_OUT.
 static std::string g_trace_out;  // NOLINT(runtime/string)
@@ -317,6 +320,10 @@ void RunShadowSoak(sim::Machine& machine, uint64_t ops, uint64_t seed,
 
 TEST(ChaosSoak, SuvmShadowModelSurvivesComposedFaultSchedule) {
   sim::Machine machine;
+  // Post-mortem hook: a red soak leaves a flight bundle when
+  // ELEOS_FLIGHT_DIR is set (tier1.sh / CI export it); free otherwise.
+  sim::FlightOnFailure flight(machine, "chaos_soak_shadow",
+                              [] { return ::testing::Test::HasFailure(); });
   SoakDigest digest;
   RunShadowSoak(machine, SoakOps(), SoakSeed(), /*hostile=*/true,
                 /*touch_harness=*/true, &digest);
@@ -358,6 +365,8 @@ TEST(ChaosSoak, TracedSmokeSeedPassesCycleAudit) {
   // this is the chaos-soak harness's trace entry point.
   sim::Machine machine;
   machine.EnableTracing(/*audit=*/true);
+  sim::FlightOnFailure flight(machine, "chaos_soak_traced",
+                              [] { return ::testing::Test::HasFailure(); });
   SoakDigest digest;
   RunShadowSoak(machine, /*ops=*/4000, SoakSeed(), /*hostile=*/true,
                 /*touch_harness=*/true, &digest);

@@ -1,0 +1,288 @@
+// Copyright (c) Eleos reproduction authors. MIT license.
+//
+// Minimal recursive-descent JSON parser for tests that re-parse the JSON the
+// telemetry stack emits (flight bundles, timeline blocks, bench snapshots).
+// Test-only by design: strict enough to catch malformed output (trailing
+// commas, unterminated strings, bad escapes fail the parse), small enough to
+// live in one header, and with none of the ergonomics a production parser
+// would need. Numbers are held as double — exact for the integer range the
+// telemetry JSON uses in tests (tscs and counters well below 2^53).
+
+#ifndef ELEOS_TESTS_TEST_JSON_H_
+#define ELEOS_TESTS_TEST_JSON_H_
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eleos::testjson {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_bool() const { return kind == Kind::kBool; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const {
+    if (kind != Kind::kObject) {
+      return nullptr;
+    }
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  // Convenience accessors with defaults, for EXPECT-style assertions.
+  double Num(const std::string& key, double fallback = 0.0) const {
+    const Value* v = Find(key);
+    return v != nullptr && v->is_number() ? v->number : fallback;
+  }
+  std::string Str(const std::string& key,
+                  const std::string& fallback = "") const {
+    const Value* v = Find(key);
+    return v != nullptr && v->is_string() ? v->str : fallback;
+  }
+  bool Bool(const std::string& key, bool fallback = false) const {
+    const Value* v = Find(key);
+    return v != nullptr && v->is_bool() ? v->boolean : fallback;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  bool Parse(Value* out, std::string* error) {
+    error_ = error;
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Fail("trailing garbage after the JSON value");
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& why) {
+    if (error_ != nullptr) {
+      *error_ = why + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(Value* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) {
+      return Fail("unexpected end of input");
+    }
+    switch (s_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = Value::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+        return ParseLiteral("true", out, Value::Kind::kBool, true);
+      case 'f':
+        return ParseLiteral("false", out, Value::Kind::kBool, false);
+      case 'n':
+        return ParseLiteral("null", out, Value::Kind::kNull, false);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseLiteral(const char* lit, Value* out, Value::Kind kind, bool b) {
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) {
+        return Fail(std::string("bad literal, expected ") + lit);
+      }
+    }
+    out->kind = kind;
+    out->boolean = b;
+    return true;
+  }
+
+  bool ParseNumber(Value* out) {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+            s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected a number");
+    }
+    char* end = nullptr;
+    const std::string tok = s_.substr(start, pos_ - start);
+    out->number = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("malformed number '" + tok + "'");
+    }
+    out->kind = Value::Kind::kNumber;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Fail("expected '\"'");
+    }
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) {
+        break;
+      }
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad hex digit in \\u escape");
+            }
+          }
+          // The telemetry emitters only escape control bytes; a one-byte
+          // append covers them (no surrogate pairs in this JSON).
+          *out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseObject(Value* out) {
+    if (!Consume('{')) {
+      return Fail("expected '{'");
+    }
+    out->kind = Value::Kind::kObject;
+    SkipWs();
+    if (Consume('}')) {
+      return true;
+    }
+    while (true) {
+      std::string key;
+      SkipWs();
+      if (!ParseString(&key)) {
+        return false;
+      }
+      if (!Consume(':')) {
+        return Fail("expected ':' after object key");
+      }
+      Value v;
+      if (!ParseValue(&v)) {
+        return false;
+      }
+      out->object.emplace(std::move(key), std::move(v));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(Value* out) {
+    if (!Consume('[')) {
+      return Fail("expected '['");
+    }
+    out->kind = Value::Kind::kArray;
+    SkipWs();
+    if (Consume(']')) {
+      return true;
+    }
+    while (true) {
+      Value v;
+      if (!ParseValue(&v)) {
+        return false;
+      }
+      out->array.push_back(std::move(v));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  std::string* error_ = nullptr;
+};
+
+inline bool Parse(const std::string& text, Value* out, std::string* error) {
+  return Parser(text).Parse(out, error);
+}
+
+}  // namespace eleos::testjson
+
+#endif  // ELEOS_TESTS_TEST_JSON_H_
