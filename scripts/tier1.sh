@@ -37,20 +37,22 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j"$(nproc)" -LE soak)
 
-TSAN_TESTS='^(rpc_test|rpc_stress_test|rpc_async_test|suvm_test|suvm_property_test|fault_injection_test|telemetry_test|health_test|span_test|timeseries_test|flight_recorder_test|crash_recovery_test|boundary_fuzz_test)$'
+TSAN_TESTS='^(rpc_test|rpc_stress_test|rpc_async_test|suvm_test|suvm_parallel_test|suvm_property_test|fault_injection_test|telemetry_test|health_test|span_test|timeseries_test|flight_recorder_test|crash_recovery_test|boundary_fuzz_test)$'
 cmake -B build-tsan -S . -DELEOS_SANITIZE=thread
 cmake --build build-tsan -j --target \
-  rpc_test rpc_stress_test rpc_async_test suvm_test suvm_property_test \
+  rpc_test rpc_stress_test rpc_async_test suvm_test suvm_parallel_test \
+  suvm_property_test \
   fault_injection_test telemetry_test health_test span_test \
   timeseries_test flight_recorder_test \
   crash_recovery_test boundary_fuzz_test
 (cd build-tsan && ctest --output-on-failure -R "$TSAN_TESTS")
 
-ASAN_TESTS='^(fault_injection_test|chaos_soak_test|crash_recovery_test|secure_channel_test|boundary_fuzz_test|flight_recorder_test)$'
+ASAN_TESTS='^(fault_injection_test|chaos_soak_test|crash_recovery_test|secure_channel_test|boundary_fuzz_test|flight_recorder_test|suvm_parallel_test)$'
 cmake -B build-asan -S . -DELEOS_SANITIZE=address,undefined
 cmake --build build-asan -j --target \
   fault_injection_test chaos_soak_test crash_recovery_test \
-  secure_channel_test boundary_fuzz_test flight_recorder_test
+  secure_channel_test boundary_fuzz_test flight_recorder_test \
+  suvm_parallel_test
 (cd build-asan && ctest --output-on-failure -R "$ASAN_TESTS")
 
 OUT_DIR="$(mktemp -d)" scripts/bench.sh --smoke

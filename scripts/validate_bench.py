@@ -25,6 +25,13 @@ Checks (per file):
     and boundary.double_fetch_races at exactly zero (no false rejects on an
     honest host)
   * suvm_baseline: the quarantine counters are present in the snapshot
+  * suvm_baseline: the parallel paging counter family
+    (suvm.fault_coalesced, suvm.gate_wait_cycles, suvm.prefetch.*) and the
+    suvm.epcpp_free_slots gauge are present; the main profile runs with
+    prefetch disabled, so its suvm.prefetch.* counters must be exactly zero
+  * suvm_baseline: the parallel_fault block is present with per-thread-count
+    sub-blocks, its 1->4 thread speedup is >= 1.8x (crypto escaped the
+    paging gate's serial slice), and the prefetch demo issued and hit
 
 Exits non-zero with a message naming the offending file/field, so tier1.sh
 fails on malformed or empty output.
@@ -180,6 +187,70 @@ def check_rpc_async_batch(path: str, doc: dict) -> None:
                         ab["batch_size_hist"])
 
 
+def check_suvm_parallel(path: str, doc: dict) -> None:
+    counters = doc["metrics"]["counters"]
+    for key in (
+        "suvm.fault_coalesced",
+        "suvm.gate_wait_cycles",
+        "suvm.prefetch.issued",
+        "suvm.prefetch.hits",
+        "suvm.prefetch.wasted",
+    ):
+        if key not in counters:
+            fail(f"{path}: metrics.counters is missing '{key}'")
+    # The main profile runs with prefetch disabled: any non-zero value here
+    # means the off-by-default guarantee (and bench_diff byte-identity for
+    # single-threaded runs) regressed.
+    for key in ("suvm.prefetch.issued", "suvm.prefetch.hits",
+                "suvm.prefetch.wasted"):
+        if counters[key] != 0:
+            fail(
+                f"{path}: main profile has {key}={counters[key]} but "
+                f"prefetch is disabled there — the stream tracker fired "
+                f"without opt-in"
+            )
+    if "suvm.epcpp_free_slots" not in doc["metrics"]["gauges"]:
+        fail(f"{path}: metrics.gauges is missing 'suvm.epcpp_free_slots'")
+
+    pf = doc.get("parallel_fault")
+    if not isinstance(pf, dict):
+        fail(f"{path}: suvm_baseline is missing the parallel_fault profile")
+    for block in ("threads_1", "threads_2", "threads_4"):
+        sub = pf.get(block)
+        if not isinstance(sub, dict):
+            fail(f"{path}: parallel_fault.{block} missing")
+        for key in ("threads", "measured_reads", "major_faults",
+                    "fault_coalesced", "gate_wait_cycles", "clock_cycles",
+                    "cycles_per_fault"):
+            if key not in sub:
+                fail(f"{path}: parallel_fault.{block} is missing '{key}'")
+        if sub["major_faults"] <= 0:
+            fail(f"{path}: parallel_fault.{block} took no major faults")
+        if sub["cycles_per_fault"] <= 0:
+            fail(f"{path}: parallel_fault.{block}.cycles_per_fault must be "
+                 f"positive")
+    if "speedup" not in pf:
+        fail(f"{path}: parallel_fault is missing 'speedup'")
+    if pf["speedup"] < 1.8:
+        fail(
+            f"{path}: parallel_fault speedup {pf['speedup']} < 1.8x — the "
+            f"paging gate is serializing more than the fault-logic slice "
+            f"(crypto back inside the critical section?)"
+        )
+    demo = pf.get("prefetch_demo")
+    if not isinstance(demo, dict):
+        fail(f"{path}: parallel_fault.prefetch_demo missing")
+    for key in ("pages", "issued", "hits", "wasted", "major_faults"):
+        if key not in demo:
+            fail(f"{path}: parallel_fault.prefetch_demo is missing '{key}'")
+    if demo["issued"] <= 0 or demo["hits"] <= 0:
+        fail(
+            f"{path}: prefetch demo issued={demo['issued']} "
+            f"hits={demo['hits']} — the stride prefetcher never fired on a "
+            f"sequential walk"
+        )
+
+
 def validate(path: str) -> None:
     try:
         with open(path, encoding="utf-8") as f:
@@ -270,6 +341,7 @@ def validate(path: str) -> None:
                     "suvm.journal_bytes"):
             if key not in gauges:
                 fail(f"{path}: metrics.gauges is missing '{key}'")
+        check_suvm_parallel(path, doc)
 
     print(f"validate_bench: OK: {path} ({doc['bench']}, {doc['mode']}, "
           f"{len(counters)} counters, {len(gauges)} gauges, "

@@ -56,6 +56,50 @@ class Spinlock {
   std::atomic<bool> locked_{false};
 };
 
+// A spinlock that also models its own occupancy in *virtual* time.
+//
+// Real locks serialize wall-clock execution, but the simulator's virtual
+// clocks are per-CPU and advance only via explicit charges — a plain Spinlock
+// would let N threads serialize in real time while their virtual clocks
+// overlap perfectly, making any "parallel speedup" measurement a tautology.
+// VirtualGate closes that hole: each holder that charges cycles while inside
+// pushes a shared `busy_until_` horizon forward, and a later entrant whose
+// clock is still behind that horizon owes the difference as queueing delay
+// (the caller charges it — the gate has no Machine dependency).
+//
+// Single-threaded property: one CPU's clock can never trail its own last
+// release, so Acquire always returns 0 and cycle counts are byte-identical
+// to an unmodeled lock. Null-CPU callers pass now=0 to both calls: they wait
+// for nothing and add no occupancy.
+class VirtualGate {
+ public:
+  VirtualGate() = default;
+  VirtualGate(const VirtualGate&) = delete;
+  VirtualGate& operator=(const VirtualGate&) = delete;
+
+  // Takes the real lock; returns the virtual backlog (cycles the caller's
+  // clock lags the busy horizon; 0 when the gate is virtually idle). The
+  // caller is responsible for charging the returned wait before doing gated
+  // work, so its in-section charges start from the horizon.
+  uint64_t Acquire(uint64_t now) {
+    lock_.lock();
+    return busy_until_ > now ? busy_until_ - now : 0;
+  }
+
+  // Releases the real lock; `now` is the holder's clock after its in-section
+  // charges and becomes the new busy horizon if it advanced past it.
+  void Release(uint64_t now) {
+    if (now > busy_until_) {
+      busy_until_ = now;
+    }
+    lock_.unlock();
+  }
+
+ private:
+  Spinlock lock_;
+  uint64_t busy_until_ = 0;  // guarded by lock_
+};
+
 }  // namespace eleos
 
 #endif  // ELEOS_SRC_COMMON_SPINLOCK_H_

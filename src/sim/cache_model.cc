@@ -62,6 +62,7 @@ bool CacheModel::MeeTreeAccess(uint64_t page) {
 }
 
 uint64_t CacheModel::Access(uint64_t line_addr, bool write, MemKind kind, int cos) {
+  std::lock_guard guard(lock_);
   const size_t set = static_cast<size_t>(line_addr) % sets_;
   const uint64_t tag = line_addr / sets_;
   Line* base = &lines_[set * ways_];
@@ -116,6 +117,7 @@ uint64_t CacheModel::Access(uint64_t line_addr, bool write, MemKind kind, int co
 }
 
 void CacheModel::ResetStats() {
+  std::lock_guard guard(lock_);
   hits_ = 0;
   misses_ = 0;
 }

@@ -17,8 +17,10 @@
 #define ELEOS_SRC_SIM_CACHE_MODEL_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
+#include "src/common/spinlock.h"
 #include "src/sim/cost_model.h"
 
 namespace eleos::sim {
@@ -46,12 +48,22 @@ class CacheModel {
   void DisablePartitioning();
 
   // One cache-line access. Returns the cycle cost (L1/LLC hit or miss with
-  // the proper EPC factors applied).
+  // the proper EPC factors applied). Thread-safe: the LLC is a shared
+  // resource, so concurrently faulting CPUs serialize on an internal lock
+  // (their interleaving decides the shared line/MEE state, which is why
+  // multi-threaded cycle counts are ordering-dependent while single-threaded
+  // runs stay deterministic).
   uint64_t Access(uint64_t line_addr, bool write, MemKind kind, int cos);
 
   // Stats.
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const {
+    std::lock_guard guard(lock_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard guard(lock_);
+    return misses_;
+  }
   void ResetStats();
 
   size_t num_sets() const { return sets_; }
@@ -64,8 +76,9 @@ class CacheModel {
     bool valid = false;
   };
 
-  bool MeeTreeAccess(uint64_t page);  // returns hit
+  bool MeeTreeAccess(uint64_t page);  // returns hit; requires lock_ held
 
+  mutable Spinlock lock_;  // guards lines_/tick_/hits_/misses_ and the MEE LRU
   const CostModel& costs_;
   size_t ways_;
   size_t sets_;

@@ -111,8 +111,9 @@ void Machine::PolluteCache(size_t bytes, int cos, size_t pool_bytes) {
     return;
   }
   const uint64_t pool = pool_bytes == 0 ? kDefaultScratchPool : pool_bytes;
-  const uint64_t addr = kScratchBase + (scratch_cursor_ % pool);
-  scratch_cursor_ += bytes;
+  const uint64_t cursor =
+      scratch_cursor_.fetch_add(bytes, std::memory_order_relaxed);
+  const uint64_t addr = kScratchBase + (cursor % pool);
   const uint64_t first_line = addr >> 6;
   const uint64_t last_line = (addr + bytes - 1) >> 6;
   for (uint64_t line = first_line; line <= last_line; ++line) {
@@ -125,8 +126,9 @@ void Machine::TouchScratch(CpuContext* cpu, size_t bytes, size_t pool_bytes) {
     return;
   }
   const uint64_t pool = pool_bytes == 0 ? kDefaultScratchPool : pool_bytes;
-  const uint64_t addr = kScratchBase + (scratch_cursor_ % pool);
-  scratch_cursor_ += bytes;
+  const uint64_t cursor =
+      scratch_cursor_.fetch_add(bytes, std::memory_order_relaxed);
+  const uint64_t addr = kScratchBase + (cursor % pool);
   // Kernel I/O buffers are filled sequentially: streaming charge + pollution.
   StreamAccess(cpu, addr, bytes, /*write=*/true, MemKind::kUntrusted);
 }

@@ -11,6 +11,7 @@
 #define ELEOS_SRC_SIM_MACHINE_H_
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -192,7 +193,9 @@ class Machine {
   telemetry::Counter* cycles_by_cat_[telemetry::kNumCostCategories] = {};
   telemetry::TimeSeriesSampler* timeline_ = nullptr;
   std::array<std::unique_ptr<CpuContext>, kMaxCpus> cpus_;
-  uint64_t scratch_cursor_ = 0;
+  // Atomic: TouchScratch/PolluteCache may run from concurrently faulting
+  // threads (their window claims race, but each claim stays exclusive).
+  std::atomic<uint64_t> scratch_cursor_{0};
   std::mutex publishers_mutex_;
   std::vector<std::pair<size_t, std::function<void()>>> publishers_;
   size_t next_publisher_id_ = 0;

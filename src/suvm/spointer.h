@@ -135,14 +135,16 @@ class spointer {
  private:
   T& RefAt(uint64_t addr, bool write) {
     sim::CpuContext* cpu = sim::CurrentCpu();
-    if (cpu != nullptr) {
-      cpu->Charge(suvm_->enclave().machine().costs().suvm_deref_check_cycles);
-    }
     const uint64_t page = addr / sim::kPageSize;
     const size_t off = addr % sim::kPageSize;
     if (off + sizeof(T) > sim::kPageSize) {
-      // Paper §4.2: misaligned data straddling entries is unsupported.
+      // Paper §4.2: misaligned data straddling entries is unsupported. The
+      // deref-check charge lands only on accesses that pass validation — a
+      // throwing access must not advance the virtual clock.
       throw std::logic_error("spointer: element straddles a page boundary");
+    }
+    if (cpu != nullptr) {
+      cpu->Charge(suvm_->enclave().machine().costs().suvm_deref_check_cycles);
     }
     if (slot_ < 0 || page != linked_page_) {
       Unlink();

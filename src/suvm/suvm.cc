@@ -93,7 +93,7 @@ Suvm::Suvm(sim::Enclave& enclave, SuvmConfig config,
                        .capacity_bytes = config.backing_bytes})),
       cache_(enclave, config.epc_pp_pages),
       sealer_(crypto::DeriveAesKey("suvm-app-key", config.key_seed).data()),
-      slot_to_page_(config.epc_pp_pages, kInvalidAddr),
+      slot_to_page_(config.epc_pp_pages),
       nonce_rng_(config.key_seed ^ 0x9e3779b97f4a7c15ull),
       alloc_health_(HealthFsm::Options{config.alloc_failure_threshold,
                                        config.alloc_probe_interval}),
@@ -114,6 +114,9 @@ Suvm::Suvm(sim::Enclave& enclave, SuvmConfig config,
       trace_(&enclave.machine().metrics().trace()) {
   if (sim::kPageSize % config.subpage_size != 0) {
     throw std::invalid_argument("Suvm: subpage_size must divide the page size");
+  }
+  for (std::atomic<uint64_t>& entry : slot_to_page_) {
+    entry.store(kInvalidAddr, std::memory_order_relaxed);
   }
   if (config.crash_consistency && config.direct_mode) {
     throw std::invalid_argument(
@@ -182,6 +185,11 @@ void Suvm::ResetStats() {
   stats_.recovery_journal_replayed = 0;
   stats_.recovery_journal_torn = 0;
   stats_.recovery_rollbacks = 0;
+  stats_.fault_coalesced = 0;
+  stats_.gate_wait_cycles = 0;
+  stats_.prefetch_issued = 0;
+  stats_.prefetch_hits = 0;
+  stats_.prefetch_wasted = 0;
 }
 
 void Suvm::ThrowStatus(const Status& status) {
@@ -229,6 +237,11 @@ void Suvm::PublishTelemetry() {
       ->Set(stats_.recovery_journal_torn.load());
   r.GetCounter("suvm.recovery.rollbacks_detected")
       ->Set(stats_.recovery_rollbacks.load());
+  r.GetCounter("suvm.fault_coalesced")->Set(stats_.fault_coalesced.load());
+  r.GetCounter("suvm.gate_wait_cycles")->Set(stats_.gate_wait_cycles.load());
+  r.GetCounter("suvm.prefetch.issued")->Set(stats_.prefetch_issued.load());
+  r.GetCounter("suvm.prefetch.hits")->Set(stats_.prefetch_hits.load());
+  r.GetCounter("suvm.prefetch.wasted")->Set(stats_.prefetch_wasted.load());
   r.GetCounter("suvm.backing_bad_frees")->Set(store_->bad_frees());
   r.GetGauge("suvm.journal_bytes")
       ->Set(static_cast<int64_t>(store_->journal_bytes()));
@@ -239,6 +252,8 @@ void Suvm::PublishTelemetry() {
   r.GetGauge("suvm.epc_pp_in_use")->Set(static_cast<int64_t>(cache_.in_use()));
   r.GetGauge("suvm.epc_pp_target")
       ->Set(static_cast<int64_t>(cache_.target_pages()));
+  r.GetGauge("suvm.epcpp_free_slots")
+      ->Set(static_cast<int64_t>(cache_.free_slots()));
 }
 
 void Suvm::NoteMacFailure(sim::CpuContext* cpu, uint64_t bs_page) {
@@ -309,13 +324,21 @@ void Suvm::Free(uint64_t addr) {
   // the page itself stays and is sealed back on its normal eviction path.
   const size_t block = store_->BlockSize(addr);
   if (block > 0) {
-    std::lock_guard pg(paging_lock_);
     const uint64_t end = addr + block;
     for (uint64_t page = addr / sim::kPageSize;
          page <= (end - 1) / sim::kPageSize; ++page) {
       Stripe& st = StripeFor(page);
-      std::lock_guard sl(st.lock);
+      std::unique_lock<Spinlock> sl(st.lock);
+      // Settle: wait out an in-flight fill/eviction so we see a stable page.
       auto it = st.map.find(page);
+      while (it != st.map.end() &&
+             (it->second.state == Residency::kFilling ||
+              it->second.state == Residency::kEvicting)) {
+        sl.unlock();
+        CpuRelax();
+        sl.lock();
+        it = st.map.find(page);
+      }
       if (it == st.map.end()) {
         continue;
       }
@@ -328,7 +351,8 @@ void Suvm::Free(uint64_t addr) {
           throw std::logic_error("Suvm::Free: page still pinned by a spointer");
         }
         if (m.slot >= 0) {
-          slot_to_page_[static_cast<size_t>(m.slot)] = kInvalidAddr;
+          slot_to_page_[static_cast<size_t>(m.slot)].store(
+              kInvalidAddr, std::memory_order_relaxed);
           cache_.FreeSlot(m.slot);
         }
         st.map.erase(it);
@@ -344,26 +368,31 @@ void Suvm::Free(uint64_t addr) {
                    // the freed range stays behind the quarantine fast-fail
       }
       if (m.slot < 0) {
-        int slot = cache_.AllocSlot();
-        while (slot < 0) {
-          if (!EvictOneLocked(nullptr, StripeIndex(page))) {
-            break;  // every slot pinned: leave the stale seal (no reader has
-                    // a live allocation covering the freed range right now)
-          }
-          slot = cache_.AllocSlot();
-        }
+        // Claim the fill so concurrent faults coalesce behind the scrub, then
+        // fetch a slot and decrypt with the stripe lock dropped.
+        m.state = Residency::kFilling;
+        sl.unlock();
+        const int slot = AcquireSlot(nullptr);
         if (slot < 0) {
-          continue;
+          sl.lock();
+          m.state = Residency::kAbsent;
+          continue;  // every slot pinned: leave the stale seal (no reader has
+                     // a live allocation covering the freed range right now)
         }
         if (!LoadPage(nullptr, page, m, slot).ok()) {
           // Tampered seal: nothing trustworthy to preserve or scrub.
           cache_.FreeSlot(slot);
+          sl.lock();
+          m.state = Residency::kAbsent;
           continue;
         }
+        sl.lock();
         m.slot = slot;
         m.ref_bit = true;
         m.dirty = false;
-        slot_to_page_[static_cast<size_t>(slot)] = page;
+        m.state = Residency::kResident;
+        slot_to_page_[static_cast<size_t>(slot)].store(
+            page, std::memory_order_release);
       }
       const uint64_t lo = page_start > addr ? page_start : addr;
       const uint64_t hi =
@@ -417,24 +446,45 @@ Status Suvm::TryPinPage(sim::CpuContext* cpu, uint64_t bs_page, int* slot_out) {
   Stripe& st = StripeFor(bs_page);
   const uint64_t t0 = cpu != nullptr ? cpu->clock.now() : 0;
 
-  // Fast path: resident page (a "minor fault" for an unlinked spointer).
-  // find(), never operator[]: a pure miss must not default-insert a PageMeta —
-  // the entry is created only once a slot is actually being filled, otherwise
-  // miss-heavy probing grows the page table without bound.
-  {
-    std::lock_guard sl(st.lock);
-    auto it = st.map.find(bs_page);
-    if (it != st.map.end() && it->second.poisoned) {
+  // Residency loop. A resident page pins immediately (minor fault); a page in
+  // flight on another thread (kFilling/kEvicting) is coalesced — this thread
+  // waits for the state to settle instead of starting a duplicate load. An
+  // absent page falls through with the stripe lock held: this thread is the
+  // fill leader. find(), never operator[]: a pure miss must not
+  // default-insert a PageMeta — the entry is created only once a slot is
+  // actually being filled, otherwise miss-heavy probing grows the page table
+  // without bound.
+  bool coalesced = false;
+  std::unique_lock<Spinlock> sl(st.lock);
+  for (;;) {
+    auto mit = st.map.find(bs_page);
+    if (mit == st.map.end()) {
+      break;  // leader: fresh page
+    }
+    PageMeta& m = mit->second;
+    if (m.poisoned) {
       // Quarantined: fail fast, no crypto work, no paging.
       stats_.quarantine_hits.fetch_add(1, std::memory_order_relaxed);
       return Status::DataCorruption(kQuarantinedMsg);
     }
-    if (it != st.map.end() && it->second.slot >= 0) {
+    if (m.state == Residency::kResident) {
+      // A coalesced waiter pays for the wait in virtual time: its clock
+      // fast-forwards to the leader's publication point (a thread that finds
+      // the page already resident long after the fill owes nothing).
+      if (cpu != nullptr && coalesced &&
+          m.fill_done_vclock > cpu->clock.now()) {
+        enclave_->machine().ChargeCost(cpu,
+                                       telemetry::CostCategory::kSuvmPaging,
+                                       m.fill_done_vclock - cpu->clock.now());
+      }
       sim::SpanScope span(&enclave_->machine().metrics().spans(), cpu,
                           "suvm.minor_fault");
-      PageMeta& m = it->second;
       ++m.refcount;
       m.ref_bit = true;
+      if (m.prefetched) {
+        m.prefetched = false;
+        stats_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+      }
       stats_.minor_faults.fetch_add(1, std::memory_order_relaxed);
       *slot_out = m.slot;
       // One inverse-page-table lookup (reference-count update).
@@ -442,77 +492,97 @@ Status Suvm::TryPinPage(sim::CpuContext* cpu, uint64_t bs_page, int* slot_out) {
       if (cpu != nullptr) {
         minor_fault_cycles_->Record(cpu->clock.now() - t0);
       }
+      sl.unlock();
+      NotePinForPrefetch(cpu, bs_page);
       return Status::Ok();
     }
+    if (m.state == Residency::kAbsent) {
+      break;  // leader: re-fill of a sealed (or rolled-back) page
+    }
+    // kFilling/kEvicting: another thread owns this page's transition.
+    if (!coalesced) {
+      coalesced = true;
+      stats_.fault_coalesced.fetch_add(1, std::memory_order_relaxed);
+    }
+    sl.unlock();
+    CpuRelax();
+    sl.lock();
   }
 
-  // Major fault: serialize paging.
-  std::lock_guard pg(paging_lock_);
-  std::lock_guard sl(st.lock);
+  // Leader path: claim the entry so same-page faults coalesce behind us,
+  // then fill it with no lock held — only the slot acquisition and the
+  // page-table charge serialize on the paging gate.
   const auto [it, inserted] = st.map.try_emplace(bs_page);
   PageMeta& m = it->second;
-  if (m.poisoned) {  // quarantined while we waited for the paging lock
-    stats_.quarantine_hits.fetch_add(1, std::memory_order_relaxed);
-    return Status::DataCorruption(kQuarantinedMsg);
-  }
-  if (m.slot >= 0) {  // raced with another faulting thread
-    sim::SpanScope span(&enclave_->machine().metrics().spans(), cpu,
-                        "suvm.minor_fault");
-    ++m.refcount;
-    m.ref_bit = true;
-    stats_.minor_faults.fetch_add(1, std::memory_order_relaxed);
-    *slot_out = m.slot;
-    TouchIpt(cpu, m.slot, /*write=*/true);
-    if (cpu != nullptr) {
-      minor_fault_cycles_->Record(cpu->clock.now() - t0);
-    }
-    return Status::Ok();
-  }
+  m.state = Residency::kFilling;
+  sl.unlock();
 
-  // Opened here, not earlier: a raced-in page above is a minor fault and
-  // must not be labelled major.
-  sim::SpanScope major_span(&enclave_->machine().metrics().spans(), cpu,
-                            "suvm.major_fault");
-  int slot = cache_.AllocSlot();
-  while (slot < 0) {
-    if (!EvictOneLocked(cpu, StripeIndex(bs_page))) {
-      if (inserted) {
-        st.map.erase(it);  // undo the speculative entry: nothing was paged in
-      }
+  // Rolls the claim back on failure. The entry is erased only if we created
+  // it and nothing durable (seal, quarantine verdict, sub-page metadata)
+  // appeared meanwhile; a pre-existing entry just returns to kAbsent.
+  const auto rollback = [&] {
+    sl.lock();
+    if (inserted && !m.has_data && !m.poisoned && m.subs == nullptr) {
+      st.map.erase(it);
+    } else {
+      m.state = Residency::kAbsent;
+    }
+    sl.unlock();
+  };
+
+  {
+    // Opened here, not earlier: a coalesced pin above is a minor fault and
+    // must not be labelled major.
+    sim::SpanScope major_span(&enclave_->machine().metrics().spans(), cpu,
+                              "suvm.major_fault");
+    const int slot = AcquireSlot(cpu);
+    if (slot < 0) {
+      rollback();
       return Status::ResourceExhausted(
           "Suvm: EPC++ exhausted — every cached page is pinned");
     }
-    slot = cache_.AllocSlot();
-  }
 
-  stats_.major_faults.fetch_add(1, std::memory_order_relaxed);
-  enclave_->machine().ChargeCost(
-      cpu, telemetry::CostCategory::kSuvmPaging,
-      enclave_->machine().costs().suvm_fault_logic_cycles);
-  const Status status = LoadPage(cpu, bs_page, m, slot);
-  if (!status.ok()) {
-    // Integrity failure on page-in: return the slot so the cache stays
-    // consistent (the page remains non-resident; retrying is safe).
-    cache_.FreeSlot(slot);
-    if (inserted) {
-      st.map.erase(it);
+    stats_.major_faults.fetch_add(1, std::memory_order_relaxed);
+    // The serialized page-table manipulation slice of the fault. Decrypt
+    // (LoadPage) stays outside the gate — that is the whole point.
+    GateEnter(cpu);
+    enclave_->machine().ChargeCost(
+        cpu, telemetry::CostCategory::kSuvmPaging,
+        enclave_->machine().costs().suvm_fault_logic_cycles);
+    GateExit(cpu);
+    const Status status = LoadPage(cpu, bs_page, m, slot);
+    if (!status.ok()) {
+      // Integrity failure on page-in: return the slot so the cache stays
+      // consistent (the page remains non-resident; retrying is safe).
+      cache_.FreeSlot(slot);
+      rollback();
+      return status;
     }
-    return status;
+    TouchIpt(cpu, slot, /*write=*/true);
+    TouchCryptoMeta(cpu, bs_page, /*write=*/false);
+    sl.lock();
+    m.slot = slot;
+    m.refcount = 1;
+    m.ref_bit = true;
+    m.dirty = false;
+    m.fill_done_vclock = cpu != nullptr ? cpu->clock.now() : 0;
+    m.state = Residency::kResident;
+    slot_to_page_[static_cast<size_t>(slot)].store(bs_page,
+                                                   std::memory_order_release);
+    sl.unlock();
+    *slot_out = slot;
+    trace_->Record(telemetry::TraceKind::kSuvmMajorFault,
+                   cpu != nullptr ? cpu->clock.now() : 0, bs_page,
+                   static_cast<uint64_t>(slot));
+    if (cpu != nullptr) {
+      major_fault_cycles_->Record(cpu->clock.now() - t0);
+    }
   }
-  m.slot = slot;
-  m.refcount = 1;
-  m.ref_bit = true;
-  m.dirty = false;
-  slot_to_page_[static_cast<size_t>(slot)] = bs_page;
-  TouchIpt(cpu, slot, /*write=*/true);
-  TouchCryptoMeta(cpu, bs_page, /*write=*/false);
-  *slot_out = slot;
-  trace_->Record(telemetry::TraceKind::kSuvmMajorFault,
-                 cpu != nullptr ? cpu->clock.now() : 0, bs_page,
-                 static_cast<uint64_t>(slot));
-  if (cpu != nullptr) {
-    major_fault_cycles_->Record(cpu->clock.now() - t0);
-  }
+  // Post-fault housekeeping, charged after the fault's latency was recorded:
+  // refilling the reserve and speculating on the access stream are
+  // throughput work, not part of this fault's critical path.
+  ReplenishReserve(cpu);
+  NotePinForPrefetch(cpu, bs_page);
   return Status::Ok();
 }
 
@@ -610,7 +680,22 @@ uint8_t* Suvm::SlotData(sim::CpuContext* cpu, int slot, size_t offset, size_t le
   return enclave_->Data(cpu, cache_.SlotVaddr(slot) + offset, len, write);
 }
 
-bool Suvm::EvictOneLocked(sim::CpuContext* cpu, size_t held_stripe) {
+void Suvm::GateEnter(sim::CpuContext* cpu) {
+  const uint64_t wait =
+      paging_gate_.Acquire(cpu != nullptr ? cpu->clock.now() : 0);
+  if (cpu != nullptr && wait > 0) {
+    stats_.gate_wait_cycles.fetch_add(wait, std::memory_order_relaxed);
+    enclave_->machine().ChargeCost(cpu, telemetry::CostCategory::kSuvmPaging,
+                                   wait);
+  }
+}
+
+void Suvm::GateExit(sim::CpuContext* cpu) {
+  paging_gate_.Release(cpu != nullptr ? cpu->clock.now() : 0);
+}
+
+bool Suvm::SelectVictim(sim::CpuContext* cpu, Victim* out) {
+  GateEnter(cpu);
   const size_t n = cache_.max_pages();
   for (size_t scanned = 0; scanned < 2 * n; ++scanned) {
     size_t slot;
@@ -623,62 +708,222 @@ bool Suvm::EvictOneLocked(sim::CpuContext* cpu, size_t held_stripe) {
       }
       slot = clock_hand_++;
     }
-    const uint64_t bs_page = slot_to_page_[slot];
+    const uint64_t bs_page = slot_to_page_[slot].load(std::memory_order_acquire);
     if (bs_page == kInvalidAddr) {
       continue;
     }
     Stripe& st = StripeFor(bs_page);
-    const bool own = StripeIndex(bs_page) == held_stripe;
-    if (!own) {
-      st.lock.lock();
-    }
+    std::lock_guard sl(st.lock);
     auto it = st.map.find(bs_page);
-    if (it == st.map.end() || it->second.slot != static_cast<int32_t>(slot) ||
+    // Re-validate under the stripe lock: the slot may have been recycled or
+    // the page pinned/claimed since the unlocked slot_to_page_ read.
+    if (it == st.map.end() || it->second.state != Residency::kResident ||
+        it->second.slot != static_cast<int32_t>(slot) ||
         it->second.refcount != 0) {
-      if (!own) {
-        st.lock.unlock();
-      }
       continue;
     }
     PageMeta& m = it->second;
     if (config_.eviction == EvictionPolicy::kClock && m.ref_bit) {
       m.ref_bit = false;  // second chance
-      if (!own) {
-        st.lock.unlock();
-      }
       continue;
     }
-
-    // Victim: write back iff dirty (or clean-skip disabled and never sealed).
-    sim::SpanScope evict_span(&enclave_->machine().metrics().spans(), cpu,
-                              "suvm.evict");
+    // Victim: detach it (faults can no longer pin it; the slot can no longer
+    // be selected twice) and hand ownership to the caller for the seal.
+    m.state = Residency::kEvicting;
+    slot_to_page_[slot].store(kInvalidAddr, std::memory_order_relaxed);
     const bool have_seal =
         config_.direct_mode
             ? (m.subs != nullptr)  // conservatively: sub seals exist
             : m.has_data;
-    const bool wrote_back = m.dirty || !have_seal || !config_.clean_page_skip;
-    if (wrote_back) {
-      SealResident(cpu, bs_page, m);
-      stats_.writebacks.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      stats_.clean_drops.fetch_add(1, std::memory_order_relaxed);
-    }
-    evict_scan_len_->Record(scanned + 1);
-    trace_->Record(wrote_back ? telemetry::TraceKind::kSuvmEvictWriteback
-                              : telemetry::TraceKind::kSuvmEvictCleanDrop,
-                   cpu != nullptr ? cpu->clock.now() : 0, bs_page, slot);
-    TouchCryptoMeta(cpu, bs_page, /*write=*/true);
-    m.slot = -1;
-    m.dirty = false;
-    slot_to_page_[slot] = kInvalidAddr;
-    cache_.FreeSlot(static_cast<int>(slot));
-    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
-    if (!own) {
-      st.lock.unlock();
-    }
+    out->bs_page = bs_page;
+    out->meta = &m;
+    out->slot = static_cast<int>(slot);
+    out->write_back = m.dirty || !have_seal || !config_.clean_page_skip;
+    out->scanned = scanned + 1;
+    GateExit(cpu);
     return true;
   }
+  GateExit(cpu);
   return false;
+}
+
+bool Suvm::EvictOne(sim::CpuContext* cpu, std::vector<int>* deferred_free) {
+  Victim v;
+  if (!SelectVictim(cpu, &v)) {
+    return false;
+  }
+  PageMeta& m = *v.meta;
+  // Seal with no lock held: kEvicting grants exclusive ownership of the
+  // entry's payload, and the detached slot cannot be reallocated yet.
+  sim::SpanScope evict_span(&enclave_->machine().metrics().spans(), cpu,
+                            "suvm.evict");
+  if (v.write_back) {
+    SealResident(cpu, v.bs_page, m);
+    stats_.writebacks.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.clean_drops.fetch_add(1, std::memory_order_relaxed);
+  }
+  evict_scan_len_->Record(v.scanned);
+  trace_->Record(v.write_back ? telemetry::TraceKind::kSuvmEvictWriteback
+                              : telemetry::TraceKind::kSuvmEvictCleanDrop,
+                 cpu != nullptr ? cpu->clock.now() : 0, v.bs_page,
+                 static_cast<uint64_t>(v.slot));
+  TouchCryptoMeta(cpu, v.bs_page, /*write=*/true);
+  {
+    Stripe& st = StripeFor(v.bs_page);
+    std::lock_guard sl(st.lock);
+    m.slot = -1;
+    m.dirty = false;
+    if (m.prefetched) {
+      m.prefetched = false;
+      stats_.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
+    }
+    m.state = Residency::kAbsent;
+  }
+  if (deferred_free != nullptr) {
+    deferred_free->push_back(v.slot);
+  } else {
+    cache_.FreeSlot(v.slot);
+  }
+  stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+int Suvm::AcquireSlot(sim::CpuContext* cpu) {
+  int slot = cache_.AllocSlot();
+  while (slot < 0) {
+    if (!EvictOne(cpu)) {
+      return -1;
+    }
+    // Another faulting thread may race us to the freed slot; evict again
+    // until an allocation sticks or nothing evictable remains.
+    slot = cache_.AllocSlot();
+  }
+  return slot;
+}
+
+void Suvm::ReplenishReserve(sim::CpuContext* cpu) {
+  if (!config_.eager_reserve || config_.swapper_low_watermark == 0) {
+    return;
+  }
+  if (cache_.free_slots() >= config_.swapper_low_watermark) {
+    return;
+  }
+  sim::SpanScope span(&enclave_->machine().metrics().spans(), cpu,
+                      "suvm.reserve_fill");
+  // Seals run per victim (outside all locks); the slot releases batch into
+  // one free-list lock acquisition.
+  std::vector<int> freed;
+  while (cache_.free_slots() + freed.size() < config_.swapper_low_watermark) {
+    if (!EvictOne(cpu, &freed)) {
+      break;
+    }
+  }
+  if (!freed.empty()) {
+    cache_.FreeBatch(freed);
+  }
+}
+
+void Suvm::NotePinForPrefetch(sim::CpuContext* cpu, uint64_t bs_page) {
+  if (config_.prefetch_pages == 0 || cpu == nullptr ||
+      cpu->id < 0 || cpu->id >= sim::kMaxCpus) {
+    return;
+  }
+  StreamTracker& trk = streams_[cpu->id];
+  if (trk.run > 0 && bs_page == trk.last_page + 1) {
+    ++trk.run;
+  } else {
+    trk.run = 1;
+  }
+  trk.last_page = bs_page;
+  if (trk.run >= config_.prefetch_min_run) {
+    PrefetchRun(cpu, bs_page);
+  }
+}
+
+void Suvm::PrefetchRun(sim::CpuContext* cpu, uint64_t bs_page) {
+  // Candidates: the next N *sealed* pages (a batched decrypt needs
+  // ciphertext; zero-fill faults are too cheap to speculate on, and skipping
+  // never-written pages keeps the page table from growing on speculation).
+  // Each candidate is claimed as kFilling so concurrent faults on it coalesce
+  // behind this batch.
+  struct Claim {
+    uint64_t page;
+    PageMeta* meta;
+  };
+  std::vector<Claim> claims;
+  const uint64_t last_page = store_->capacity() / sim::kPageSize;
+  for (uint64_t page = bs_page + 1;
+       page <= bs_page + config_.prefetch_pages && page < last_page; ++page) {
+    Stripe& st = StripeFor(page);
+    std::lock_guard sl(st.lock);
+    auto it = st.map.find(page);
+    if (it == st.map.end() || it->second.state != Residency::kAbsent ||
+        it->second.poisoned || !it->second.has_data) {
+      continue;
+    }
+    it->second.state = Residency::kFilling;
+    claims.push_back({page, &it->second});
+  }
+  if (claims.empty()) {
+    return;
+  }
+  // Free slots only: prefetch must never evict real pages to make room.
+  std::vector<int> slots = cache_.TryAllocBatch(claims.size());
+  const auto release = [&](size_t from) {
+    for (size_t i = from; i < claims.size(); ++i) {
+      Stripe& st = StripeFor(claims[i].page);
+      std::lock_guard sl(st.lock);
+      claims[i].meta->state = Residency::kAbsent;
+    }
+  };
+  if (slots.empty()) {
+    release(0);
+    return;
+  }
+  if (slots.size() < claims.size()) {
+    release(slots.size());
+    claims.resize(slots.size());
+  }
+
+  sim::SpanScope span(&enclave_->machine().metrics().spans(), cpu,
+                      "suvm.prefetch");
+  // One gate rendezvous + one page-table charge for the whole batch — the
+  // amortization a real fault per page would not get.
+  GateEnter(cpu);
+  enclave_->machine().ChargeCost(
+      cpu, telemetry::CostCategory::kSuvmPaging,
+      enclave_->machine().costs().suvm_fault_logic_cycles);
+  GateExit(cpu);
+  for (size_t i = 0; i < claims.size(); ++i) {
+    PageMeta& m = *claims[i].meta;
+    const uint64_t page = claims[i].page;
+    const int slot = slots[i];
+    if (!LoadPage(cpu, page, m, slot).ok()) {
+      // Speculative load of a tampered seal: quietly abandon (mac_failures
+      // already counted); the page stays absent and a real access will run
+      // the retry/quarantine protocol.
+      cache_.FreeSlot(slot);
+      Stripe& st = StripeFor(page);
+      std::lock_guard sl(st.lock);
+      m.state = Residency::kAbsent;
+      continue;
+    }
+    TouchIpt(cpu, slot, /*write=*/true);
+    TouchCryptoMeta(cpu, page, /*write=*/false);
+    Stripe& st = StripeFor(page);
+    std::lock_guard sl(st.lock);
+    m.slot = slot;
+    m.refcount = 0;
+    m.ref_bit = false;  // cheapest victims: speculation never displaces reuse
+    m.dirty = false;
+    m.prefetched = true;
+    m.fill_done_vclock = cpu->clock.now();
+    m.state = Residency::kResident;
+    slot_to_page_[static_cast<size_t>(slot)].store(page,
+                                                   std::memory_order_release);
+    stats_.prefetch_issued.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 Status Suvm::LoadPage(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m,
@@ -1116,17 +1361,27 @@ Status Suvm::TryReadDirect(sim::CpuContext* cpu, uint64_t addr, void* dst,
     const size_t chunk = std::min(len, sub_size - sub_off);
 
     Stripe& st = StripeFor(page);
-    std::lock_guard sl(st.lock);
+    std::unique_lock<Spinlock> sl(st.lock);
     // Reads never materialize page-table entries: a miss on a never-written
     // page is answered with zeros straight away (default-inserting here let
-    // read-only probes grow the page table without bound).
+    // read-only probes grow the page table without bound). An in-flight
+    // fill/eviction is waited out first so the resident-copy-wins rule sees
+    // a settled residency bit.
     auto it = st.map.find(page);
+    while (it != st.map.end() &&
+           (it->second.state == Residency::kFilling ||
+            it->second.state == Residency::kEvicting)) {
+      sl.unlock();
+      CpuRelax();
+      sl.lock();
+      it = st.map.find(page);
+    }
     stats_.direct_reads.fetch_add(1, std::memory_order_relaxed);
     direct_read_bytes_->Add(chunk);
     TouchCryptoMeta(cpu, page, /*write=*/false);
     if (it == st.map.end()) {
       std::memset(out, 0, chunk);  // never-written data reads as zero
-    } else if (it->second.slot >= 0) {
+    } else if (it->second.state == Residency::kResident) {
       // Consistency: the cached copy wins (paper: "reads are consistent by
       // checking that the page is not resident in the page cache first").
       PageMeta& m = it->second;
@@ -1176,7 +1431,18 @@ Status Suvm::TryWriteDirect(sim::CpuContext* cpu, uint64_t addr, const void* src
     const size_t chunk = std::min(len, sub_size - sub_off);
 
     Stripe& st = StripeFor(page);
-    std::lock_guard sl(st.lock);
+    std::unique_lock<Spinlock> sl(st.lock);
+    // Settle an in-flight fill/eviction before deciding between the resident
+    // and sealed-sub-page paths.
+    auto fit = st.map.find(page);
+    while (fit != st.map.end() &&
+           (fit->second.state == Residency::kFilling ||
+            fit->second.state == Residency::kEvicting)) {
+      sl.unlock();
+      CpuRelax();
+      sl.lock();
+      fit = st.map.find(page);
+    }
     // Writes legitimately materialize an entry (the page now has contents),
     // but a failed write must not leave a husk behind.
     const auto [it, inserted] = st.map.try_emplace(page);
@@ -1184,7 +1450,7 @@ Status Suvm::TryWriteDirect(sim::CpuContext* cpu, uint64_t addr, const void* src
     stats_.direct_writes.fetch_add(1, std::memory_order_relaxed);
     direct_write_bytes_->Add(chunk);
     TouchCryptoMeta(cpu, page, /*write=*/true);
-    if (m.slot >= 0) {
+    if (m.state == Residency::kResident) {
       m.ref_bit = true;
       m.dirty = true;
       uint8_t* data = SlotData(cpu, m.slot, page_off, chunk, true);
@@ -1308,14 +1574,13 @@ Status Suvm::DirectSubWrite(sim::CpuContext* cpu, PageMeta& m, uint64_t bs_page,
 // --- Maintenance ---
 
 void Suvm::SwapperPass(sim::CpuContext* cpu) {
-  std::lock_guard pg(paging_lock_);
   if (cache_.free_slots() >= config_.swapper_low_watermark) {
     return;  // nothing to do: no span, so idle passes stay invisible
   }
   sim::SpanScope span(&enclave_->machine().metrics().spans(), cpu,
                       "suvm.swapper_pass");
   while (cache_.free_slots() < config_.swapper_low_watermark) {
-    if (!EvictOneLocked(cpu, SIZE_MAX)) {
+    if (!EvictOne(cpu)) {
       return;
     }
   }
@@ -1323,9 +1588,8 @@ void Suvm::SwapperPass(sim::CpuContext* cpu) {
 
 void Suvm::ResizeEpcPp(sim::CpuContext* cpu, size_t pages) {
   cache_.set_target_pages(pages);
-  std::lock_guard pg(paging_lock_);
   while (cache_.in_use() > cache_.target_pages()) {
-    if (!EvictOneLocked(cpu, SIZE_MAX)) {
+    if (!EvictOne(cpu)) {
       return;  // everything remaining is pinned
     }
   }
@@ -1352,6 +1616,10 @@ size_t Suvm::BalloonPass(sim::CpuContext* cpu) {
                    cpu != nullptr ? cpu->clock.now() : 0, before,
                    cache_.target_pages());
   }
+  // Opportunistic reserve top-up: the balloon pass already holds the "pay
+  // background paging costs now" budget, so refill the free-slot reserve
+  // here rather than on a later fault's critical path.
+  ReplenishReserve(cpu);
   return cache_.target_pages();
 }
 
@@ -1369,19 +1637,23 @@ StatusOr<sim::SgxDriver::SealedBlob> Suvm::SealCheckpoint(sim::CpuContext* cpu) 
   sim::SpanScope span(&machine.metrics().spans(), cpu, "suvm.seal_checkpoint");
   const uint64_t t0 = cpu != nullptr ? cpu->clock.now() : 0;
 
-  std::lock_guard pg(paging_lock_);
   // Flush every dirty (or never-sealed) resident page through the journaled
   // seal path. The crash injector may kill the host mid-flush; the checkpoint
-  // then fails and the previous root remains the recovery point.
+  // then fails and the previous root remains the recovery point. Each page is
+  // re-validated under its stripe lock (checkpoints expect a quiesced
+  // instance, but a racing eviction between the atomic slot read and the lock
+  // must not flush a detached entry). Sealing under the stripe lock keeps the
+  // captured nonce/tag consistent with the root assembled below.
   for (size_t slot = 0; slot < slot_to_page_.size(); ++slot) {
-    const uint64_t bs_page = slot_to_page_[slot];
+    const uint64_t bs_page = slot_to_page_[slot].load(std::memory_order_acquire);
     if (bs_page == kInvalidAddr) {
       continue;
     }
     Stripe& st = StripeFor(bs_page);
     std::lock_guard sl(st.lock);
     auto it = st.map.find(bs_page);
-    if (it == st.map.end() || it->second.slot < 0) {
+    if (it == st.map.end() || it->second.state != Residency::kResident ||
+        it->second.slot != static_cast<int32_t>(slot)) {
       continue;
     }
     PageMeta& m = it->second;

@@ -56,6 +56,21 @@ struct SuvmConfig {
   bool direct_mode = false;      // §3.2.4: per-sub-page sealing + direct access
   size_t subpage_size = 1024;    // direct-mode sub-page granularity
   size_t swapper_low_watermark = 16;  // free-pool size the swapper maintains
+  // Eager swapper reserve: after each major fault (and each balloon pass) the
+  // free pool is opportunistically refilled to swapper_low_watermark, so the
+  // common fault pops a pre-evicted slot instead of paying a synchronous
+  // evict+seal on its latency path. The refill is charged *after* the fault's
+  // latency is recorded — it is throughput work, not fault critical path.
+  // Off by default: the benign path keeps its exact historical charge
+  // sequence.
+  bool eager_reserve = false;
+  // Sequential-stride prefetch: when a CPU's pin stream walks backing-store
+  // pages in ascending order for prefetch_min_run consecutive pages, the next
+  // `prefetch_pages` non-resident pages are paged in as one batch (single
+  // gate rendezvous + one fault-logic charge, decrypts still per page).
+  // 0 disables prefetch entirely (default; keeps charges byte-identical).
+  size_t prefetch_pages = 0;
+  uint32_t prefetch_min_run = 2;
   uint64_t key_seed = 0xe1e05;   // per-application sealing key seed
   // Benchmark-only escape hatch: seal/open pages with memcpy instead of
   // AES-GCM. Virtual-cycle charges are identical; integrity is NOT enforced.
@@ -222,6 +237,14 @@ class Suvm {
     std::atomic<uint64_t> recovery_journal_replayed{0};
     std::atomic<uint64_t> recovery_journal_torn{0};
     std::atomic<uint64_t> recovery_rollbacks{0};  // stale roots rejected
+    // Parallel paging.
+    std::atomic<uint64_t> fault_coalesced{0};   // waited out another thread's
+                                                // in-flight fill of this page
+    std::atomic<uint64_t> gate_wait_cycles{0};  // virtual cycles queued on the
+                                                // paging gate (serial slice)
+    std::atomic<uint64_t> prefetch_issued{0};   // pages speculatively paged in
+    std::atomic<uint64_t> prefetch_hits{0};     // prefetched page later pinned
+    std::atomic<uint64_t> prefetch_wasted{0};   // evicted before any pin
   };
   const Stats& stats() const { return stats_; }
   void ResetStats();
@@ -258,14 +281,32 @@ class Suvm {
     bool has_data = false;
   };
 
+  // Residency state machine (DESIGN.md §14). kFilling/kEvicting grant the
+  // transitioning thread *exclusive* ownership of the entry's payload fields
+  // (slot/nonce/tag/has_data/subs) without holding the stripe lock — every
+  // other thread must wait for the state to settle (coalescing on a fill,
+  // spinning out an eviction) before touching them. That exclusivity is what
+  // lets the GCM decrypt/encrypt run outside all locks.
+  enum class Residency : uint8_t {
+    kAbsent = 0,    // not in EPC++ (may still have a valid seal: has_data)
+    kFilling = 1,   // a leader is paging it in (slot not yet published)
+    kResident = 2,  // in EPC++; slot is valid
+    kEvicting = 3,  // an evictor is sealing it out (slot still owned by it)
+  };
+
   struct PageMeta {
     int32_t slot = -1;        // EPC++ slot, -1 when not resident
     uint32_t refcount = 0;    // pins by linked spointers
+    Residency state = Residency::kAbsent;
     bool dirty = false;
     bool ref_bit = false;     // second chance for the EPC++ clock
     bool has_data = false;    // whole-page seal in the backing store is valid
     bool poisoned = false;    // quarantined: accesses fast-fail, no crypto
+    bool prefetched = false;  // speculatively filled, not yet pinned
     uint64_t version = 0;     // monotonic seal version (crash consistency)
+    // Leader's virtual clock at fill publication: a coalesced waiter
+    // fast-forwards its own clock to this point (it "waited" for the fill).
+    uint64_t fill_done_vclock = 0;
     uint8_t nonce[crypto::kGcmNonceSize];
     uint8_t tag[crypto::kGcmTagSize];
     std::unique_ptr<SubMeta[]> subs;  // direct mode: per-sub-page metadata
@@ -283,9 +324,35 @@ class Suvm {
   }
   static size_t StripeIndex(uint64_t bs_page) { return bs_page % kStripes; }
 
-  // Paging internals. EvictOneLocked requires paging_lock_ held;
-  // `held_stripe` (or SIZE_MAX) names a stripe lock the caller already owns.
-  bool EvictOneLocked(sim::CpuContext* cpu, size_t held_stripe);
+  // Paging internals (DESIGN.md §14). Victim selection serializes on the
+  // paging gate; the seal runs afterwards with only kEvicting ownership.
+  struct Victim {
+    uint64_t bs_page = 0;
+    PageMeta* meta = nullptr;  // stable: unordered_map references don't move
+    int slot = -1;
+    bool write_back = false;
+    size_t scanned = 0;  // candidates examined (evict_scan_len histogram)
+  };
+  // Picks one victim under the paging gate and detaches it (kEvicting,
+  // slot_to_page_ cleared). False when every resident page is pinned.
+  bool SelectVictim(sim::CpuContext* cpu, Victim* out);
+  // SelectVictim + seal + teardown. When `deferred_free` is non-null the
+  // freed slot is pushed there instead of returned to the cache (the reserve
+  // path batches the FreeSlot calls).
+  bool EvictOne(sim::CpuContext* cpu, std::vector<int>* deferred_free = nullptr);
+  // AllocSlot, evicting as needed; -1 when every cached page is pinned.
+  int AcquireSlot(sim::CpuContext* cpu);
+  // Eager reserve (config.eager_reserve): refill the free pool to
+  // swapper_low_watermark, batching the slot releases via FreeBatch.
+  void ReplenishReserve(sim::CpuContext* cpu);
+  // Sequential-stride detection + batch prefetch (config.prefetch_pages).
+  void NotePinForPrefetch(sim::CpuContext* cpu, uint64_t bs_page);
+  void PrefetchRun(sim::CpuContext* cpu, uint64_t bs_page);
+  // Paging-gate entry/exit: Acquire charges any virtual backlog as queueing
+  // delay (kSuvmPaging + stats.gate_wait_cycles); Release publishes the
+  // holder's post-charge clock as the new busy horizon.
+  void GateEnter(sim::CpuContext* cpu);
+  void GateExit(sim::CpuContext* cpu);
   Status LoadPage(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m, int slot);
   void SealResident(sim::CpuContext* cpu, uint64_t bs_page, PageMeta& m);
   // The journaled two-phase commit (crash_consistency): journal record with
@@ -349,9 +416,26 @@ class Suvm {
   std::unordered_map<uint64_t, std::vector<uint8_t>> stale_seals_;
 
   Stripe stripes_[kStripes];
-  Spinlock paging_lock_;
-  std::vector<uint64_t> slot_to_page_;  // slot -> bs_page (kInvalidAddr if free)
-  size_t clock_hand_ = 0;
+  // The serialized slice of paging: victim selection (clock_hand_) plus the
+  // per-fault page-table manipulation charge. Lock order: paging_gate_ ->
+  // stripe lock -> leaf locks (cache_, driver, nonce/stale). Nothing acquires
+  // the gate while holding a stripe lock.
+  VirtualGate paging_gate_;
+  // slot -> bs_page (kInvalidAddr if free/detached). Atomic entries: fault
+  // leaders publish while holding only their stripe lock, victim selection
+  // scans under the gate; both re-validate against the stripe-locked
+  // PageMeta before trusting a reading.
+  std::vector<std::atomic<uint64_t>> slot_to_page_;
+  size_t clock_hand_ = 0;  // guarded by paging_gate_
+
+  // Per-CPU sequential-stream tracker for prefetch. Each entry is touched
+  // only by the thread driving that CpuContext (the simulator's one-thread-
+  // per-CPU contract), so no locking.
+  struct StreamTracker {
+    uint64_t last_page = kInvalidAddr;
+    uint32_t run = 0;
+  };
+  StreamTracker streams_[sim::kMaxCpus];
 
   // Metadata accounting regions (enclave memory; evictable by native SGX
   // paging, which is exactly the paper's >1 GiB working-set effect).
